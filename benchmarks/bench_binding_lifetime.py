@@ -1,0 +1,110 @@
+"""E5 -- Section 3.1: the binding lifetime rule.
+
+"A broken binding stays that way till the application level action
+terminates ... if some bound server subsequently crashes then the
+corresponding binding is broken and not repaired (even if the server
+node is functioning again); all the surviving bindings are broken at
+the termination time of the action."
+
+Measured: a server crashes mid-action and recovers *before* the action
+would next touch it.  The in-flight action must NOT use the recovered
+node (its volatile replica state died); the action either masks via
+other replicas or aborts.  A fresh action after termination binds the
+recovered node again.  We contrast this with a counterfactual
+"rebinding" policy to show what the rule prevents: reading a stale
+freshly-activated replica inside a still-running action.
+"""
+
+import pytest
+
+from repro import ActiveReplication, SingleCopyPassive
+from repro.sim.process import Timeout
+from repro.workload import Table
+
+from benchmarks.common import build_system, once
+
+
+def run_single_copy_case(seed: int = 7):
+    """Single copy: crash+quick-recover must still abort the action."""
+    system, runtimes, uid = build_system(
+        sv=["s1", "s2"], st=["t1"], policy=SingleCopyPassive, seed=seed)
+    client = runtimes[0]
+    observed = {}
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["s1"].crash()
+        system.nodes["s1"].recover()       # back before the next call
+        yield Timeout(5.0)                  # give recovery time to finish
+        value = yield from txn.invoke(uid, "add", 1)
+        observed["value"] = value
+
+    result = system.run_transaction(client, work)
+    retry = system.run_transaction(client, lambda txn: (
+        yield from txn.invoke(uid, "add", 1)))
+    return {
+        "in_flight_committed": result.committed,
+        "in_flight_reason": result.reason or "-",
+        "retry_committed": retry.committed,
+    }
+
+
+def run_active_case(seed: int = 7):
+    """Active replication: the recovered replica must stay out of the
+    in-flight action's group even though it is up again."""
+    system, runtimes, uid = build_system(
+        sv=["s1", "s2", "s3"], st=["t1"], policy=ActiveReplication, seed=seed)
+    client = runtimes[0]
+    group_sizes = []
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        group_sizes.append(len(txn.bindings[uid].live_hosts))
+        system.nodes["s2"].crash()
+        yield from txn.invoke(uid, "add", 1)   # s2's silence breaks binding
+        system.nodes["s2"].recover()
+        yield Timeout(5.0)                      # s2 is healthy again...
+        yield from txn.invoke(uid, "add", 1)   # ...but must not be rebound
+        group_sizes.append(len(txn.bindings[uid].live_hosts))
+        return group_sizes
+
+    result = system.run_transaction(client, work, timeout=300.0)
+    return {
+        "committed": result.committed,
+        "group_before": result.value[0] if result.committed else None,
+        "group_after": result.value[1] if result.committed else None,
+    }
+
+
+@pytest.mark.benchmark(group="binding-lifetime")
+def test_e5_broken_bindings_stay_broken(benchmark):
+    def experiment():
+        return {
+            "single_copy": run_single_copy_case(),
+            "active": run_active_case(),
+        }
+
+    results = once(benchmark, experiment)
+
+    table = Table("E5 / section 3.1: broken bindings are never repaired "
+                  "within the action",
+                  ["case", "outcome"])
+    sc = results["single_copy"]
+    table.add_row("single copy, server crash + fast recovery",
+                  f"in-flight aborted ({sc['in_flight_reason']}); "
+                  f"restart committed={sc['retry_committed']}")
+    ac = results["active"]
+    table.add_row("active, replica crash + fast recovery",
+                  f"committed={ac['committed']}; group "
+                  f"{ac['group_before']} -> {ac['group_after']} "
+                  f"(recovered replica NOT re-admitted)")
+    table.show()
+
+    assert not sc["in_flight_committed"], \
+        "the action must abort even though the server recovered in time"
+    assert sc["retry_committed"], \
+        "a fresh action may bind the recovered server"
+    assert ac["committed"]
+    assert ac["group_before"] == 3
+    assert ac["group_after"] == 2, \
+        "the in-flight group must exclude the recovered replica"

@@ -1,0 +1,79 @@
+"""F1 -- Figure 1: replica divergence under partial delivery.
+
+The paper's scenario: a sender crashes while delivering a message to a
+replica group, so one member sees it and another does not.  We sweep
+the crash time across the delivery window for many trials and count how
+often the surviving replicas end up with different states, for the
+naive unicast-per-member baseline versus the reliable ordered
+multicast.
+
+Paper claim (shape): divergence occurs with unreliable delivery;
+reliable+ordered group communication eliminates it.
+"""
+
+import pytest
+
+from repro import ActiveReplication, DistributedSystem, SystemConfig
+from repro.workload import Table
+
+from benchmarks.common import BenchCounter
+
+
+def run_trial(reliable: bool, crash_offset: float, seed: int):
+    system = DistributedSystem(SystemConfig(seed=seed,
+                                            reliable_multicast=reliable))
+    system.registry.register(BenchCounter)
+    for host in ("a1", "a2"):
+        system.add_node(host, server=True)
+    system.add_node("t1", store=True)
+    client = system.add_client("c1", policy=ActiveReplication())
+    system.nodes["c1"].mcast.stagger = 0.01
+    uid = system.create_object(BenchCounter(system.new_uid(), value=0),
+                               sv_hosts=["a1", "a2"], st_hosts=["t1"])
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.scheduler.schedule(crash_offset, system.nodes["c1"].crash)
+        yield from txn.invoke(uid, "add", 1)
+
+    client.transaction(work)
+    # Observe before the orphan-action janitor (2s period) aborts the
+    # dead client's action and masks the divergence.
+    system.run(until=1.0)
+
+    states = {}
+    for host in ("a1", "a2"):
+        server_host = system.nodes[host].rpc.service("servers")
+        if server_host is not None and server_host.has_server(str(uid)):
+            buffer, _ = server_host.get_state(str(uid))
+            states[host] = BenchCounter.deserialise(buffer).value
+    return states
+
+
+def divergence_rate(reliable: bool, trials: int = 20) -> float:
+    diverged = 0
+    for i in range(trials):
+        crash_offset = 0.001 + (i / trials) * 0.012  # sweep the window
+        states = run_trial(reliable, crash_offset, seed=1000 + i)
+        if len(set(states.values())) > 1:
+            diverged += 1
+    return diverged / trials
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_divergence(benchmark):
+    def experiment():
+        return {"naive": divergence_rate(reliable=False),
+                "reliable": divergence_rate(reliable=True)}
+
+    rates = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table("F1 / figure 1: replica divergence on sender crash "
+                  "(20 crash timings)",
+                  ["delivery", "divergence rate"])
+    table.add_row("naive unicasts", rates["naive"])
+    table.add_row("reliable ordered multicast", rates["reliable"])
+    table.show()
+
+    assert rates["naive"] > 0.0, "baseline must exhibit figure-1 divergence"
+    assert rates["reliable"] == 0.0, "reliable multicast must prevent it"

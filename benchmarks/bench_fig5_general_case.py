@@ -1,0 +1,53 @@
+"""F5 -- Figure 5: the general case, |Sv| > 1 and |St| > 1.
+
+The full 2-D sweep: commit rate as a function of both replication
+degrees under combined server+store churn.  Figures 2-4 are the edges
+of this matrix.
+
+Paper claim (shape): availability increases along both axes and is
+maximised in the general configuration; each axis masks its own class
+of failure, so the diagonal dominates the edges.
+"""
+
+import pytest
+
+from repro import ActiveReplication
+from repro.workload import Table
+
+from benchmarks.common import build_system, once, run_workload
+
+
+def run_cell(n_servers: int, n_stores: int, seed: int = 7):
+    sv = [f"s{i}" for i in range(1, n_servers + 1)]
+    st = [f"t{i}" for i in range(1, n_stores + 1)]
+    system, runtimes, uid = build_system(
+        sv=sv, st=st, policy=lambda: ActiveReplication(), seed=seed)
+    system.stochastic_faults(sv + st, mttf=30.0, mttr=6.0, stop_after=300.0)
+    report = run_workload(system, runtimes, uid, txns_per_client=60,
+                          mean_think_time=1.0)
+    return report.commit_rate
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_general_case_matrix(benchmark):
+    degrees = (1, 2, 3)
+
+    def experiment():
+        return {(n_sv, n_st): run_cell(n_sv, n_st)
+                for n_sv in degrees for n_st in degrees}
+
+    matrix = once(benchmark, experiment)
+
+    table = Table("F5 / figure 5: commit rate, |Sv| (rows) x |St| (cols), "
+                  "combined churn",
+                  ["|Sv| \\ |St|"] + [str(d) for d in degrees])
+    for n_sv in degrees:
+        table.add_row(n_sv, *[matrix[(n_sv, n_st)] for n_st in degrees])
+    table.show()
+
+    assert matrix[(3, 3)] > matrix[(1, 1)], \
+        "the general case must beat the non-replicated one"
+    assert matrix[(3, 1)] > matrix[(1, 1)], "server axis must help"
+    assert matrix[(1, 3)] > matrix[(1, 1)], "store axis must help"
+    assert matrix[(3, 3)] >= max(matrix[(3, 1)], matrix[(1, 3)]) - 0.05, \
+        "the diagonal should dominate (small tolerance for noise)"

@@ -1,0 +1,91 @@
+"""E2 -- Section 4.1.2: the read-only binding optimisation.
+
+"If clients are only performing read operations on an object then it is
+possible for concurrent clients to activate and bind to different
+(possibly disjoint sets of) servers for the object.  In a simple
+scheme, a client binds to any convenient node."
+
+Measured with N concurrent read-only clients: with the optimisation
+each client binds exactly one server (spread over Sv) and the readers
+never conflict; without it every client binds the full group, costing
+k bind RPCs per transaction.  Also: the paper's second read
+optimisation -- no state is copied to the stores for read-only actions.
+"""
+
+import pytest
+
+from repro import DistributedSystem, SingleCopyPassive, SystemConfig
+from repro.sim.rng import SeededRng
+from repro.workload import Table, TransactionStream, run_streams
+
+from benchmarks.common import BenchCounter, read_factory
+
+
+def run_readers(single_server: bool, n_clients: int = 6, seed: int = 7):
+    system = DistributedSystem(SystemConfig(seed=seed))
+    system.registry.register(BenchCounter)
+    for host in ("s1", "s2", "s3"):
+        system.add_node(host, server=True)
+    system.add_node("t1", store=True)
+    runtimes = []
+    for i in range(n_clients):
+        runtime = system.add_client(f"r{i}", policy=SingleCopyPassive())
+        runtime.scheme.read_only_single_server = single_server
+        # Without the optimisation a read-only client binds like a
+        # writer: the whole candidate set.
+        if not single_server:
+            runtime.policy.activation_degree = lambda: None
+        runtimes.append(runtime)
+    uid = system.create_object(BenchCounter(system.new_uid(), value=5),
+                               sv_hosts=["s1", "s2", "s3"], st_hosts=["t1"])
+
+    streams = [
+        TransactionStream(runtime, read_factory(uid), count=5,
+                          rng=SeededRng(seed, f"s{i}"),
+                          mean_think_time=0.05, read_only=True)
+        for i, runtime in enumerate(runtimes)
+    ]
+    report = run_streams(system, streams)
+
+    bind_attempts = system.metrics.counter_value(
+        "binding.standard.attempts")
+    distinct_servers = sum(
+        1 for host in ("s1", "s2", "s3")
+        if system.nodes[host].rpc.service("servers").has_server(str(uid)))
+    store_writes = system.nodes["t1"].object_store.commits
+    return {
+        "commit_rate": report.commit_rate,
+        "bind_attempts": bind_attempts,
+        "servers_activated": distinct_servers,
+        "store_writes": store_writes,
+    }
+
+
+@pytest.mark.benchmark(group="read-opt")
+def test_e2_read_only_clients_bind_single_convenient_servers(benchmark):
+    def experiment():
+        return {
+            "full group bind": run_readers(single_server=False),
+            "single convenient server": run_readers(single_server=True),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    table = Table("E2 / section 4.1.2: read-only binding optimisation "
+                  "(6 readers x 5 txns, |Sv|=3)",
+                  ["mode", "commit rate", "bind attempts",
+                   "servers activated", "store writes"])
+    for mode, row in results.items():
+        table.add_row(mode, row["commit_rate"], row["bind_attempts"],
+                      row["servers_activated"], row["store_writes"])
+    table.show()
+
+    full, single = (results["full group bind"],
+                    results["single convenient server"])
+    assert single["commit_rate"] == full["commit_rate"] == 1.0
+    assert single["bind_attempts"] < full["bind_attempts"], \
+        "single-server binding must cut bind RPCs"
+    assert single["servers_activated"] > 1, \
+        "readers must spread over disjoint servers"
+    # The second read optimisation: nothing is copied back to stores.
+    assert single["store_writes"] == 0 and full["store_writes"] == 0

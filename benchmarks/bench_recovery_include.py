@@ -1,0 +1,76 @@
+"""E3 -- Section 4.2: store recovery, state refresh, and Include.
+
+A store node crashes; the next commit Excludes it; it recovers, runs
+atomic actions to refresh its object states to the latest committed
+versions, and re-Includes itself.  Measured: the window during which
+the store is excluded (unavailability of that replica) as a function
+of how much the object changed while it was down, and the correctness
+of the refresh (version equality at re-Include).
+"""
+
+import pytest
+
+from repro.workload import Table
+
+from benchmarks.common import build_system, increment_factory, once, run_workload
+
+
+def run_outage(commits_while_down: int, seed: int = 7):
+    system, runtimes, uid = build_system(sv=["s1"], st=["t1", "t2"],
+                                         seed=seed)
+    client = runtimes[0]
+
+    def add(txn):
+        return (yield from txn.invoke(uid, "add", 1))
+
+    # One commit to warm everything up.
+    system.run_transaction(client, add)
+
+    crash_time = system.scheduler.now
+    system.nodes["t2"].crash()
+    # The first commit after the crash performs the Exclude.
+    for _ in range(max(commits_while_down, 1)):
+        system.run_transaction(client, add)
+    excluded_at = system.scheduler.now
+    assert system.db_st(uid) == ["t1"]
+
+    system.nodes["t2"].recover()
+    recovered_at = system.scheduler.now
+    # Run until the guard/recovery re-Includes t2.
+    deadline = recovered_at + 60.0
+    while system.scheduler.now < deadline:
+        system.run(until=system.scheduler.now + 1.0)
+        if "t2" in system.db_st(uid):
+            break
+    included_at = system.scheduler.now
+
+    versions = system.store_versions(uid)
+    manager = system.recovery_managers["t2"]
+    return {
+        "window": included_at - recovered_at,
+        "versions_equal": len(set(versions.values())) == 1,
+        "refreshed": manager.states_refreshed,
+        "version": versions.get("t2", 0),
+    }
+
+
+@pytest.mark.benchmark(group="recovery")
+def test_e3_recovered_store_refreshes_then_includes(benchmark):
+    def experiment():
+        return {n: run_outage(n) for n in (1, 3, 6)}
+
+    results = once(benchmark, experiment)
+
+    table = Table("E3 / section 4.2: store recovery -> refresh -> Include",
+                  ["commits while down", "re-include window (s)",
+                   "states refreshed", "St versions equal", "final version"])
+    for n, row in results.items():
+        table.add_row(n, row["window"], row["refreshed"],
+                      row["versions_equal"], row["version"])
+    table.show()
+
+    for n, row in results.items():
+        assert row["versions_equal"], \
+            "a store must never be Included with a stale state"
+        assert row["refreshed"] >= 1, "the refresh must actually run"
+        assert row["window"] < 30.0, "re-inclusion must be prompt"

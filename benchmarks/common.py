@@ -1,0 +1,98 @@
+"""Shared machinery for the benchmark harness.
+
+Every benchmark regenerates one paper artefact (figure or analysed
+trade-off) as a printed table plus shape assertions; see DESIGN.md
+section 3 for the experiment index and EXPERIMENTS.md for recorded
+results.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DistributedSystem,
+    LockMode,
+    PersistentObject,
+    SingleCopyPassive,
+    SystemConfig,
+    operation,
+)
+from repro.sim.rng import SeededRng
+from repro.workload import TransactionStream, WorkloadReport, run_streams
+
+
+class BenchCounter(PersistentObject):
+    """The benchmark workload object."""
+
+    TYPE_NAME = "bench.Counter"
+
+    def __init__(self, uid, value=0):
+        super().__init__(uid)
+        self.value = value
+
+    def save_state(self, out):
+        out.pack_int(self.value)
+
+    def restore_state(self, state):
+        self.value = state.unpack_int()
+
+    @operation(LockMode.READ)
+    def get(self):
+        return self.value
+
+    @operation(LockMode.WRITE)
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+
+def build_system(sv, st, policy=None, clients=1, seed=7, **config_kwargs):
+    """A deployment with one BenchCounter object and N clients."""
+    system = DistributedSystem(SystemConfig(seed=seed, **config_kwargs))
+    system.registry.register(BenchCounter)
+    for host in dict.fromkeys(list(sv) + list(st)):
+        system.add_node(host, server=host in sv, store=host in st)
+    runtimes = [
+        system.add_client(f"c{i}", policy=(policy() if policy else
+                                           SingleCopyPassive()))
+        for i in range(clients)
+    ]
+    uid = system.create_object(BenchCounter(system.new_uid(), value=0),
+                               sv_hosts=list(sv), st_hosts=list(st))
+    return system, runtimes, uid
+
+
+def increment_factory(uid):
+    def factory(_index):
+        def work(txn):
+            return (yield from txn.invoke(uid, "add", 1))
+        return work
+    return factory
+
+
+def read_factory(uid):
+    def factory(_index):
+        def work(txn):
+            return (yield from txn.invoke(uid, "get"))
+        return work
+    return factory
+
+
+def run_workload(system, runtimes, uid, txns_per_client=50,
+                 mean_think_time=0.5, max_attempts=1, read_only=False,
+                 factory=None, seed=99) -> WorkloadReport:
+    factory = factory or increment_factory(uid)
+    streams = [
+        TransactionStream(runtime, factory, count=txns_per_client,
+                          rng=SeededRng(seed, f"stream{i}"),
+                          mean_think_time=mean_think_time,
+                          max_attempts=max_attempts, read_only=read_only)
+        for i, runtime in enumerate(runtimes)
+    ]
+    return run_streams(system, streams)
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""Replicated bank accounts: multi-object transactions under failures.
+
+The classic motivating workload for atomic actions: transfers between
+accounts must move money exactly-once even when servers crash mid
+transfer.  Accounts are replicated with **active replication** so a
+replica crash during a transfer is masked rather than aborting it; a
+coordinator-style crash of every replica aborts the transfer cleanly
+(no money created or destroyed).
+
+Run:  python examples/bank_accounts.py
+"""
+
+from repro import (
+    ActiveReplication,
+    DistributedSystem,
+    LockMode,
+    PersistentObject,
+    SystemConfig,
+    TxnAborted,
+    operation,
+)
+
+
+class Account(PersistentObject):
+    TYPE_NAME = "examples.Account"
+
+    def __init__(self, uid, owner="", balance=0):
+        super().__init__(uid)
+        self.owner = owner
+        self.balance = balance
+
+    def save_state(self, out):
+        out.pack_string(self.owner)
+        out.pack_int(self.balance)
+
+    def restore_state(self, state):
+        self.owner = state.unpack_string()
+        self.balance = state.unpack_int()
+
+    @operation(LockMode.READ)
+    def get_balance(self):
+        return self.balance
+
+    @operation(LockMode.WRITE)
+    def deposit(self, amount):
+        self.balance += amount
+        return self.balance
+
+    @operation(LockMode.WRITE)
+    def withdraw(self, amount):
+        if amount > self.balance:
+            raise ValueError(f"insufficient funds: {self.balance} < {amount}")
+        self.balance -= amount
+        return self.balance
+
+
+def make_transfer(source, target, amount):
+    def transfer(txn):
+        yield from txn.invoke(source, "withdraw", amount)
+        yield from txn.invoke(target, "deposit", amount)
+        return amount
+    return transfer
+
+
+def total_balance(system, client, uids):
+    def read_all(txn):
+        total = 0
+        for uid in uids:
+            total += yield from txn.invoke(uid, "get_balance")
+        return total
+    result = system.run_transaction(client, read_all, read_only=True)
+    assert result.committed
+    return result.value
+
+
+def main():
+    system = DistributedSystem(SystemConfig(seed=2024))
+    system.registry.register(Account)
+    for name in ("bank1", "bank2", "bank3"):
+        system.add_node(name, server=True)
+    for name in ("vault1", "vault2"):
+        system.add_node(name, store=True)
+    client = system.add_client("teller", policy=ActiveReplication())
+
+    alice = system.create_object(
+        Account(system.new_uid(), owner="alice", balance=1000),
+        sv_hosts=["bank1", "bank2", "bank3"], st_hosts=["vault1", "vault2"])
+    bob = system.create_object(
+        Account(system.new_uid(), owner="bob", balance=200),
+        sv_hosts=["bank1", "bank2", "bank3"], st_hosts=["vault1", "vault2"])
+
+    print(f"initial total: {total_balance(system, client, [alice, bob])}")
+
+    # 1. A normal transfer.
+    result = system.run_transaction(client, make_transfer(alice, bob, 300))
+    print(f"transfer 300 alice->bob: committed={result.committed}")
+
+    # 2. A replica crashes mid-transfer: masked by active replication.
+    def crashy_transfer(txn):
+        yield from txn.invoke(alice, "withdraw", 100)
+        system.nodes["bank2"].crash()   # one replica dies
+        yield from txn.invoke(bob, "deposit", 100)
+        return 100
+
+    result = system.run_transaction(client, crashy_transfer)
+    print(f"transfer with replica crash: committed={result.committed} "
+          f"(bank2 failure masked)")
+
+    # 3. An overdraft aborts at the application level.
+    result = system.run_transaction(client, make_transfer(bob, alice, 10_000))
+    print(f"overdraft transfer: committed={result.committed} "
+          f"reason={result.reason}")
+
+    # 4. Money is conserved through all of it.
+    total = total_balance(system, client, [alice, bob])
+    print(f"final total: {total}")
+    assert total == 1200, "money was created or destroyed!"
+    print("invariant holds: no money created or destroyed")
+
+    balances = {}
+    def read(uid):
+        def body(txn):
+            return (yield from txn.invoke(uid, "get_balance"))
+        return body
+    for name, uid in (("alice", alice), ("bob", bob)):
+        balances[name] = system.run_transaction(client, read(uid)).value
+    print(f"final balances: {balances}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro -- a reproduction of Little, McCue & Shrivastava (ICDCS 1993),
+"Maintaining Information about Persistent Replicated Objects in a
+Distributed System".
+
+The package implements the paper's naming-and-binding service for
+persistent replicated objects (the ``Sv``/``St`` meta-information
+model, the Object Server and Object State databases, the three binding
+schemes, the exclude-write lock) together with every substrate it
+depends on: a deterministic discrete-event simulation of a LAN of
+fail-silent workstations, RPC, reliable ordered group multicast, stable
+object stores, nested atomic actions with multi-mode locking and
+two-phase commit, and the three replication policies.
+
+Quick start::
+
+    from repro import (DistributedSystem, SystemConfig, PersistentObject,
+                       operation, LockMode, SingleCopyPassive)
+
+See ``examples/quickstart.py`` and README.md.
+"""
+
+from repro.actions.locks import LockMode
+from repro.cluster.client import ClientRuntime, Txn, TxnResult
+from repro.cluster.errors import TxnAborted
+from repro.cluster.system import DistributedSystem, SystemConfig
+from repro.core.objects import ObjectClassRegistry, PersistentObject, operation
+from repro.replication.active import ActiveReplication
+from repro.replication.coordinator_cohort import CoordinatorCohortReplication
+from repro.replication.single_copy_passive import SingleCopyPassive
+from repro.sim.failures import FaultPlan
+from repro.storage.uid import Uid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActiveReplication",
+    "ClientRuntime",
+    "CoordinatorCohortReplication",
+    "DistributedSystem",
+    "FaultPlan",
+    "LockMode",
+    "ObjectClassRegistry",
+    "PersistentObject",
+    "SingleCopyPassive",
+    "SystemConfig",
+    "Txn",
+    "TxnAborted",
+    "TxnResult",
+    "Uid",
+    "__version__",
+    "operation",
+]

@@ -1,0 +1,260 @@
+"""Atomic actions: nested, independent top-level, and nested top-level.
+
+An :class:`AtomicAction` accumulates :class:`AbstractRecord` intention
+records as the application touches resources.  Termination is two-phase
+commit over the records:
+
+- *top-level* commit runs ``prepare`` on every record (any abort vote or
+  exception aborts the whole action), then ``commit`` on the survivors;
+- *nested* commit performs no 2PC: records are merged into the parent,
+  so their effects remain provisional until the top-level action
+  resolves (locks are inherited, not released -- strict two-phase
+  locking across the nesting hierarchy);
+- abort runs ``abort`` on every record in reverse order.
+
+``commit``/``abort`` are generators because records may need RPCs (e.g.
+telling a remote database participant to prepare); drive them from a
+simulation process with ``outcome = yield from action.commit()``.  For
+purely local actions :meth:`AtomicAction.run_local` drives the generator
+synchronously.
+
+Nested **top-level** actions (paper figure 8) are created with
+``AtomicAction(parent=outer, independent=True)``: they run within the
+dynamic extent of ``outer`` but commit independently of it -- their
+effects persist even if ``outer`` later aborts.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator
+
+from repro.actions.errors import InvalidActionState
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+_action_serials = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ActionId:
+    """Identity of an action, carrying its nesting lineage.
+
+    ``path`` is the chain of serials from the top-level action down to
+    this one; an action is *related* to another if one path is a prefix
+    of the other (ancestor/descendant).  Related actions never conflict
+    on locks.
+    """
+
+    path: tuple[int, ...]
+    node: str = ""
+
+    def related(self, other: "ActionId") -> bool:
+        shorter = min(len(self.path), len(other.path))
+        return self.path[:shorter] == other.path[:shorter]
+
+    @property
+    def depth(self) -> int:
+        return len(self.path)
+
+    @property
+    def top_level_serial(self) -> int:
+        return self.path[0]
+
+    def __str__(self) -> str:
+        return "A" + ".".join(str(p) for p in self.path)
+
+
+class ActionStatus(enum.Enum):
+    RUNNING = "running"
+    PREPARING = "preparing"
+    COMMITTING = "committing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Vote(enum.Enum):
+    """Prepare-phase votes."""
+
+    OK = "ok"
+    READONLY = "readonly"  # nothing to do at phase 2
+    ABORT = "abort"
+
+
+class AbstractRecord:
+    """An intention record: one participant's stake in the action.
+
+    ``order`` fixes processing order within a phase -- e.g. replica state
+    distribution must run (and compute its exclusions) before the naming
+    database participant prepares.  Lower orders run first in prepare and
+    commit, last in abort.
+    """
+
+    order: int = 100
+
+    def prepare(self, action: "AtomicAction") -> Generator[Any, Any, Vote]:
+        """Phase 1.  Return a :class:`Vote`; raising also vetoes."""
+        return Vote.READONLY
+        yield  # pragma: no cover - makes this a generator
+
+    def commit(self, action: "AtomicAction") -> Generator[Any, Any, None]:
+        """Phase 2 after a successful prepare round."""
+        return
+        yield  # pragma: no cover
+
+    def abort(self, action: "AtomicAction") -> Generator[Any, Any, None]:
+        """Undo; called for top-level abort and nested abort alike."""
+        return
+        yield  # pragma: no cover
+
+    def merge_into_parent(self, parent: "AtomicAction") -> None:
+        """Nested commit: hand the record to the parent action."""
+        parent.add_record(self)
+
+
+class AtomicAction:
+    """One atomic action.
+
+    Lifecycle: construct (``RUNNING``) -> add records -> ``commit()`` or
+    ``abort()``.  The constructor links the action into the hierarchy;
+    ``independent=True`` with a parent creates a *nested top-level*
+    action.
+    """
+
+    def __init__(self, node: str = "local", parent: "AtomicAction | None" = None,
+                 independent: bool = False, tracer: Tracer | None = None) -> None:
+        serial = next(_action_serials)
+        if parent is not None and not independent:
+            path = parent.id.path + (serial,)
+        else:
+            path = (serial,)
+        self.id = ActionId(path, node)
+        self.parent = parent if not independent else None
+        self.invoker = parent  # dynamic-extent parent, even when independent
+        self.independent = independent
+        self.status = ActionStatus.RUNNING
+        self._records: list[AbstractRecord] = []
+        self._tracer = tracer or NULL_TRACER
+        self.commit_failures: list[tuple[AbstractRecord, BaseException]] = []
+        self._tracer.record("action", "begin", id=str(self.id),
+                            top_level=self.is_top_level, independent=independent)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def is_top_level(self) -> bool:
+        return self.parent is None
+
+    @property
+    def is_nested_top_level(self) -> bool:
+        return self.independent and self.invoker is not None
+
+    @property
+    def records(self) -> list[AbstractRecord]:
+        return list(self._records)
+
+    def add_record(self, record: AbstractRecord) -> None:
+        if self.status is not ActionStatus.RUNNING:
+            raise InvalidActionState(
+                f"{self.id}: cannot add records while {self.status.value}")
+        self._records.append(record)
+
+    # -- termination -----------------------------------------------------------
+
+    def commit(self) -> Generator[Any, Any, ActionStatus]:
+        """Commit the action; yields through record generators (RPCs)."""
+        self._require_running()
+        if self.is_top_level:
+            return (yield from self._commit_top_level())
+        return (yield from self._commit_nested())
+
+    def abort(self) -> Generator[Any, Any, ActionStatus]:
+        """Abort the action, undoing every record in reverse order."""
+        if self.status in (ActionStatus.COMMITTED, ActionStatus.ABORTED):
+            raise InvalidActionState(f"{self.id}: already {self.status.value}")
+        yield from self._abort_records(self._records)
+        self.status = ActionStatus.ABORTED
+        self._tracer.record("action", "aborted", id=str(self.id))
+        return self.status
+
+    def run_local(self, generator: Generator[Any, Any, Any]) -> Any:
+        """Drive a commit/abort generator that never actually yields.
+
+        Purely local actions (no RPC-backed records) complete without
+        suspending; this helper saves tests and local callers from
+        spinning up a scheduler.
+        """
+        try:
+            next(generator)
+        except StopIteration as stop:
+            return stop.value
+        raise InvalidActionState(
+            f"{self.id}: action has remote participants; commit it from a process")
+
+    # -- internals ------------------------------------------------------------
+
+    def _require_running(self) -> None:
+        if self.status is not ActionStatus.RUNNING:
+            raise InvalidActionState(f"{self.id}: is {self.status.value}")
+
+    def _commit_top_level(self) -> Generator[Any, Any, ActionStatus]:
+        self.status = ActionStatus.PREPARING
+        ordered = sorted(self._records, key=lambda r: r.order)
+        prepared: list[tuple[AbstractRecord, Vote]] = []
+        for record in ordered:
+            try:
+                vote = yield from record.prepare(self)
+            except Exception as exc:
+                self._tracer.record("action", "prepare raised", id=str(self.id),
+                                    record=type(record).__name__,
+                                    error=type(exc).__name__)
+                vote = Vote.ABORT
+            if vote is Vote.ABORT:
+                self._tracer.record("action", "prepare vetoed", id=str(self.id),
+                                    record=type(record).__name__)
+                yield from self._abort_records(self._records)
+                self.status = ActionStatus.ABORTED
+                return self.status
+            prepared.append((record, vote))
+        self.status = ActionStatus.COMMITTING
+        for record, vote in prepared:
+            if vote is Vote.READONLY:
+                continue
+            try:
+                yield from record.commit(self)
+            except Exception as exc:
+                # Phase-2 failures cannot abort a decided action; they are
+                # remembered for heuristic resolution by the caller.
+                self.commit_failures.append((record, exc))
+                self._tracer.record("action", "commit-phase failure", id=str(self.id),
+                                    record=type(record).__name__,
+                                    error=type(exc).__name__)
+        self.status = ActionStatus.COMMITTED
+        self._tracer.record("action", "committed", id=str(self.id),
+                            records=len(self._records))
+        return self.status
+
+    def _commit_nested(self) -> Generator[Any, Any, ActionStatus]:
+        assert self.parent is not None
+        self.parent._require_running()
+        self.status = ActionStatus.COMMITTING
+        for record in self._records:
+            record.merge_into_parent(self.parent)
+        self.status = ActionStatus.COMMITTED
+        self._tracer.record("action", "nested commit", id=str(self.id),
+                            parent=str(self.parent.id), records=len(self._records))
+        return self.status
+        yield  # pragma: no cover - kept a generator for interface symmetry
+
+    def _abort_records(self, records: list[AbstractRecord]) -> Generator[Any, Any, None]:
+        for record in sorted(records, key=lambda r: r.order, reverse=True):
+            try:
+                yield from record.abort(self)
+            except Exception as exc:
+                self._tracer.record("action", "abort-phase failure", id=str(self.id),
+                                    record=type(record).__name__,
+                                    error=type(exc).__name__)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AtomicAction {self.id} {self.status.value}>"

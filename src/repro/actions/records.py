@@ -1,0 +1,138 @@
+"""Reusable intention records.
+
+- :class:`LockReleaseRecord` -- ties a :class:`~repro.actions.locks.LockManager`
+  to an action: locks are inherited by the parent on nested commit and
+  released when the enclosing top-level action resolves (strict 2PL).
+- :class:`CallbackRecord` -- adapts plain callables into a record; used
+  by layers that need ad-hoc prepare/commit/abort behaviour without a
+  dedicated class.
+- :class:`RemoteParticipantRecord` -- drives a remote 2PC participant
+  (a service exposing ``prepare``/``commit``/``abort`` methods keyed by
+  action id) over RPC.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.actions.action import AbstractRecord, AtomicAction, Vote
+from repro.actions.locks import LockManager
+from repro.net.errors import RpcError
+from repro.net.rpc import RpcAgent
+
+
+class LockReleaseRecord(AbstractRecord):
+    """Releases (or inherits) an action's locks in a local lock manager.
+
+    ``owner`` is the action id under which the locks were acquired --
+    normally the id of the action the record is added to.  On nested
+    commit the locks are re-owned by the parent and the parent gains an
+    equivalent release record; on abort or top-level commit they are
+    released.
+    """
+
+    order = 900  # locks go last: everything else may still need them
+
+    def __init__(self, lock_manager: LockManager, owner) -> None:
+        self._locks = lock_manager
+        self._owner = owner
+
+    def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
+        return Vote.OK
+        yield  # pragma: no cover
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        self._locks.release_all(self._owner)
+        return
+        yield  # pragma: no cover
+
+    def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        self._locks.release_all(self._owner)
+        return
+        yield  # pragma: no cover
+
+    def merge_into_parent(self, parent: AtomicAction) -> None:
+        self._locks.inherit(self._owner, parent.id)
+        already = any(isinstance(r, LockReleaseRecord) and r._locks is self._locks
+                      and r._owner == parent.id for r in parent.records)
+        if not already:
+            parent.add_record(LockReleaseRecord(self._locks, parent.id))
+
+
+class CallbackRecord(AbstractRecord):
+    """A record assembled from plain callables.
+
+    Each callable is optional; ``on_prepare`` may return a
+    :class:`Vote` (``None`` counts as OK).  Callables run synchronously;
+    use :class:`RemoteParticipantRecord` or a custom record when the
+    phase needs to suspend on RPC.
+    """
+
+    def __init__(
+        self,
+        on_prepare: Callable[[AtomicAction], Vote | None] | None = None,
+        on_commit: Callable[[AtomicAction], None] | None = None,
+        on_abort: Callable[[AtomicAction], None] | None = None,
+        order: int = 100,
+    ) -> None:
+        self._on_prepare = on_prepare
+        self._on_commit = on_commit
+        self._on_abort = on_abort
+        self.order = order
+
+    def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
+        if self._on_prepare is None:
+            return Vote.READONLY if self._on_commit is None else Vote.OK
+        vote = self._on_prepare(action)
+        return vote if vote is not None else Vote.OK
+        yield  # pragma: no cover
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        if self._on_commit is not None:
+            self._on_commit(action)
+        return
+        yield  # pragma: no cover
+
+    def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        if self._on_abort is not None:
+            self._on_abort(action)
+        return
+        yield  # pragma: no cover
+
+
+class RemoteParticipantRecord(AbstractRecord):
+    """2PC participant reached over RPC.
+
+    The remote service must expose ``prepare(action_id_path)``,
+    ``commit(action_id_path)`` and ``abort(action_id_path)`` methods
+    (action ids travel as their path tuples).  A prepare-phase RPC
+    failure is an abort vote -- the participant may be down, and a
+    fail-silent system cannot wait on it.  Commit-phase failures are
+    surfaced to the action's heuristic list by raising.
+    """
+
+    def __init__(self, rpc: RpcAgent, target: str, service: str,
+                 order: int = 500) -> None:
+        self._rpc = rpc
+        self.target = target
+        self.service = service
+        self.order = order
+
+    def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
+        try:
+            verdict = yield self._rpc.call(self.target, self.service,
+                                           "prepare", action.id.path)
+        except RpcError:
+            return Vote.ABORT
+        if verdict == "readonly":
+            return Vote.READONLY
+        return Vote.OK if verdict == "ok" else Vote.ABORT
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        yield self._rpc.call(self.target, self.service, "commit", action.id.path)
+
+    def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        try:
+            yield self._rpc.call(self.target, self.service, "abort", action.id.path)
+        except RpcError:
+            pass  # participant down; its crash already undid volatile state

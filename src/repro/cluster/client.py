@@ -1,0 +1,295 @@
+"""Client-side transaction runtime.
+
+A :class:`ClientRuntime` lives on a client node and runs application
+transactions as simulation processes.  The application supplies a
+generator ``work(txn)`` using the :class:`Txn` facade::
+
+    def work(txn):
+        balance = yield from txn.invoke(account_uid, "get_balance")
+        yield from txn.invoke(account_uid, "deposit", 10)
+
+    result = client.transaction(work)
+
+``Txn`` handles, per the paper's model:
+
+- **binding on first touch** (section 3.1: bindings are created during
+  the action as invocations are made) via the configured binding scheme
+  and replication policy;
+- **invocation routing** through the policy (RPC, group multicast, or
+  coordinator);
+- **commit processing**: modified objects get state-distribution
+  records, every bound server host becomes a 2PC participant, and the
+  naming database participant commits/aborts with the action;
+- **unbinding** per the scheme (the figure-7 scheme decrements use
+  lists *after* the action; figure 8 does it within the action's
+  dynamic extent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.actions.action import AbstractRecord, ActionStatus, AtomicAction, Vote
+from repro.actions.errors import LockRefused
+from repro.cluster.errors import TxnAborted
+from repro.cluster.group_invoke import GroupInvoker
+from repro.cluster.node import Node
+from repro.cluster.server_host import SERVER_SERVICE
+from repro.core.objects import ObjectClassRegistry
+from repro.naming.binding import BindFailed, BindingScheme, NestedTopLevelBinding
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.errors import NamingError
+from repro.net.errors import RpcError
+from repro.replication.policy import PolicyBinding, ReplicationPolicy, TxnContext
+from repro.sim.process import Process
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+CLIENT_SERVICE = "client"
+
+
+class _ClientService:
+    """Answers liveness probes from the cleanup daemons.
+
+    ``epoch`` is the node's boot incarnation: a server janitor that
+    tracked an action from epoch N must treat the client as dead once
+    it answers with epoch N+1 -- the action's client-side state died in
+    the crash even though the node is reachable again.
+    """
+
+    def __init__(self, node: Node) -> None:
+        self._node = node
+
+    def ping(self) -> str:
+        return "pong"
+
+    def epoch(self) -> int:
+        return self._node.recover_count
+
+
+class _ServerParticipantRecord(AbstractRecord):
+    """2PC participant for one bound server host, binding-aware.
+
+    A host whose binding broke during the action (it crashed and the
+    policy masked it) votes READONLY instead of failing the prepare
+    round -- its volatile state died with it, so there is nothing to
+    commit or abort there.
+    """
+
+    order = 500
+
+    def __init__(self, ctx: TxnContext, host: str,
+                 bindings: dict[Uid, PolicyBinding]) -> None:
+        self._ctx = ctx
+        self.host = host
+        self._bindings = bindings
+
+    def _is_live(self) -> bool:
+        return any(self.host in b.live_hosts for b in self._bindings.values())
+
+    def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
+        if not self._is_live():
+            return Vote.READONLY
+        try:
+            verdict = yield self._ctx.rpc.call(self.host, SERVER_SERVICE,
+                                               "prepare", action.id.path)
+        except RpcError:
+            # The host just crashed.  Break its bindings; whether the
+            # action can still commit is the policy's question, answered
+            # by the state-distribution record (can it find a live
+            # server?).  A crashed participant has no volatile effects
+            # to lose, so this is not an automatic veto.
+            for binding in self._bindings.values():
+                binding.break_binding(self.host)
+            return Vote.READONLY
+        return Vote.OK if verdict == "ok" else Vote.READONLY
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        try:
+            yield self._ctx.rpc.call(self.host, SERVER_SERVICE, "commit",
+                                     action.id.path)
+        except RpcError:
+            pass  # crashed after prepare: volatile state already gone
+
+    def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        try:
+            yield self._ctx.rpc.call(self.host, SERVER_SERVICE, "abort",
+                                     action.id.path)
+        except RpcError:
+            pass
+
+
+@dataclass
+class TxnResult:
+    """Outcome of one transaction run."""
+
+    committed: bool
+    reason: str | None
+    value: Any
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class Txn:
+    """The per-transaction facade handed to application code."""
+
+    def __init__(self, runtime: "ClientRuntime", ctx: TxnContext,
+                 action: AtomicAction, read_only: bool = False) -> None:
+        self._runtime = runtime
+        self._ctx = ctx
+        self.action = action
+        self.read_only = read_only
+        self.bindings: dict[Uid, PolicyBinding] = {}
+        self._participants: set[str] = set()
+
+    # -- the application API ------------------------------------------------
+
+    def invoke(self, uid: Uid, op: str, *args: Any) -> Generator[Any, Any, Any]:
+        """Invoke ``op`` on the persistent object ``uid``."""
+        binding = yield from self._ensure_bound(uid)
+        mode = self._runtime.mode_of(uid, op)
+        is_write = mode is not None and mode.value != "read"
+        if is_write and self.read_only:
+            raise TxnAborted(f"write_in_readonly_txn:{uid}.{op}")
+        value = yield from self._ctx.node_policy.invoke(
+            self._ctx, binding, self.action, op, tuple(args), is_write)
+        return value
+
+    def abort(self, reason: str = "application") -> None:
+        """Application-requested abort."""
+        raise TxnAborted(reason)
+
+    # -- binding ---------------------------------------------------------------
+
+    def _ensure_bound(self, uid: Uid) -> Generator[Any, Any, PolicyBinding]:
+        binding = self.bindings.get(uid)
+        if binding is not None:
+            if not binding.live_hosts:
+                raise TxnAborted(f"binding_broken:{uid}")
+            return binding
+        binding = yield from self._ctx.node_policy.bind(
+            self._ctx, self.action, uid, read_only=self.read_only)
+        self.bindings[uid] = binding
+        for host in binding.live_hosts:
+            if host not in self._participants:
+                self._participants.add(host)
+                self.action.add_record(_ServerParticipantRecord(
+                    self._ctx, host, self.bindings))
+        return binding
+
+
+class ClientRuntime:
+    """Runs transactions on one client node."""
+
+    def __init__(
+        self,
+        node: Node,
+        db_node: str,
+        scheme: BindingScheme,
+        policy: ReplicationPolicy,
+        registry: ObjectClassRegistry,
+        type_names: dict[Uid, str],
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.node = node
+        self.policy = policy
+        self.scheme = scheme
+        self.registry = registry
+        # Immutable class metadata, shared cluster-wide (a real system
+        # would ship this with the application binary).
+        self._type_names = type_names
+        self.tracer = tracer or NULL_TRACER
+        self.metrics = node.metrics
+        self._ctx = TxnContext(
+            node=node, rpc=node.rpc,
+            db=GroupViewDbClient(node.rpc, db_node),
+            scheme=scheme, invoker=GroupInvoker(node),
+            registry=registry, metrics=node.metrics, tracer=self.tracer,
+            node_policy=policy)
+        node.add_boot_hook(
+            lambda n: n.rpc.register(CLIENT_SERVICE, _ClientService(n)))
+
+    # -- metadata -----------------------------------------------------------
+
+    def mode_of(self, uid: Uid, op: str):
+        type_name = self._type_names.get(uid)
+        if type_name is None:
+            return None
+        return self.registry.mode_for(type_name, op)
+
+    # -- running transactions ----------------------------------------------------
+
+    def transaction(self, work: Callable[[Txn], Generator[Any, Any, Any]],
+                    read_only: bool = False, name: str = "txn") -> Process:
+        """Spawn ``work`` as a transaction process; resolves to TxnResult."""
+        return self.node.spawn(self._run(work, read_only), name=name)
+
+    def _run(self, work: Callable[[Txn], Generator[Any, Any, Any]],
+             read_only: bool) -> Generator[Any, Any, TxnResult]:
+        started = self.node.scheduler.now
+        action = AtomicAction(node=self.node.name, tracer=self.tracer)
+        txn = Txn(self, self._ctx, action, read_only=read_only)
+        reason: str | None = None
+        value: Any = None
+        try:
+            value = yield from work(txn)
+        except TxnAborted as exc:
+            reason = exc.reason
+        except BindFailed as exc:
+            reason = f"bind_failed:{exc}"
+        except LockRefused:
+            reason = "lock_refused"
+        except NamingError as exc:
+            reason = f"naming:{type(exc).__name__}"
+        except RpcError as exc:
+            reason = f"rpc:{type(exc).__name__}"
+
+        if reason is None:
+            if self.scheme_unbinds_within_action:
+                yield from self._unbind_all(txn, within=action)
+            for binding in txn.bindings.values():
+                self.policy.on_commit(self._ctx, binding, action)
+            status = yield from action.commit()
+            committed = status is ActionStatus.COMMITTED
+            if not committed:
+                reason = "commit_vetoed"
+        else:
+            if self.scheme_unbinds_within_action:
+                yield from self._unbind_all(txn, within=action)
+            yield from action.abort()
+            committed = False
+
+        if not self.scheme_unbinds_within_action:
+            yield from self._unbind_all(txn, within=None)
+
+        finished = self.node.scheduler.now
+        self._record_outcome(committed, reason, finished - started)
+        return TxnResult(committed, reason, value, started, finished)
+
+    @property
+    def scheme_unbinds_within_action(self) -> bool:
+        return isinstance(self.scheme, NestedTopLevelBinding)
+
+    def _unbind_all(self, txn: Txn,
+                    within: AtomicAction | None) -> Generator[Any, Any, None]:
+        for uid, binding in txn.bindings.items():
+            try:
+                yield from self.scheme.unbind(uid, binding.outcome,
+                                              within_action=within)
+            except (RpcError, NamingError, LockRefused):
+                pass  # cleanup daemon repairs what we could not
+
+    def _record_outcome(self, committed: bool, reason: str | None,
+                        duration: float) -> None:
+        if committed:
+            self.metrics.counter("txn.committed").increment()
+        else:
+            self.metrics.counter("txn.aborted").increment()
+            bucket = (reason or "unknown").split(":", 1)[0]
+            self.metrics.counter(f"txn.abort.{bucket}").increment()
+        self.metrics.histogram("txn.duration").observe(duration)

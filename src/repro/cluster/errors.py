@@ -1,0 +1,27 @@
+"""Exceptions raised by the cluster layer."""
+
+
+class ClusterError(Exception):
+    """Base class for cluster-layer errors."""
+
+
+class ActivationFailed(ClusterError):
+    """No object store could supply a state for activation.
+
+    An object is unavailable when all nodes in ``Sv`` are down and/or
+    all nodes in ``St`` are down (paper section 3.1); this is the
+    ``St``-side half of that condition as seen by an activating server.
+    """
+
+
+class TxnAborted(ClusterError):
+    """The application transaction aborted.
+
+    Carries a ``reason`` string used by the experiment harness to
+    classify aborts (server crash, store unavailable, lock refused,
+    binding failed, ...).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason

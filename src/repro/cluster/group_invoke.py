@@ -1,0 +1,115 @@
+"""Client-side group invocation for active replication.
+
+The client multicasts an invocation to the replica group (figure 1's
+``GA -> GB`` pattern) and collects unicast replies from the members.
+With the reliable ordered multicast member, every functioning replica
+receives every invocation in the same order; the naive member exposes
+the divergence failure mode the paper warns about.
+
+The invoker waits the full reply window before returning so that it can
+report *which* members answered -- silent members are presumed failed
+and the replication policy breaks their bindings (they are never
+repaired within the action, per section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.cluster.node import Node
+from repro.cluster.server_host import GROUP_REPLY_KIND, group_name_for
+from repro.net.groups import GroupView
+from repro.net.message import Message
+from repro.sim.futures import Future
+from repro.storage.uid import Uid
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class GroupInvokeResult:
+    """Replies collected within the window."""
+
+    responders: list[str] = field(default_factory=list)
+    values: dict[str, Any] = field(default_factory=dict)
+    errors: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def any_success(self) -> bool:
+        return any(host not in self.errors for host in self.responders)
+
+    def first_value(self) -> Any:
+        for host in self.responders:
+            if host not in self.errors:
+                return self.values[host]
+        raise KeyError("no successful reply")
+
+    def first_error(self) -> tuple[str, str]:
+        for host in self.responders:
+            if host in self.errors:
+                return self.errors[host]
+        raise KeyError("no error reply")
+
+
+class GroupInvoker:
+    """Issues multicast invocations and matches member replies."""
+
+    def __init__(self, node: Node) -> None:
+        self._node = node
+        node.demux.route("ginv.", self._on_message)
+        self._pending: dict[int, GroupInvokeResult] = {}
+        self._windows: dict[int, Future] = {}
+
+    def invoke(self, members: list[str], uid: Uid,
+               action_path: tuple[int, ...], op: str, args: tuple,
+               window: float | None = None) -> Generator[Any, Any, GroupInvokeResult]:
+        """Multicast ``op`` to the replica group; wait the reply window.
+
+        ``members`` must equal the view the servers joined (the bound
+        hosts); the first member acts as sequencer.
+        """
+        request_id = next(_request_ids)
+        result = GroupInvokeResult()
+        self._pending[request_id] = result
+        window_future = Future(label=f"ginv:{uid}.{op}")
+        self._windows[request_id] = window_future
+        payload = {
+            "request_id": request_id,
+            "reply_to": self._node.name,
+            "client_ref": f"{self._node.name}#{self._node.recover_count}",
+            "action_path": tuple(action_path),
+            "uid": str(uid),
+            "op": op,
+            "args": tuple(args),
+        }
+        view = GroupView(tuple(members))
+        self._node.mcast.send(group_name_for(uid), view, payload)
+        deadline = window if window is not None else self._node.rpc.default_timeout
+        self._node.scheduler.schedule(deadline, self._close_window, request_id)
+        yield window_future
+        return result
+
+    def _close_window(self, request_id: int) -> None:
+        future = self._windows.pop(request_id, None)
+        self._pending.pop(request_id, None)
+        if future is not None and not future.done:
+            future.resolve(None)
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind != GROUP_REPLY_KIND:
+            return
+        reply = message.payload
+        result = self._pending.get(reply["request_id"])
+        if result is None:
+            return  # reply after the window closed
+        member = reply["member"]
+        if member in result.responders:
+            return
+        result.responders.append(member)
+        if reply.get("ok"):
+            result.values[member] = reply.get("value")
+        else:
+            result.errors[member] = (reply.get("error_type", ""),
+                                     reply.get("error_message", ""))

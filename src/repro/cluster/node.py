@@ -1,0 +1,144 @@
+"""A fail-silent workstation.
+
+A :class:`Node` bundles the per-machine pieces: network interface,
+message demux, RPC agent, multicast member, optional stable object
+store, volatile memory, and a set of *boot hooks* that (re)register the
+node's services.  Crashing a node:
+
+- takes its network interface down (messages in flight to it vanish);
+- wipes volatile memory and all RPC service registrations;
+- discards object-store shadows (committed states survive -- stable
+  storage);
+- kills every simulation process spawned through the node.
+
+Recovery brings the interface back up and re-runs the boot hooks, so
+services come back empty -- activated objects, lock tables and use-list
+knowledge are gone, exactly as the paper's failure assumptions dictate
+(section 2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.net.demux import MessageDemux
+from repro.net.multicast import (
+    MulticastMember,
+    NaiveMulticastMember,
+    ReliableOrderedMulticastMember,
+)
+from repro.net.network import Network
+from repro.net.rpc import RpcAgent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.objectstore import ObjectStore
+from repro.storage.uid import UidFactory
+from repro.storage.volatile import VolatileStore
+
+BootHook = Callable[["Node"], None]
+
+
+class Node:
+    """One simulated workstation."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        network: Network,
+        name: str,
+        has_store: bool = False,
+        reliable_multicast: bool = True,
+        rpc_timeout: float | None = None,
+        service_time: float = 0.0,
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.network = network
+        self.name = name
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self._crashed = False
+
+        self.nic = network.attach(name)
+        self.demux = MessageDemux(self.nic)
+        timeout = rpc_timeout if rpc_timeout is not None else (
+            network.latency.typical * 6 + 0.05)
+        self.rpc = RpcAgent(scheduler, self.nic, default_timeout=timeout,
+                            service_time=service_time, tracer=self.tracer,
+                            demux=self.demux)
+        mcast_cls = (ReliableOrderedMulticastMember if reliable_multicast
+                     else NaiveMulticastMember)
+        self.mcast: MulticastMember = mcast_cls(scheduler, self.nic, self.demux,
+                                                tracer=self.tracer)
+        self.object_store: ObjectStore | None = (
+            ObjectStore(name) if has_store else None)
+        self.volatile = VolatileStore(name)
+        self.uids = UidFactory(name)
+        self.boot_hooks: list[BootHook] = []
+        self._processes: list[Process] = []
+        self.crash_count = 0
+        self.recover_count = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def add_boot_hook(self, hook: BootHook, run_now: bool = True) -> None:
+        """Register a service-installing hook; runs now and on recovery."""
+        self.boot_hooks.append(hook)
+        if run_now and not self._crashed:
+            hook(self)
+
+    def crash(self) -> None:
+        """Fail-silent crash: lose volatile state, go dark."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crash_count += 1
+        self.tracer.record("node", f"{self.name} crashed")
+        self.metrics.counter(f"node.{self.name}.crashes").increment()
+        self.metrics.timeseries(f"node.{self.name}.up").record(
+            self.scheduler.now, 0.0)
+        self.nic.up = False
+        self.rpc.reset()
+        self.mcast.reset()
+        self.volatile.wipe()
+        if self.object_store is not None:
+            self.object_store.mark_down()
+        processes, self._processes = self._processes, []
+        for process in processes:
+            process.kill(f"node {self.name} crashed")
+
+    def recover(self) -> None:
+        """Restart: stable storage intact, everything else from scratch."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        self.recover_count += 1
+        self.tracer.record("node", f"{self.name} recovered")
+        self.metrics.timeseries(f"node.{self.name}.up").record(
+            self.scheduler.now, 1.0)
+        self.nic.up = True
+        if self.object_store is not None:
+            self.object_store.mark_up()
+        for hook in self.boot_hooks:
+            hook(self)
+
+    # -- process management ---------------------------------------------------
+
+    def spawn(self, body: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Spawn a process owned by this node (killed if the node crashes)."""
+        process = self.scheduler.spawn(body, name=f"{self.name}:{name}")
+        self._processes.append(process)
+        self._processes = [p for p in self._processes if not p.done]
+        return process
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self._crashed else "up"
+        store = " store" if self.object_store else ""
+        return f"<Node {self.name} {state}{store}>"

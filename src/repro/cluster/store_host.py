@@ -1,0 +1,64 @@
+"""RPC service exposing a node's object store.
+
+Servers contact store hosts to load object states at activation and to
+write new states at commit (paper sections 3.1 and 4.2).  All methods
+speak UID strings (the RPC wire form) and byte buffers.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import Node
+from repro.storage.objectstore import ObjectStore
+from repro.storage.uid import Uid
+
+STORE_SERVICE = "store"
+
+
+class StoreHost:
+    """Thin RPC adapter over :class:`~repro.storage.objectstore.ObjectStore`."""
+
+    def __init__(self, node: Node) -> None:
+        if node.object_store is None:
+            raise ValueError(f"node {node.name} has no object store")
+        self._node = node
+        self._store: ObjectStore = node.object_store
+
+    @classmethod
+    def install_on(cls, node: Node) -> None:
+        """Boot hook: register the service on the node (re-run on recovery)."""
+        def hook(n: Node) -> None:
+            n.rpc.register(STORE_SERVICE, cls(n))
+        node.add_boot_hook(hook)
+
+    # -- reads ------------------------------------------------------------
+
+    def read(self, uid_text: str) -> tuple[bytes, int]:
+        state = self._store.read_committed(Uid.parse(uid_text))
+        return state.buffer, state.version
+
+    def version_of(self, uid_text: str) -> int:
+        return self._store.version_of(Uid.parse(uid_text))
+
+    def list_uids(self) -> list[str]:
+        return [str(uid) for uid in self._store.uids()]
+
+    def ping(self) -> str:
+        return "pong"
+
+    # -- two-phase state installation ----------------------------------------
+
+    def write_shadow(self, uid_text: str, buffer: bytes, version: int) -> bool:
+        self._store.write_shadow(Uid.parse(uid_text), buffer, version)
+        return True
+
+    def commit_shadow(self, uid_text: str) -> bool:
+        self._store.commit_shadow(Uid.parse(uid_text))
+        return True
+
+    def discard_shadow(self, uid_text: str) -> bool:
+        self._store.discard_shadow(Uid.parse(uid_text))
+        return True
+
+    def install(self, uid_text: str, buffer: bytes, version: int) -> bool:
+        self._store.install(Uid.parse(uid_text), buffer, version)
+        return True

@@ -1,0 +1,273 @@
+"""The whole-system harness.
+
+:class:`DistributedSystem` wires together everything the examples and
+benchmarks need: a scheduler, a network, a name node hosting the
+group-view database, store/server/client nodes, object creation with
+initial ``Sv``/``St`` placement, fault injection, and metric
+collection.  It is deterministic: the same :class:`SystemConfig` seed
+produces the same run.
+
+Typical use::
+
+    system = DistributedSystem(SystemConfig(seed=7))
+    system.registry.register(Account)
+    system.add_node("alpha", server=True)
+    system.add_node("beta", store=True)
+    client = system.add_client("c1", policy=SingleCopyPassive())
+    uid = system.create_object(Account(system.new_uid(), balance=100),
+                               sv_hosts=["alpha"], st_hosts=["beta"])
+    result = system.run_transaction(client, work)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.cluster.client import ClientRuntime, Txn, TxnResult
+from repro.cluster.node import Node
+from repro.cluster.recovery import RecoveryManager, ShadowResolver
+from repro.cluster.server_host import ServerHost
+from repro.cluster.store_host import StoreHost
+from repro.core.objects import ObjectClassRegistry, PersistentObject
+from repro.naming.binding import (
+    BindingScheme,
+    IndependentTopLevelBinding,
+    NestedTopLevelBinding,
+    StandardBinding,
+)
+from repro.naming.cleanup import UseListCleaner
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
+from repro.naming.hybrid import HybridNameService
+from repro.net.latency import FixedLatency, LatencyModel, UniformLatency
+from repro.net.network import Network
+from repro.replication.policy import ReplicationPolicy
+from repro.replication.single_copy_passive import SingleCopyPassive
+from repro.sim.failures import FaultPlan, StochasticFaultInjector
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Process
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid, UidFactory
+
+NAME_NODE = "namenode"
+
+SCHEME_FACTORIES: dict[str, Callable[..., BindingScheme]] = {
+    "standard": StandardBinding,
+    "independent": IndependentTopLevelBinding,
+    "nested_top_level": NestedTopLevelBinding,
+}
+
+
+@dataclass
+class SystemConfig:
+    """Knobs for one simulated system."""
+
+    seed: int = 42
+    fixed_latency: float | None = 0.01       # None -> uniform latency
+    latency_range: tuple[float, float] = (0.005, 0.02)
+    drop_probability: float = 0.0
+    rpc_timeout: float | None = None         # None -> derived from latency
+    service_time: float = 0.0
+    reliable_multicast: bool = True
+    use_exclude_write_lock: bool = True
+    binding_scheme: str = "standard"
+    nonatomic_name_server: bool = False      # section-5 variant (E6)
+    enable_cleaner: bool = False
+    cleaner_interval: float = 5.0
+    enable_recovery_managers: bool = True
+    enable_shadow_resolvers: bool = False
+    trace_categories: set[str] | None = field(default_factory=set)  # empty = none
+
+
+class DistributedSystem:
+    """A complete simulated deployment of the paper's system."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.scheduler = Scheduler()
+        self.rng = SeededRng(self.config.seed)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(categories=self.config.trace_categories)
+        self.tracer.bind_clock(lambda: self.scheduler.now)
+        self.registry = ObjectClassRegistry()
+        self.type_names: dict[Uid, str] = {}
+        self._uid_factory = UidFactory("sys")
+
+        latency: LatencyModel
+        if self.config.fixed_latency is not None:
+            latency = FixedLatency(self.config.fixed_latency)
+        else:
+            low, high = self.config.latency_range
+            latency = UniformLatency(self.rng, low, high)
+        self.network = Network(self.scheduler, latency,
+                               drop_probability=self.config.drop_probability,
+                               rng=self.rng, tracer=self.tracer)
+
+        self.nodes: dict[str, Node] = {}
+        self.clients: dict[str, ClientRuntime] = {}
+        self.recovery_managers: dict[str, RecoveryManager] = {}
+        self.shadow_resolvers: dict[str, ShadowResolver] = {}
+
+        # The name node and the group-view database (assumed always
+        # available, paper section 3.1).
+        self.name_node = self._make_node(NAME_NODE, has_store=True)
+        if self.config.nonatomic_name_server:
+            # The section-5 variant: non-atomic server data, atomic St.
+            self.db: Any = HybridNameService(
+                use_exclude_write_lock=self.config.use_exclude_write_lock,
+                metrics=self.metrics, tracer=self.tracer)
+        else:
+            self.db = GroupViewDatabase(
+                use_exclude_write_lock=self.config.use_exclude_write_lock,
+                metrics=self.metrics, tracer=self.tracer)
+        self.name_node.add_boot_hook(
+            lambda n: n.rpc.register(SERVICE_NAME, self.db))
+        self.cleaner: UseListCleaner | None = None
+        if self.config.enable_cleaner and not self.config.nonatomic_name_server:
+            self.cleaner = UseListCleaner(
+                self.scheduler, self.name_node.rpc, self.db,
+                interval=self.config.cleaner_interval,
+                metrics=self.metrics, tracer=self.tracer)
+            self.cleaner.start()
+
+    # -- topology building ---------------------------------------------------
+
+    def _make_node(self, name: str, has_store: bool) -> Node:
+        node = Node(self.scheduler, self.network, name, has_store=has_store,
+                    reliable_multicast=self.config.reliable_multicast,
+                    rpc_timeout=self.config.rpc_timeout,
+                    service_time=self.config.service_time,
+                    metrics=self.metrics, tracer=self.tracer)
+        self.nodes[name] = node
+        return node
+
+    def add_node(self, name: str, store: bool = False,
+                 server: bool = False) -> Node:
+        """Add a workstation; ``store``/``server`` select its roles."""
+        node = self._make_node(name, has_store=store)
+        if store:
+            StoreHost.install_on(node)
+            if self.config.enable_shadow_resolvers:
+                self.shadow_resolvers[name] = ShadowResolver(
+                    node, NAME_NODE, tracer=self.tracer)
+        if server:
+            ServerHost.install_on(node, self.registry)
+        if self.config.enable_recovery_managers and (store or server):
+            self.recovery_managers[name] = RecoveryManager(
+                node, NAME_NODE, serves=[], tracer=self.tracer)
+        return node
+
+    def add_client(self, name: str, policy: ReplicationPolicy | None = None,
+                   scheme: str | None = None) -> ClientRuntime:
+        """Add a client node with its transaction runtime."""
+        node = self._make_node(name, has_store=False)
+        scheme_name = scheme or self.config.binding_scheme
+        factory = SCHEME_FACTORIES[scheme_name]
+        db_client = GroupViewDbClient(node.rpc, NAME_NODE)
+        binding_scheme = factory(db_client, name, metrics=self.metrics,
+                                 tracer=self.tracer)
+        runtime = ClientRuntime(
+            node, NAME_NODE, binding_scheme,
+            policy or SingleCopyPassive(), self.registry,
+            self.type_names, tracer=self.tracer)
+        self.clients[name] = runtime
+        return runtime
+
+    def new_uid(self) -> Uid:
+        return self._uid_factory.allocate()
+
+    # -- object creation ----------------------------------------------------------
+
+    def create_object(self, obj: PersistentObject, sv_hosts: list[str],
+                      st_hosts: list[str]) -> Uid:
+        """Install a persistent object: states in stores, entry in the db.
+
+        Runs synchronously before the simulation starts (bootstrap);
+        stores receive version-1 committed states directly.
+        """
+        for host in st_hosts:
+            node = self.nodes[host]
+            if node.object_store is None:
+                raise ValueError(f"st host {host} has no object store")
+            node.object_store.install(obj.uid, obj.serialise(), version=1)
+        boot_path = (0,)
+        self.db.define_object(boot_path, str(obj.uid),
+                              list(sv_hosts), list(st_hosts))
+        self.db.commit(boot_path)
+        self.type_names[obj.uid] = type(obj).TYPE_NAME
+        # Recovery managers on the Sv hosts must know they serve this object.
+        for host in sv_hosts:
+            manager = self.recovery_managers.get(host)
+            if manager is not None:
+                manager.serves.append(obj.uid)
+        return obj.uid
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        plan.install(self.scheduler, dict(self.nodes))
+
+    def stochastic_faults(self, targets: list[str], mttf: float,
+                          mttr: float | None = None,
+                          stop_after: float | None = None) -> StochasticFaultInjector:
+        injector = StochasticFaultInjector(self.scheduler, self.rng, mttf,
+                                           mttr, stop_after)
+        injector.attach_all([self.nodes[t] for t in targets])
+        return injector
+
+    # -- running ----------------------------------------------------------------------------
+
+    def run(self, until: float | None = None,
+            max_events: int | None = 2_000_000) -> float:
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_transaction(self, client: ClientRuntime,
+                        work: Callable[[Txn], Generator[Any, Any, Any]],
+                        read_only: bool = False,
+                        timeout: float = 120.0) -> TxnResult:
+        """Run one transaction to completion and return its result."""
+        process = client.transaction(work, read_only=read_only)
+        return self.run_until(process, timeout=timeout)
+
+    def run_until(self, process: Process, timeout: float = 120.0) -> Any:
+        return self.scheduler.run_until_settled(
+            process, until=self.scheduler.now + timeout)
+
+    # -- inspection ---------------------------------------------------------------------------
+
+    def db_sv(self, uid: Uid) -> list[str]:
+        """Current Sv set (bypassing locks; for assertions and reports)."""
+        snapshot = self.db.get_server_with_uses((0,), str(uid))
+        self._release_probe_locks()
+        return list(snapshot.hosts)
+
+    def db_st(self, uid: Uid) -> list[str]:
+        """Current St set (bypassing locks; for assertions and reports)."""
+        view = self.db.get_view((0,), str(uid))
+        self._release_probe_locks()
+        return list(view)
+
+    def _release_probe_locks(self) -> None:
+        from repro.actions.action import ActionId
+        probe = ActionId((0,))
+        if isinstance(self.db, GroupViewDatabase):
+            self.db.server_db.locks.release_all(probe)
+        if hasattr(self.db, "state_db"):
+            self.db.state_db.locks.release_all(probe)
+
+    def store_versions(self, uid: Uid) -> dict[str, int]:
+        """Committed version of ``uid`` at every up store node."""
+        versions: dict[str, int] = {}
+        for name, node in self.nodes.items():
+            if node.object_store is None or node.crashed:
+                continue
+            version = node.object_store.version_of(uid)
+            if version:
+                versions[name] = version
+        return versions
+
+    def snapshot_metrics(self) -> dict[str, Any]:
+        return self.metrics.snapshot()

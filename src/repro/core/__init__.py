@@ -1,0 +1,25 @@
+"""Public API of the reproduction.
+
+The pieces an application programmer touches:
+
+- :class:`~repro.core.objects.PersistentObject` and the
+  :func:`~repro.core.objects.operation` decorator -- define persistent
+  classes;
+- :class:`~repro.core.objects.ObjectClassRegistry` -- make classes
+  activatable on server nodes;
+- :class:`~repro.cluster.system.DistributedSystem` (re-exported) --
+  build a deployment, create replicated objects, run transactions;
+- the replication policies and binding scheme names (re-exported).
+
+See ``examples/quickstart.py`` for the end-to-end flow.
+"""
+
+from repro.actions.locks import LockMode
+from repro.core.objects import ObjectClassRegistry, PersistentObject, operation
+
+__all__ = [
+    "LockMode",
+    "ObjectClassRegistry",
+    "PersistentObject",
+    "operation",
+]

@@ -1,0 +1,58 @@
+"""The naming and binding service -- the paper's primary contribution.
+
+For every persistent object ``A`` the service maintains (section 3.1):
+
+- ``Sv_A`` -- the nodes capable of running a server for ``A``, held in
+  the :class:`~repro.naming.object_server_db.ObjectServerDatabase`
+  (operations ``GetServer``, ``Insert``, ``Remove``, and the use-list
+  operations ``Increment``/``Decrement`` of section 4.1.3);
+- ``St_A`` -- the nodes whose object stores hold states of ``A``, held
+  in the :class:`~repro.naming.object_state_db.ObjectStateDatabase`
+  (operations ``GetView``, ``Exclude``, ``Include`` of section 4.2).
+
+Both databases are persistent objects operated under atomic actions;
+every per-object entry is independently concurrency-controlled with the
+lock modes of :mod:`repro.actions.locks`.  As in the Arjuna
+implementation the paper describes, the two databases are combined into
+a single :class:`~repro.naming.group_view_db.GroupViewDatabase` object.
+
+:mod:`~repro.naming.binding` implements the three client access schemes
+of figures 6-8 (standard nested actions, independent top-level actions,
+nested top-level actions); :mod:`~repro.naming.cleanup` implements the
+failure-detection/cleanup protocol the paper notes is required for the
+use-list schemes; :mod:`~repro.naming.nonatomic` implements the
+concluding-remarks variant with a traditional (non-atomic) name server.
+"""
+
+from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
+from repro.naming.object_server_db import ObjectServerDatabase, ServerEntrySnapshot
+from repro.naming.object_state_db import ObjectStateDatabase
+from repro.naming.group_view_db import GroupViewDatabase
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.binding import (
+    BindOutcome,
+    BindingScheme,
+    IndependentTopLevelBinding,
+    NestedTopLevelBinding,
+    StandardBinding,
+)
+from repro.naming.cleanup import UseListCleaner
+from repro.naming.nonatomic import NonAtomicNameServer
+
+__all__ = [
+    "BindOutcome",
+    "BindingScheme",
+    "GroupViewDatabase",
+    "GroupViewDbClient",
+    "IndependentTopLevelBinding",
+    "NamingError",
+    "NestedTopLevelBinding",
+    "NonAtomicNameServer",
+    "NotQuiescent",
+    "ObjectServerDatabase",
+    "ObjectStateDatabase",
+    "ServerEntrySnapshot",
+    "StandardBinding",
+    "UnknownObject",
+    "UseListCleaner",
+]

@@ -1,0 +1,334 @@
+"""The three client binding schemes of paper figures 6-8.
+
+A binding scheme decides how a client consults the Object Server
+database and binds to servers for an object:
+
+- :class:`StandardBinding` (figure 6, section 4.1.2): ``GetServer`` runs
+  as a *nested atomic action* of the client action.  The read lock on
+  the entry is inherited and held until the client's top-level action
+  ends.  ``Sv`` is treated as a static set: clients never remove nodes
+  they find dead, so every client re-discovers failed servers "the hard
+  way" at binding time.  If all clients are read-only, each may bind to
+  any single convenient server instead of the full group.
+
+- :class:`IndependentTopLevelBinding` (figure 7, section 4.1.3(i)): the
+  database work runs in its own *independent top-level actions*.  The
+  first returns ``Sv`` plus use lists; if all use lists are empty the
+  client may pick any subset to activate, otherwise it must bind to the
+  servers already in use (non-zero counters).  Failed servers are
+  ``Remove``d and successful bindings ``Increment``ed before that first
+  action commits.  After the client action terminates, a final
+  top-level action ``Decrement``s.  ``Sv`` therefore stays relatively
+  fresh, at the cost of write locks on every binding and a cleanup
+  obligation when clients crash between the two actions.
+
+- :class:`NestedTopLevelBinding` (figure 8, section 4.1.3(ii)): the same
+  two database actions, but invoked from *within* the client action as
+  nested top-level actions.  Their effects commit independently of the
+  client action's fate.
+
+Schemes are written against an abstract :class:`Binder` callback so the
+naming layer stays independent of server activation mechanics (the
+cluster layer supplies the real binder).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Protocol
+
+from repro.actions.action import AtomicAction
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.errors import NamingError
+from repro.net.errors import RpcError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+
+class BindFailed(NamingError):
+    """The scheme could not bind the client to any server."""
+
+
+class Binder(Protocol):
+    """Cluster-layer callback: try to activate/bind one server.
+
+    Returns a generator producing ``True`` if the server on ``host`` is
+    (now) running and bound for the action, ``False``/``RpcError`` if
+    the host is unreachable or refused.
+    """
+
+    def __call__(self, host: str, uid: Uid,
+                 action: AtomicAction) -> Generator[Any, Any, bool]: ...
+
+
+@dataclass
+class BindOutcome:
+    """Result of one binding round."""
+
+    uid: Uid
+    bound_hosts: list[str] = field(default_factory=list)
+    failed_hosts: list[str] = field(default_factory=list)
+    sv_hosts: list[str] = field(default_factory=list)
+    use_lists_were_empty: bool = True
+
+    @property
+    def bound(self) -> bool:
+        return bool(self.bound_hosts)
+
+
+class BindingScheme(abc.ABC):
+    """Common plumbing for the three schemes."""
+
+    name = "abstract"
+
+    def __init__(self, db: GroupViewDbClient, client_node: str,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.db = db
+        self.client_node = client_node
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+
+    @abc.abstractmethod
+    def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
+             k: int | None = None,
+             read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
+        """Bind the client action to servers for ``uid``.
+
+        ``k`` limits how many servers to activate (``None`` = all of
+        ``Sv``); the replication policy chooses it.  Raises
+        :class:`BindFailed` if no server could be bound (the client
+        action must then abort).
+        """
+
+    def unbind(self, uid: Uid,
+               outcome: BindOutcome,
+               within_action: AtomicAction | None = None) -> Generator[Any, Any, None]:
+        """Release binding-related database state after the client action.
+
+        The standard scheme has nothing to do (its read lock dies with
+        the client action); the use-list schemes ``Decrement`` here.
+        """
+        return
+        yield  # pragma: no cover
+
+    # -- shared helpers ---------------------------------------------------
+
+    def _attempt_binds(self, action: AtomicAction, uid: Uid, binder: Binder,
+                       candidates: list[str],
+                       k: int | None) -> Generator[Any, Any, tuple[list[str], list[str]]]:
+        """Try hosts in order until ``k`` are bound; returns (bound, failed)."""
+        bound: list[str] = []
+        failed: list[str] = []
+        for host in candidates:
+            if k is not None and len(bound) >= k:
+                break
+            self.metrics.counter(f"binding.{self.name}.attempts").increment()
+            try:
+                ok = yield from binder(host, uid, action)
+            except RpcError:
+                ok = False
+            if ok:
+                bound.append(host)
+            else:
+                failed.append(host)
+                self.metrics.counter(f"binding.{self.name}.failed_attempts").increment()
+                self.tracer.record("binding", "bind attempt failed", scheme=self.name,
+                                   host=host, uid=str(uid))
+        return bound, failed
+
+
+class StandardBinding(BindingScheme):
+    """Figure 6: GetServer as a nested action; Sv is static."""
+
+    name = "standard"
+
+    def __init__(self, *args: Any, read_only_single_server: bool = True,
+                 **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.read_only_single_server = read_only_single_server
+
+    def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
+             k: int | None = None,
+             read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
+        nested = AtomicAction(node=self.client_node, parent=action,
+                              tracer=self.tracer)
+        try:
+            sv = yield from self.db.get_server(nested, uid)
+        except RpcError:
+            yield from nested.abort()
+            raise BindFailed(f"object server database unreachable for {uid}")
+        yield from nested.commit()
+
+        if read_only and self.read_only_single_server:
+            # Read optimisation (end of section 4.1.2): concurrent readers
+            # may activate disjoint servers; bind to any one convenient
+            # node.  "Convenient" is a stable per-client rotation so that
+            # readers spread over the replicas instead of piling onto the
+            # first Sv entry.
+            rotation = zlib.crc32(self.client_node.encode()) % max(len(sv), 1)
+            candidates = list(sv[rotation:]) + list(sv[:rotation])
+            bound, failed = yield from self._attempt_binds(
+                action, uid, binder, candidates, k=1)
+        else:
+            bound, failed = yield from self._attempt_binds(
+                action, uid, binder, list(sv), k)
+
+        outcome = BindOutcome(uid, bound, failed, sv_hosts=list(sv))
+        if not outcome.bound:
+            raise BindFailed(
+                f"no server for {uid} reachable (tried {len(failed)} hosts)")
+        return outcome
+
+
+class IndependentTopLevelBinding(BindingScheme):
+    """Figure 7: database work in separate independent top-level actions."""
+
+    name = "independent"
+
+    def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
+             k: int | None = None,
+             read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
+        first = AtomicAction(node=self.client_node, tracer=self.tracer)
+        try:
+            snapshot = yield from self.db.get_server_with_uses(first, uid,
+                                                            for_update=True)
+        except RpcError:
+            yield from first.abort()
+            raise BindFailed(f"object server database unreachable for {uid}")
+
+        if snapshot.all_uses_empty:
+            candidates = list(snapshot.hosts)
+            limit = k
+        else:
+            # The object is already activated somewhere: bind only to the
+            # servers with non-zero counters, preserving mutual consistency.
+            candidates = snapshot.used_hosts()
+            limit = None  # must join every active server
+        bound, failed = yield from self._attempt_binds(
+            action, uid, binder, candidates, limit)
+
+        try:
+            for host in failed:
+                yield from self.db.remove(first, uid, host)
+            if bound:
+                yield from self.db.increment(first, self.client_node, uid, bound)
+        except RpcError:
+            yield from first.abort()
+            raise BindFailed(f"database update failed while binding {uid}")
+        status = yield from first.commit()
+        if status.value != "committed":
+            raise BindFailed(f"binding action aborted for {uid}")
+
+        outcome = BindOutcome(uid, bound, failed, sv_hosts=list(snapshot.hosts),
+                              use_lists_were_empty=snapshot.all_uses_empty)
+        if not outcome.bound:
+            raise BindFailed(f"no server for {uid} reachable")
+        return outcome
+
+    # How often a refused Decrement is retried before falling back to
+    # the cleanup daemon (the entry may be write-locked by a binder).
+    unbind_attempts = 8
+    unbind_backoff = 0.05
+
+    def unbind(self, uid: Uid, outcome: BindOutcome,
+               within_action: AtomicAction | None = None) -> Generator[Any, Any, None]:
+        if not outcome.bound_hosts:
+            return
+        from repro.actions.errors import LockRefused
+        from repro.sim.process import Timeout
+        for attempt in range(self.unbind_attempts):
+            last = AtomicAction(node=self.client_node, tracer=self.tracer)
+            try:
+                yield from self.db.decrement(last, self.client_node, uid,
+                                             outcome.bound_hosts)
+            except LockRefused:
+                yield from last.abort()
+                yield Timeout(self.unbind_backoff * (attempt + 1))
+                continue
+            except RpcError:
+                yield from last.abort()
+                return  # the cleanup daemon will repair the counters
+            yield from last.commit()
+            return
+        self.metrics.counter(f"binding.{self.name}.unbind_gave_up").increment()
+
+
+class NestedTopLevelBinding(IndependentTopLevelBinding):
+    """Figure 8: the same database actions, as nested top-level actions.
+
+    Structurally identical to the independent scheme except the two
+    database actions are created *inside* the client action's dynamic
+    extent (``independent=True`` children), so a single client turn
+    makes one pass over the network inside the action instead of
+    bracketing it.  Their effects still commit independently of the
+    client action.
+    """
+
+    name = "nested_top_level"
+
+    def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
+             k: int | None = None,
+             read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
+        first = AtomicAction(node=self.client_node, parent=action,
+                             independent=True, tracer=self.tracer)
+        try:
+            snapshot = yield from self.db.get_server_with_uses(first, uid,
+                                                            for_update=True)
+        except RpcError:
+            yield from first.abort()
+            raise BindFailed(f"object server database unreachable for {uid}")
+
+        if snapshot.all_uses_empty:
+            candidates = list(snapshot.hosts)
+            limit = k
+        else:
+            candidates = snapshot.used_hosts()
+            limit = None
+        bound, failed = yield from self._attempt_binds(
+            action, uid, binder, candidates, limit)
+
+        try:
+            for host in failed:
+                yield from self.db.remove(first, uid, host)
+            if bound:
+                yield from self.db.increment(first, self.client_node, uid, bound)
+        except RpcError:
+            yield from first.abort()
+            raise BindFailed(f"database update failed while binding {uid}")
+        status = yield from first.commit()
+        if status.value != "committed":
+            raise BindFailed(f"binding action aborted for {uid}")
+
+        outcome = BindOutcome(uid, bound, failed, sv_hosts=list(snapshot.hosts),
+                              use_lists_were_empty=snapshot.all_uses_empty)
+        if not outcome.bound:
+            raise BindFailed(f"no server for {uid} reachable")
+        return outcome
+
+    def unbind(self, uid: Uid, outcome: BindOutcome,
+               within_action: AtomicAction | None = None) -> Generator[Any, Any, None]:
+        if not outcome.bound_hosts:
+            return
+        from repro.actions.errors import LockRefused
+        from repro.sim.process import Timeout
+        for attempt in range(self.unbind_attempts):
+            last = AtomicAction(node=self.client_node, parent=within_action,
+                                independent=within_action is not None,
+                                tracer=self.tracer)
+            try:
+                yield from self.db.decrement(last, self.client_node, uid,
+                                             outcome.bound_hosts)
+            except LockRefused:
+                yield from last.abort()
+                yield Timeout(self.unbind_backoff * (attempt + 1))
+                continue
+            except RpcError:
+                yield from last.abort()
+                return
+            yield from last.commit()
+            return
+        self.metrics.counter(f"binding.{self.name}.unbind_gave_up").increment()

@@ -1,0 +1,114 @@
+"""Failure detection and use-list cleanup.
+
+The paper (section 4.1.3): "a crash of a client does not automatically
+undo changes made to the database.  So, failure detection and cleanup
+protocols will be required.  For example, the Object Server database
+could periodically check if its clients are functioning, and if
+necessary update use lists if crashes are detected."
+
+:class:`UseListCleaner` is that protocol: a daemon colocated with the
+group-view database.  Each round it collects every client node that
+appears in a use list, pings it over RPC, and purges the counters of
+clients that do not answer -- under a top-level atomic action, so a
+concurrently-locked entry is simply retried next round.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.actions.action import AtomicAction
+from repro.naming.group_view_db import GroupViewDatabase
+from repro.net.errors import RpcError
+from repro.net.rpc import RpcAgent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Process, Timeout
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+
+class UseListCleaner:
+    """Periodic liveness-probe cleanup of the server db's use lists."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rpc: RpcAgent,
+        db: GroupViewDatabase,
+        interval: float = 5.0,
+        client_service: str = "client",
+        metrics: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._rpc = rpc
+        self._db = db
+        self.interval = interval
+        self.client_service = client_service
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self._process: Process | None = None
+        self.rounds = 0
+        self.clients_purged = 0
+
+    def start(self) -> None:
+        if self._process is not None and not self._process.done:
+            return
+        self._process = self._scheduler.spawn(self._run(), name="use-list-cleaner")
+
+    def stop(self) -> None:
+        if self._process is not None and not self._process.done:
+            self._process.kill("cleaner stopped")
+
+    # -- the daemon loop -----------------------------------------------------
+
+    def _run(self) -> Generator[Any, Any, None]:
+        while True:
+            yield Timeout(self.interval)
+            yield from self.run_once()
+
+    def run_once(self) -> Generator[Any, Any, list[str]]:
+        """One cleanup round; returns the client nodes purged."""
+        self.rounds += 1
+        suspects = self._collect_client_nodes()
+        purged: list[str] = []
+        for client_node in sorted(suspects):
+            alive = yield from self._ping(client_node)
+            if alive:
+                continue
+            self.tracer.record("cleanup", "client dead, purging",
+                               client=client_node)
+            action = AtomicAction(node="cleaner", tracer=self.tracer)
+            self._db.server_db.purge_client(action.id.path, client_node)
+            self._db.commit(action.id.path)
+            purged.append(client_node)
+            self.clients_purged += 1
+            self.metrics.counter("cleanup.clients_purged").increment()
+        return purged
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _collect_client_nodes(self) -> set[str]:
+        nodes: set[str] = set()
+        for uid in self._db.server_db.all_uids():
+            try:
+                snapshot = self._db.server_db.get_server_with_uses((0,), uid)
+            except Exception:
+                continue  # entry write-locked right now; look next round
+            finally:
+                self._release_probe_locks()
+            for counters in snapshot.uses.values():
+                nodes.update(counters)
+        return nodes
+
+    def _release_probe_locks(self) -> None:
+        from repro.actions.action import ActionId
+        self._db.server_db.locks.release_all(ActionId((0,)))
+
+    def _ping(self, client_node: str) -> Generator[Any, Any, bool]:
+        try:
+            answer = yield self._rpc.call(client_node, self.client_service, "ping",
+                                          timeout=self.interval / 2)
+        except RpcError:
+            return False
+        return answer == "pong"

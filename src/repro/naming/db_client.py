@@ -1,0 +1,134 @@
+"""Client-side adapter for the group-view database.
+
+Wraps the RPC surface of
+:class:`~repro.naming.group_view_db.GroupViewDatabase` in generator
+methods usable from simulation processes, translates remote errors back
+into their naming/locking exception types, and automatically enlists
+the database as a two-phase-commit participant of the calling action's
+top-level root (once per top-level action).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.actions.action import AtomicAction
+from repro.actions.errors import LockRefused, PromotionRefused
+from repro.actions.records import RemoteParticipantRecord
+from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
+from repro.naming.group_view_db import SERVICE_NAME
+from repro.naming.object_server_db import ServerEntrySnapshot
+from repro.net.errors import RpcError, RpcRemoteError
+from repro.net.rpc import RpcAgent
+from repro.storage.uid import Uid
+
+_ERROR_TYPES = {
+    "LockRefused": LockRefused,
+    "PromotionRefused": PromotionRefused,
+    "NotQuiescent": NotQuiescent,
+    "UnknownObject": UnknownObject,
+}
+
+
+def raise_mapped(error: RpcRemoteError) -> None:
+    """Re-raise a remote db error as its local exception type."""
+    exc_type = _ERROR_TYPES.get(error.remote_type)
+    if exc_type is not None:
+        raise exc_type(error.remote_message) from None
+    raise error
+
+
+class GroupViewDbClient:
+    """Generator-style proxy to the (remote) group-view database."""
+
+    def __init__(self, rpc: RpcAgent, db_node: str,
+                 service: str = SERVICE_NAME) -> None:
+        self._rpc = rpc
+        self.db_node = db_node
+        self.service = service
+        self._enlisted_roots: set[int] = set()
+
+    # -- enlistment ----------------------------------------------------------
+
+    def enlist(self, action: AtomicAction) -> None:
+        """Make the db a 2PC participant of the action's top-level root."""
+        root = action
+        while root.parent is not None:
+            root = root.parent
+        if root.id.top_level_serial in self._enlisted_roots:
+            return
+        self._enlisted_roots.add(root.id.top_level_serial)
+        root.add_record(RemoteParticipantRecord(
+            self._rpc, self.db_node, self.service, order=600))
+
+    # -- calls ----------------------------------------------------------------
+
+    def _call(self, method: str, *args: Any) -> Generator[Any, Any, Any]:
+        try:
+            result = yield self._rpc.call(self.db_node, self.service, method, *args)
+        except RpcRemoteError as exc:
+            raise_mapped(exc)
+        return result
+
+    def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],
+                      st_hosts: list[str]) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("define_object", action.id.path, str(uid),
+                              list(sv_hosts), list(st_hosts))
+
+    def get_server(self, action: AtomicAction,
+                   uid: Uid) -> Generator[Any, Any, list[str]]:
+        self.enlist(action)
+        return (yield from self._call("get_server", action.id.path, str(uid)))
+
+    def get_server_with_uses(self, action: AtomicAction, uid: Uid,
+                             for_update: bool = False,
+                             ) -> Generator[Any, Any, ServerEntrySnapshot]:
+        self.enlist(action)
+        return (yield from self._call("get_server_with_uses",
+                                      action.id.path, str(uid), for_update))
+
+    def insert(self, action: AtomicAction, uid: Uid,
+               host: str) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("insert", action.id.path, str(uid), host)
+
+    def remove(self, action: AtomicAction, uid: Uid,
+               host: str) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("remove", action.id.path, str(uid), host)
+
+    def increment(self, action: AtomicAction, client_node: str, uid: Uid,
+                  hosts: list[str]) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("increment", action.id.path, client_node,
+                              str(uid), list(hosts))
+
+    def decrement(self, action: AtomicAction, client_node: str, uid: Uid,
+                  hosts: list[str]) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("decrement", action.id.path, client_node,
+                              str(uid), list(hosts))
+
+    def get_view(self, action: AtomicAction,
+                 uid: Uid) -> Generator[Any, Any, list[str]]:
+        self.enlist(action)
+        return (yield from self._call("get_view", action.id.path, str(uid)))
+
+    def exclude(self, action: AtomicAction,
+                exclusions: list[tuple[Uid, list[str]]]) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        wire = [(str(uid), list(hosts)) for uid, hosts in exclusions]
+        yield from self._call("exclude", action.id.path, wire)
+
+    def include(self, action: AtomicAction, uid: Uid,
+                host: str) -> Generator[Any, Any, None]:
+        self.enlist(action)
+        yield from self._call("include", action.id.path, str(uid), host)
+
+    def ping(self) -> Generator[Any, Any, bool]:
+        try:
+            answer = yield self._rpc.call(self.db_node, self.service, "ping")
+        except RpcError:
+            return False
+        return answer == "pong"

@@ -1,0 +1,180 @@
+"""The combined group-view database.
+
+The paper's concluding remarks: "The two databases have been
+implemented as a single Arjuna object, referred to as the group view
+database."  This class hosts an
+:class:`~repro.naming.object_server_db.ObjectServerDatabase` and an
+:class:`~repro.naming.object_state_db.ObjectStateDatabase` behind one
+service interface and one two-phase-commit participant.  Entries remain
+independently concurrency-controlled (the lock resources are keyed
+``("sv", uid)`` and ``("st", uid)``).
+
+Action ids arrive as path tuples (the RPC wire form); every method is
+safe to expose as an RPC service.  The object is itself persistent:
+:meth:`save_state`/:meth:`restore_state` serialise the full mapping
+through the standard state buffers.
+"""
+
+from __future__ import annotations
+
+from repro.naming.db_base import ActionPath
+from repro.naming.object_server_db import ObjectServerDatabase, ServerEntrySnapshot
+from repro.naming.object_state_db import ObjectStateDatabase
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.states import InputObjectState, OutputObjectState
+from repro.storage.uid import Uid
+
+SERVICE_NAME = "group_view_db"
+
+
+class GroupViewDatabase:
+    """Single object combining the server and state databases."""
+
+    TYPE_NAME = "repro.naming.GroupViewDatabase"
+
+    def __init__(self, uid: Uid | None = None,
+                 use_exclude_write_lock: bool = True,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        self.uid = uid or Uid("system", 0)
+        shared_metrics = metrics or MetricsRegistry()
+        shared_tracer = tracer or NULL_TRACER
+        self.server_db = ObjectServerDatabase(metrics=shared_metrics,
+                                              tracer=shared_tracer)
+        self.state_db = ObjectStateDatabase(
+            use_exclude_write_lock=use_exclude_write_lock,
+            metrics=shared_metrics, tracer=shared_tracer)
+        self.metrics = shared_metrics
+
+    # -- administrative -------------------------------------------------------
+
+    def define_object(self, action_path: ActionPath, uid_text: str,
+                      sv_hosts: list[str], st_hosts: list[str]) -> None:
+        """Register a new persistent object's Sv and St sets."""
+        uid = Uid.parse(uid_text)
+        self.server_db.define(action_path, uid, sv_hosts)
+        self.state_db.define(action_path, uid, st_hosts)
+
+    def knows(self, uid_text: str) -> bool:
+        return self.server_db.knows(Uid.parse(uid_text))
+
+    # -- object server database operations --------------------------------------
+
+    def get_server(self, action_path: ActionPath, uid_text: str) -> list[str]:
+        return self.server_db.get_server(action_path, Uid.parse(uid_text))
+
+    def get_server_with_uses(self, action_path: ActionPath, uid_text: str,
+                             for_update: bool = False) -> ServerEntrySnapshot:
+        return self.server_db.get_server_with_uses(
+            action_path, Uid.parse(uid_text), for_update)
+
+    def insert(self, action_path: ActionPath, uid_text: str, host: str) -> None:
+        self.server_db.insert(action_path, Uid.parse(uid_text), host)
+
+    def remove(self, action_path: ActionPath, uid_text: str, host: str) -> None:
+        self.server_db.remove(action_path, Uid.parse(uid_text), host)
+
+    def increment(self, action_path: ActionPath, client_node: str,
+                  uid_text: str, hosts: list[str]) -> None:
+        self.server_db.increment(action_path, client_node, Uid.parse(uid_text), hosts)
+
+    def decrement(self, action_path: ActionPath, client_node: str,
+                  uid_text: str, hosts: list[str]) -> None:
+        self.server_db.decrement(action_path, client_node, Uid.parse(uid_text), hosts)
+
+    def is_quiescent(self, uid_text: str) -> bool:
+        return self.server_db.is_quiescent(Uid.parse(uid_text))
+
+    # -- object state database operations ----------------------------------------
+
+    def get_view(self, action_path: ActionPath, uid_text: str) -> list[str]:
+        return self.state_db.get_view(action_path, Uid.parse(uid_text))
+
+    def exclude(self, action_path: ActionPath,
+                exclusions: list[tuple[str, list[str]]]) -> None:
+        parsed = [(Uid.parse(uid_text), list(hosts))
+                  for uid_text, hosts in exclusions]
+        self.state_db.exclude(action_path, parsed)
+
+    def include(self, action_path: ActionPath, uid_text: str, host: str) -> None:
+        self.state_db.include(action_path, Uid.parse(uid_text), host)
+
+    # -- 2PC participant (spans both halves) ---------------------------------------
+
+    def prepare(self, action_path: ActionPath) -> str:
+        votes = (self.server_db.prepare(action_path),
+                 self.state_db.prepare(action_path))
+        if "abort" in votes:
+            return "abort"
+        return "ok" if "ok" in votes else "readonly"
+
+    def commit(self, action_path: ActionPath) -> None:
+        self.server_db.commit(action_path)
+        self.state_db.commit(action_path)
+
+    def abort(self, action_path: ActionPath) -> None:
+        self.server_db.abort(action_path)
+        self.state_db.abort(action_path)
+
+    # -- liveness probe used by binding/cleanup protocols ---------------------------
+
+    def ping(self) -> str:
+        return "pong"
+
+    # -- persistence -------------------------------------------------------------------
+
+    def save_state(self) -> bytes:
+        """Serialise every entry (committed data only; locks and undo
+        logs are volatile by definition)."""
+        out = OutputObjectState(self.uid, self.TYPE_NAME)
+        sv_uids = self.server_db.all_uids()
+        out.pack_int(len(sv_uids))
+        for uid in sv_uids:
+            snapshot = self.server_db.get_server_with_uses((0,), uid)
+            self.server_db.locks.release_all(_BOOT_OWNER)
+            out.pack_string(str(uid))
+            out.pack_string_list(list(snapshot.hosts))
+            out.pack_int(sum(len(c) for c in snapshot.uses.values()))
+            for host, counters in snapshot.uses.items():
+                for client, count in counters.items():
+                    out.pack_string(host)
+                    out.pack_string(client)
+                    out.pack_int(count)
+        st_uids = self.state_db.all_uids()
+        out.pack_int(len(st_uids))
+        for uid in st_uids:
+            hosts = self.state_db.get_view((0,), uid)
+            self.state_db.locks.release_all(_BOOT_OWNER)
+            out.pack_string(str(uid))
+            out.pack_string_list(hosts)
+        return out.buffer()
+
+    @classmethod
+    def restore_state(cls, buffer: bytes, **kwargs) -> "GroupViewDatabase":
+        state = InputObjectState(buffer)
+        db = cls(uid=state.uid, **kwargs)
+        sv_count = state.unpack_int()
+        for _ in range(sv_count):
+            uid = Uid.parse(state.unpack_string())
+            hosts = state.unpack_string_list()
+            db.server_db.define((0,), uid, hosts)
+            use_count = state.unpack_int()
+            for _ in range(use_count):
+                host = state.unpack_string()
+                client = state.unpack_string()
+                count = state.unpack_int()
+                for _ in range(count):
+                    db.server_db.increment((0,), client, uid, [host])
+        st_count = state.unpack_int()
+        for _ in range(st_count):
+            uid = Uid.parse(state.unpack_string())
+            hosts = state.unpack_string_list()
+            db.state_db.define((0,), uid, hosts)
+        db.commit((0,))
+        return db
+
+
+from repro.actions.action import ActionId  # noqa: E402  (cycle-free tail import)
+
+_BOOT_OWNER = ActionId((0,))

@@ -1,0 +1,39 @@
+"""Message demultiplexing.
+
+A node runs several protocols over one network interface (RPC, group
+multicast).  The :class:`MessageDemux` owns the interface's delivery
+callback and routes each message to the protocol that registered its
+kind prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.message import Message
+from repro.net.network import NetworkInterface
+
+
+class MessageDemux:
+    """Routes inbound messages by longest matching kind prefix."""
+
+    def __init__(self, nic: NetworkInterface) -> None:
+        self._nic = nic
+        self._nic.on_message = self._dispatch
+        self._routes: dict[str, Callable[[Message], None]] = {}
+
+    def route(self, kind_prefix: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for messages whose kind starts with the prefix."""
+        if kind_prefix in self._routes:
+            raise ValueError(f"route already registered: {kind_prefix!r}")
+        self._routes[kind_prefix] = handler
+
+    def _dispatch(self, message: Message) -> None:
+        best: Callable[[Message], None] | None = None
+        best_len = -1
+        for prefix, handler in self._routes.items():
+            if message.kind.startswith(prefix) and len(prefix) > best_len:
+                best = handler
+                best_len = len(prefix)
+        if best is not None:
+            best(message)

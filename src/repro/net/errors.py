@@ -1,0 +1,39 @@
+"""Exceptions raised by the network substrate."""
+
+
+class NetError(Exception):
+    """Base class for network-layer errors."""
+
+
+class RpcError(NetError):
+    """Base class for RPC failures observed by a caller."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the call's timeout.
+
+    Under fail-silent nodes this is the *only* way a caller learns that
+    the callee (or the path to it) has failed -- exactly the failure
+    surface the paper's binding schemes must cope with.
+    """
+
+
+class RpcRemoteError(RpcError):
+    """The remote handler raised; carries the remote exception's repr.
+
+    The original exception object stays on the callee side (as a real
+    RPC system would); callers get the type name and message.
+    """
+
+    def __init__(self, remote_type: str, remote_message: str) -> None:
+        super().__init__(f"{remote_type}: {remote_message}")
+        self.remote_type = remote_type
+        self.remote_message = remote_message
+
+
+class UnknownService(RpcError):
+    """The callee has no service registered under the requested name."""
+
+
+class UnknownMethod(RpcError):
+    """The requested service exposes no such method."""

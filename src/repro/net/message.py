@@ -1,0 +1,29 @@
+"""Network messages.
+
+A :class:`Message` is an opaque envelope: the network layer looks only at
+``sender``/``target``; the payload's meaning belongs to the protocol that
+sent it (RPC, multicast, ...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An addressed datagram."""
+
+    sender: str
+    target: str
+    kind: str
+    payload: Any
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Message #{self.msg_id} {self.sender}->{self.target} "
+                f"kind={self.kind!r}>")

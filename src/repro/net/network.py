@@ -1,0 +1,174 @@
+"""The simulated LAN.
+
+The :class:`Network` owns a set of :class:`NetworkInterface` objects (one
+per node).  Sending is fire-and-forget: the network samples a latency,
+schedules delivery, and at delivery time checks that the target interface
+is up and reachable (not separated by a partition).  Messages to down or
+unreachable targets vanish silently -- fail-silent nodes give senders no
+error signal; failure detection is the job of timeouts above (RPC layer).
+
+Partitions are expressed as a grouping of interface names; interfaces in
+different groups cannot exchange messages until :meth:`Network.heal` is
+called.  Tests can also install targeted drop rules to force specific
+loss scenarios (e.g. "drop B's second reply" for figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.message import Message
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+DeliverFn = Callable[[Message], None]
+DropRule = Callable[[Message], bool]
+
+
+class NetworkInterface:
+    """A node's attachment point to the network.
+
+    The owning node assigns :attr:`on_message` and flips :attr:`up` as it
+    crashes and recovers.  While an interface is down it neither sends
+    nor receives.
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self._network = network
+        self.name = name
+        self.up = True
+        self.on_message: DeliverFn | None = None
+        self.sent_count = 0
+        self.received_count = 0
+
+    def send(self, target: str, kind: str, payload: object) -> Message | None:
+        """Transmit a datagram; returns it, or ``None`` if we are down."""
+        if not self.up:
+            return None
+        message = Message(self.name, target, kind, payload)
+        self.sent_count += 1
+        self._network._transmit(message)
+        return message
+
+    def _deliver(self, message: Message) -> None:
+        if not self.up or self.on_message is None:
+            return
+        self.received_count += 1
+        self.on_message(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"<NetworkInterface {self.name} {state}>"
+
+
+class Network:
+    """Datagram delivery with latency, loss, and partitions."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+        rng: SeededRng | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        if drop_probability and rng is None:
+            raise ValueError("drop_probability needs an rng for reproducibility")
+        self._scheduler = scheduler
+        self.latency = latency or FixedLatency()
+        self._drop_probability = drop_probability
+        self._rng = rng.substream("network") if rng else None
+        self._tracer = tracer or NULL_TRACER
+        self._interfaces: dict[str, NetworkInterface] = {}
+        self._partition_groups: list[set[str]] | None = None
+        self._drop_rules: list[DropRule] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def attach(self, name: str) -> NetworkInterface:
+        """Create the interface for a new node name (must be unique)."""
+        if name in self._interfaces:
+            raise ValueError(f"interface name already attached: {name!r}")
+        nic = NetworkInterface(self, name)
+        self._interfaces[name] = nic
+        return nic
+
+    def interface(self, name: str) -> NetworkInterface:
+        return self._interfaces[name]
+
+    @property
+    def interface_names(self) -> list[str]:
+        return list(self._interfaces)
+
+    # -- partitions and loss -------------------------------------------------
+
+    def partition(self, *groups: set[str]) -> None:
+        """Split the network; interfaces in different groups can't talk.
+
+        Interfaces not named in any group form an implicit extra group.
+        """
+        named = set().union(*groups) if groups else set()
+        unknown = named - set(self._interfaces)
+        if unknown:
+            raise ValueError(f"partition names unknown interfaces: {sorted(unknown)}")
+        rest = set(self._interfaces) - named
+        self._partition_groups = [set(g) for g in groups if g]
+        if rest:
+            self._partition_groups.append(rest)
+        self._tracer.record("net", "partition installed",
+                            groups=[sorted(g) for g in self._partition_groups])
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition_groups = None
+        self._tracer.record("net", "partition healed")
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Whether interfaces ``a`` and ``b`` are in the same partition."""
+        if self._partition_groups is None:
+            return True
+        for group in self._partition_groups:
+            if a in group:
+                return b in group
+        return False
+
+    def add_drop_rule(self, rule: DropRule) -> None:
+        """Install a predicate that force-drops matching messages."""
+        self._drop_rules.append(rule)
+
+    def clear_drop_rules(self) -> None:
+        self._drop_rules.clear()
+
+    # -- transmission ----------------------------------------------------------
+
+    def _transmit(self, message: Message) -> None:
+        self.messages_sent += 1
+        if message.target not in self._interfaces:
+            self.messages_dropped += 1
+            return
+        if any(rule(message) for rule in self._drop_rules):
+            self.messages_dropped += 1
+            self._tracer.record("net", "message force-dropped", msg_id=message.msg_id,
+                                kind=message.kind, target=message.target)
+            return
+        if self._rng is not None and self._rng.chance(self._drop_probability):
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(message.sender, message.target)
+        self._scheduler.schedule(delay, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        nic = self._interfaces.get(message.target)
+        if nic is None or not nic.up:
+            self.messages_dropped += 1
+            return
+        if not self.reachable(message.sender, message.target):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        nic._deliver(message)

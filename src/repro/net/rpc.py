@@ -1,0 +1,229 @@
+"""Remote procedure calls over the simulated network.
+
+One :class:`RpcAgent` lives on each node.  Callers get a
+:class:`~repro.sim.futures.Future` that resolves with the reply value,
+fails with :class:`~repro.net.errors.RpcRemoteError` if the remote handler
+raised, or fails with :class:`~repro.net.errors.RpcTimeout` if no reply
+arrives in time -- the caller cannot distinguish a crashed callee from a
+slow one, which is precisely the fail-silent failure surface the paper's
+protocols are designed around.
+
+Handlers are methods on registered service objects.  A handler may:
+
+- return a plain value -- the reply is sent after the agent's
+  ``service_time`` processing delay;
+- return a generator -- it is spawned as a simulation process (so the
+  handler can itself issue RPCs, sleep, etc.); the reply carries the
+  process result.  This is how servers copy object state to remote
+  object stores at commit time (paper section 4.2).
+
+If the node crashes while a handler runs, the reply is never sent: the
+agent checks its interface before emitting the reply.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.demux import MessageDemux
+from repro.net.errors import RpcRemoteError, RpcTimeout, UnknownMethod, UnknownService
+from repro.net.message import Message
+from repro.net.network import NetworkInterface
+from repro.sim.futures import Future
+from repro.sim.process import Process
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+_request_ids = itertools.count(1)
+
+REQUEST_KIND = "rpc.request"
+REPLY_KIND = "rpc.reply"
+
+
+@dataclass(frozen=True)
+class RpcRequest:
+    """Wire format of a call."""
+
+    request_id: int
+    service: str
+    method: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class RpcReply:
+    """Wire format of a reply: a value or a serialised remote error."""
+
+    request_id: int
+    ok: bool
+    value: Any = None
+    error_type: str = ""
+    error_message: str = ""
+
+
+class RpcAgent:
+    """Per-node RPC endpoint: issues calls and dispatches to services."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        nic: NetworkInterface,
+        default_timeout: float | None = None,
+        service_time: float = 0.0,
+        tracer: Tracer | None = None,
+        demux: "MessageDemux | None" = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._nic = nic
+        if demux is not None:
+            demux.route("rpc.", self._on_message)
+        else:
+            self._nic.on_message = self._on_message
+        self.default_timeout = default_timeout if default_timeout is not None else 1.0
+        self.service_time = service_time
+        self._tracer = tracer or NULL_TRACER
+        self._services: dict[str, object] = {}
+        self._pending: dict[int, Future] = {}
+        self.calls_issued = 0
+        self.calls_served = 0
+
+    @property
+    def name(self) -> str:
+        return self._nic.name
+
+    # -- service registry ----------------------------------------------------
+
+    def register(self, service_name: str, provider: object) -> None:
+        """Expose ``provider``'s public methods under ``service_name``."""
+        if service_name in self._services:
+            raise ValueError(f"service already registered: {service_name!r}")
+        self._services[service_name] = provider
+
+    def unregister(self, service_name: str) -> None:
+        self._services.pop(service_name, None)
+
+    def has_service(self, service_name: str) -> bool:
+        return service_name in self._services
+
+    def service(self, service_name: str) -> object | None:
+        """The locally-registered provider object, or ``None``."""
+        return self._services.get(service_name)
+
+    def reset(self) -> None:
+        """Drop volatile RPC state; called when the owning node crashes.
+
+        Pending outbound calls are abandoned (their futures are failed so
+        that any process which somehow survives sees a timeout-equivalent
+        error immediately) and all services vanish with the node's
+        volatile memory.
+        """
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            future.try_fail(RpcTimeout("local node crashed"))
+        self._services.clear()
+
+    # -- client side ---------------------------------------------------------
+
+    def call(self, target: str, service: str, method: str, *args: Any,
+             timeout: float | None = None) -> Future:
+        """Invoke ``service.method(*args)`` on ``target``; returns a future."""
+        future = Future(label=f"rpc:{target}/{service}.{method}")
+        if not self._nic.up:
+            future.fail(RpcTimeout("local node is down"))
+            return future
+        self.calls_issued += 1
+        request = RpcRequest(next(_request_ids), service, method, tuple(args))
+        self._pending[request.request_id] = future
+        self._nic.send(target, REQUEST_KIND, request)
+        deadline = timeout if timeout is not None else self.default_timeout
+        timer = self._scheduler.schedule(deadline, self._expire, request, target)
+        future.add_callback(lambda _f: timer.cancel())
+        return future
+
+    def _expire(self, request: RpcRequest, target: str) -> None:
+        future = self._pending.pop(request.request_id, None)
+        if future is not None and not future.done:
+            self._tracer.record("rpc", "call timed out", target=target,
+                                service=request.service, method=request.method)
+            future.fail(RpcTimeout(
+                f"no reply from {target} for {request.service}.{request.method}"))
+
+    # -- message handling ------------------------------------------------------
+
+    def _on_message(self, message: Message) -> None:
+        if message.kind == REQUEST_KIND:
+            self._serve(message.sender, message.payload)
+        elif message.kind == REPLY_KIND:
+            self._complete(message.payload)
+
+    def _complete(self, reply: RpcReply) -> None:
+        future = self._pending.pop(reply.request_id, None)
+        if future is None or future.done:
+            return  # late reply to a call that already timed out
+        if reply.ok:
+            future.resolve(reply.value)
+        else:
+            future.fail(RpcRemoteError(reply.error_type, reply.error_message))
+
+    # -- server side -------------------------------------------------------------
+
+    def _serve(self, caller: str, request: RpcRequest) -> None:
+        if self.service_time > 0:
+            self._scheduler.schedule(self.service_time, self._execute, caller, request)
+        else:
+            self._execute(caller, request)
+
+    def _execute(self, caller: str, request: RpcRequest) -> None:
+        if not self._nic.up:
+            return  # crashed while the request sat in the service queue
+        self.calls_served += 1
+        provider = self._services.get(request.service)
+        if provider is None:
+            self._reply_error(caller, request, UnknownService(request.service))
+            return
+        handler = getattr(provider, request.method, None)
+        if handler is None or not callable(handler) or request.method.startswith("_"):
+            self._reply_error(caller, request, UnknownMethod(
+                f"{request.service}.{request.method}"))
+            return
+        try:
+            result = handler(*request.args)
+        except Exception as exc:
+            self._reply_error(caller, request, exc)
+            return
+        if _is_generator(result):
+            process = self._scheduler.spawn(
+                result, name=f"{self.name}:{request.service}.{request.method}")
+            process.add_callback(lambda p: self._reply_process(caller, request, p))
+        else:
+            self._reply_ok(caller, request, result)
+
+    def _reply_process(self, caller: str, request: RpcRequest, process: Process) -> None:
+        if process.failed:
+            exception = process.exception()
+            assert exception is not None
+            if isinstance(exception, Exception):
+                self._reply_error(caller, request, exception)
+            # Killed handlers (node crash) send nothing: fail-silence.
+        else:
+            self._reply_ok(caller, request, process.result())
+
+    def _reply_ok(self, caller: str, request: RpcRequest, value: Any) -> None:
+        if not self._nic.up:
+            return
+        self._nic.send(caller, REPLY_KIND, RpcReply(request.request_id, True, value))
+
+    def _reply_error(self, caller: str, request: RpcRequest, exc: Exception) -> None:
+        if not self._nic.up:
+            return
+        self._tracer.record("rpc", "handler raised", service=request.service,
+                            method=request.method, error=type(exc).__name__)
+        self._nic.send(caller, REPLY_KIND, RpcReply(
+            request.request_id, False,
+            error_type=type(exc).__name__, error_message=str(exc)))
+
+
+def _is_generator(value: Any) -> bool:
+    return hasattr(value, "send") and hasattr(value, "throw")

@@ -1,0 +1,36 @@
+"""Replica management policies (paper section 2.3).
+
+Three object replication policies, behind one strategy interface:
+
+- :class:`~repro.replication.active.ActiveReplication` -- several
+  replicas activated, all perform processing; invocations travel by
+  group multicast so all replicas see the same operation sequence;
+  up to k-1 replica failures are masked.
+- :class:`~repro.replication.coordinator_cohort.CoordinatorCohortReplication`
+  -- several replicas activated, only the coordinator processes;
+  its state is checkpointed to the cohorts; on coordinator failure a
+  cohort takes over.
+- :class:`~repro.replication.single_copy_passive.SingleCopyPassive` --
+  one activated copy; its state is checkpointed to the object stores
+  at commit; if the copy fails the action must abort and restart.
+
+:mod:`~repro.replication.commit` implements the commit-time state
+distribution with store exclusion -- the metadata-critical step the
+paper's section 4.2 is about.
+"""
+
+from repro.replication.policy import PolicyBinding, ReplicationPolicy, TxnContext
+from repro.replication.commit import StateDistributionRecord
+from repro.replication.single_copy_passive import SingleCopyPassive
+from repro.replication.active import ActiveReplication
+from repro.replication.coordinator_cohort import CoordinatorCohortReplication
+
+__all__ = [
+    "ActiveReplication",
+    "CoordinatorCohortReplication",
+    "PolicyBinding",
+    "ReplicationPolicy",
+    "SingleCopyPassive",
+    "StateDistributionRecord",
+    "TxnContext",
+]

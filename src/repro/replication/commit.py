@@ -1,0 +1,160 @@
+"""Commit-time state distribution with store exclusion.
+
+Paper section 4.2 (and the per-configuration rules of section 3.2): at
+commit time the new state of a modified object must be copied to the
+object stores of all the nodes in ``St``; nodes for which the copy
+fails must be *Excluded* from ``St`` so the set keeps naming only
+mutually-consistent, latest-state stores.  The exclusion requires
+promoting the read lock held on the database entry (or taking the
+shareable exclude-write lock, section 4.2.1); a refused promotion
+aborts the action.
+
+The record runs in the client's top-level commit:
+
+- **prepare**: fetch the object's state from a live bound server, write
+  it as a *shadow* (version ``v+1``) to every ``St`` store; stores that
+  cannot be reached are collected and ``Exclude``d under the same
+  action.  Votes ABORT if no live server remains, if every store
+  failed, or if the exclusion's lock promotion is refused.
+- **commit**: promote the shadows to committed states.  A store that
+  crashes between the two phases loses its shadow and keeps its stale
+  state while still being listed in ``St`` -- the record closes that
+  window by running a follow-up independent top-level Exclude action
+  (heuristic repair; the recovering store will refresh and re-Include).
+- **abort**: discard the shadows.
+
+The read optimisation of section 4.2.1 lives upstream: unmodified
+objects never get this record, so nothing is copied for them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.actions.action import AbstractRecord, AtomicAction, Vote
+from repro.actions.errors import LockRefused
+from repro.cluster.server_host import SERVER_SERVICE
+from repro.cluster.store_host import STORE_SERVICE
+from repro.net.errors import RpcError
+from repro.replication.policy import PolicyBinding, TxnContext
+
+
+class StateDistributionRecord(AbstractRecord):
+    """Copies a modified object's state to its ``St`` stores at commit."""
+
+    order = 300  # before server hosts (500) and the naming db (600)
+
+    def __init__(self, ctx: TxnContext, binding: PolicyBinding) -> None:
+        self._ctx = ctx
+        self._binding = binding
+        self.prepared_hosts: list[str] = []
+        self.excluded_hosts: list[str] = []
+        self.late_excluded_hosts: list[str] = []
+        self._new_version: int | None = None
+
+    # -- phase 1 ---------------------------------------------------------
+
+    def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
+        ctx, binding = self._ctx, self._binding
+        uid = binding.uid
+
+        state = yield from self._fetch_state()
+        if state is None:
+            ctx.tracer.record("commit", "no live server for state fetch",
+                              uid=str(uid))
+            return Vote.ABORT
+        buffer, version = state
+        self._new_version = version + 1
+
+        failures: list[str] = []
+        for st_host in binding.st_hosts:
+            try:
+                yield ctx.rpc.call(st_host, STORE_SERVICE, "write_shadow",
+                                   str(uid), buffer, self._new_version)
+            except RpcError:
+                failures.append(st_host)
+                continue
+            self.prepared_hosts.append(st_host)
+
+        if not self.prepared_hosts:
+            ctx.metrics.counter("commit.all_stores_down").increment()
+            return Vote.ABORT
+
+        if failures:
+            try:
+                yield from ctx.db.exclude(action, [(uid, failures)])
+            except LockRefused:
+                ctx.metrics.counter("commit.exclude_promotion_refused").increment()
+                ctx.tracer.record("commit", "exclude promotion refused",
+                                  uid=str(uid), hosts=failures)
+                return Vote.ABORT
+            except RpcError:
+                return Vote.ABORT
+            self.excluded_hosts = failures
+            ctx.metrics.counter("commit.stores_excluded").increment(len(failures))
+        return Vote.OK
+
+    def _fetch_state(self) -> Generator[Any, Any, tuple[bytes, int] | None]:
+        """State of the object from the first live bound server."""
+        ctx, binding = self._ctx, self._binding
+        source_order = list(binding.live_hosts)
+        if binding.coordinator_index < len(source_order):
+            # Prefer the coordinator (it alone has the writes under
+            # coordinator-cohort replication).
+            source_order.insert(0, source_order.pop(binding.coordinator_index))
+        for host in source_order:
+            try:
+                buffer, version = yield ctx.rpc.call(
+                    host, SERVER_SERVICE, "get_state", str(binding.uid))
+            except RpcError:
+                binding.break_binding(host)
+                continue
+            return buffer, version
+        return None
+
+    # -- phase 2 -------------------------------------------------------------
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        ctx, binding = self._ctx, self._binding
+        late_failures: list[str] = []
+        for st_host in self.prepared_hosts:
+            try:
+                yield ctx.rpc.call(st_host, STORE_SERVICE, "commit_shadow",
+                                   str(binding.uid))
+            except RpcError:
+                late_failures.append(st_host)
+        if late_failures:
+            if len(late_failures) == len(self.prepared_hosts):
+                # Every prepared store crashed between the phases: the
+                # decided state survives nowhere stable.  This is the
+                # classic 2PC window without a coordinator log; counted
+                # so experiments can report it (see DESIGN.md section 5).
+                ctx.metrics.counter("commit.durability_lost").increment()
+            yield from self._exclude_heuristically(late_failures)
+
+    def _exclude_heuristically(self, hosts: list[str]) -> Generator[Any, Any, None]:
+        """Close the phase-2 window with an independent Exclude action."""
+        ctx, binding = self._ctx, self._binding
+        ctx.metrics.counter("commit.late_exclusions").increment(len(hosts))
+        repair = AtomicAction(node=ctx.node.name, tracer=ctx.tracer)
+        try:
+            yield from ctx.db.exclude(repair, [(binding.uid, hosts)])
+        except (LockRefused, RpcError):
+            yield from repair.abort()
+            # The cleanup/recovery protocols remain the backstop.
+            ctx.tracer.record("commit", "late exclusion failed",
+                              uid=str(binding.uid), hosts=hosts)
+            return
+        yield from repair.commit()
+        self.late_excluded_hosts = hosts
+
+    # -- abort -------------------------------------------------------------------
+
+    def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        ctx, binding = self._ctx, self._binding
+        for st_host in self.prepared_hosts:
+            try:
+                yield ctx.rpc.call(st_host, STORE_SERVICE, "discard_shadow",
+                                   str(binding.uid))
+            except RpcError:
+                pass  # its crash already discarded the shadow

@@ -1,0 +1,132 @@
+"""Coordinator-cohort passive replication (paper section 2.3, policy ii).
+
+Several copies are activated but only one -- the coordinator -- carries
+out processing; it checkpoints its state to the cohorts.  If the
+coordinator fails, a cohort takes over.
+
+Checkpointing granularity in this implementation: the coordinator
+pushes its state to the cohorts as part of commit processing (so
+cohorts always hold the last *committed* state).  Consequently a
+coordinator failure is masked transparently only while the current
+action has not yet updated the object; once the action holds dirty
+state that existed solely at the coordinator, its failure forces an
+abort (the restarted action then finds a cohort promoted and proceeds
+-- availability is preserved even though the action pays one abort).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.actions.action import AbstractRecord, AtomicAction
+from repro.actions.errors import LockRefused
+from repro.cluster.errors import TxnAborted
+from repro.cluster.server_host import SERVER_SERVICE
+from repro.naming.db_client import raise_mapped
+from repro.net.errors import RpcError, RpcRemoteError
+from repro.replication.commit import StateDistributionRecord
+from repro.replication.policy import PolicyBinding, ReplicationPolicy, TxnContext
+
+
+class CoordinatorCohortReplication(ReplicationPolicy):
+    """One processing coordinator, k-1 standby cohorts."""
+
+    name = "coordinator_cohort"
+
+    def __init__(self, degree: int | None = None) -> None:
+        self.degree = degree
+
+    def activation_degree(self) -> int | None:
+        return self.degree
+
+    def invoke(self, ctx: TxnContext, binding: PolicyBinding,
+               action: AtomicAction, op: str, args: tuple,
+               is_write: bool) -> Generator[Any, Any, Any]:
+        while True:
+            if not binding.live_hosts:
+                raise TxnAborted(f"all_replicas_gone:{binding.uid}")
+            coordinator = binding.coordinator
+            try:
+                value = yield ctx.rpc.call(coordinator, SERVER_SERVICE, "invoke",
+                                           action.id.path, str(binding.uid),
+                                           op, tuple(args), ctx.client_ref)
+            except RpcRemoteError as exc:
+                if exc.remote_type == "KeyError":
+                    # Coordinator restarted inside the action and lost its
+                    # replica; treat like a coordinator failure.
+                    binding.break_binding(coordinator)
+                    if binding.modified:
+                        raise TxnAborted(
+                            f"coordinator_lost_dirty:{binding.uid}") from None
+                    if not binding.live_hosts:
+                        raise TxnAborted(
+                            f"all_replicas_gone:{binding.uid}") from None
+                    continue
+                try:
+                    raise_mapped(exc)
+                except LockRefused:
+                    raise TxnAborted(f"lock_refused:{binding.uid}") from None
+                raise
+            except RpcError:
+                binding.break_binding(coordinator)
+                ctx.metrics.counter(
+                    "policy.coordinator_cohort.coordinator_failures").increment()
+                if binding.modified:
+                    # Dirty state died with the coordinator; cohorts hold
+                    # only the last committed checkpoint.
+                    raise TxnAborted(f"coordinator_lost_dirty:{binding.uid}") from None
+                if not binding.live_hosts:
+                    raise TxnAborted(f"all_replicas_gone:{binding.uid}") from None
+                ctx.metrics.counter(
+                    "policy.coordinator_cohort.failovers_masked").increment()
+                ctx.tracer.record("policy", "cohort took over",
+                                  uid=str(binding.uid),
+                                  new_coordinator=binding.coordinator)
+                continue  # retry on the promoted cohort
+            if is_write:
+                binding.modified = True
+            return value
+
+    def on_commit(self, ctx: TxnContext, binding: PolicyBinding,
+                  action: AtomicAction) -> None:
+        if not binding.modified:
+            return
+        action.add_record(StateDistributionRecord(ctx, binding))
+        action.add_record(_CheckpointRecord(ctx, binding))
+
+
+class _CheckpointRecord(AbstractRecord):
+    """Pushes the committed state from coordinator to cohorts at commit.
+
+    Runs *after* the server hosts commit (order 700 > 500) so the
+    coordinator has already installed the new version; cohorts then
+    receive state and version stamps that match the object stores.
+    """
+
+    order = 700
+
+    def __init__(self, ctx: TxnContext, binding: PolicyBinding) -> None:
+        self._ctx = ctx
+        self._binding = binding
+
+    def prepare(self, action: AtomicAction):
+        from repro.actions.action import Vote
+        return Vote.OK
+        yield  # pragma: no cover
+
+    def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
+        ctx, binding = self._ctx, self._binding
+        if not binding.live_hosts:
+            return
+        coordinator = binding.coordinator
+        cohorts = [h for h in binding.live_hosts if h != coordinator]
+        if not cohorts:
+            return
+        try:
+            accepted = yield ctx.rpc.call(coordinator, SERVER_SERVICE,
+                                          "checkpoint_to", str(binding.uid),
+                                          cohorts)
+        except RpcError:
+            return  # cohorts will refresh at their next activation
+        ctx.metrics.counter(
+            "policy.coordinator_cohort.checkpoints").increment(len(accepted))

@@ -1,0 +1,150 @@
+"""The replication policy strategy interface.
+
+A policy decides, per object: how many servers to activate, how to
+route invocations to the activated replicas, and what happens at commit
+time.  Policies speak to the rest of the system through a
+:class:`TxnContext` -- the bundle of client-node facilities a
+transaction has (RPC agent, naming database client, binding scheme,
+group invoker, registry, metrics).
+
+The binding-lifetime rule of paper section 3.1 is enforced here:
+bindings are created as invocations are first made; a binding broken by
+a server crash is never repaired during the action; all bindings end
+with the action.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Generator, TYPE_CHECKING
+
+from repro.actions.action import AtomicAction
+from repro.cluster.errors import TxnAborted
+from repro.cluster.server_host import SERVER_SERVICE
+from repro.core.objects import ObjectClassRegistry
+from repro.naming.binding import BindOutcome, BindingScheme
+from repro.naming.db_client import GroupViewDbClient
+from repro.net.errors import RpcError
+from repro.net.rpc import RpcAgent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.group_invoke import GroupInvoker
+    from repro.cluster.node import Node
+
+
+@dataclass
+class TxnContext:
+    """Client-node facilities available to a transaction."""
+
+    node: "Node"
+    rpc: RpcAgent
+    db: GroupViewDbClient
+    scheme: BindingScheme
+    invoker: "GroupInvoker"
+    registry: ObjectClassRegistry
+    metrics: MetricsRegistry
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    node_policy: "ReplicationPolicy | None" = None
+
+    @property
+    def client_ref(self) -> str:
+        """``name#epoch`` identity used by server-side orphan cleanup."""
+        return f"{self.node.name}#{self.node.recover_count}"
+
+
+@dataclass
+class PolicyBinding:
+    """Per-object, per-transaction binding state."""
+
+    uid: Uid
+    outcome: BindOutcome
+    live_hosts: list[str]
+    st_hosts: list[str]
+    modified: bool = False
+    coordinator_index: int = 0
+
+    @property
+    def coordinator(self) -> str:
+        return self.live_hosts[self.coordinator_index]
+
+    def break_binding(self, host: str) -> None:
+        """Mark a binding broken (never repaired within the action)."""
+        if host in self.live_hosts:
+            index = self.live_hosts.index(host)
+            self.live_hosts.remove(host)
+            if index <= self.coordinator_index and self.coordinator_index > 0:
+                self.coordinator_index -= 1
+
+
+class ReplicationPolicy(abc.ABC):
+    """Strategy: activation degree, invocation routing, commit handling."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def activation_degree(self) -> int | None:
+        """How many servers to activate (``None`` = all of ``Sv``)."""
+
+    @abc.abstractmethod
+    def invoke(self, ctx: TxnContext, binding: PolicyBinding,
+               action: AtomicAction, op: str, args: tuple,
+               is_write: bool) -> Generator[Any, Any, Any]:
+        """Route one invocation; raises :class:`TxnAborted` when the
+        object has become unusable for this action."""
+
+    def bind(self, ctx: TxnContext, action: AtomicAction, uid: Uid,
+             read_only: bool = False) -> Generator[Any, Any, PolicyBinding]:
+        """Bind the action to servers for ``uid`` via the binding scheme.
+
+        Reads the ``St`` view first (under the action -- read lock on
+        the entry, as the paper's figure-6 discussion prescribes for a
+        freshly created server), then lets the binding scheme select and
+        activate servers.
+        """
+        st_hosts = yield from ctx.db.get_view(action, uid)
+        if not st_hosts:
+            raise TxnAborted(f"st_empty:{uid}")
+        binder = self._make_binder(ctx, st_hosts)
+        outcome = yield from ctx.scheme.bind(
+            action, uid, binder, k=self.activation_degree(), read_only=read_only)
+        binding = PolicyBinding(uid, outcome, list(outcome.bound_hosts),
+                                list(st_hosts))
+        yield from self._after_bind(ctx, binding, action)
+        return binding
+
+    def _after_bind(self, ctx: TxnContext, binding: PolicyBinding,
+                    action: AtomicAction) -> Generator[Any, Any, None]:
+        """Hook for policy-specific post-bind work (e.g. group joins)."""
+        return
+        yield  # pragma: no cover
+
+    def _make_binder(self, ctx: TxnContext, st_hosts: list[str]):
+        # Activation may fall back across several stores server-side, each
+        # costing up to one RPC timeout; give the activate call room.
+        window = ctx.rpc.default_timeout * (len(st_hosts) + 1)
+
+        def binder(host: str, uid: Uid,
+                   action: AtomicAction) -> Generator[Any, Any, bool]:
+            try:
+                result = yield ctx.rpc.call(host, SERVER_SERVICE, "activate",
+                                            action.id.path, str(uid),
+                                            list(st_hosts), timeout=window)
+            except RpcError:
+                return False
+            return result.get("status") in ("activated", "bound")
+        return binder
+
+    def on_commit(self, ctx: TxnContext, binding: PolicyBinding,
+                  action: AtomicAction) -> None:
+        """Attach commit-time records for a modified object."""
+        if not binding.modified:
+            return
+        from repro.replication.commit import StateDistributionRecord
+        action.add_record(StateDistributionRecord(ctx, binding))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"

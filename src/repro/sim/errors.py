@@ -1,0 +1,22 @@
+"""Exceptions raised by the simulation kernel."""
+
+
+class SimError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationLimitExceeded(SimError):
+    """Raised when a run exceeds its configured event or time budget.
+
+    This usually indicates a livelock in the simulated system (for
+    example, two clients endlessly retrying conflicting lock requests).
+    """
+
+
+class ProcessKilled(SimError):
+    """Raised inside a process generator when the process is killed.
+
+    Processes hosted on a crashing node receive this exception so that
+    they can release any python-level resources; the simulated node's
+    volatile state is discarded separately by the cluster layer.
+    """

@@ -1,0 +1,77 @@
+"""Scheduled events and the event queue.
+
+Events are ordered by ``(time, seq)``: two events scheduled for the same
+virtual time fire in the order they were scheduled, which keeps runs
+deterministic without relying on heap tie-breaking behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+
+class Event:
+    """A callback scheduled to fire at a virtual time.
+
+    Events are created through :meth:`repro.sim.scheduler.Scheduler.schedule`
+    rather than directly.  An event may be cancelled before it fires, in
+    which case the scheduler silently discards it.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.6f} seq={self.seq}{state} fn={getattr(self.fn, '__name__', self.fn)!r}>"
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects.
+
+    Cancelled events are dropped lazily on pop, which makes cancellation
+    O(1) at the cost of the queue temporarily holding dead entries.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Return the virtual time of the next live event, or ``None``."""
+        while self._heap:
+            if self._heap[0].cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return self._heap[0].time
+        return None
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None

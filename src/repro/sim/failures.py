@@ -1,0 +1,166 @@
+"""Fault injection: node crashes and recoveries.
+
+The paper assumes fail-silent nodes (section 2.1): a node either works as
+specified or stops.  Volatile state is lost on a crash, stable storage
+survives.  This module schedules *when* crashes and recoveries happen;
+*what* a crash means is implemented by the :class:`Crashable` target
+(see :class:`repro.cluster.node.Node`).
+
+Two injectors are provided:
+
+- :class:`FaultPlan` -- a deterministic script of timed crash/recover
+  events, used by tests and by experiments that need a precise
+  interleaving (e.g. "crash the store node during commit").
+- :class:`StochasticFaultInjector` -- exponential crash inter-arrival
+  times with configurable repair times, used by the availability sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import Scheduler
+
+
+class Crashable(Protocol):
+    """Anything that can be crashed and recovered by an injector."""
+
+    @property
+    def name(self) -> str: ...
+
+    @property
+    def crashed(self) -> bool: ...
+
+    def crash(self) -> None: ...
+
+    def recover(self) -> None: ...
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scripted fault: crash or recover ``target`` at ``time``."""
+
+    time: float
+    target: str
+    kind: str  # "crash" | "recover"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "recover"):
+            raise ValueError(f"unknown fault kind: {self.kind!r}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic script of crash/recovery events.
+
+    Example::
+
+        plan = FaultPlan()
+        plan.crash_at(5.0, "node-b")
+        plan.recover_at(9.0, "node-b")
+        plan.install(scheduler, {"node-b": node_b})
+    """
+
+    events: list[CrashEvent] = field(default_factory=list)
+
+    def crash_at(self, time: float, target: str) -> "FaultPlan":
+        self.events.append(CrashEvent(time, target, "crash"))
+        return self
+
+    def recover_at(self, time: float, target: str) -> "FaultPlan":
+        self.events.append(CrashEvent(time, target, "recover"))
+        return self
+
+    def outage(self, start: float, end: float, target: str) -> "FaultPlan":
+        """Convenience: crash at ``start`` and recover at ``end``."""
+        if end <= start:
+            raise ValueError(f"outage must end after it starts: {start} .. {end}")
+        return self.crash_at(start, target).recover_at(end, target)
+
+    def install(self, scheduler: Scheduler, targets: dict[str, Crashable]) -> None:
+        """Schedule every scripted event against its target."""
+        for event in self.events:
+            target = targets[event.target]
+            if event.kind == "crash":
+                scheduler.schedule_at(event.time, self._apply_crash, target)
+            else:
+                scheduler.schedule_at(event.time, self._apply_recover, target)
+
+    @staticmethod
+    def _apply_crash(target: Crashable) -> None:
+        if not target.crashed:
+            target.crash()
+
+    @staticmethod
+    def _apply_recover(target: Crashable) -> None:
+        if target.crashed:
+            target.recover()
+
+
+class StochasticFaultInjector:
+    """Crashes targets at exponential intervals; repairs after a delay.
+
+    Per target, crash inter-arrival times are exponential with mean
+    ``mean_time_to_failure`` and downtimes are exponential with mean
+    ``mean_time_to_repair`` (or fixed if ``fixed_repair_time`` is given).
+    With ``mean_time_to_repair=None`` crashed targets never recover,
+    which models the paper's per-action fault window.
+
+    The injector stops scheduling after ``stop_after`` virtual time so
+    that runs terminate.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rng: SeededRng,
+        mean_time_to_failure: float,
+        mean_time_to_repair: float | None = None,
+        stop_after: float | None = None,
+    ) -> None:
+        if mean_time_to_failure <= 0:
+            raise ValueError("mean_time_to_failure must be positive")
+        self._scheduler = scheduler
+        self._rng = rng
+        self._mttf = mean_time_to_failure
+        self._mttr = mean_time_to_repair
+        self._stop_after = stop_after
+        self.crashes_injected = 0
+        self.recoveries_injected = 0
+
+    def attach(self, target: Crashable) -> None:
+        """Begin injecting faults into ``target``."""
+        stream = self._rng.substream(f"faults/{target.name}")
+        self._schedule_crash(target, stream)
+
+    def attach_all(self, targets: list[Crashable]) -> None:
+        for target in targets:
+            self.attach(target)
+
+    # -- internals ---------------------------------------------------------
+
+    def _schedule_crash(self, target: Crashable, stream: SeededRng) -> None:
+        delay = stream.exponential(self._mttf)
+        when = self._scheduler.now + delay
+        if self._stop_after is not None and when > self._stop_after:
+            return
+        self._scheduler.schedule(delay, self._crash, target, stream)
+
+    def _crash(self, target: Crashable, stream: SeededRng) -> None:
+        if target.crashed:
+            # Already down (e.g. scripted fault overlapped); try again later.
+            self._schedule_crash(target, stream)
+            return
+        target.crash()
+        self.crashes_injected += 1
+        if self._mttr is not None:
+            downtime = stream.exponential(self._mttr)
+            self._scheduler.schedule(downtime, self._recover, target, stream)
+
+    def _recover(self, target: Crashable, stream: SeededRng) -> None:
+        if target.crashed:
+            target.recover()
+            self.recoveries_injected += 1
+        self._schedule_crash(target, stream)

@@ -1,0 +1,166 @@
+"""Measurement instruments for experiments.
+
+A :class:`MetricsRegistry` is threaded through the cluster and naming
+layers; benchmarks read a :meth:`~MetricsRegistry.snapshot` at the end of
+a run.  Instruments are deliberately simple -- exact values kept in
+memory -- because simulated runs are bounded.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class Counter:
+    """A monotonically-increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A value that can move in both directions (e.g. active servers)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Collects observations; computes summary statistics on demand."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else math.nan
+
+    @property
+    def total(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not self.values:
+            return math.nan
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self.values)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values) if self.values else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values) if self.values else math.nan
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+
+class TimeSeries:
+    """Timestamped samples, for plotting metric evolution over a run."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.samples: list[tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values_between(self, start: float, end: float) -> list[float]:
+        return [v for t, v in self.samples if start <= t <= end]
+
+    def time_weighted_mean(self, end_time: float) -> float:
+        """Mean of a step function defined by the samples, up to ``end_time``."""
+        if not self.samples:
+            return math.nan
+        total = 0.0
+        for (t0, v0), (t1, _) in zip(self.samples, self.samples[1:]):
+            total += v0 * (t1 - t0)
+        last_t, last_v = self.samples[-1]
+        total += last_v * max(0.0, end_time - last_t)
+        span = end_time - self.samples[0][0]
+        return total / span if span > 0 else self.samples[0][1]
+
+
+class MetricsRegistry:
+    """Creates-or-returns named instruments; snapshots the lot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms.setdefault(name, Histogram(name))
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._series.setdefault(name, TimeSeries(name))
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of every instrument, for reports and tests."""
+        out: dict[str, Any] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, gauge in self._gauges.items():
+            out[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            out[name] = histogram.summary()
+        for name, series in self._series.items():
+            out[name] = list(series.samples)
+        return out
+
+    def counter_value(self, name: str) -> int:
+        """Value of a counter, 0 if it was never touched."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0

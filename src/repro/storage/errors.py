@@ -1,0 +1,25 @@
+"""Exceptions raised by the storage substrate."""
+
+
+class StorageError(Exception):
+    """Base class for storage-layer errors."""
+
+
+class NoSuchState(StorageError):
+    """The store holds no committed state for the requested UID."""
+
+
+class NoSuchShadow(StorageError):
+    """Commit/abort was attempted for a UID with no prepared shadow."""
+
+
+class StoreUnavailable(StorageError):
+    """The store's node is down; the operation cannot be served.
+
+    Raised only on *local* access; remote callers observe an RPC
+    timeout instead, as a fail-silent node sends no error replies.
+    """
+
+
+class DeserialisationError(StorageError):
+    """A state buffer did not contain the expected packed values."""

@@ -1,0 +1,53 @@
+"""Unique identifiers for persistent objects.
+
+The Object Storage service assigns each persistent object a UID (paper
+section 2.2); the naming service maps user-level string names to UIDs
+and UIDs to location information.  Simulated UIDs are
+``<node>:<counter>`` pairs, which are unique without coordination (each
+node numbers its own creations) and deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class Uid:
+    """Identity of one persistent object (not of its replicas --
+    replicas of an object share its UID; that is the whole point of the
+    ``St``/``Sv`` mappings)."""
+
+    origin: str
+    serial: int
+
+    def __str__(self) -> str:
+        return f"{self.origin}:{self.serial}"
+
+    def __lt__(self, other: "Uid") -> bool:
+        if not isinstance(other, Uid):
+            return NotImplemented
+        return (self.origin, self.serial) < (other.origin, other.serial)
+
+    @staticmethod
+    def parse(text: str) -> "Uid":
+        """Inverse of ``str(uid)``."""
+        origin, _, serial = text.rpartition(":")
+        if not origin or not serial.isdigit():
+            raise ValueError(f"malformed uid: {text!r}")
+        return Uid(origin, int(serial))
+
+
+class UidFactory:
+    """Allocates UIDs for one origin (usually one node)."""
+
+    def __init__(self, origin: str) -> None:
+        self.origin = origin
+        self._next_serial = 1
+
+    def allocate(self) -> Uid:
+        uid = Uid(self.origin, self._next_serial)
+        self._next_serial += 1
+        return uid

@@ -1,0 +1,43 @@
+"""Per-node volatile memory.
+
+Anything a node keeps here -- activated object states, lock tables,
+server scratch space -- is destroyed by a crash (paper section 2.1).
+The cluster layer wipes every registered :class:`VolatileStore` when its
+node crashes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+
+class VolatileStore:
+    """A crash-wipeable key/value map."""
+
+    def __init__(self, node_name: str) -> None:
+        self.node_name = node_name
+        self._data: dict[Any, Any] = {}
+        self.wipe_count = 0
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        return self._data.pop(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(list(self._data))
+
+    def wipe(self) -> None:
+        """Crash: everything is lost."""
+        self._data.clear()
+        self.wipe_count += 1

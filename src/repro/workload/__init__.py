@@ -1,0 +1,24 @@
+"""Workload generation and experiment sweeps.
+
+Used by the benchmark harness to drive the simulated system:
+
+- :class:`~repro.workload.generator.TransactionStream` -- a client
+  process issuing a stream of transactions with think times and
+  bounded retries, collecting per-transaction outcomes;
+- :class:`~repro.workload.generator.WorkloadReport` -- aggregate
+  statistics (commit rate, aborts by reason, latency percentiles);
+- :mod:`~repro.workload.sweep` -- parameter-sweep helpers and plain
+  text table rendering for the experiment reports.
+"""
+
+from repro.workload.generator import TransactionStream, WorkloadReport, run_streams
+from repro.workload.sweep import Table, mean_and_spread, sweep
+
+__all__ = [
+    "Table",
+    "TransactionStream",
+    "WorkloadReport",
+    "mean_and_spread",
+    "run_streams",
+    "sweep",
+]

@@ -1,0 +1,161 @@
+"""Tests for multi-mode locking, the paper's section-4 lock semantics."""
+
+import pytest
+
+from repro.actions import (
+    ActionId,
+    LockManager,
+    LockMode,
+    LockRefused,
+    PromotionRefused,
+    lock_compatible,
+)
+
+A1 = ActionId((1,))
+A2 = ActionId((2,))
+A3 = ActionId((3,))
+A1_CHILD = ActionId((1, 10))
+A1_GRANDCHILD = ActionId((1, 10, 20))
+
+
+def test_compatibility_matrix_matches_paper():
+    R, W, X = LockMode.READ, LockMode.WRITE, LockMode.EXCLUDE_WRITE
+    assert lock_compatible(R, R)
+    assert not lock_compatible(R, W)
+    assert lock_compatible(R, X)
+    assert not lock_compatible(W, R)
+    assert not lock_compatible(W, W)
+    assert not lock_compatible(W, X)
+    assert lock_compatible(X, R)
+    assert not lock_compatible(X, W)
+    assert not lock_compatible(X, X)
+
+
+def test_shared_reads():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A2, "e", LockMode.READ)
+    assert len(lm.holders_of("e")) == 2
+
+
+def test_write_excludes_read():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.WRITE)
+    with pytest.raises(LockRefused):
+        lm.try_lock(A2, "e", LockMode.READ)
+
+
+def test_read_blocks_write():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    with pytest.raises(LockRefused):
+        lm.try_lock(A2, "e", LockMode.WRITE)
+
+
+def test_promotion_read_to_write_sole_holder():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A1, "e", LockMode.WRITE)  # promotion succeeds
+    assert lm.mode_held(A1, "e") is LockMode.WRITE
+    assert lm.promotions == 1
+
+
+def test_promotion_refused_with_other_readers():
+    """The paper's 4.2.1 motivating failure: shared readers block
+    read->write promotion."""
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A2, "e", LockMode.READ)
+    with pytest.raises(PromotionRefused):
+        lm.try_lock(A1, "e", LockMode.WRITE)
+    assert lm.promotion_refusals == 1
+    assert lm.mode_held(A1, "e") is LockMode.READ  # unchanged
+
+
+def test_exclude_write_promotion_succeeds_with_readers():
+    """The exclude-write fix: promotion shared with read locks."""
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A2, "e", LockMode.READ)
+    lm.try_lock(A1, "e", LockMode.EXCLUDE_WRITE)
+    assert lm.mode_held(A1, "e") is LockMode.EXCLUDE_WRITE
+    # And a third reader can still join.
+    lm.try_lock(A3, "e", LockMode.READ)
+
+
+def test_two_excluders_conflict():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.EXCLUDE_WRITE)
+    with pytest.raises(LockRefused):
+        lm.try_lock(A2, "e", LockMode.EXCLUDE_WRITE)
+
+
+def test_rerequest_weaker_mode_is_noop():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.WRITE)
+    lm.try_lock(A1, "e", LockMode.READ)
+    assert lm.mode_held(A1, "e") is LockMode.WRITE
+
+
+def test_ancestors_and_descendants_never_conflict():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A1_CHILD, "e", LockMode.WRITE)     # child may write
+    lm.try_lock(A1_GRANDCHILD, "e", LockMode.WRITE)
+    with pytest.raises(LockRefused):
+        lm.try_lock(A2, "e", LockMode.READ)        # stranger still blocked
+
+
+def test_release_all():
+    lm = LockManager()
+    lm.try_lock(A1, "e1", LockMode.READ)
+    lm.try_lock(A1, "e2", LockMode.WRITE)
+    lm.try_lock(A2, "e1", LockMode.READ)
+    assert lm.release_all(A1) == 2
+    assert lm.mode_held(A1, "e1") is None
+    assert lm.mode_held(A2, "e1") is LockMode.READ
+    lm.try_lock(A2, "e2", LockMode.WRITE)  # e2 now free
+
+
+def test_release_single_resource():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    assert lm.release(A1, "e") is True
+    assert lm.release(A1, "e") is False
+    assert not lm.is_locked("e")
+
+
+def test_inherit_transfers_to_parent():
+    lm = LockManager()
+    parent, child = A1, A1_CHILD
+    lm.try_lock(child, "e", LockMode.WRITE)
+    moved = lm.inherit(child, parent)
+    assert moved == 1
+    assert lm.mode_held(parent, "e") is LockMode.WRITE
+    assert lm.mode_held(child, "e") is None
+
+
+def test_inherit_keeps_strongest_mode():
+    lm = LockManager()
+    parent, child = A1, A1_CHILD
+    lm.try_lock(parent, "e", LockMode.READ)
+    lm.try_lock(child, "e", LockMode.WRITE)
+    lm.inherit(child, parent)
+    assert lm.mode_held(parent, "e") is LockMode.WRITE
+    assert len(lm.holders_of("e")) == 1
+
+
+def test_owners_listing():
+    lm = LockManager()
+    lm.try_lock(A1, "e1", LockMode.READ)
+    lm.try_lock(A2, "e2", LockMode.READ)
+    assert lm.owners() == {A1, A2}
+
+
+def test_grant_and_refusal_counters():
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.WRITE)
+    with pytest.raises(LockRefused):
+        lm.try_lock(A2, "e", LockMode.READ)
+    assert lm.grants == 1
+    assert lm.refusals == 1

@@ -1,0 +1,153 @@
+"""Tests for reusable intention records."""
+
+from repro.actions import (
+    ActionStatus,
+    AtomicAction,
+    LockManager,
+    LockMode,
+    LockReleaseRecord,
+    RemoteParticipantRecord,
+)
+from repro.net import FixedLatency, MessageDemux, Network, RpcAgent
+from repro.sim import Scheduler
+
+
+def drive(generator):
+    try:
+        next(generator)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("suspended unexpectedly")
+
+
+def test_lock_release_record_releases_on_commit():
+    lm = LockManager()
+    action = AtomicAction()
+    lm.try_lock(action.id, "e", LockMode.WRITE)
+    action.add_record(LockReleaseRecord(lm, action.id))
+    drive(action.commit())
+    assert not lm.is_locked("e")
+
+
+def test_lock_release_record_releases_on_abort():
+    lm = LockManager()
+    action = AtomicAction()
+    lm.try_lock(action.id, "e", LockMode.READ)
+    action.add_record(LockReleaseRecord(lm, action.id))
+    drive(action.abort())
+    assert not lm.is_locked("e")
+
+
+def test_nested_commit_inherits_locks_to_parent():
+    lm = LockManager()
+    parent = AtomicAction()
+    child = AtomicAction(parent=parent)
+    lm.try_lock(child.id, "e", LockMode.READ)
+    child.add_record(LockReleaseRecord(lm, child.id))
+    drive(child.commit())
+    # Lock now owned by the parent, still held.
+    assert lm.mode_held(parent.id, "e") is LockMode.READ
+    drive(parent.commit())
+    assert not lm.is_locked("e")
+
+
+def test_merge_does_not_duplicate_release_records():
+    lm = LockManager()
+    parent = AtomicAction()
+    for _ in range(3):
+        child = AtomicAction(parent=parent)
+        lm.try_lock(child.id, "e", LockMode.READ)
+        child.add_record(LockReleaseRecord(lm, child.id))
+        drive(child.commit())
+    releases = [r for r in parent.records if isinstance(r, LockReleaseRecord)]
+    assert len(releases) == 1
+
+
+class Participant:
+    """A 2PC participant service with scripted behaviour."""
+
+    def __init__(self, verdict="ok"):
+        self.verdict = verdict
+        self.calls = []
+
+    def prepare(self, path):
+        self.calls.append(("prepare", tuple(path)))
+        return self.verdict
+
+    def commit(self, path):
+        self.calls.append(("commit", tuple(path)))
+
+    def abort(self, path):
+        self.calls.append(("abort", tuple(path)))
+
+
+def make_rpc_world():
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    agents = {}
+    for name in ("client", "db"):
+        nic = net.attach(name)
+        agents[name] = RpcAgent(s, nic, demux=MessageDemux(nic))
+    return s, net, agents
+
+
+def run_action_in_process(s, action, do="commit"):
+    def body():
+        if do == "commit":
+            return (yield from action.commit())
+        return (yield from action.abort())
+    return s.run_until_settled(s.spawn(body()), until=100.0)
+
+
+def test_remote_participant_full_commit():
+    s, _, agents = make_rpc_world()
+    participant = Participant()
+    agents["db"].register("svc", participant)
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
+    status = run_action_in_process(s, action)
+    assert status is ActionStatus.COMMITTED
+    assert [c[0] for c in participant.calls] == ["prepare", "commit"]
+    assert participant.calls[0][1] == action.id.path
+
+
+def test_remote_participant_readonly_skips_commit():
+    s, _, agents = make_rpc_world()
+    participant = Participant(verdict="readonly")
+    agents["db"].register("svc", participant)
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
+    status = run_action_in_process(s, action)
+    assert status is ActionStatus.COMMITTED
+    assert [c[0] for c in participant.calls] == ["prepare"]
+
+
+def test_remote_participant_abort_verdict_vetoes():
+    s, _, agents = make_rpc_world()
+    participant = Participant(verdict="abort")
+    agents["db"].register("svc", participant)
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
+    status = run_action_in_process(s, action)
+    assert status is ActionStatus.ABORTED
+    assert [c[0] for c in participant.calls] == ["prepare", "abort"]
+
+
+def test_unreachable_participant_vetoes_prepare():
+    s, net, agents = make_rpc_world()
+    agents["db"].register("svc", Participant())
+    net.interface("db").up = False
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
+    status = run_action_in_process(s, action)
+    assert status is ActionStatus.ABORTED
+
+
+def test_abort_tolerates_unreachable_participant():
+    s, net, agents = make_rpc_world()
+    agents["db"].register("svc", Participant())
+    net.interface("db").up = False
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
+    status = run_action_in_process(s, action, do="abort")
+    assert status is ActionStatus.ABORTED

@@ -1,0 +1,149 @@
+"""End-to-end transaction tests through the client runtime."""
+
+import pytest
+
+from repro import SingleCopyPassive, TxnAborted
+
+from tests.conftest import Register, add_work, build_system, get_work
+
+
+def test_commit_updates_stores_and_value():
+    system, client, uid = build_system(value=10)
+    result = system.run_transaction(client, add_work(uid, 5))
+    assert result.committed
+    assert result.value == 15
+    assert set(system.store_versions(uid).values()) == {2}
+
+
+def test_read_only_txn_copies_nothing():
+    system, client, uid = build_system()
+    before = dict(system.store_versions(uid))
+    result = system.run_transaction(client, get_work(uid), read_only=True)
+    assert result.committed
+    assert result.value == 100
+    assert system.store_versions(uid) == before  # read optimisation
+
+
+def test_sequential_txns_accumulate():
+    system, client, uid = build_system(value=0)
+    for i in range(5):
+        result = system.run_transaction(client, add_work(uid, 1))
+        assert result.committed
+    final = system.run_transaction(client, get_work(uid))
+    assert final.value == 5
+    assert set(system.store_versions(uid).values()) == {6}
+
+
+def test_application_abort_rolls_back():
+    system, client, uid = build_system(value=10)
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 5)
+        txn.abort("changed my mind")
+
+    result = system.run_transaction(client, work)
+    assert not result.committed
+    assert result.reason == "changed my mind"
+    check = system.run_transaction(client, get_work(uid))
+    assert check.value == 10
+    assert set(system.store_versions(uid).values()) == {1}
+
+
+def test_write_in_readonly_txn_aborts():
+    system, client, uid = build_system()
+    result = system.run_transaction(client, add_work(uid, 1), read_only=True)
+    assert not result.committed
+    assert result.reason.startswith("write_in_readonly_txn")
+
+
+def test_multi_object_transaction():
+    system, client, uid = build_system(value=1)
+    reg_uid = system.create_object(
+        Register(system.new_uid(), text="initial"),
+        sv_hosts=["s1"], st_hosts=["t1", "t2"])
+
+    def work(txn):
+        count = yield from txn.invoke(uid, "add", 1)
+        yield from txn.invoke(reg_uid, "write", f"count={count}")
+        return count
+
+    result = system.run_transaction(client, work)
+    assert result.committed
+
+    def check(txn):
+        return (yield from txn.invoke(reg_uid, "read"))
+
+    assert system.run_transaction(client, check).value == "count=2"
+
+
+def test_abort_rolls_back_all_objects():
+    system, client, uid = build_system(value=1)
+    reg_uid = system.create_object(
+        Register(system.new_uid(), text="initial"),
+        sv_hosts=["s1"], st_hosts=["t1"])
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        yield from txn.invoke(reg_uid, "write", "dirty")
+        txn.abort()
+
+    system.run_transaction(client, work)
+
+    def check(txn):
+        a = yield from txn.invoke(uid, "get")
+        b = yield from txn.invoke(reg_uid, "read")
+        return a, b
+
+    assert system.run_transaction(client, check).value == (1, "initial")
+
+
+def test_lock_conflict_between_clients_aborts_second():
+    system, client, uid = build_system()
+    client2 = system.add_client("c2", policy=SingleCopyPassive())
+
+    outcome = {}
+
+    def holder(txn):
+        yield from txn.invoke(uid, "add", 1)
+        # Hold the object lock while the other client tries.
+        process2 = client2.transaction(add_work(uid, 1))
+        result2 = yield process2
+        outcome["second"] = result2
+        return "held"
+
+    result = system.run_transaction(client, holder)
+    assert result.committed
+    assert not outcome["second"].committed
+    assert outcome["second"].reason.startswith("lock_refused")
+
+
+def test_unknown_object_aborts():
+    from repro.storage import Uid
+    system, client, uid = build_system()
+    ghost = Uid("sys", 999)
+
+    def work(txn):
+        return (yield from txn.invoke(ghost, "get"))
+
+    result = system.run_transaction(client, work)
+    assert not result.committed
+
+
+def test_metrics_counters_track_outcomes():
+    system, client, uid = build_system()
+    system.run_transaction(client, add_work(uid))
+    system.run_transaction(client, add_work(uid))
+
+    def aborting(txn):
+        yield from txn.invoke(uid, "get")
+        txn.abort()
+
+    system.run_transaction(client, aborting)
+    assert system.metrics.counter_value("txn.committed") == 2
+    assert system.metrics.counter_value("txn.aborted") == 1
+
+
+def test_txn_duration_measured():
+    system, client, uid = build_system()
+    result = system.run_transaction(client, add_work(uid))
+    assert result.duration > 0

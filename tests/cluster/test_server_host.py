@@ -1,0 +1,113 @@
+"""Tests for object servers: locking, before-images, activation."""
+
+import pytest
+
+from repro.actions import LockRefused
+from repro.cluster import DistributedSystem, SystemConfig
+from repro.cluster.server_host import ObjectServer
+from repro.storage import Uid
+
+from tests.conftest import Counter
+
+
+def make_object_server(value=10):
+    system = DistributedSystem(SystemConfig(seed=1))
+    node = system.add_node("n", server=True)
+    obj = Counter(Uid("sys", 1), value=value)
+    return ObjectServer(node, obj, version=1)
+
+
+def test_invoke_runs_operation():
+    server = make_object_server(5)
+    assert server.invoke((1,), "get", ()) == 5
+    assert server.invoke((1,), "add", (3,)) == 8
+
+
+def test_unknown_operation_rejected():
+    server = make_object_server()
+    with pytest.raises(AttributeError):
+        server.invoke((1,), "save_state", ())  # not an @operation
+
+
+def test_conflicting_actions_refused():
+    server = make_object_server()
+    server.invoke((1,), "add", (1,))
+    with pytest.raises(LockRefused):
+        server.invoke((2,), "get", ())
+
+
+def test_readers_share():
+    server = make_object_server()
+    assert server.invoke((1,), "get", ()) == 10
+    assert server.invoke((2,), "get", ()) == 10
+
+
+def test_abort_restores_before_image():
+    server = make_object_server(10)
+    server.invoke((1,), "add", (5,))
+    server.invoke((1,), "add", (5,))
+    server.abort((1,))
+    assert server.invoke((2,), "get", ()) == 10
+    assert server.version == 1
+
+
+def test_commit_bumps_version_and_releases():
+    server = make_object_server(10)
+    server.invoke((1,), "add", (5,))
+    server.commit((1,))
+    assert server.version == 2
+    assert server.invoke((2,), "get", ()) == 15
+
+
+def test_readonly_commit_keeps_version():
+    server = make_object_server()
+    server.invoke((1,), "get", ())
+    server.commit((1,))
+    assert server.version == 1
+
+
+def test_nested_abort_undoes_only_the_nested_writes():
+    server = make_object_server(10)
+    server.invoke((1,), "add", (1,))        # parent writes: 11, image@10
+    server.invoke((1, 2), "add", (100,))    # child writes: 111, image@11
+    server.abort((1, 2))                    # child abort rewinds to 11
+    assert server.invoke((1,), "get", ()) == 11
+    server.abort((1,))                      # parent abort rewinds to 10
+    assert server.invoke((3,), "get", ()) == 10
+
+
+def test_parent_abort_after_nested_commit_rewinds_fully():
+    server = make_object_server(10)
+    server.invoke((1, 2), "add", (100,))    # child writes FIRST: image@10
+    # (nested commit = records merge client-side; the server keeps the
+    # child's image, which the parent's abort must honour)
+    server.invoke((1,), "add", (1,))        # parent writes: image@110
+    server.abort((1,))
+    assert server.invoke((3,), "get", ()) == 10
+
+
+def test_top_commit_after_nested_writes_keeps_everything():
+    server = make_object_server(10)
+    server.invoke((1, 2), "add", (100,))
+    server.invoke((1,), "add", (1,))
+    server.commit((1,))
+    assert server.invoke((3,), "get", ()) == 111
+    assert server.version == 2
+
+
+def test_quiescence():
+    server = make_object_server()
+    assert server.quiescent
+    server.invoke((1,), "get", ())
+    assert not server.quiescent
+    server.commit((1,))
+    assert server.quiescent
+
+
+def test_get_state_install_state_roundtrip():
+    server = make_object_server(42)
+    buffer, version = server.get_state()
+    other = make_object_server(0)
+    other.install_state(buffer, version)
+    assert other.invoke((9,), "get", ()) == 42
+    assert other.version == version

@@ -1,0 +1,107 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    DistributedSystem,
+    LockMode,
+    PersistentObject,
+    SingleCopyPassive,
+    SystemConfig,
+    operation,
+)
+
+
+class Counter(PersistentObject):
+    """The canonical test object: one int, a read op and a write op."""
+
+    TYPE_NAME = "tests.Counter"
+
+    def __init__(self, uid, value: int = 0):
+        super().__init__(uid)
+        self.value = value
+
+    def save_state(self, out):
+        out.pack_int(self.value)
+
+    def restore_state(self, state):
+        self.value = state.unpack_int()
+
+    @operation(LockMode.READ)
+    def get(self):
+        return self.value
+
+    @operation(LockMode.WRITE)
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+
+class Register(PersistentObject):
+    """A second object type: holds a string."""
+
+    TYPE_NAME = "tests.Register"
+
+    def __init__(self, uid, text: str = ""):
+        super().__init__(uid)
+        self.text = text
+
+    def save_state(self, out):
+        out.pack_string(self.text)
+
+    def restore_state(self, state):
+        self.text = state.unpack_string()
+
+    @operation(LockMode.READ)
+    def read(self):
+        return self.text
+
+    @operation(LockMode.WRITE)
+    def write(self, text):
+        self.text = text
+        return self.text
+
+
+def build_system(policy=None, scheme: str = "standard",
+                 sv=("s1", "s2", "s3"), st=("t1", "t2"),
+                 value: int = 100, **config_kwargs):
+    """A small standard deployment with one Counter object."""
+    config = SystemConfig(seed=config_kwargs.pop("seed", 7),
+                          binding_scheme=scheme, **config_kwargs)
+    system = DistributedSystem(config)
+    system.registry.register(Counter)
+    system.registry.register(Register)
+    for host in sv:
+        system.add_node(host, server=True)
+    for host in st:
+        system.add_node(host, store=True)
+    client = system.add_client("c1", policy=policy or SingleCopyPassive())
+    uid = system.create_object(Counter(system.new_uid(), value=value),
+                               sv_hosts=list(sv), st_hosts=list(st))
+    return system, client, uid
+
+
+def add_work(uid, amount=1):
+    """A transaction body adding ``amount`` to the counter."""
+    def work(txn):
+        return (yield from txn.invoke(uid, "add", amount))
+    return work
+
+
+def get_work(uid):
+    """A read-only transaction body."""
+    def work(txn):
+        return (yield from txn.invoke(uid, "get"))
+    return work
+
+
+@pytest.fixture
+def counter_cls():
+    return Counter
+
+
+@pytest.fixture
+def register_cls():
+    return Register

@@ -1,0 +1,130 @@
+"""System-wide consistency invariants under randomised fault workloads.
+
+The paper's core guarantee: the naming service binds clients only to
+mutually consistent, latest-state replicas.  Operationally:
+
+- every store named in ``St_A`` that is up holds the same committed
+  version of ``A`` whenever the object is quiescent;
+- a committed transaction's effects are never lost (committed counter
+  increments survive);
+- an aborted transaction's effects are never visible.
+"""
+
+import pytest
+
+from repro import (
+    ActiveReplication,
+    CoordinatorCohortReplication,
+    DistributedSystem,
+    SingleCopyPassive,
+    SystemConfig,
+)
+
+from tests.conftest import Counter, add_work, get_work
+
+
+def run_chaos(policy, seed, rounds=30, crash_every=4):
+    """Run ``rounds`` increments with periodic crash/recover churn."""
+    system = DistributedSystem(SystemConfig(seed=seed))
+    system.registry.register(Counter)
+    for host in ("s1", "s2", "s3"):
+        system.add_node(host, server=True)
+    for host in ("t1", "t2"):
+        system.add_node(host, store=True)
+    client = system.add_client("c1", policy=policy)
+    uid = system.create_object(Counter(system.new_uid(), value=0),
+                               sv_hosts=["s1", "s2", "s3"],
+                               st_hosts=["t1", "t2"])
+    rng = system.rng.substream("chaos")
+    committed = 0
+    crashed: list[str] = []
+    for i in range(rounds):
+        if i % crash_every == crash_every - 1:
+            # Crash one random node (never all stores at once).
+            candidates = [n for n in ("s1", "s2", "s3", "t1", "t2")
+                          if not system.nodes[n].crashed]
+            up_stores = [n for n in ("t1", "t2") if not system.nodes[n].crashed]
+            target = rng.choice(candidates)
+            if target in up_stores and len(up_stores) == 1:
+                target = rng.choice([c for c in candidates if c != target])
+            system.nodes[target].crash()
+            crashed.append(target)
+        elif crashed and i % crash_every == 0:
+            system.nodes[crashed.pop(0)].recover()
+            system.run(until=system.scheduler.now + 15)
+        result = system.run_transaction(client, add_work(uid, 1))
+        if result.committed:
+            committed += 1
+    # Let every pending recovery settle.
+    for name in list(crashed):
+        system.nodes[name].recover()
+    system.run(until=system.scheduler.now + 30)
+    return system, client, uid, committed
+
+
+POLICIES = [
+    ("single_copy", SingleCopyPassive),
+    ("active", ActiveReplication),
+    ("coordinator_cohort", CoordinatorCohortReplication),
+]
+
+
+@pytest.mark.parametrize("name,policy_cls", POLICIES)
+def test_committed_increments_never_lost(name, policy_cls):
+    system, client, uid, committed = run_chaos(policy_cls(), seed=101)
+    final = system.run_transaction(client, get_work(uid))
+    assert final.committed
+    assert final.value == committed
+
+
+@pytest.mark.parametrize("name,policy_cls", POLICIES)
+def test_included_stores_mutually_consistent_at_quiescence(name, policy_cls):
+    system, client, uid, _ = run_chaos(policy_cls(), seed=202)
+    st = system.db_st(uid)
+    versions = {h: v for h, v in system.store_versions(uid).items() if h in st}
+    assert len(versions) == len(st), "an St member is down after settling"
+    assert len(set(versions.values())) == 1, f"St stores diverge: {versions}"
+
+
+@pytest.mark.parametrize("name,policy_cls", POLICIES)
+def test_st_never_empty_after_settling(name, policy_cls):
+    system, client, uid, _ = run_chaos(policy_cls(), seed=303)
+    assert len(system.db_st(uid)) >= 1
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_chaos_run_is_deterministic(seed):
+    def outcome(s):
+        system, client, uid, committed = run_chaos(SingleCopyPassive(),
+                                                   seed=s, rounds=12)
+        final = system.run_transaction(client, get_work(uid))
+        return committed, final.value
+    assert outcome(seed) == outcome(seed)
+
+
+def test_replication_improves_chaos_survival():
+    """More replicas -> at least as many commits under the same churn."""
+    def committed_with(sv, st, seed=42):
+        system = DistributedSystem(SystemConfig(seed=seed))
+        system.registry.register(Counter)
+        for host in ("s1", "s2", "s3"):
+            system.add_node(host, server=True)
+        for host in ("t1", "t2"):
+            system.add_node(host, store=True)
+        client = system.add_client("c1", policy=SingleCopyPassive())
+        uid = system.create_object(Counter(system.new_uid(), value=0),
+                                   sv_hosts=sv, st_hosts=st)
+        # Same crash schedule for both configurations.
+        count = 0
+        for i in range(10):
+            if i == 3:
+                system.nodes["s1"].crash()
+            if i == 6:
+                system.nodes["t1"].crash()
+            if system.run_transaction(client, add_work(uid, 1)).committed:
+                count += 1
+        return count
+
+    lone = committed_with(sv=["s1"], st=["t1"])
+    replicated = committed_with(sv=["s1", "s2", "s3"], st=["t1", "t2"])
+    assert replicated > lone

@@ -1,0 +1,98 @@
+"""Integration test for figure 1: replica divergence without reliable
+ordered group communication, and its absence with it.
+
+The scenario: a sender transmits a message to replica group
+GA = {A1, A2} and crashes part-way through delivery, so one member
+receives it and the other does not -- their subsequent behaviour
+diverges (paper section 2.3).  We reproduce it on the invocation path
+of active replication: the client multicasts a write invocation to the
+replica group and crashes mid-send.
+
+- With the **naive** multicast (a sequence of staggered unicasts), A1
+  applies the write and A2 never sees it: divergent replica states.
+- With the **reliable ordered** multicast, the send is a single submit
+  to the group's sequencer and every received message is relayed, so
+  the surviving replicas are always mutually identical.
+"""
+
+from repro import ActiveReplication, DistributedSystem, SystemConfig
+
+from tests.conftest import Counter
+
+
+def replica_states(system, uid, hosts):
+    states = {}
+    for host in hosts:
+        server_host = system.nodes[host].rpc.service("servers")
+        if server_host is not None and server_host.has_server(str(uid)):
+            buffer, _version = server_host.get_state(str(uid))
+            obj = Counter.deserialise(buffer)
+            states[host] = obj.value
+    return states
+
+
+def run_partial_delivery(reliable: bool, seed: int = 7):
+    system = DistributedSystem(SystemConfig(
+        seed=seed, reliable_multicast=reliable))
+    system.registry.register(Counter)
+    for host in ("a1", "a2"):
+        system.add_node(host, server=True)
+    system.add_node("t1", store=True)
+    client = system.add_client("c1", policy=ActiveReplication())
+    # Stagger the CLIENT's unicast emissions so a crash can split them.
+    system.nodes["c1"].mcast.stagger = 0.01
+    uid = system.create_object(Counter(system.new_uid(), value=0),
+                               sv_hosts=["a1", "a2"], st_hosts=["t1"])
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)  # activate + first write
+        # Second invocation: crash the client between its staggered
+        # emissions (naive) / just after its single submit (reliable).
+        system.scheduler.schedule(0.005, system.nodes["c1"].crash)
+        yield from txn.invoke(uid, "add", 1)
+
+    client.transaction(work)
+    # Observe replica states BEFORE the server-side janitor (2s period)
+    # detects the dead client and aborts the orphaned action.
+    system.run(until=1.0)
+    return system, uid
+
+
+def test_naive_multicast_diverges():
+    system, uid = run_partial_delivery(reliable=False)
+    states = replica_states(system, uid, ["a1", "a2"])
+    # a1 received the second invocation before the client died; a2 did not.
+    assert states == {"a1": 2, "a2": 1}
+    # Bonus: the orphan-action janitor eventually aborts the dead
+    # client's action at a1, rolling the divergent write back -- the
+    # cleanup protocol converges the group (on the PRE-action state).
+    system.run(until=10.0)
+    healed = replica_states(system, uid, ["a1", "a2"])
+    assert healed["a1"] == healed["a2"]
+
+
+def test_reliable_multicast_keeps_replicas_identical():
+    system, uid = run_partial_delivery(reliable=True)
+    states = replica_states(system, uid, ["a1", "a2"])
+    assert states["a1"] == states["a2"]
+
+
+def test_reliable_multicast_identical_order_under_concurrency():
+    """Writes from two clients reach all replicas in the same order."""
+    system = DistributedSystem(SystemConfig(seed=11, reliable_multicast=True))
+    system.registry.register(Counter)
+    for host in ("a1", "a2", "a3"):
+        system.add_node(host, server=True)
+    system.add_node("t1", store=True)
+    c1 = system.add_client("c1", policy=ActiveReplication())
+    c2 = system.add_client("c2", policy=ActiveReplication())
+    uid = system.create_object(Counter(system.new_uid(), value=0),
+                               sv_hosts=["a1", "a2", "a3"], st_hosts=["t1"])
+
+    from tests.conftest import add_work
+    for i in range(4):
+        client = c1 if i % 2 == 0 else c2
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+    states = replica_states(system, uid, ["a1", "a2", "a3"])
+    assert set(states.values()) == {4}

@@ -1,0 +1,177 @@
+"""Integration tests for the four |Sv| x |St| configurations (figures 2-5).
+
+Each test pins the abort rules the paper states for that configuration
+(section 3.2).
+"""
+
+from repro import (
+    ActiveReplication,
+    DistributedSystem,
+    SingleCopyPassive,
+    SystemConfig,
+)
+
+from tests.conftest import Counter, add_work, build_system, get_work
+
+
+def build(sv, st, policy=None, seed=7):
+    system = DistributedSystem(SystemConfig(seed=seed))
+    system.registry.register(Counter)
+    for host in dict.fromkeys(list(sv) + list(st)):
+        system.add_node(host, server=host in sv, store=host in st)
+    client = system.add_client("c1", policy=policy or SingleCopyPassive())
+    uid = system.create_object(Counter(system.new_uid(), value=0),
+                               sv_hosts=list(sv), st_hosts=list(st))
+    return system, client, uid
+
+
+# -- figure 2: |Sv| = |St| = 1 (non-replicated) --------------------------------
+
+
+def test_fig2_normal_operation():
+    system, client, uid = build(sv=["alpha"], st=["beta"])
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_fig2_alpha_equals_beta_common_case():
+    system, client, uid = build(sv=["node"], st=["node"])
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_fig2_server_down_aborts():
+    system, client, uid = build(sv=["alpha"], st=["beta"])
+    system.nodes["alpha"].crash()
+    result = system.run_transaction(client, add_work(uid, 1))
+    assert not result.committed
+
+
+def test_fig2_store_down_aborts():
+    system, client, uid = build(sv=["alpha"], st=["beta"])
+    system.nodes["beta"].crash()
+    result = system.run_transaction(client, add_work(uid, 1))
+    assert not result.committed
+
+
+def test_fig2_store_crash_during_action_aborts():
+    system, client, uid = build(sv=["alpha"], st=["beta"])
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["beta"].crash()
+
+    assert not system.run_transaction(client, work).committed
+
+
+# -- figure 3: |Sv| = 1, |St| > 1 (replicated state) ------------------------------
+
+
+def test_fig3_commit_updates_every_store():
+    system, client, uid = build(sv=["alpha"], st=["b1", "b2", "b3"])
+    system.run_transaction(client, add_work(uid, 1))
+    assert system.store_versions(uid) == {"b1": 2, "b2": 2, "b3": 2}
+
+
+def test_fig3_survives_all_but_one_store():
+    system, client, uid = build(sv=["alpha"], st=["b1", "b2", "b3"])
+    system.nodes["b1"].crash()
+    system.nodes["b2"].crash()
+    result = system.run_transaction(client, add_work(uid, 1))
+    assert result.committed
+    assert system.db_st(uid) == ["b3"]
+
+
+def test_fig3_server_down_aborts_despite_stores():
+    system, client, uid = build(sv=["alpha"], st=["b1", "b2"])
+    system.nodes["alpha"].crash()
+    assert not system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_fig3_all_stores_down_aborts():
+    system, client, uid = build(sv=["alpha"], st=["b1", "b2"])
+    system.nodes["b1"].crash()
+    system.nodes["b2"].crash()
+    assert not system.run_transaction(client, add_work(uid, 1)).committed
+
+
+# -- figure 4: |Sv| > 1, |St| = 1 (replicated servers) ------------------------------
+
+
+def test_fig4_active_replication_masks_k_minus_1():
+    system, client, uid = build(sv=["a1", "a2", "a3"], st=["beta"],
+                                policy=ActiveReplication())
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["a2"].crash()
+        system.nodes["a3"].crash()
+        v = yield from txn.invoke(uid, "add", 1)
+        return v
+
+    result = system.run_transaction(client, work)
+    assert result.committed
+    assert result.value == 2
+
+
+def test_fig4_single_store_down_aborts():
+    system, client, uid = build(sv=["a1", "a2"], st=["beta"],
+                                policy=ActiveReplication())
+    system.nodes["beta"].crash()
+    assert not system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_fig4_k_equals_1_no_replication():
+    system, client, uid = build(sv=["a1", "a2"], st=["beta"],
+                                policy=ActiveReplication(degree=1))
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["a1"].crash()
+        yield from txn.invoke(uid, "add", 1)
+
+    assert not system.run_transaction(client, work).committed
+
+
+# -- figure 5: |Sv| > 1, |St| > 1 (the general case) ----------------------------------
+
+
+def test_fig5_survives_server_and_store_crashes():
+    system, client, uid = build(sv=["a1", "a2", "a3"], st=["b1", "b2", "b3"],
+                                policy=ActiveReplication())
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["a3"].crash()
+        system.nodes["b2"].crash()
+        v = yield from txn.invoke(uid, "add", 1)
+        return v
+
+    result = system.run_transaction(client, work)
+    assert result.committed
+    assert result.value == 2
+    assert sorted(system.db_st(uid)) == ["b1", "b3"]
+
+
+def test_fig5_sequential_availability_through_rolling_failures():
+    system, client, uid = build(sv=["a1", "a2"], st=["b1", "b2"],
+                                policy=SingleCopyPassive())
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.nodes["a1"].crash()
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.nodes["b1"].crash()
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    final = system.run_transaction(client, get_work(uid))
+    assert final.value == 3
+
+
+def test_fig5_unavailable_when_all_sv_down():
+    system, client, uid = build(sv=["a1", "a2"], st=["b1", "b2"])
+    system.nodes["a1"].crash()
+    system.nodes["a2"].crash()
+    assert not system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_fig5_unavailable_when_all_st_down():
+    system, client, uid = build(sv=["a1", "a2"], st=["b1", "b2"])
+    system.nodes["b1"].crash()
+    system.nodes["b2"].crash()
+    assert not system.run_transaction(client, add_work(uid, 1)).committed

@@ -1,0 +1,67 @@
+"""Regression tests for the Exclude/recovery race (include guard).
+
+A store can be Excluded by a commit whose failure observation raced
+with the store's own recovery: the exclusion lands *after* the one-shot
+recovery pass finished, so nothing would ever Include the store back.
+The periodic include guard on store nodes repairs this.
+"""
+
+from tests.conftest import add_work, build_system, get_work
+
+
+def test_exclusion_landing_after_recovery_is_repaired():
+    system, client, uid = build_system(sv=("s1",), st=("t1", "t2"))
+
+    # Reproduce the race deterministically: crash t2, start a commit
+    # that observes the crash, recover t2 BEFORE the commit's exclusion
+    # executes at the db.
+    def racy(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["t2"].crash()
+        # Recover t2 almost immediately: the recovery pass will find t2
+        # still in St (nothing excluded yet) and finish as a no-op,
+        # while the commit below then Excludes t2.
+        system.scheduler.schedule(0.02, system.nodes["t2"].recover)
+
+    result = system.run_transaction(client, racy)
+    assert result.committed
+    # Let the race fully play out, then the guard repair it.
+    system.run(until=system.scheduler.now + 15.0)
+    assert sorted(system.db_st(uid)) == ["t1", "t2"]
+    versions = system.store_versions(uid)
+    assert versions["t2"] == versions["t1"]
+    manager = system.recovery_managers["t2"]
+    assert manager.guard_reinclusions >= 1 or manager.recoveries_completed >= 1
+
+
+def test_st_never_left_empty_with_single_store():
+    """The |St|=1 variant of the race must not strand St empty."""
+    system, client, uid = build_system(sv=("s1",), st=("t1",))
+
+    def racy(txn):
+        yield from txn.invoke(uid, "add", 1)
+        t1_store = system.nodes["t1"].object_store
+        original = t1_store.write_shadow
+
+        def write_and_die(uid_, buffer, version):
+            original(uid_, buffer, version)
+            system.scheduler.call_soon(system.nodes["t1"].crash)
+            system.scheduler.schedule(0.3, system.nodes["t1"].recover)
+
+        t1_store.write_shadow = write_and_die
+
+    result = system.run_transaction(client, racy)
+    system.run(until=system.scheduler.now + 15.0)
+    assert system.db_st(uid) == ["t1"], "St must heal to contain t1"
+    # The system remains usable afterwards.
+    follow_up = system.run_transaction(client, add_work(uid, 1))
+    assert follow_up.committed
+
+
+def test_guard_does_nothing_when_membership_correct():
+    system, client, uid = build_system(sv=("s1",), st=("t1", "t2"))
+    for _ in range(3):
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.run(until=system.scheduler.now + 10.0)
+    for name in ("t1", "t2"):
+        assert system.recovery_managers[name].guard_reinclusions == 0

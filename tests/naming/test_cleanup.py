@@ -1,0 +1,111 @@
+"""Tests for the use-list cleanup daemon (paper section 4.1.3)."""
+
+from repro.actions import AtomicAction
+from repro.naming import GroupViewDatabase, UseListCleaner
+from repro.net import FixedLatency, MessageDemux, Network, RpcAgent
+from repro.sim import Scheduler
+from repro.storage import Uid
+
+UID = Uid("sys", 1)
+
+
+class PingService:
+    def __init__(self):
+        self.alive = True
+
+    def ping(self):
+        if not self.alive:
+            raise RuntimeError("should be unreachable")
+        return "pong"
+
+
+def make_world():
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    nic_db = net.attach("db")
+    db_agent = RpcAgent(s, nic_db, demux=MessageDemux(nic_db))
+    db = GroupViewDatabase()
+    boot = AtomicAction()
+    db.define_object(boot.id.path, str(UID), ["h1", "h2"], ["t1"])
+    db.commit(boot.id.path)
+    nic_client = net.attach("c1")
+    client_agent = RpcAgent(s, nic_client, demux=MessageDemux(nic_client))
+    client_agent.register("client", PingService())
+    cleaner = UseListCleaner(s, db_agent, db, interval=1.0)
+    return s, net, db, cleaner
+
+
+def use_lists(db):
+    probe = AtomicAction()
+    snapshot = db.server_db.get_server_with_uses(probe.id.path, UID)
+    db.server_db.abort(probe.id.path)
+    return {h: dict(c) for h, c in snapshot.uses.items()}
+
+
+def bind_client(db, client_node="c1", hosts=("h1",)):
+    action = AtomicAction()
+    db.increment(action.id.path, client_node, str(UID), list(hosts))
+    db.commit(action.id.path)
+
+
+def run_round(s, cleaner):
+    def body():
+        return (yield from cleaner.run_once())
+    return s.run_until_settled(s.spawn(body()), until=1000.0)
+
+
+def test_live_client_counters_survive():
+    s, net, db, cleaner = make_world()
+    bind_client(db, "c1")
+    purged = run_round(s, cleaner)
+    assert purged == []
+    assert use_lists(db)["h1"] == {"c1": 1}
+
+
+def test_dead_client_counters_purged():
+    s, net, db, cleaner = make_world()
+    bind_client(db, "c1", hosts=("h1", "h2"))
+    net.interface("c1").up = False  # the client node crashes
+    purged = run_round(s, cleaner)
+    assert purged == ["c1"]
+    assert use_lists(db) == {"h1": {}, "h2": {}}
+    assert cleaner.clients_purged == 1
+
+
+def test_unknown_client_node_purged():
+    """A client that never had a ping service (e.g. never re-registered)."""
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost-node")
+    purged = run_round(s, cleaner)
+    assert purged == ["ghost-node"]
+
+
+def test_mixed_live_and_dead_clients():
+    s, net, db, cleaner = make_world()
+    bind_client(db, "c1", hosts=("h1",))
+    bind_client(db, "ghost", hosts=("h1",))
+    purged = run_round(s, cleaner)
+    assert purged == ["ghost"]
+    assert use_lists(db)["h1"] == {"c1": 1}
+
+
+def test_periodic_daemon_runs():
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost")
+    cleaner.start()
+    s.run(until=5.0)
+    assert cleaner.rounds >= 3
+    assert use_lists(db)["h1"] == {}
+    cleaner.stop()
+
+
+def test_purge_skips_write_locked_entry_until_next_round():
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost")
+    holder = AtomicAction()
+    db.remove(holder.id.path, str(UID), "h3")  # write lock on the entry
+    purged = run_round(s, cleaner)
+    assert purged == []  # could not read the entry this round
+    db.abort(holder.id.path)
+    purged = run_round(s, cleaner)
+    assert purged == ["ghost"]

@@ -1,0 +1,88 @@
+"""Tests for the combined group-view database."""
+
+import pytest
+
+from repro.actions import AtomicAction
+from repro.naming import GroupViewDatabase
+from repro.storage import Uid
+
+
+def make_db():
+    db = GroupViewDatabase()
+    boot = AtomicAction()
+    db.define_object(boot.id.path, "sys:1", ["alpha", "beta"], ["beta", "gamma"])
+    db.commit(boot.id.path)
+    return db
+
+
+def test_define_object_populates_both_halves():
+    db = make_db()
+    action = AtomicAction()
+    assert db.get_server(action.id.path, "sys:1") == ["alpha", "beta"]
+    assert db.get_view(action.id.path, "sys:1") == ["beta", "gamma"]
+    assert db.knows("sys:1")
+    assert not db.knows("sys:9")
+
+
+def test_sv_and_st_entries_independently_locked():
+    db = make_db()
+    a, b = AtomicAction(), AtomicAction()
+    db.insert(a.id.path, "sys:1", "delta")      # write lock on ("sv", uid)
+    db.include(b.id.path, "sys:1", "delta")     # write lock on ("st", uid): ok
+
+
+def test_single_commit_spans_both_halves():
+    db = make_db()
+    action = AtomicAction()
+    db.insert(action.id.path, "sys:1", "delta")
+    db.exclude(action.id.path, [("sys:1", ["gamma"])])
+    assert db.prepare(action.id.path) == "ok"
+    db.commit(action.id.path)
+    check = AtomicAction()
+    assert db.get_server(check.id.path, "sys:1") == ["alpha", "beta", "delta"]
+    assert db.get_view(check.id.path, "sys:1") == ["beta"]
+
+
+def test_single_abort_spans_both_halves():
+    db = make_db()
+    action = AtomicAction()
+    db.insert(action.id.path, "sys:1", "delta")
+    db.exclude(action.id.path, [("sys:1", ["gamma"])])
+    db.abort(action.id.path)
+    check = AtomicAction()
+    assert db.get_server(check.id.path, "sys:1") == ["alpha", "beta"]
+    assert db.get_view(check.id.path, "sys:1") == ["beta", "gamma"]
+
+
+def test_prepare_readonly_when_nothing_written():
+    db = make_db()
+    action = AtomicAction()
+    db.get_server(action.id.path, "sys:1")
+    assert db.prepare(action.id.path) == "readonly"
+
+
+def test_ping():
+    assert make_db().ping() == "pong"
+
+
+def test_persistence_roundtrip():
+    db = make_db()
+    user = AtomicAction()
+    db.increment(user.id.path, "cn", "sys:1", ["alpha"])
+    db.commit(user.id.path)
+    buffer = db.save_state()
+    restored = GroupViewDatabase.restore_state(buffer)
+    check = AtomicAction()
+    assert restored.get_server(check.id.path, "sys:1") == ["alpha", "beta"]
+    assert restored.get_view(check.id.path, "sys:1") == ["beta", "gamma"]
+    snapshot = restored.get_server_with_uses(check.id.path, "sys:1")
+    assert snapshot.uses["alpha"] == {"cn": 1}
+
+
+def test_quiescence_via_combined_interface():
+    db = make_db()
+    assert db.is_quiescent("sys:1")
+    user = AtomicAction()
+    db.increment(user.id.path, "cn", "sys:1", ["alpha"])
+    db.commit(user.id.path)
+    assert not db.is_quiescent("sys:1")

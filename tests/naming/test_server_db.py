@@ -1,0 +1,233 @@
+"""Tests for the Object Server database (paper section 4.1)."""
+
+import pytest
+
+from repro.actions import ActionId, AtomicAction, LockRefused, PromotionRefused
+from repro.naming import NotQuiescent, ObjectServerDatabase, UnknownObject
+from repro.storage import Uid
+
+UID = Uid("sys", 1)
+
+
+def make_db(hosts=("alpha", "beta")):
+    db = ObjectServerDatabase()
+    boot = AtomicAction()
+    db.define(boot.id.path, UID, list(hosts))
+    db.commit(boot.id.path)
+    return db
+
+
+def test_get_server_returns_hosts_copy():
+    db = make_db()
+    action = AtomicAction()
+    hosts = db.get_server(action.id.path, UID)
+    assert hosts == ["alpha", "beta"]
+    hosts.append("evil")
+    assert db.get_server(action.id.path, UID) == ["alpha", "beta"]
+
+
+def test_get_server_unknown_object():
+    db = make_db()
+    with pytest.raises(UnknownObject):
+        db.get_server(AtomicAction().id.path, Uid("sys", 99))
+
+
+def test_get_server_takes_read_lock_shared():
+    db = make_db()
+    a1, a2 = AtomicAction(), AtomicAction()
+    db.get_server(a1.id.path, UID)
+    db.get_server(a2.id.path, UID)  # no conflict
+
+
+def test_insert_needs_write_lock():
+    db = make_db()
+    reader = AtomicAction()
+    db.get_server(reader.id.path, UID)
+    writer = AtomicAction()
+    with pytest.raises(LockRefused):
+        db.insert(writer.id.path, UID, "gamma")
+
+
+def test_insert_and_undo_on_abort():
+    db = make_db()
+    action = AtomicAction()
+    db.insert(action.id.path, UID, "gamma")
+    assert db.get_server(action.id.path, UID) == ["alpha", "beta", "gamma"]
+    db.abort(action.id.path)
+    check = AtomicAction()
+    assert db.get_server(check.id.path, UID) == ["alpha", "beta"]
+
+
+def test_insert_existing_host_idempotent():
+    db = make_db()
+    action = AtomicAction()
+    db.insert(action.id.path, UID, "alpha")
+    assert db.get_server(action.id.path, UID) == ["alpha", "beta"]
+    db.commit(action.id.path)
+
+
+def test_insert_refused_when_use_lists_nonempty():
+    """Paper 4.1.2: Insert succeeds only when the object is quiescent."""
+    db = make_db()
+    binder = AtomicAction()
+    db.increment(binder.id.path, "client-n", UID, ["alpha"])
+    db.commit(binder.id.path)
+    recoverer = AtomicAction()
+    with pytest.raises(NotQuiescent):
+        db.insert(recoverer.id.path, UID, "alpha")
+
+
+def test_remove_and_undo_restores_position_and_uses():
+    db = make_db(("alpha", "beta", "gamma"))
+    setup = AtomicAction()
+    db.increment(setup.id.path, "cn", UID, ["beta"])
+    db.commit(setup.id.path)
+    action = AtomicAction()
+    db.remove(action.id.path, UID, "beta")
+    assert db.get_server(action.id.path, UID) == ["alpha", "gamma"]
+    db.abort(action.id.path)
+    check = AtomicAction()
+    snapshot = db.get_server_with_uses(check.id.path, UID)
+    assert snapshot.hosts == ("alpha", "beta", "gamma")
+    assert snapshot.uses["beta"] == {"cn": 1}
+
+
+def test_remove_missing_host_is_noop():
+    db = make_db()
+    action = AtomicAction()
+    db.remove(action.id.path, UID, "ghost")
+    db.commit(action.id.path)
+
+
+def test_increment_decrement_counters():
+    db = make_db()
+    a = AtomicAction()
+    db.increment(a.id.path, "cn", UID, ["alpha", "beta"])
+    db.increment(a.id.path, "cn", UID, ["alpha"])
+    db.commit(a.id.path)
+    b = AtomicAction()
+    snapshot = db.get_server_with_uses(b.id.path, UID)
+    assert snapshot.uses["alpha"] == {"cn": 2}
+    assert snapshot.uses["beta"] == {"cn": 1}
+    db.decrement(b.id.path, "cn", UID, ["alpha", "beta"])
+    db.commit(b.id.path)
+    c = AtomicAction()
+    snapshot = db.get_server_with_uses(c.id.path, UID)
+    assert snapshot.uses["alpha"] == {"cn": 1}
+    assert snapshot.uses["beta"] == {}
+
+
+def test_increment_unknown_host_raises():
+    db = make_db()
+    action = AtomicAction()
+    with pytest.raises(UnknownObject):
+        db.increment(action.id.path, "cn", UID, ["ghost"])
+
+
+def test_increment_undone_on_abort():
+    db = make_db()
+    action = AtomicAction()
+    db.increment(action.id.path, "cn", UID, ["alpha"])
+    db.abort(action.id.path)
+    check = AtomicAction()
+    assert db.get_server_with_uses(check.id.path, UID).all_uses_empty
+
+
+def test_decrement_below_zero_tolerated():
+    db = make_db()
+    action = AtomicAction()
+    db.decrement(action.id.path, "cn", UID, ["alpha"])
+    db.commit(action.id.path)  # no crash; cleanup may race decrements
+
+
+def test_quiescence_definition():
+    db = make_db()
+    assert db.is_quiescent(UID)
+    reader = AtomicAction()
+    db.get_server(reader.id.path, UID)
+    assert not db.is_quiescent(UID)  # lock held
+    db.commit(reader.id.path)
+    assert db.is_quiescent(UID)
+    user = AtomicAction()
+    db.increment(user.id.path, "cn", UID, ["alpha"])
+    db.commit(user.id.path)
+    assert not db.is_quiescent(UID)  # use list non-empty
+
+
+def test_purge_client_removes_all_counters():
+    db = make_db()
+    setup = AtomicAction()
+    db.increment(setup.id.path, "dead-client", UID, ["alpha", "beta"])
+    db.increment(setup.id.path, "live-client", UID, ["alpha"])
+    db.commit(setup.id.path)
+    cleaner = AtomicAction()
+    purged = db.purge_client(cleaner.id.path, "dead-client")
+    db.commit(cleaner.id.path)
+    assert purged == [UID]
+    check = AtomicAction()
+    snapshot = db.get_server_with_uses(check.id.path, UID)
+    assert snapshot.uses["alpha"] == {"live-client": 1}
+    assert snapshot.uses["beta"] == {}
+
+
+def test_purge_client_undo_on_abort():
+    db = make_db()
+    setup = AtomicAction()
+    db.increment(setup.id.path, "cn", UID, ["alpha"])
+    db.commit(setup.id.path)
+    cleaner = AtomicAction()
+    db.purge_client(cleaner.id.path, "cn")
+    db.abort(cleaner.id.path)
+    check = AtomicAction()
+    assert db.get_server_with_uses(check.id.path, UID).uses["alpha"] == {"cn": 1}
+
+
+def test_purge_client_skips_locked_entries():
+    db = make_db()
+    setup = AtomicAction()
+    db.increment(setup.id.path, "cn", UID, ["alpha"])
+    db.commit(setup.id.path)
+    holder = AtomicAction()
+    db.get_server(holder.id.path, UID)  # read lock blocks purge's write lock
+    cleaner = AtomicAction()
+    assert db.purge_client(cleaner.id.path, "cn") == []
+
+
+def test_nested_action_lock_inherited_until_top_commit():
+    """Figure 6: GetServer in a nested action; lock lives to top end."""
+    db = make_db()
+    top = AtomicAction()
+    nested = AtomicAction(parent=top)
+    db.get_server(nested.id.path, UID)
+    # Nested 'commits' (merge) -- db keeps the lock under the child id,
+    # which blocks writers because it is still an uncommitted lineage.
+    writer = AtomicAction()
+    with pytest.raises(LockRefused):
+        db.insert(writer.id.path, UID, "gamma")
+    db.commit(top.id.path)  # top-level commit releases the whole tree
+    writer2 = AtomicAction()
+    db.insert(writer2.id.path, UID, "gamma")
+
+
+def test_prepare_votes():
+    db = make_db()
+    reader = AtomicAction()
+    db.get_server(reader.id.path, UID)
+    assert db.prepare(reader.id.path) == "readonly"
+    writer = AtomicAction()
+    db.commit(reader.id.path)
+    db.insert(writer.id.path, UID, "gamma")
+    assert db.prepare(writer.id.path) == "ok"
+
+
+def test_snapshot_helpers():
+    db = make_db()
+    setup = AtomicAction()
+    db.increment(setup.id.path, "cn", UID, ["beta"])
+    db.commit(setup.id.path)
+    check = AtomicAction()
+    snapshot = db.get_server_with_uses(check.id.path, UID)
+    assert not snapshot.all_uses_empty
+    assert snapshot.used_hosts() == ["beta"]
+    assert snapshot.total_users("beta") == 1
+    assert snapshot.total_users("alpha") == 0

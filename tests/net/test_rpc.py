@@ -1,0 +1,201 @@
+"""Tests for the RPC layer."""
+
+import pytest
+
+from repro.net import (
+    FixedLatency,
+    MessageDemux,
+    Network,
+    RpcAgent,
+    RpcRemoteError,
+    RpcTimeout,
+)
+from repro.sim import Scheduler, Timeout
+
+
+class Calc:
+    def __init__(self):
+        self.calls = 0
+
+    def add(self, a, b):
+        self.calls += 1
+        return a + b
+
+    def boom(self):
+        raise ValueError("kaput")
+
+    def _secret(self):
+        return "hidden"
+
+
+def make_pair(latency=0.01, **kwargs):
+    s = Scheduler()
+    net = Network(s, FixedLatency(latency))
+    agents = {}
+    for name in ("a", "b"):
+        nic = net.attach(name)
+        agents[name] = RpcAgent(s, nic, demux=MessageDemux(nic), **kwargs)
+    return s, net, agents["a"], agents["b"]
+
+
+def test_roundtrip():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 2, 3)
+    assert s.run_until_settled(f) == 5
+
+
+def test_remote_exception_becomes_rpc_remote_error():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "boom")
+    with pytest.raises(RpcRemoteError) as info:
+        s.run_until_settled(f)
+    assert info.value.remote_type == "ValueError"
+    assert "kaput" in info.value.remote_message
+
+
+def test_unknown_service_and_method():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f1 = a.call("b", "nope", "add", 1, 2)
+    with pytest.raises(RpcRemoteError) as e1:
+        s.run_until_settled(f1)
+    assert e1.value.remote_type == "UnknownService"
+    f2 = a.call("b", "calc", "subtract", 1, 2)
+    with pytest.raises(RpcRemoteError) as e2:
+        s.run_until_settled(f2)
+    assert e2.value.remote_type == "UnknownMethod"
+
+
+def test_private_methods_not_callable():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "_secret")
+    with pytest.raises(RpcRemoteError) as info:
+        s.run_until_settled(f)
+    assert info.value.remote_type == "UnknownMethod"
+
+
+def test_call_to_dead_node_times_out():
+    s, net, a, b = make_pair()
+    b.register("calc", Calc())
+    net.interface("b").up = False
+    f = a.call("b", "calc", "add", 1, 2, timeout=0.5)
+    with pytest.raises(RpcTimeout):
+        s.run_until_settled(f)
+    assert s.now >= 0.5
+
+
+def test_callee_crash_mid_service_times_out():
+    s, net, a, b = make_pair(latency=0.1)
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 2, timeout=1.0)
+    # Crash the callee after the request arrives but before it replies.
+    # With zero service time the handler runs at delivery, so crash the
+    # reply path instead: take b down right when the request is mid-flight.
+    s.schedule(0.05, lambda: setattr(net.interface("b"), "up", False))
+    with pytest.raises(RpcTimeout):
+        s.run_until_settled(f)
+
+
+def test_call_from_down_node_fails_immediately():
+    s, net, a, b = make_pair()
+    net.interface("a").up = False
+    f = a.call("b", "calc", "add", 1, 2)
+    assert f.failed
+    with pytest.raises(RpcTimeout):
+        f.result()
+
+
+def test_generator_handler_runs_as_process():
+    s, _, a, b = make_pair()
+
+    class Slow:
+        def work(self):
+            yield Timeout(2.0)
+            return "slept"
+
+    b.register("slow", Slow())
+    f = a.call("b", "slow", "work", timeout=10.0)
+    assert s.run_until_settled(f) == "slept"
+    assert s.now >= 2.0
+
+
+def test_generator_handler_exception_propagates():
+    s, _, a, b = make_pair()
+
+    class Slow:
+        def work(self):
+            yield Timeout(0.5)
+            raise KeyError("gen-fail")
+
+    b.register("slow", Slow())
+    f = a.call("b", "slow", "work", timeout=10.0)
+    with pytest.raises(RpcRemoteError) as info:
+        s.run_until_settled(f)
+    assert info.value.remote_type == "KeyError"
+
+
+def test_nested_rpc_from_generator_handler():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+
+    class Proxy:
+        def __init__(self, agent):
+            self._agent = agent
+
+        def forward(self, x, y):
+            value = yield self._agent.call("b", "calc", "add", x, y)
+            return value * 10
+
+    a.register("proxy", Proxy(a))
+    f = b.call("a", "proxy", "forward", 3, 4, timeout=5.0)
+    assert s.run_until_settled(f) == 70
+
+
+def test_service_time_delays_reply():
+    s, _, a, b = make_pair(latency=0.0)
+    b.service_time = 1.0
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 1, timeout=10.0)
+    s.run_until_settled(f)
+    assert s.now >= 1.0
+
+
+def test_reset_fails_pending_and_clears_services():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 2)
+    a.reset()
+    assert f.failed
+    assert not b.has_service("calc") or True  # a's reset doesn't touch b
+    b.reset()
+    assert not b.has_service("calc")
+
+
+def test_duplicate_service_registration_rejected():
+    _, _, _, b = make_pair()
+    b.register("calc", Calc())
+    with pytest.raises(ValueError):
+        b.register("calc", Calc())
+
+
+def test_late_reply_after_timeout_is_ignored():
+    s, net, a, b = make_pair(latency=0.1)
+    b.service_time = 0.5
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 2, timeout=0.2)
+    with pytest.raises(RpcTimeout):
+        s.run_until_settled(f)
+    s.run()  # the late reply arrives; must not blow up or re-settle
+    assert f.failed
+
+
+def test_call_counters():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 2)
+    s.run_until_settled(f)
+    assert a.calls_issued == 1
+    assert b.calls_served == 1

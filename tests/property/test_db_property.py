@@ -1,0 +1,114 @@
+"""Property-based tests for the naming databases.
+
+The central invariant: any interleaving of operations and aborts leaves
+the database exactly as if the aborted actions had never run.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.actions import AtomicAction
+from repro.actions.errors import ActionError
+from repro.naming import GroupViewDatabase, NamingError
+from repro.storage import Uid
+
+HOSTS = ["h1", "h2", "h3", "h4"]
+UID_TEXT = "sys:1"
+
+
+@st.composite
+def db_operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=15))):
+        kind = draw(st.sampled_from(
+            ["insert", "remove", "increment", "decrement", "exclude",
+             "include"]))
+        host = draw(st.sampled_from(HOSTS))
+        ops.append((kind, host))
+    return ops
+
+
+def fresh_db():
+    db = GroupViewDatabase()
+    boot = AtomicAction()
+    db.define_object(boot.id.path, UID_TEXT, ["h1", "h2"], ["h1", "h2"])
+    db.commit(boot.id.path)
+    return db
+
+
+def snapshot(db):
+    probe = AtomicAction()
+    sv = db.get_server_with_uses(probe.id.path, UID_TEXT)
+    stv = db.get_view(probe.id.path, UID_TEXT)
+    db.abort(probe.id.path)
+    return (sv.hosts, tuple(sorted((h, tuple(sorted(c.items())))
+                                   for h, c in sv.uses.items())), tuple(stv))
+
+
+def apply_ops(db, action, ops):
+    for kind, host in ops:
+        try:
+            if kind == "insert":
+                db.insert(action.id.path, UID_TEXT, host)
+            elif kind == "remove":
+                db.remove(action.id.path, UID_TEXT, host)
+            elif kind == "increment":
+                db.increment(action.id.path, "cn", UID_TEXT, [host])
+            elif kind == "decrement":
+                db.decrement(action.id.path, "cn", UID_TEXT, [host])
+            elif kind == "exclude":
+                db.exclude(action.id.path, [(UID_TEXT, [host])])
+            else:
+                db.include(action.id.path, UID_TEXT, host)
+        except (NamingError, ActionError):
+            pass  # refused ops are fine; we test state effects
+
+
+@given(db_operations())
+def test_abort_restores_exact_prior_state(ops):
+    db = fresh_db()
+    before = snapshot(db)
+    action = AtomicAction()
+    apply_ops(db, action, ops)
+    db.abort(action.id.path)
+    assert snapshot(db) == before
+
+
+@given(db_operations(), db_operations())
+def test_aborted_action_invisible_to_later_committed_one(ops1, ops2):
+    """Run ops1+abort then ops2+commit; equal to just ops2+commit."""
+    db_a = fresh_db()
+    action1 = AtomicAction()
+    apply_ops(db_a, action1, ops1)
+    db_a.abort(action1.id.path)
+    action2 = AtomicAction()
+    apply_ops(db_a, action2, ops2)
+    db_a.commit(action2.id.path)
+
+    db_b = fresh_db()
+    action3 = AtomicAction()
+    apply_ops(db_b, action3, ops2)
+    db_b.commit(action3.id.path)
+
+    assert snapshot(db_a) == snapshot(db_b)
+
+
+@given(db_operations())
+def test_commit_then_abort_of_other_action_keeps_committed_state(ops):
+    db = fresh_db()
+    action = AtomicAction()
+    apply_ops(db, action, ops)
+    db.commit(action.id.path)
+    committed = snapshot(db)
+    other = AtomicAction()
+    db.abort(other.id.path)  # aborting an empty action changes nothing
+    assert snapshot(db) == committed
+
+
+@given(db_operations())
+def test_no_locks_remain_after_terminal_state(ops):
+    db = fresh_db()
+    action = AtomicAction()
+    apply_ops(db, action, ops)
+    db.commit(action.id.path)
+    assert not db.server_db.locks.owners()
+    assert not db.state_db.locks.owners()

@@ -1,0 +1,110 @@
+"""Property-based tests for the lock manager invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.actions import ActionId, LockManager, LockMode, LockRefused, lock_compatible
+
+modes = st.sampled_from(list(LockMode))
+owner_serials = st.integers(min_value=1, max_value=6)
+resources = st.sampled_from(["r1", "r2", "r3"])
+
+
+@st.composite
+def lock_scripts(draw):
+    """A random sequence of try_lock/release operations."""
+    script = []
+    for _ in range(draw(st.integers(min_value=1, max_value=40))):
+        kind = draw(st.sampled_from(["lock", "release", "release_all"]))
+        serial = draw(owner_serials)
+        if kind == "lock":
+            script.append(("lock", serial, draw(resources), draw(modes)))
+        elif kind == "release":
+            script.append(("release", serial, draw(resources)))
+        else:
+            script.append(("release_all", serial))
+    return script
+
+
+def run_script(script):
+    lm = LockManager()
+    for step in script:
+        if step[0] == "lock":
+            _, serial, resource, mode = step
+            try:
+                lm.try_lock(ActionId((serial,)), resource, mode)
+            except LockRefused:
+                pass
+        elif step[0] == "release":
+            _, serial, resource = step
+            lm.release(ActionId((serial,)), resource)
+        else:
+            lm.release_all(ActionId((step[1],)))
+    return lm
+
+
+@given(lock_scripts())
+def test_held_locks_always_pairwise_compatible(script):
+    """Whatever the operation sequence, granted locks of unrelated
+    owners are pairwise compatible -- the fundamental safety property."""
+    lm = run_script(script)
+    for resource in ("r1", "r2", "r3"):
+        holders = lm.holders_of(resource)
+        for i, (owner_a, mode_a) in enumerate(holders):
+            for owner_b, mode_b in holders[i + 1:]:
+                if owner_a.related(owner_b):
+                    continue
+                assert lock_compatible(mode_a, mode_b) or \
+                    lock_compatible(mode_b, mode_a), (
+                        f"incompatible grant: {mode_a} vs {mode_b}")
+
+
+@given(lock_scripts())
+def test_at_most_one_lock_per_owner_per_resource(script):
+    lm = run_script(script)
+    for resource in ("r1", "r2", "r3"):
+        owners = [owner for owner, _ in lm.holders_of(resource)]
+        assert len(owners) == len(set(owners))
+
+
+@given(lock_scripts())
+def test_release_all_leaves_no_trace(script):
+    lm = run_script(script)
+    for serial in range(1, 7):
+        lm.release_all(ActionId((serial,)))
+    for resource in ("r1", "r2", "r3"):
+        assert not lm.is_locked(resource)
+
+
+@given(lock_scripts(), st.integers(min_value=1, max_value=6))
+def test_inherit_preserves_total_hold(script, child_serial):
+    """Inheriting to a parent never loses a resource hold."""
+    lm = run_script(script)
+    child = ActionId((child_serial, 99))
+    # Grab something as a nested child of `child_serial` where possible.
+    try:
+        lm.try_lock(child, "r1", LockMode.READ)
+    except LockRefused:
+        pass
+    held_before = {resource for resource in ("r1", "r2", "r3")
+                   if lm.mode_held(child, resource)
+                   or lm.mode_held(ActionId((child_serial,)), resource)}
+    lm.inherit(child, ActionId((child_serial,)))
+    held_after = {resource for resource in ("r1", "r2", "r3")
+                  if lm.mode_held(ActionId((child_serial,)), resource)}
+    assert held_before <= held_after | {r for r in ("r1", "r2", "r3")
+                                        if lm.mode_held(child, r)}
+    # After inherit the child holds nothing.
+    for resource in ("r1", "r2", "r3"):
+        assert lm.mode_held(child, resource) is None
+
+
+@given(modes, modes)
+def test_write_never_shares(requested, held):
+    if LockMode.WRITE in (requested, held):
+        assert not lock_compatible(requested, held)
+
+
+@given(modes)
+def test_read_shares_with_everything_but_write(mode):
+    expected = mode is not LockMode.WRITE
+    assert lock_compatible(LockMode.READ, mode) is expected

@@ -1,0 +1,100 @@
+"""Property-based tests for the shadow-copy object store."""
+
+from hypothesis import given, strategies as st
+
+from repro.storage import NoSuchShadow, ObjectStore, StorageError, Uid
+
+UID = Uid("n", 1)
+
+
+@st.composite
+def store_scripts(draw):
+    """Random interleavings of the shadow protocol plus crashes."""
+    ops = []
+    for _ in range(draw(st.integers(min_value=1, max_value=30))):
+        ops.append(draw(st.sampled_from(
+            ["write_shadow", "commit_shadow", "discard_shadow",
+             "crash_recover", "install"])))
+    return ops
+
+
+def run_script(ops):
+    """Execute the script tracking the model: committed follows only
+    commit_shadow/install; a crash clears shadows."""
+    store = ObjectStore("beta")
+    store.install(UID, b"genesis", 1)
+    model_version = 1
+    shadow_version = None
+    next_version = 2
+    for op in ops:
+        if op == "write_shadow":
+            try:
+                store.write_shadow(UID, b"data%d" % next_version, next_version)
+                shadow_version = next_version
+                next_version += 1
+            except ValueError:
+                pass  # version not newer; model unchanged
+        elif op == "commit_shadow":
+            try:
+                store.commit_shadow(UID)
+                if shadow_version is not None and shadow_version > model_version:
+                    model_version = shadow_version
+                shadow_version = None
+            except NoSuchShadow:
+                pass
+        elif op == "discard_shadow":
+            store.discard_shadow(UID)
+            shadow_version = None
+        elif op == "crash_recover":
+            store.mark_down()
+            store.mark_up()
+            shadow_version = None
+        else:  # install
+            store.install(UID, b"inst%d" % next_version, next_version)
+            model_version = next_version
+            next_version += 1
+    return store, model_version, shadow_version
+
+
+@given(store_scripts())
+def test_committed_version_matches_model(ops):
+    store, model_version, _ = run_script(ops)
+    assert store.version_of(UID) == model_version
+
+
+@given(store_scripts())
+def test_version_never_regresses(ops):
+    store = ObjectStore("beta")
+    store.install(UID, b"genesis", 1)
+    last = 1
+    next_version = 2
+    for op in ops:
+        try:
+            if op == "write_shadow":
+                store.write_shadow(UID, b"x", next_version)
+                next_version += 1
+            elif op == "commit_shadow":
+                store.commit_shadow(UID)
+            elif op == "discard_shadow":
+                store.discard_shadow(UID)
+            elif op == "crash_recover":
+                store.mark_down()
+                store.mark_up()
+            else:
+                store.install(UID, b"y", next_version)
+                next_version += 1
+        except StorageError:
+            pass
+        except ValueError:
+            pass
+        current = store.version_of(UID)
+        assert current >= last
+        last = current
+
+
+@given(store_scripts())
+def test_shadow_state_consistent(ops):
+    store, _, shadow_version = run_script(ops)
+    assert store.has_shadow(UID) == (shadow_version is not None)
+    if shadow_version is not None:
+        assert store.shadow_version_of(UID) == shadow_version

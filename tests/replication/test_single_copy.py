@@ -1,0 +1,81 @@
+"""Tests for single-copy passive replication (figures 2 and 3)."""
+
+from repro import SingleCopyPassive
+
+from tests.conftest import add_work, build_system, get_work
+
+
+def test_binds_exactly_one_server():
+    system, client, uid = build_system(SingleCopyPassive())
+
+    def work(txn):
+        yield from txn.invoke(uid, "get")
+        return list(txn.bindings[uid].live_hosts)
+
+    result = system.run_transaction(client, work)
+    assert len(result.value) == 1
+
+
+def test_server_crash_mid_action_aborts():
+    """Figure 2/3 rule: the action must abort if alpha is down."""
+    system, client, uid = build_system(SingleCopyPassive())
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["s1"].crash()
+        yield from txn.invoke(uid, "add", 1)
+
+    result = system.run_transaction(client, work)
+    assert not result.committed
+    assert result.reason.startswith("server_crashed")
+    # Failure atomicity: no store saw any of it.
+    assert set(system.store_versions(uid).values()) == {1}
+
+
+def test_restart_after_crash_activates_new_copy():
+    """'Restarting the action will result in a new copy being activated.'"""
+    system, client, uid = build_system(SingleCopyPassive())
+    system.run_transaction(client, add_work(uid, 1))
+    system.nodes["s1"].crash()
+    retry = system.run_transaction(client, add_work(uid, 1))
+    assert retry.committed  # bound s2 instead
+    final = system.run_transaction(client, get_work(uid))
+    assert final.value == 102
+
+
+def test_commit_copies_state_to_all_st_nodes():
+    """Figure 3: |St| > 1, commit writes every store."""
+    system, client, uid = build_system(SingleCopyPassive(), st=("t1", "t2"))
+    system.run_transaction(client, add_work(uid, 1))
+    versions = system.store_versions(uid)
+    assert versions == {"t1": 2, "t2": 2}
+
+
+def test_all_stores_down_aborts():
+    system, client, uid = build_system(SingleCopyPassive(), st=("t1", "t2"))
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["t1"].crash()
+        system.nodes["t2"].crash()
+    result = system.run_transaction(client, work)
+    assert not result.committed
+
+
+def test_one_store_down_commits_and_excludes():
+    system, client, uid = build_system(SingleCopyPassive(), st=("t1", "t2"))
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["t2"].crash()
+    result = system.run_transaction(client, work)
+    assert result.committed
+    assert system.db_st(uid) == ["t1"]
+    assert system.metrics.counter_value("commit.stores_excluded") == 1
+
+
+def test_activation_falls_back_across_stores():
+    """A server may load the state from any St node (figure 3)."""
+    system, client, uid = build_system(SingleCopyPassive(), st=("t1", "t2"))
+    system.nodes["t1"].crash()  # activation must use t2
+    result = system.run_transaction(client, get_work(uid))
+    assert result.committed
+    assert result.value == 100

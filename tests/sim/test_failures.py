@@ -1,0 +1,108 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.sim import (
+    CrashEvent,
+    FaultPlan,
+    Scheduler,
+    SeededRng,
+    StochasticFaultInjector,
+)
+
+
+class FakeTarget:
+    def __init__(self, name):
+        self.name = name
+        self.crashed = False
+        self.transitions = []
+
+    def crash(self):
+        self.crashed = True
+        self.transitions.append("crash")
+
+    def recover(self):
+        self.crashed = False
+        self.transitions.append("recover")
+
+
+def test_crash_event_validates_kind():
+    with pytest.raises(ValueError):
+        CrashEvent(1.0, "n", "explode")
+
+
+def test_fault_plan_outage():
+    s = Scheduler()
+    target = FakeTarget("n")
+    plan = FaultPlan().outage(2.0, 5.0, "n")
+    plan.install(s, {"n": target})
+    s.run(until=3.0)
+    assert target.crashed
+    s.run()
+    assert not target.crashed
+    assert target.transitions == ["crash", "recover"]
+
+
+def test_fault_plan_rejects_backwards_outage():
+    with pytest.raises(ValueError):
+        FaultPlan().outage(5.0, 2.0, "n")
+
+
+def test_fault_plan_crash_is_idempotent():
+    s = Scheduler()
+    target = FakeTarget("n")
+    plan = FaultPlan().crash_at(1.0, "n").crash_at(2.0, "n")
+    plan.install(s, {"n": target})
+    s.run()
+    assert target.transitions == ["crash"]
+
+
+def test_fault_plan_recover_without_crash_is_noop():
+    s = Scheduler()
+    target = FakeTarget("n")
+    FaultPlan().recover_at(1.0, "n").install(s, {"n": target})
+    s.run()
+    assert target.transitions == []
+
+
+def test_stochastic_injector_crashes_and_repairs():
+    s = Scheduler()
+    rng = SeededRng(11)
+    target = FakeTarget("n")
+    injector = StochasticFaultInjector(s, rng, mean_time_to_failure=5.0,
+                                       mean_time_to_repair=1.0,
+                                       stop_after=200.0)
+    injector.attach(target)
+    s.run(until=250.0)
+    assert injector.crashes_injected > 5
+    assert injector.recoveries_injected > 5
+    assert target.transitions[0] == "crash"
+
+
+def test_stochastic_injector_without_repair_crashes_once():
+    s = Scheduler()
+    target = FakeTarget("n")
+    injector = StochasticFaultInjector(s, SeededRng(3),
+                                       mean_time_to_failure=1.0,
+                                       stop_after=100.0)
+    injector.attach(target)
+    s.run(until=150.0)
+    assert target.transitions == ["crash"]
+
+
+def test_stochastic_injector_is_deterministic():
+    def run(seed):
+        s = Scheduler()
+        target = FakeTarget("n")
+        injector = StochasticFaultInjector(s, SeededRng(seed), 5.0, 1.0,
+                                           stop_after=100.0)
+        injector.attach(target)
+        s.run(until=150.0)
+        return injector.crashes_injected
+
+    assert run(1) == run(1)
+
+
+def test_stochastic_injector_rejects_bad_mttf():
+    with pytest.raises(ValueError):
+        StochasticFaultInjector(Scheduler(), SeededRng(1), 0.0)

@@ -1,0 +1,108 @@
+"""Tests for futures and combinators."""
+
+import pytest
+
+from repro.sim import Future, FutureState, all_of, any_of
+
+
+def test_future_lifecycle():
+    f = Future("x")
+    assert f.pending and not f.done
+    f.resolve(5)
+    assert f.done and not f.failed
+    assert f.result() == 5
+    assert f.state is FutureState.RESOLVED
+
+
+def test_future_failure():
+    f = Future()
+    error = ValueError("boom")
+    f.fail(error)
+    assert f.failed
+    with pytest.raises(ValueError, match="boom"):
+        f.result()
+    assert f.exception() is error
+
+
+def test_double_settle_raises():
+    f = Future()
+    f.resolve(1)
+    with pytest.raises(RuntimeError):
+        f.resolve(2)
+    with pytest.raises(RuntimeError):
+        f.fail(ValueError())
+
+
+def test_try_resolve_and_try_fail():
+    f = Future()
+    assert f.try_resolve(1) is True
+    assert f.try_resolve(2) is False
+    assert f.try_fail(ValueError()) is False
+    assert f.result() == 1
+
+
+def test_result_on_pending_raises():
+    with pytest.raises(RuntimeError, match="pending"):
+        Future("p").result()
+
+
+def test_callback_after_settle_runs_immediately():
+    f = Future()
+    f.resolve("v")
+    seen = []
+    f.add_callback(lambda fut: seen.append(fut.result()))
+    assert seen == ["v"]
+
+
+def test_callbacks_run_once_in_order():
+    f = Future()
+    seen = []
+    f.add_callback(lambda _: seen.append(1))
+    f.add_callback(lambda _: seen.append(2))
+    f.resolve(None)
+    assert seen == [1, 2]
+
+
+def test_all_of_collects_in_input_order():
+    a, b = Future("a"), Future("b")
+    combined = all_of([a, b])
+    b.resolve("B")
+    assert combined.pending
+    a.resolve("A")
+    assert combined.result() == ["A", "B"]
+
+
+def test_all_of_empty_resolves_immediately():
+    assert all_of([]).result() == []
+
+
+def test_all_of_fails_fast():
+    a, b = Future(), Future()
+    combined = all_of([a, b])
+    a.fail(ValueError("first"))
+    assert combined.failed
+    b.resolve("late")  # must not blow up
+    with pytest.raises(ValueError, match="first"):
+        combined.result()
+
+
+def test_any_of_first_success_wins():
+    a, b = Future(), Future()
+    combined = any_of([a, b])
+    b.resolve("B")
+    assert combined.result() == (1, "B")
+    a.resolve("A")  # late winner ignored
+
+
+def test_any_of_all_failures_fails():
+    a, b = Future(), Future()
+    combined = any_of([a, b])
+    a.fail(ValueError("a"))
+    assert combined.pending
+    b.fail(ValueError("b"))
+    with pytest.raises(ValueError, match="b"):
+        combined.result()
+
+
+def test_any_of_empty_fails():
+    assert any_of([]).failed

@@ -1,0 +1,120 @@
+"""Tests for the typed serialisation buffers."""
+
+import pytest
+
+from repro.storage import DeserialisationError, InputObjectState, OutputObjectState, Uid
+
+
+def roundtrip(pack, unpack_name):
+    out = OutputObjectState(Uid("n", 1), "test.Type")
+    pack(out)
+    state = InputObjectState(out.buffer())
+    return state, getattr(state, unpack_name)
+
+
+def test_header_roundtrip():
+    out = OutputObjectState(Uid("node", 7), "my.Class")
+    state = InputObjectState(out.buffer())
+    assert state.uid == Uid("node", 7)
+    assert state.type_name == "my.Class"
+    assert state.exhausted
+
+
+def test_int_roundtrip_including_negatives():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_int(0).pack_int(-5).pack_int(2**62)
+    state = InputObjectState(out.buffer())
+    assert state.unpack_int() == 0
+    assert state.unpack_int() == -5
+    assert state.unpack_int() == 2**62
+
+
+def test_float_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_float(3.14159).pack_float(-0.0)
+    state = InputObjectState(out.buffer())
+    assert state.unpack_float() == 3.14159
+    assert state.unpack_float() == 0.0
+
+
+def test_bool_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_bool(True).pack_bool(False)
+    state = InputObjectState(out.buffer())
+    assert state.unpack_bool() is True
+    assert state.unpack_bool() is False
+
+
+def test_string_roundtrip_unicode():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_string("héllo wörld ✓").pack_string("")
+    state = InputObjectState(out.buffer())
+    assert state.unpack_string() == "héllo wörld ✓"
+    assert state.unpack_string() == ""
+
+
+def test_bytes_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    payload = bytes(range(256))
+    out.pack_bytes(payload)
+    state = InputObjectState(out.buffer())
+    assert state.unpack_bytes() == payload
+
+
+def test_none_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_none()
+    state = InputObjectState(out.buffer())
+    assert state.unpack_none() is None
+
+
+def test_uid_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_uid(Uid("other", 99))
+    state = InputObjectState(out.buffer())
+    assert state.unpack_uid() == Uid("other", 99)
+
+
+def test_string_list_roundtrip():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_string_list(["a", "b", "c"]).pack_string_list([])
+    state = InputObjectState(out.buffer())
+    assert state.unpack_string_list() == ["a", "b", "c"]
+    assert state.unpack_string_list() == []
+
+
+def test_mixed_sequence_in_order():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_int(1).pack_string("two").pack_bool(True).pack_float(4.0)
+    state = InputObjectState(out.buffer())
+    assert state.unpack_int() == 1
+    assert state.unpack_string() == "two"
+    assert state.unpack_bool() is True
+    assert state.unpack_float() == 4.0
+    assert state.exhausted
+
+
+def test_type_mismatch_raises():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_int(5)
+    state = InputObjectState(out.buffer())
+    with pytest.raises(DeserialisationError, match="expected tag"):
+        state.unpack_string()
+
+
+def test_underrun_raises():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_int(5)
+    state = InputObjectState(out.buffer())
+    state.unpack_int()
+    with pytest.raises(DeserialisationError):
+        state.unpack_int()
+
+
+def test_truncated_buffer_raises():
+    out = OutputObjectState(Uid("n", 1), "t")
+    out.pack_string("hello")
+    buffer = out.buffer()[:-3]
+    state = InputObjectState(buffer)
+    with pytest.raises(DeserialisationError):
+        state.unpack_string()

@@ -1,0 +1,37 @@
+"""Tests for object UIDs."""
+
+import pytest
+
+from repro.storage import Uid, UidFactory
+
+
+def test_factory_allocates_sequentially():
+    factory = UidFactory("node-a")
+    u1, u2 = factory.allocate(), factory.allocate()
+    assert u1 == Uid("node-a", 1)
+    assert u2 == Uid("node-a", 2)
+    assert u1 != u2
+
+
+def test_str_and_parse_roundtrip():
+    uid = Uid("alpha:with:colons", 42)
+    assert Uid.parse(str(uid)) == uid
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "noserial", "name:", ":1", "name:notanumber"):
+        with pytest.raises(ValueError):
+            Uid.parse(bad)
+
+
+def test_ordering_and_hashing():
+    a1, a2, b1 = Uid("a", 1), Uid("a", 2), Uid("b", 1)
+    assert a1 < a2 < b1
+    assert sorted([b1, a2, a1]) == [a1, a2, b1]
+    assert len({a1, Uid("a", 1)}) == 1
+
+
+def test_uids_from_different_factories_never_collide():
+    f1, f2 = UidFactory("n1"), UidFactory("n2")
+    uids = {f1.allocate() for _ in range(10)} | {f2.allocate() for _ in range(10)}
+    assert len(uids) == 20

@@ -1,0 +1,30 @@
+"""Tests for volatile memory."""
+
+from repro.storage import VolatileStore
+
+
+def test_put_get_pop():
+    store = VolatileStore("n")
+    store.put("k", 1)
+    assert store.get("k") == 1
+    assert "k" in store
+    assert store.pop("k") == 1
+    assert store.get("k", "default") == "default"
+
+
+def test_wipe_clears_everything():
+    store = VolatileStore("n")
+    for i in range(5):
+        store.put(i, i)
+    store.wipe()
+    assert len(store) == 0
+    assert store.wipe_count == 1
+
+
+def test_keys_snapshot_safe_to_mutate_during_iteration():
+    store = VolatileStore("n")
+    store.put("a", 1)
+    store.put("b", 2)
+    for key in store.keys():
+        store.pop(key)
+    assert len(store) == 0

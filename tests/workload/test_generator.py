@@ -1,0 +1,87 @@
+"""Tests for transaction streams and workload reports."""
+
+from repro.sim.rng import SeededRng
+from repro.workload import TransactionStream, WorkloadReport, run_streams
+from repro.workload.generator import StreamOutcome
+
+from tests.conftest import add_work, build_system
+
+
+def factory_for(uid, amount=1):
+    def factory(_index):
+        return add_work(uid, amount)
+    return factory
+
+
+def test_stream_runs_all_transactions():
+    system, client, uid = build_system(value=0)
+    stream = TransactionStream(client, factory_for(uid), count=5,
+                               rng=SeededRng(1), mean_think_time=0.1)
+    report = run_streams(system, [stream])
+    assert report.offered == 5
+    assert report.committed == 5
+    assert report.commit_rate == 1.0
+    assert report.retries == 0
+
+
+def test_retries_counted():
+    system, client, uid = build_system(value=0)
+    # Crash the only binding path for a while so first attempts fail.
+    for host in ("s1", "s2", "s3"):
+        system.nodes[host].crash()
+    system.scheduler.schedule(3.0, system.nodes["s1"].recover)
+    # Tiny think time: the first attempts are guaranteed to land before
+    # the recovery at t=3 and fail, forcing retries.
+    stream = TransactionStream(client, factory_for(uid), count=1,
+                               rng=SeededRng(2), mean_think_time=0.01,
+                               max_attempts=50)
+    report = run_streams(system, [stream], timeout=300.0)
+    assert report.committed == 1
+    assert report.retries > 0
+    assert report.total_attempts == 1 + report.retries
+
+
+def test_exhausted_attempts_reported_aborted():
+    system, client, uid = build_system(value=0)
+    for host in ("s1", "s2", "s3"):
+        system.nodes[host].crash()
+    stream = TransactionStream(client, factory_for(uid), count=2,
+                               rng=SeededRng(3), mean_think_time=0.05,
+                               max_attempts=2)
+    report = run_streams(system, [stream], timeout=300.0)
+    assert report.committed == 0
+    assert report.aborted == 2
+    assert "bind_failed" in report.abort_reasons()
+
+
+def test_merged_reports():
+    a = WorkloadReport([StreamOutcome(True, 1, None, 0.5)])
+    b = WorkloadReport([StreamOutcome(False, 2, "x:oops", 1.0)])
+    merged = a.merge(b)
+    assert merged.offered == 2
+    assert merged.committed == 1
+    assert merged.abort_reasons() == {"x": 1}
+    assert merged.mean_latency() == 0.75
+
+
+def test_empty_report_safe():
+    report = WorkloadReport()
+    assert report.commit_rate == 0.0
+    assert report.mean_latency() == 0.0
+    assert report.abort_reasons() == {}
+
+
+def test_parallel_streams_merge():
+    system, client, uid = build_system(value=0)
+    client2 = system.add_client("c2")
+    streams = [
+        TransactionStream(client, factory_for(uid), count=3,
+                          rng=SeededRng(4, "a"), mean_think_time=0.3,
+                          max_attempts=5),
+        TransactionStream(client2, factory_for(uid), count=3,
+                          rng=SeededRng(4, "b"), mean_think_time=0.3,
+                          max_attempts=5),
+    ]
+    report = run_streams(system, streams, timeout=600.0)
+    assert report.offered == 6
+    assert report.committed == 6
