@@ -195,6 +195,7 @@ class ClientRuntime:
         registry: ObjectClassRegistry,
         type_names: dict[Uid, str],
         tracer: Tracer | None = None,
+        db_client: Any | None = None,
     ) -> None:
         self.node = node
         self.policy = policy
@@ -205,9 +206,11 @@ class ClientRuntime:
         self._type_names = type_names
         self.tracer = tracer or NULL_TRACER
         self.metrics = node.metrics
+        # ``db_client`` overrides the default single-node adapter (the
+        # sharded deployment passes a ring-routing client instead).
         self._ctx = TxnContext(
             node=node, rpc=node.rpc,
-            db=GroupViewDbClient(node.rpc, db_node),
+            db=db_client or GroupViewDbClient(node.rpc, db_node),
             scheme=scheme, invoker=GroupInvoker(node),
             registry=registry, metrics=node.metrics, tracer=self.tracer,
             node_policy=policy)

@@ -41,9 +41,12 @@ class RecoveryManager:
     def __init__(self, node: Node, db_node: str, serves: list[Uid],
                  retry_interval: float = 0.5, max_rounds: int = 200,
                  guard_interval: float | None = 2.0,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 db_client: Any | None = None) -> None:
         self.node = node
-        self.db = GroupViewDbClient(node.rpc, db_node)
+        # ``db_client`` overrides the default single-node adapter (the
+        # sharded deployment routes recovery traffic through the ring).
+        self.db = db_client or GroupViewDbClient(node.rpc, db_node)
         self.serves = list(serves)  # objects this node can run servers for
         self.retry_interval = retry_interval
         self.max_rounds = max_rounds
@@ -209,11 +212,12 @@ class ShadowResolver:
     """
 
     def __init__(self, node: Node, db_node: str, patience: float = 2.0,
-                 interval: float = 1.0, tracer: Tracer | None = None) -> None:
+                 interval: float = 1.0, tracer: Tracer | None = None,
+                 db_client: Any | None = None) -> None:
         if node.object_store is None:
             raise ValueError(f"{node.name} has no object store to resolve")
         self.node = node
-        self.db = GroupViewDbClient(node.rpc, db_node)
+        self.db = db_client or GroupViewDbClient(node.rpc, db_node)
         self.patience = patience
         self.interval = interval
         self.tracer = tracer or NULL_TRACER

@@ -1,13 +1,22 @@
-"""RPC service exposing a node's object store.
+"""RPC services of a store host.
 
 Servers contact store hosts to load object states at activation and to
 write new states at commit (paper sections 3.1 and 4.2).  All methods
 speak UID strings (the RPC wire form) and byte buffers.
+
+A store host may additionally serve one shard of the group-view
+database (:class:`NameShardHost`): the sharded deployment partitions
+the naming entries across store hosts instead of funnelling every
+binding through a single name node, so "store host" and "name shard
+host" are the same machine class booted with one extra service.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.cluster.node import Node
+from repro.naming.group_view_db import SERVICE_NAME
 from repro.storage.objectstore import ObjectStore
 from repro.storage.uid import Uid
 
@@ -62,3 +71,31 @@ class StoreHost:
     def install(self, uid_text: str, buffer: bytes, version: int) -> bool:
         self._store.install(Uid.parse(uid_text), buffer, version)
         return True
+
+
+class NameShardHost:
+    """Boots one shard of the group-view database on a store host.
+
+    The shard's database object is owned by the harness (the paper
+    treats the name service as always available); this adapter makes
+    the node serve it over RPC and re-registers it on every recovery,
+    like any other boot-time service.
+    """
+
+    def __init__(self, node: Node, db: Any,
+                 service: str = SERVICE_NAME) -> None:
+        self.node = node
+        self.db = db
+        self.service = service
+
+    @classmethod
+    def install_on(cls, node: Node, db: Any,
+                   service: str = SERVICE_NAME) -> "NameShardHost":
+        """Boot hook: serve ``db`` on ``node`` now and after recoveries."""
+        host = cls(node, db, service)
+
+        def hook(n: Node) -> None:
+            n.rpc.register(service, db)
+
+        node.add_boot_hook(hook)
+        return host

@@ -28,7 +28,7 @@ from repro.cluster.client import ClientRuntime, Txn, TxnResult
 from repro.cluster.node import Node
 from repro.cluster.recovery import RecoveryManager, ShadowResolver
 from repro.cluster.server_host import ServerHost
-from repro.cluster.store_host import StoreHost
+from repro.cluster.store_host import NameShardHost, StoreHost
 from repro.core.objects import ObjectClassRegistry, PersistentObject
 from repro.naming.binding import (
     BindingScheme,
@@ -38,8 +38,13 @@ from repro.naming.binding import (
 )
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.db_client import GroupViewDbClient
-from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
+from repro.naming.group_view_db import GroupViewDatabase
 from repro.naming.hybrid import HybridNameService
+from repro.naming.shard_router import DEFAULT_RING_REPLICAS, ShardRouter
+from repro.naming.sharded_client import (
+    ShardedGroupViewDatabase,
+    ShardedGroupViewDbClient,
+)
 from repro.net.latency import FixedLatency, LatencyModel, UniformLatency
 from repro.net.network import Network
 from repro.replication.policy import ReplicationPolicy
@@ -75,6 +80,8 @@ class SystemConfig:
     use_exclude_write_lock: bool = True
     binding_scheme: str = "standard"
     nonatomic_name_server: bool = False      # section-5 variant (E6)
+    nameserver_shards: int = 1               # >1 -> consistent-hash ring
+    shard_ring_replicas: int = DEFAULT_RING_REPLICAS
     enable_cleaner: bool = False
     cleaner_interval: float = 5.0
     enable_recovery_managers: bool = True
@@ -111,8 +118,26 @@ class DistributedSystem:
         self.recovery_managers: dict[str, RecoveryManager] = {}
         self.shadow_resolvers: dict[str, ShadowResolver] = {}
 
-        # The name node and the group-view database (assumed always
-        # available, paper section 3.1).
+        # The name service (assumed always available, paper section 3.1):
+        # one name node by default, or a consistent-hash ring of shard
+        # hosts when ``nameserver_shards > 1``.
+        self.shard_router: ShardRouter | None = None
+        self.cleaners: list[UseListCleaner] = []
+        shard_count = self.config.nameserver_shards
+        if shard_count < 1:
+            raise ValueError(f"nameserver_shards must be >= 1: {shard_count}")
+        if shard_count > 1:
+            if self.config.nonatomic_name_server:
+                raise ValueError(
+                    "the non-atomic name server variant cannot be sharded")
+            self._boot_sharded_name_service(shard_count)
+        else:
+            self._boot_single_name_service()
+        self.cleaner: UseListCleaner | None = (
+            self.cleaners[0] if self.cleaners else None)
+
+    def _boot_single_name_service(self) -> None:
+        """The paper's deployment: the whole database on one node."""
         self.name_node = self._make_node(NAME_NODE, has_store=True)
         if self.config.nonatomic_name_server:
             # The section-5 variant: non-atomic server data, atomic St.
@@ -123,15 +148,53 @@ class DistributedSystem:
             self.db = GroupViewDatabase(
                 use_exclude_write_lock=self.config.use_exclude_write_lock,
                 metrics=self.metrics, tracer=self.tracer)
-        self.name_node.add_boot_hook(
-            lambda n: n.rpc.register(SERVICE_NAME, self.db))
-        self.cleaner: UseListCleaner | None = None
+        NameShardHost.install_on(self.name_node, self.db)
         if self.config.enable_cleaner and not self.config.nonatomic_name_server:
-            self.cleaner = UseListCleaner(
+            cleaner = UseListCleaner(
                 self.scheduler, self.name_node.rpc, self.db,
                 interval=self.config.cleaner_interval,
                 metrics=self.metrics, tracer=self.tracer)
-            self.cleaner.start()
+            cleaner.start()
+            self.cleaners.append(cleaner)
+
+    def _boot_sharded_name_service(self, shard_count: int) -> None:
+        """Partition the database across ``shard_count`` store hosts.
+
+        Each shard host runs its own :class:`GroupViewDatabase` (own
+        lock manager, own undo log) with a colocated cleanup daemon;
+        entry placement is the consistent-hash ring shared by every
+        client through :class:`ShardedGroupViewDbClient`.
+        """
+        names = [f"{NAME_NODE}{i}" for i in range(shard_count)]
+        self.shard_router = ShardRouter(
+            names, replicas=self.config.shard_ring_replicas)
+        shard_dbs: dict[str, GroupViewDatabase] = {}
+        for name in names:
+            node = self._make_node(name, has_store=True)
+            db = GroupViewDatabase(
+                use_exclude_write_lock=self.config.use_exclude_write_lock,
+                metrics=self.metrics.scoped(f"shard.{name}."),
+                tracer=self.tracer)
+            shard_dbs[name] = db
+            NameShardHost.install_on(node, db)
+            StoreHost.install_on(node)
+            if self.config.enable_cleaner:
+                cleaner = UseListCleaner(
+                    self.scheduler, node.rpc, db,
+                    interval=self.config.cleaner_interval,
+                    node_name=f"cleaner@{name}",
+                    metrics=self.metrics.scoped(f"shard.{name}."),
+                    tracer=self.tracer)
+                cleaner.start()
+                self.cleaners.append(cleaner)
+        self.name_node = self.nodes[names[0]]
+        self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs)
+
+    def _make_db_client(self, node: Node) -> Any:
+        """The db adapter a client-side component on ``node`` should use."""
+        if self.shard_router is not None:
+            return ShardedGroupViewDbClient(node.rpc, self.shard_router)
+        return GroupViewDbClient(node.rpc, NAME_NODE)
 
     # -- topology building ---------------------------------------------------
 
@@ -152,12 +215,14 @@ class DistributedSystem:
             StoreHost.install_on(node)
             if self.config.enable_shadow_resolvers:
                 self.shadow_resolvers[name] = ShadowResolver(
-                    node, NAME_NODE, tracer=self.tracer)
+                    node, NAME_NODE, tracer=self.tracer,
+                    db_client=self._make_db_client(node))
         if server:
             ServerHost.install_on(node, self.registry)
         if self.config.enable_recovery_managers and (store or server):
             self.recovery_managers[name] = RecoveryManager(
-                node, NAME_NODE, serves=[], tracer=self.tracer)
+                node, NAME_NODE, serves=[], tracer=self.tracer,
+                db_client=self._make_db_client(node))
         return node
 
     def add_client(self, name: str, policy: ReplicationPolicy | None = None,
@@ -166,13 +231,13 @@ class DistributedSystem:
         node = self._make_node(name, has_store=False)
         scheme_name = scheme or self.config.binding_scheme
         factory = SCHEME_FACTORIES[scheme_name]
-        db_client = GroupViewDbClient(node.rpc, NAME_NODE)
+        db_client = self._make_db_client(node)
         binding_scheme = factory(db_client, name, metrics=self.metrics,
                                  tracer=self.tracer)
         runtime = ClientRuntime(
             node, NAME_NODE, binding_scheme,
             policy or SingleCopyPassive(), self.registry,
-            self.type_names, tracer=self.tracer)
+            self.type_names, tracer=self.tracer, db_client=db_client)
         self.clients[name] = runtime
         return runtime
 
@@ -253,10 +318,15 @@ class DistributedSystem:
     def _release_probe_locks(self) -> None:
         from repro.actions.action import ActionId
         probe = ActionId((0,))
-        if isinstance(self.db, GroupViewDatabase):
-            self.db.server_db.locks.release_all(probe)
-        if hasattr(self.db, "state_db"):
-            self.db.state_db.locks.release_all(probe)
+        if isinstance(self.db, ShardedGroupViewDatabase):
+            targets: list[Any] = list(self.db.shards.values())
+        else:
+            targets = [self.db]
+        for db in targets:
+            if isinstance(db, GroupViewDatabase):
+                db.server_db.locks.release_all(probe)
+            if hasattr(db, "state_db"):
+                db.state_db.locks.release_all(probe)
 
     def store_versions(self, uid: Uid) -> dict[str, int]:
         """Committed version of ``uid`` at every up store node."""

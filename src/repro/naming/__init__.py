@@ -22,6 +22,12 @@ nested top-level actions); :mod:`~repro.naming.cleanup` implements the
 failure-detection/cleanup protocol the paper notes is required for the
 use-list schemes; :mod:`~repro.naming.nonatomic` implements the
 concluding-remarks variant with a traditional (non-atomic) name server.
+
+Beyond the paper, :mod:`~repro.naming.shard_router` and
+:mod:`~repro.naming.sharded_client` partition the database across a
+consistent-hash ring of store hosts so binding traffic scales
+horizontally while every entry keeps its per-entry lock semantics on
+its owning shard (see ``docs/architecture.md``).
 """
 
 from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
@@ -38,6 +44,11 @@ from repro.naming.binding import (
 )
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.nonatomic import NonAtomicNameServer
+from repro.naming.shard_router import ShardRouter
+from repro.naming.sharded_client import (
+    ShardedGroupViewDatabase,
+    ShardedGroupViewDbClient,
+)
 
 __all__ = [
     "BindOutcome",
@@ -52,6 +63,9 @@ __all__ = [
     "ObjectServerDatabase",
     "ObjectStateDatabase",
     "ServerEntrySnapshot",
+    "ShardRouter",
+    "ShardedGroupViewDatabase",
+    "ShardedGroupViewDbClient",
     "StandardBinding",
     "UnknownObject",
     "UseListCleaner",

@@ -17,7 +17,9 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.actions.action import AtomicAction
+from repro.actions.action import AtomicAction, Vote
+from repro.actions.errors import LockRefused, PromotionRefused
+from repro.actions.records import CallbackRecord
 from repro.naming.group_view_db import GroupViewDatabase
 from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
@@ -37,6 +39,7 @@ class UseListCleaner:
         db: GroupViewDatabase,
         interval: float = 5.0,
         client_service: str = "client",
+        node_name: str = "cleaner",
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -45,6 +48,7 @@ class UseListCleaner:
         self._db = db
         self.interval = interval
         self.client_service = client_service
+        self.node_name = node_name
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
         self._process: Process | None = None
@@ -78,9 +82,9 @@ class UseListCleaner:
                 continue
             self.tracer.record("cleanup", "client dead, purging",
                                client=client_node)
-            action = AtomicAction(node="cleaner", tracer=self.tracer)
-            self._db.server_db.purge_client(action.id.path, client_node)
-            self._db.commit(action.id.path)
+            done = yield from self._purge(client_node)
+            if not done:
+                continue  # every dirty entry was locked; retry next round
             purged.append(client_node)
             self.clients_purged += 1
             self.metrics.counter("cleanup.clients_purged").increment()
@@ -88,22 +92,56 @@ class UseListCleaner:
 
     # -- helpers ----------------------------------------------------------------
 
-    def _collect_client_nodes(self) -> set[str]:
-        nodes: set[str] = set()
-        for uid in self._db.server_db.all_uids():
-            try:
-                snapshot = self._db.server_db.get_server_with_uses((0,), uid)
-            except Exception:
-                continue  # entry write-locked right now; look next round
-            finally:
-                self._release_probe_locks()
-            for counters in snapshot.uses.values():
-                nodes.update(counters)
-        return nodes
+    def _purge(self, client_node: str) -> Generator[Any, Any, bool]:
+        """Purge one dead client's counters under a top-level action.
 
-    def _release_probe_locks(self) -> None:
-        from repro.actions.action import ActionId
-        self._db.server_db.locks.release_all(ActionId((0,)))
+        The write locks are taken through the database's lock manager
+        (``purge_client`` skips -- does not break -- entries locked by
+        live actions), and the action terminates through the standard
+        two-phase machinery with the colocated database enlisted as
+        participant.  Returns whether anything was actually purged.
+        """
+        action = AtomicAction(node=self.node_name, tracer=self.tracer)
+        action.add_record(CallbackRecord(
+            on_prepare=lambda a: Vote(self._db.prepare(a.id.path)),
+            on_commit=lambda a: self._db.commit(a.id.path),
+            on_abort=lambda a: self._db.abort(a.id.path),
+            order=600))
+        try:
+            touched = self._db.server_db.purge_client(action.id.path,
+                                                      client_node)
+        except Exception:
+            yield from action.abort()
+            raise
+        if not touched:
+            yield from action.abort()  # nothing reachable this round
+            return False
+        status = yield from action.commit()
+        return status.value == "committed"
+
+    def _collect_client_nodes(self) -> set[str]:
+        """Read every use list under a properly allocated probe action.
+
+        The probe holds ordinary read locks while scanning (so it can
+        never observe a half-applied purge or binder write) and aborts
+        afterwards -- read-only, so the abort just releases the locks.
+        Write-locked entries are skipped and re-examined next round.
+        """
+        nodes: set[str] = set()
+        probe = AtomicAction(node=self.node_name, tracer=self.tracer)
+        try:
+            for uid in self._db.server_db.all_uids():
+                try:
+                    snapshot = self._db.server_db.get_server_with_uses(
+                        probe.id.path, uid)
+                except (LockRefused, PromotionRefused):
+                    continue  # entry write-locked right now; look next round
+                for counters in snapshot.uses.values():
+                    nodes.update(counters)
+        finally:
+            self._db.server_db.abort(probe.id.path)
+            probe.run_local(probe.abort())
+        return nodes
 
     def _ping(self, client_node: str) -> Generator[Any, Any, bool]:
         try:

@@ -25,6 +25,7 @@ import copy
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro.actions.errors import LockRefused, PromotionRefused
 from repro.actions.locks import LockMode
 from repro.naming.db_base import ActionDatabase, ActionPath
 from repro.naming.errors import NotQuiescent, UnknownObject
@@ -198,15 +199,16 @@ class ObjectServerDatabase(ActionDatabase):
                 continue
             try:
                 self._lock(action_path, self._key(uid), LockMode.WRITE)
-            except Exception:
+            except (LockRefused, PromotionRefused):
+                self.metrics.counter(f"{self.name}.purge_skipped").increment()
                 continue  # locked by a live action; retry next round
             for host in dirty_hosts:
                 counters = entry.uses[host]
                 count = counters.pop(client_node)
                 self._record_undo(
                     action_path,
-                    lambda h=host, c=count: self._restore_counter(
-                        uid, client_node, h, c))
+                    lambda u=uid, h=host, c=count: self._restore_counter(
+                        u, client_node, h, c))
             purged.append(uid)
             self.metrics.counter(f"{self.name}.purged_clients").increment()
         return purged

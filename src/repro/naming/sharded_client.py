@@ -1,0 +1,202 @@
+"""The sharded group-view database: client router and server facade.
+
+Two pieces turn N per-host
+:class:`~repro.naming.group_view_db.GroupViewDatabase` instances into
+one logical service:
+
+- :class:`ShardedGroupViewDbClient` -- the client-side adapter.  It
+  exposes exactly the :class:`~repro.naming.db_client.GroupViewDbClient`
+  surface the binding schemes, replication policies, and recovery
+  daemons are written against, but routes every per-UID operation to
+  the shard owning that UID (via a
+  :class:`~repro.naming.shard_router.ShardRouter`) and fans multi-UID
+  operations (``Exclude``) out per shard.  Each touched shard is
+  enlisted as its *own* two-phase-commit participant of the calling
+  action's top-level root, so a transaction pays 2PC only to the
+  shards it actually used.
+
+- :class:`ShardedGroupViewDatabase` -- the server-side facade used by
+  the system harness for bootstrap (``define_object``) and inspection.
+  It holds the per-shard databases directly (they are registered on
+  their own nodes for RPC) and routes by the same ring, so wire
+  clients and the harness always agree on placement.
+
+Per-entry semantics survive partitioning untouched: a UID's entry
+lives on exactly one shard, whose lock manager enforces the paper's
+per-entry locking; operations on different shards were always on
+different entries, hence never conflicted anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.actions.action import AtomicAction
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
+from repro.naming.object_server_db import ServerEntrySnapshot
+from repro.naming.shard_router import ShardRouter
+from repro.net.rpc import RpcAgent
+from repro.storage.uid import Uid
+
+
+class ShardedGroupViewDbClient:
+    """Routes the :class:`GroupViewDbClient` surface over a shard ring."""
+
+    def __init__(self, rpc: RpcAgent, router: ShardRouter,
+                 service: str = SERVICE_NAME) -> None:
+        self._rpc = rpc
+        self.router = router
+        self.service = service
+        # Built lazily so a ring grown with ShardRouter.add_node keeps
+        # working: an unseen owner gets its per-shard client on first
+        # routing.  (Clients for removed nodes linger unused -- the
+        # router simply never routes to them again.)
+        self._shards: dict[str, GroupViewDbClient] = {}
+        for node in router.nodes:
+            self.shard_client_for_node(node)
+
+    # -- routing helpers ----------------------------------------------------
+
+    def shard_client_for_node(self, node: str) -> GroupViewDbClient:
+        client = self._shards.get(node)
+        if client is None:
+            client = GroupViewDbClient(self._rpc, node, service=self.service)
+            self._shards[node] = client
+        return client
+
+    def shard_client(self, uid: Uid | str) -> GroupViewDbClient:
+        """The per-shard client owning ``uid``."""
+        return self.shard_client_for_node(self.router.shard_for(uid))
+
+    @property
+    def shard_clients(self) -> dict[str, GroupViewDbClient]:
+        return dict(self._shards)
+
+    # -- per-UID operations (routed) ----------------------------------------
+    # (2PC enlistment happens inside each per-shard client, so an
+    # action enlists exactly the shards it touches -- there is
+    # deliberately no blanket enlist-all entry point here.)
+
+    def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],
+                      st_hosts: list[str]) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).define_object(
+            action, uid, sv_hosts, st_hosts)
+
+    def get_server(self, action: AtomicAction,
+                   uid: Uid) -> Generator[Any, Any, list[str]]:
+        return (yield from self.shard_client(uid).get_server(action, uid))
+
+    def get_server_with_uses(self, action: AtomicAction, uid: Uid,
+                             for_update: bool = False,
+                             ) -> Generator[Any, Any, ServerEntrySnapshot]:
+        return (yield from self.shard_client(uid).get_server_with_uses(
+            action, uid, for_update))
+
+    def insert(self, action: AtomicAction, uid: Uid,
+               host: str) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).insert(action, uid, host)
+
+    def remove(self, action: AtomicAction, uid: Uid,
+               host: str) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).remove(action, uid, host)
+
+    def increment(self, action: AtomicAction, client_node: str, uid: Uid,
+                  hosts: list[str]) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).increment(action, client_node,
+                                                    uid, hosts)
+
+    def decrement(self, action: AtomicAction, client_node: str, uid: Uid,
+                  hosts: list[str]) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).decrement(action, client_node,
+                                                    uid, hosts)
+
+    def get_view(self, action: AtomicAction,
+                 uid: Uid) -> Generator[Any, Any, list[str]]:
+        return (yield from self.shard_client(uid).get_view(action, uid))
+
+    def include(self, action: AtomicAction, uid: Uid,
+                host: str) -> Generator[Any, Any, None]:
+        yield from self.shard_client(uid).include(action, uid, host)
+
+    # -- multi-UID operations (fanned out per shard) ------------------------
+
+    def exclude(self, action: AtomicAction,
+                exclusions: list[tuple[Uid, list[str]]],
+                ) -> Generator[Any, Any, None]:
+        # Grouped tuple-by-tuple (not keyed by UID) so a UID appearing
+        # twice reaches its shard twice, exactly as the single-node
+        # client would forward it.
+        by_shard: dict[str, list[tuple[Uid, list[str]]]] = {}
+        for uid, hosts in exclusions:
+            by_shard.setdefault(self.router.shard_for(uid),
+                                []).append((uid, hosts))
+        for shard, lots in by_shard.items():
+            yield from self.shard_client_for_node(shard).exclude(action, lots)
+
+    def ping(self) -> Generator[Any, Any, bool]:
+        """True only when every shard answers (the logical db is up)."""
+        for client in self._shards.values():
+            alive = yield from client.ping()
+            if not alive:
+                return False
+        return True
+
+
+class ShardedGroupViewDatabase:
+    """Server-side facade over the per-shard databases.
+
+    Used by the system harness for synchronous bootstrap and
+    inspection; RPC traffic never flows through it (each shard's
+    database is registered on its own node).  ``commit``/``abort`` are
+    broadcast -- both are no-ops on shards the action never touched --
+    so bootstrap code can terminate a multi-shard action in one call.
+    """
+
+    def __init__(self, router: ShardRouter,
+                 shards: dict[str, GroupViewDatabase]) -> None:
+        if set(router.nodes) != set(shards):
+            raise ValueError("shard ring and database map disagree: "
+                             f"{sorted(router.nodes)} vs {sorted(shards)}")
+        self.router = router
+        self.shards = dict(shards)
+
+    def shard_db(self, uid_text: str) -> GroupViewDatabase:
+        return self.shards[self.router.shard_for(uid_text)]
+
+    # -- routed operations (the harness-facing subset) ----------------------
+
+    def define_object(self, action_path: tuple[int, ...], uid_text: str,
+                      sv_hosts: list[str], st_hosts: list[str]) -> None:
+        self.shard_db(uid_text).define_object(action_path, uid_text,
+                                              sv_hosts, st_hosts)
+
+    def knows(self, uid_text: str) -> bool:
+        return self.shard_db(uid_text).knows(uid_text)
+
+    def get_server(self, action_path: tuple[int, ...],
+                   uid_text: str) -> list[str]:
+        return self.shard_db(uid_text).get_server(action_path, uid_text)
+
+    def get_server_with_uses(self, action_path: tuple[int, ...], uid_text: str,
+                             for_update: bool = False) -> ServerEntrySnapshot:
+        return self.shard_db(uid_text).get_server_with_uses(
+            action_path, uid_text, for_update)
+
+    def get_view(self, action_path: tuple[int, ...],
+                 uid_text: str) -> list[str]:
+        return self.shard_db(uid_text).get_view(action_path, uid_text)
+
+    def is_quiescent(self, uid_text: str) -> bool:
+        return self.shard_db(uid_text).is_quiescent(uid_text)
+
+    def commit(self, action_path: tuple[int, ...]) -> None:
+        for db in self.shards.values():
+            db.commit(action_path)
+
+    def abort(self, action_path: tuple[int, ...]) -> None:
+        for db in self.shards.values():
+            db.abort(action_path)
+
+    def ping(self) -> str:
+        return "pong"

@@ -11,7 +11,11 @@ protocols are designed around.
 Handlers are methods on registered service objects.  A handler may:
 
 - return a plain value -- the reply is sent after the agent's
-  ``service_time`` processing delay;
+  ``service_time`` processing delay; a node with a non-zero service
+  time is a *single-server queue* (one CPU): concurrent requests are
+  processed FIFO, so a hot node saturates and queueing delay grows
+  with offered load -- the capacity model the sharded name service
+  exists to relieve;
 - return a generator -- it is spawned as a simulation process (so the
   handler can itself issue RPCs, sleep, etc.); the reply carries the
   process result.  This is how servers copy object state to remote
@@ -83,6 +87,8 @@ class RpcAgent:
             self._nic.on_message = self._on_message
         self.default_timeout = default_timeout if default_timeout is not None else 1.0
         self.service_time = service_time
+        self._busy_until = 0.0  # single-server queue tail (service_time > 0)
+        self._boot_epoch = 0    # bumped on reset(); orphans queued requests
         self._tracer = tracer or NULL_TRACER
         self._services: dict[str, object] = {}
         self._pending: dict[int, Future] = {}
@@ -123,6 +129,12 @@ class RpcAgent:
         for future in pending.values():
             future.try_fail(RpcTimeout("local node crashed"))
         self._services.clear()
+        # The service queue dies with the node: requests already
+        # scheduled against the old incarnation are orphaned by the
+        # epoch bump (their _execute no-ops even if the node has
+        # recovered by the time they fire).
+        self._busy_until = 0.0
+        self._boot_epoch += 1
 
     # -- client side ---------------------------------------------------------
 
@@ -171,11 +183,18 @@ class RpcAgent:
 
     def _serve(self, caller: str, request: RpcRequest) -> None:
         if self.service_time > 0:
-            self._scheduler.schedule(self.service_time, self._execute, caller, request)
+            # One CPU: a request starts when the previous one finishes.
+            now = self._scheduler.now
+            start = max(now, self._busy_until)
+            self._busy_until = start + self.service_time
+            self._scheduler.schedule(self._busy_until - now, self._execute,
+                                     caller, request, self._boot_epoch)
         else:
-            self._execute(caller, request)
+            self._execute(caller, request, self._boot_epoch)
 
-    def _execute(self, caller: str, request: RpcRequest) -> None:
+    def _execute(self, caller: str, request: RpcRequest, epoch: int) -> None:
+        if epoch != self._boot_epoch:
+            return  # queued before a crash: the request died with the node
         if not self._nic.up:
             return  # crashed while the request sat in the service queue
         self.calls_served += 1

@@ -19,7 +19,7 @@ class Event:
     which case the scheduler silently discards it.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_queue")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -27,10 +27,21 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
-        """Prevent the event from firing.  Idempotent."""
+        """Prevent the event from firing.  Idempotent.
+
+        Cancelling an event still queued updates the queue's live
+        count; cancelling one that already fired (or was never queued)
+        is a no-op beyond setting the flag.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+            self._queue = None
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -49,15 +60,25 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
+        # Live (queued, not cancelled) events, maintained by push/pop/
+        # cancel so __len__ and __bool__ are O(1) -- both sit on the
+        # scheduler's hot path, and a lazy-deletion heap can hold far
+        # more dead entries than live ones.
+        self._live = 0
 
     def push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)
+        if not event.cancelled:
+            event._queue = self
+            self._live += 1
 
     def pop(self) -> Event | None:
         """Remove and return the next live event, or ``None`` if empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if not event.cancelled:
+                event._queue = None  # fired: a late cancel() is a no-op
+                self._live -= 1
                 return event
         return None
 
@@ -71,7 +92,7 @@ class EventQueue:
         return None
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0

@@ -126,6 +126,54 @@ class TimeSeries:
         return total / span if span > 0 else self.samples[0][1]
 
 
+class ScopedMetrics:
+    """A registry view that prefixes every instrument name.
+
+    Lets N instances of the same component (e.g. the shards of the
+    group-view database) share one registry while keeping their
+    measurements apart: a shard handed ``registry.scoped("shard.n0.")``
+    records ``server_db.get_server`` as ``shard.n0.server_db.get_server``.
+    Instruments still live in the parent registry, so a whole-system
+    snapshot sees every shard; :meth:`snapshot` gives the scope-local
+    view with the prefix stripped.
+    """
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def counter(self, name: str) -> Counter:
+        return self._registry.counter(self._prefix + name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._registry.gauge(self._prefix + name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._registry.histogram(self._prefix + name)
+
+    def timeseries(self, name: str) -> TimeSeries:
+        return self._registry.timeseries(self._prefix + name)
+
+    def scoped(self, prefix: str) -> "ScopedMetrics":
+        return ScopedMetrics(self._registry, self._prefix + prefix)
+
+    def counter_value(self, name: str) -> int:
+        return self._registry.counter_value(self._prefix + name)
+
+    def snapshot(self) -> dict[str, Any]:
+        """This scope's instruments only, prefix stripped."""
+        start = len(self._prefix)
+        return {name[start:]: value
+                for name, value in self._registry.snapshot().items()
+                if name.startswith(self._prefix)}
+
+
 class MetricsRegistry:
     """Creates-or-returns named instruments; snapshots the lot."""
 
@@ -164,3 +212,7 @@ class MetricsRegistry:
         """Value of a counter, 0 if it was never touched."""
         counter = self._counters.get(name)
         return counter.value if counter else 0
+
+    def scoped(self, prefix: str) -> ScopedMetrics:
+        """A view of this registry under a name prefix (e.g. per shard)."""
+        return ScopedMetrics(self, prefix)

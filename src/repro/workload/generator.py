@@ -134,11 +134,17 @@ class TransactionStream:
 
 def run_streams(system, streams: list[TransactionStream],
                 timeout: float = 10_000.0) -> WorkloadReport:
-    """Run all streams to completion; return the merged report."""
+    """Run all streams to completion; return the merged report.
+
+    ``timeout`` bounds the whole run: one absolute deadline is fixed
+    before any stream is awaited, so a slow early stream cannot extend
+    the time granted to later ones (all streams run concurrently; the
+    per-process wait is just "the rest of the shared budget").
+    """
     processes = [stream.spawn() for stream in streams]
+    deadline = system.scheduler.now + timeout
     for process in processes:
-        system.scheduler.run_until_settled(
-            process, until=system.scheduler.now + timeout)
+        system.scheduler.run_until_settled(process, until=deadline)
     merged = WorkloadReport()
     for stream in streams:
         merged = merged.merge(stream.report)

@@ -1,8 +1,14 @@
-"""Parameter sweeps and plain-text result tables.
+"""Parameter sweeps, canned scenarios, and plain-text result tables.
 
 Every benchmark regenerates its figure as a :class:`Table` printed to
 stdout, so the experiment reports in EXPERIMENTS.md can be reproduced
 with ``pytest benchmarks/ --benchmark-only -s``.
+
+:func:`sharded_nameserver_scenario` is the canned workload behind the
+sharded-name-service experiments: a closed-loop population of clients,
+each binding/unbinding against its own object, with per-node RPC
+service time making the name service the queueing bottleneck.  Swept
+over the shard count it shows binding throughput scaling horizontally.
 """
 
 from __future__ import annotations
@@ -20,6 +26,113 @@ def sweep(values: Iterable[Any], run: Callable[[Any], dict[str, Any]],
         row.update(run(value))
         rows.append(row)
     return rows
+
+
+def sharded_nameserver_scenario(
+    shards: int,
+    clients: int = 24,
+    txns_per_client: int = 6,
+    server_hosts: int = 8,
+    scheme: str = "independent",
+    service_time: float = 0.006,
+    mean_think_time: float = 0.01,
+    max_attempts: int = 10,
+    rpc_timeout: float = 5.0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the sharded-name-service workload; returns a row.
+
+    Every client owns one object (so there is no per-entry lock
+    contention -- the experiment isolates *capacity*, not locking),
+    server and store roles spread over ``server_hosts`` nodes, and the
+    name service runs on ``shards`` hosts.  Under the use-list schemes
+    a transaction makes ~7 database calls (read-for-update, increment,
+    2PC, decrement action) against ~1 call per server host, so with one
+    shard the name node is the hottest single-server queue in the
+    system and committed throughput is capped by it.
+    """
+    # Imported here: repro.workload is a substrate the cluster layer's
+    # callers pull in; the scenario is the one piece that goes the
+    # other way and builds a whole system.
+    from repro.actions.locks import LockMode
+    from repro.cluster.system import DistributedSystem, SystemConfig
+    from repro.core.objects import PersistentObject, operation
+    from repro.sim.rng import SeededRng
+    from repro.workload.generator import TransactionStream, run_streams
+
+    class SweepCounter(PersistentObject):
+        TYPE_NAME = "sweep.Counter"
+
+        def __init__(self, uid, value=0):
+            super().__init__(uid)
+            self.value = value
+
+        def save_state(self, out):
+            out.pack_int(self.value)
+
+        def restore_state(self, state):
+            self.value = state.unpack_int()
+
+        @operation(LockMode.WRITE)
+        def add(self, amount):
+            self.value += amount
+            return self.value
+
+    # The generous rpc timeout matters: an overloaded name node shows
+    # up as queueing delay, not as spurious timeout aborts, so the
+    # sweep measures capacity rather than timeout tuning.
+    system = DistributedSystem(SystemConfig(
+        seed=seed, nameserver_shards=shards, binding_scheme=scheme,
+        service_time=service_time, rpc_timeout=rpc_timeout,
+        enable_recovery_managers=False))
+    system.registry.register(SweepCounter)
+    hosts = [f"s{i}" for i in range(server_hosts)]
+    for host in hosts:
+        system.add_node(host, server=True, store=True)
+    runtimes = [system.add_client(f"c{i}") for i in range(clients)]
+    uids = []
+    for i in range(clients):
+        host = hosts[i % server_hosts]
+        uids.append(system.create_object(
+            SweepCounter(system.new_uid(), value=0),
+            sv_hosts=[host], st_hosts=[host]))
+
+    def factory_for(uid):
+        def factory(_index):
+            def work(txn):
+                return (yield from txn.invoke(uid, "add", 1))
+            return work
+        return factory
+
+    streams = [
+        TransactionStream(runtime, factory_for(uids[i]),
+                          count=txns_per_client,
+                          rng=SeededRng(seed, f"stream{i}"),
+                          mean_think_time=mean_think_time,
+                          max_attempts=max_attempts)
+        for i, runtime in enumerate(runtimes)
+    ]
+    report = run_streams(system, streams)
+    elapsed = system.scheduler.now
+    row: dict[str, Any] = {
+        "shards": shards,
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "elapsed": elapsed,
+        "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+    }
+    if system.shard_router is not None:
+        row["entry_spread"] = system.shard_router.spread(uids)
+        row["per_shard_reads"] = {
+            name: system.metrics.counter_value(
+                f"shard.{name}.server_db.get_server")
+            for name in system.shard_router.nodes}
+    else:
+        row["entry_spread"] = {"namenode": len(uids)}
+        row["per_shard_reads"] = {
+            "namenode": system.metrics.counter_value("server_db.get_server")}
+    return row
 
 
 def mean_and_spread(values: Sequence[float]) -> tuple[float, float]:

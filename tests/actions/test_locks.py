@@ -145,6 +145,53 @@ def test_inherit_keeps_strongest_mode():
     assert len(lm.holders_of("e")) == 1
 
 
+def test_inherit_never_weakens_the_parent():
+    """The merge is max(), not last-wins: a child READ folded into a
+    parent WRITE leaves the parent at WRITE."""
+    lm = LockManager()
+    parent, child = A1, A1_CHILD
+    lm.try_lock(parent, "e", LockMode.WRITE)
+    lm.try_lock(child, "e", LockMode.READ)
+    lm.inherit(child, parent)
+    assert lm.mode_held(parent, "e") is LockMode.WRITE
+    assert lm.mode_held(child, "e") is None
+
+
+def test_inherit_merges_exclude_write_over_read():
+    lm = LockManager()
+    parent, child = A1, A1_CHILD
+    lm.try_lock(parent, "e", LockMode.READ)
+    lm.try_lock(child, "e", LockMode.EXCLUDE_WRITE)
+    lm.inherit(child, parent)
+    assert lm.mode_held(parent, "e") is LockMode.EXCLUDE_WRITE
+    # The merged lock still shares with readers, as 4.2.1 requires.
+    lm.try_lock(A2, "e", LockMode.READ)
+
+
+def test_inherit_merges_every_resource_in_one_pass():
+    lm = LockManager()
+    parent, child = A1, A1_CHILD
+    lm.try_lock(parent, "e1", LockMode.READ)
+    lm.try_lock(child, "e1", LockMode.WRITE)
+    lm.try_lock(child, "e2", LockMode.READ)
+    assert lm.inherit(child, parent) == 2
+    assert lm.mode_held(parent, "e1") is LockMode.WRITE
+    assert lm.mode_held(parent, "e2") is LockMode.READ
+    assert lm.owners() == {parent}
+
+
+def test_exclude_write_self_conflict_on_promotion():
+    """Two readers cannot both promote to EXCLUDE_WRITE: the second
+    promotion hits the mode's self-conflict and is refused."""
+    lm = LockManager()
+    lm.try_lock(A1, "e", LockMode.READ)
+    lm.try_lock(A2, "e", LockMode.READ)
+    lm.try_lock(A1, "e", LockMode.EXCLUDE_WRITE)
+    with pytest.raises(PromotionRefused):
+        lm.try_lock(A2, "e", LockMode.EXCLUDE_WRITE)
+    assert lm.mode_held(A2, "e") is LockMode.READ  # demand left unchanged
+
+
 def test_owners_listing():
     lm = LockManager()
     lm.try_lock(A1, "e1", LockMode.READ)

@@ -1,0 +1,174 @@
+"""Integration tests for the sharded name service.
+
+The tentpole guarantee: partitioning the group-view database across a
+consistent-hash ring of store hosts changes *where* an entry lives,
+never *how* it behaves -- all three binding schemes, the figure-2/5
+abort rules, recovery, and the cleanup daemon work unchanged against
+``nameserver_shards > 1``.
+"""
+
+import pytest
+
+from repro import (
+    ActiveReplication,
+    DistributedSystem,
+    SingleCopyPassive,
+    SystemConfig,
+)
+from repro.naming import ShardedGroupViewDatabase
+
+from tests.conftest import Counter, add_work, get_work
+
+SCHEMES = ["standard", "independent", "nested_top_level"]
+
+
+def build(shards=3, sv=("a1", "a2"), st=("a1", "a2"), scheme="standard",
+          policy=None, objects=5, clients=1, seed=7, **config_kwargs):
+    system = DistributedSystem(SystemConfig(
+        seed=seed, nameserver_shards=shards, binding_scheme=scheme,
+        **config_kwargs))
+    system.registry.register(Counter)
+    for host in dict.fromkeys(list(sv) + list(st)):
+        system.add_node(host, server=host in sv, store=host in st)
+    runtimes = [system.add_client(f"c{i}", policy=policy or SingleCopyPassive())
+                for i in range(clients)]
+    uids = [system.create_object(Counter(system.new_uid(), value=0),
+                                 sv_hosts=list(sv), st_hosts=list(st))
+            for _ in range(objects)]
+    return system, runtimes, uids
+
+
+def test_boot_spreads_entries_over_the_ring():
+    system, _, uids = build(shards=3, objects=12)
+    assert isinstance(system.db, ShardedGroupViewDatabase)
+    spread = system.shard_router.spread(uids)
+    assert sum(spread.values()) == 12
+    assert sum(1 for count in spread.values() if count > 0) >= 2
+    for uid in uids:  # the facade and the ring agree on placement
+        shard = system.shard_router.shard_for(uid)
+        assert system.db.shards[shard].knows(str(uid))
+        for other, db in system.db.shards.items():
+            if other != shard:
+                assert not db.knows(str(uid))
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_all_schemes_commit_against_the_ring(scheme):
+    system, (client,), uids = build(shards=3, scheme=scheme)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == 1
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_one_transaction_spanning_many_shards(scheme):
+    """A txn touching objects on different shards 2PCs with each."""
+    system, (client,), uids = build(shards=4, objects=8, scheme=scheme)
+
+    def work(txn):
+        total = 0
+        for uid in uids:
+            total = yield from txn.invoke(uid, "add", 1)
+        return total
+
+    assert system.run_transaction(client, work).committed
+    for uid in uids:
+        assert system.run_transaction(client, get_work(uid)).value == 1
+
+
+def test_fig2_abort_rules_survive_sharding():
+    system, (client,), uids = build(shards=3, sv=("alpha",), st=("beta",),
+                                    objects=1)
+    assert system.run_transaction(client, add_work(uids[0], 1)).committed
+    system.nodes["alpha"].crash()
+    assert not system.run_transaction(client, add_work(uids[0], 1)).committed
+
+
+def test_fig5_rolling_failures_survive_sharding():
+    system, (client,), uids = build(shards=3, sv=("a1", "a2"),
+                                    st=("b1", "b2"), objects=1)
+    uid = uids[0]
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.nodes["a1"].crash()
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.nodes["b1"].crash()
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    assert system.run_transaction(client, get_work(uid)).value == 3
+
+
+def test_independent_scheme_repairs_sv_on_the_owning_shard():
+    system, (client,), uids = build(shards=3, sv=("s1", "s2", "s3"),
+                                    st=("t1",), scheme="independent",
+                                    objects=3,
+                                    enable_recovery_managers=False)
+    system.nodes["s1"].crash()
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+        assert "s1" not in system.db_sv(uid)
+
+
+def test_store_recovery_reincludes_through_the_ring():
+    system, (client,), uids = build(shards=2, sv=("a1", "a2"),
+                                    st=("b1", "b2"), objects=2)
+    uid = uids[0]
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.nodes["b1"].crash()
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+    assert system.db_st(uid) == ["b2"]
+    system.nodes["b1"].recover()
+    system.run(until=system.scheduler.now + 30.0)
+    assert sorted(system.db_st(uid)) == ["b1", "b2"]
+
+
+def test_per_shard_cleaners_purge_crashed_clients():
+    system, runtimes, uids = build(
+        shards=3, sv=("s1", "s2"), st=("t1",), scheme="independent",
+        objects=6, clients=1, enable_cleaner=True, cleaner_interval=2.0)
+    assert len(system.cleaners) == 3
+    client = runtimes[0]
+
+    def work(txn):
+        for uid in uids:
+            yield from txn.invoke(uid, "add", 1)
+        system.nodes[client.node.name].crash()  # die mid-action
+        yield from txn.invoke(uids[0], "add", 1)
+
+    client.transaction(work)
+    system.run(until=1.0)
+
+    def orphans():
+        total = 0
+        for uid in uids:
+            snapshot = system.db.get_server_with_uses((0,), str(uid))
+            total += sum(sum(c.values()) for c in snapshot.uses.values())
+        system._release_probe_locks()
+        return total
+
+    assert orphans() > 0, "the crashed client must leave counters behind"
+    system.run(until=30.0)
+    assert orphans() == 0, "every shard's cleaner must repair its entries"
+
+
+def test_sharding_rejects_invalid_configs():
+    with pytest.raises(ValueError):
+        DistributedSystem(SystemConfig(nameserver_shards=0))
+    with pytest.raises(ValueError):
+        DistributedSystem(SystemConfig(nameserver_shards=2,
+                                       nonatomic_name_server=True))
+
+
+def test_active_replication_on_the_ring():
+    system, (client,), uids = build(shards=2, sv=("a1", "a2", "a3"),
+                                    st=("b1",), policy=ActiveReplication(),
+                                    objects=1)
+    uid = uids[0]
+
+    def work(txn):
+        yield from txn.invoke(uid, "add", 1)
+        system.nodes["a2"].crash()
+        return (yield from txn.invoke(uid, "add", 1))
+
+    result = system.run_transaction(client, work)
+    assert result.committed and result.value == 2

@@ -109,3 +109,59 @@ def test_purge_skips_write_locked_entry_until_next_round():
     db.abort(holder.id.path)
     purged = run_round(s, cleaner)
     assert purged == ["ghost"]
+
+
+def test_purge_respects_lock_taken_while_ping_in_flight():
+    """Regression for the lock-bypass bug: a binder that write-locks an
+    entry *after* the cleaner's scan but before its purge (the ping RPC
+    is in flight in between) must not have the purge interleave with
+    it -- the entry is skipped and retried next round."""
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost", hosts=("h1",))
+    binder = AtomicAction()
+
+    def lock_during_ping():
+        from repro.sim.process import Timeout
+        yield Timeout(0.005)  # the ghost ping takes >= interval/2 = 0.5
+        db.increment(binder.id.path, "c1", str(UID), ["h1"])
+
+    s.spawn(lock_during_ping())
+    purged = run_round(s, cleaner)
+    assert purged == []  # the live binder's write lock won
+    # The binder's provisional counter AND the ghost's are both intact.
+    holders = db.server_db.locks.holders_of(("sv", UID))
+    assert [owner.path for owner, _ in holders] == [binder.id.path]
+    db.commit(binder.id.path)
+    assert use_lists(db)["h1"] == {"ghost": 1, "c1": 1}
+    assert db.metrics.counter_value("server_db.purge_skipped") >= 1
+    # Next round (entry unlocked) the ghost is purged cleanly.
+    purged = run_round(s, cleaner)
+    assert purged == ["ghost"]
+    assert use_lists(db)["h1"] == {"c1": 1}
+
+
+def test_purge_terminates_through_the_action_machinery():
+    """After a purge round, the cleaner's actions are fully resolved:
+    no locks linger in the table and the undo log is empty."""
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost", hosts=("h1", "h2"))
+    purged = run_round(s, cleaner)
+    assert purged == ["ghost"]
+    assert not db.server_db.locks.is_locked(("sv", UID))
+    assert db.server_db.locks.owners() == set()
+    assert db.server_db.pending_undo_count == 0
+
+
+def test_collect_probe_uses_allocated_action_id():
+    """Regression for the magic ``(0,)`` probe id: a (harness) lock
+    owned by action id ``(0,)`` must survive a cleanup round instead of
+    being swept up by the collector's lock release."""
+    from repro.actions.action import ActionId
+    from repro.actions.locks import LockMode
+    s, net, db, cleaner = make_world()
+    bind_client(db, "ghost")
+    boot_owner = ActionId((0,))
+    db.server_db.locks.try_lock(boot_owner, ("sv", UID), LockMode.READ)
+    run_round(s, cleaner)
+    assert db.server_db.locks.mode_held(boot_owner, ("sv", UID)) \
+        is LockMode.READ

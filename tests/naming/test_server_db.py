@@ -231,3 +231,30 @@ def test_snapshot_helpers():
     assert snapshot.used_hosts() == ["beta"]
     assert snapshot.total_users("beta") == 1
     assert snapshot.total_users("alpha") == 0
+
+
+def test_purge_client_abort_restores_every_entry():
+    """Regression: the purge undo closures must bind each entry's UID
+    at record time — aborting a purge spanning several entries has to
+    restore each counter onto its own entry, not pile them all onto
+    the last entry iterated."""
+    db = ObjectServerDatabase()
+    boot = AtomicAction()
+    uid_a, uid_b = Uid("sys", 10), Uid("sys", 20)
+    db.define(boot.id.path, uid_a, ["h1"])
+    db.define(boot.id.path, uid_b, ["h1"])
+    db.commit(boot.id.path)
+    setup = AtomicAction()
+    db.increment(setup.id.path, "ghost", uid_a, ["h1"])
+    db.increment(setup.id.path, "ghost", uid_b, ["h1"])
+    db.commit(setup.id.path)
+
+    cleaner = AtomicAction()
+    assert db.purge_client(cleaner.id.path, "ghost") == [uid_a, uid_b]
+    db.abort(cleaner.id.path)
+
+    for uid in (uid_a, uid_b):
+        probe = AtomicAction()
+        snapshot = db.get_server_with_uses(probe.id.path, uid)
+        db.abort(probe.id.path)
+        assert snapshot.uses["h1"] == {"ghost": 1}, (uid, snapshot.uses)

@@ -1,0 +1,92 @@
+"""Tests for the consistent-hash shard ring."""
+
+import pytest
+
+from repro.naming import ShardRouter
+from repro.storage.uid import Uid
+
+KEYS = [Uid("sys", n) for n in range(400)]
+
+
+def test_single_node_owns_everything():
+    router = ShardRouter(["only"])
+    assert all(router.shard_for(key) == "only" for key in KEYS)
+
+
+def test_routing_is_deterministic_across_instances():
+    a = ShardRouter(["n0", "n1", "n2"], replicas=32)
+    b = ShardRouter(["n0", "n1", "n2"], replicas=32)
+    assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+
+def test_node_order_does_not_matter():
+    a = ShardRouter(["n0", "n1", "n2"])
+    b = ShardRouter(["n2", "n0", "n1"])
+    assert [a.shard_for(k) for k in KEYS] == [b.shard_for(k) for k in KEYS]
+
+
+def test_every_shard_gets_a_share():
+    router = ShardRouter([f"n{i}" for i in range(8)])
+    spread = router.spread(KEYS)
+    assert set(spread) == {f"n{i}" for i in range(8)}
+    assert all(count > 0 for count in spread.values())
+    assert sum(spread.values()) == len(KEYS)
+
+
+def test_adding_a_node_only_moves_keys_to_it():
+    before = ShardRouter(["n0", "n1", "n2"])
+    old = {k: before.shard_for(k) for k in KEYS}
+    before.add_node("n3")
+    moved = 0
+    for key in KEYS:
+        now = before.shard_for(key)
+        if now != old[key]:
+            assert now == "n3", "a grown ring must not shuffle old shards"
+            moved += 1
+    assert 0 < moved < len(KEYS)  # n3 took some arcs, not the whole ring
+
+
+def test_removing_a_node_only_moves_its_keys():
+    router = ShardRouter(["n0", "n1", "n2", "n3"])
+    old = {k: router.shard_for(k) for k in KEYS}
+    router.remove_node("n1")
+    for key in KEYS:
+        if old[key] != "n1":
+            assert router.shard_for(key) == old[key]
+        else:
+            assert router.shard_for(key) != "n1"
+
+
+def test_partition_groups_by_owner():
+    router = ShardRouter(["n0", "n1"])
+    groups = router.partition(KEYS)
+    assert sum(len(g) for g in groups.values()) == len(KEYS)
+    for shard, keys in groups.items():
+        assert all(router.shard_for(k) == shard for k in keys)
+
+
+def test_spread_includes_idle_shards():
+    router = ShardRouter([f"n{i}" for i in range(4)])
+    spread = router.spread([])
+    assert spread == {"n0": 0, "n1": 0, "n2": 0, "n3": 0}
+
+
+def test_len_and_nodes():
+    router = ShardRouter(["a", "b"])
+    assert len(router) == 2
+    assert router.nodes == ["a", "b"]
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(ValueError):
+        ShardRouter([])
+    with pytest.raises(ValueError):
+        ShardRouter(["a"], replicas=0)
+    router = ShardRouter(["a", "b"])
+    with pytest.raises(ValueError):
+        router.add_node("a")
+    with pytest.raises(ValueError):
+        router.remove_node("zzz")
+    router.remove_node("b")
+    with pytest.raises(ValueError):
+        router.remove_node("a")  # never drop the last shard

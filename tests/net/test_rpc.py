@@ -163,6 +163,37 @@ def test_service_time_delays_reply():
     assert s.now >= 1.0
 
 
+def test_service_time_queues_concurrent_requests():
+    """A node with a service time is a single-server queue: two
+    concurrent requests are processed one after the other."""
+    s, _, a, b = make_pair(latency=0.0)
+    b.service_time = 1.0
+    b.register("calc", Calc())
+    first = a.call("b", "calc", "add", 1, 1, timeout=10.0)
+    second = a.call("b", "calc", "add", 2, 2, timeout=10.0)
+    s.run_until_settled(first)
+    assert 1.0 <= s.now < 2.0
+    s.run_until_settled(second)
+    assert s.now >= 2.0  # waited for the first to clear the CPU
+
+
+def test_queued_requests_die_with_the_node():
+    """Requests sitting in the service queue at crash time must not
+    execute after the node recovers (fail-silence: the queue was
+    volatile state)."""
+    s, _, a, b = make_pair(latency=0.0)
+    b.service_time = 1.0
+    calc = Calc()
+    b.register("calc", calc)
+    f = a.call("b", "calc", "add", 1, 1, timeout=0.4)
+    s.run(until=0.5)  # request queued at b, not yet executed
+    b.reset()                   # the node crashes...
+    b.register("calc", calc)    # ...and recovers before the event fires
+    s.run(until=5.0)
+    assert calc.calls == 0, "a queued request must not survive the crash"
+    assert f.failed  # the caller saw a timeout, as fail-silence demands
+
+
 def test_reset_fails_pending_and_clears_services():
     s, _, a, b = make_pair()
     b.register("calc", Calc())

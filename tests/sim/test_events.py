@@ -1,0 +1,100 @@
+"""Tests for the event queue's live-event accounting.
+
+``__len__``/``__bool__`` sit on the scheduler's hot path, so they are
+backed by a counter maintained by push/pop/cancel instead of a heap
+scan; these tests pin the counter against every lifecycle edge.
+"""
+
+from repro.sim.events import Event, EventQueue
+
+
+def make_event(time, seq):
+    return Event(time, seq, lambda: None, ())
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.pop() is None
+    assert q.peek_time() is None
+
+
+def test_len_tracks_pushes_and_pops():
+    q = EventQueue()
+    for i in range(5):
+        q.push(make_event(float(i), i))
+    assert len(q) == 5 and q
+    q.pop()
+    q.pop()
+    assert len(q) == 3
+
+
+def test_cancel_updates_len_immediately():
+    q = EventQueue()
+    events = [make_event(float(i), i) for i in range(4)]
+    for event in events:
+        q.push(event)
+    events[1].cancel()
+    events[3].cancel()
+    assert len(q) == 2
+    assert q  # still live events
+
+
+def test_cancelled_events_never_pop():
+    q = EventQueue()
+    first, second = make_event(1.0, 1), make_event(2.0, 2)
+    q.push(first)
+    q.push(second)
+    first.cancel()
+    assert q.pop() is second
+    assert len(q) == 0 and not q
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    event = make_event(1.0, 1)
+    q.push(event)
+    q.push(make_event(2.0, 2))
+    event.cancel()
+    event.cancel()
+    event.cancel()
+    assert len(q) == 1
+
+
+def test_cancel_after_fire_does_not_corrupt_count():
+    """An RPC reply cancelling its already-fired timeout timer must not
+    decrement the live count a second time."""
+    q = EventQueue()
+    timer = make_event(1.0, 1)
+    q.push(timer)
+    q.push(make_event(2.0, 2))
+    fired = q.pop()
+    assert fired is timer
+    timer.cancel()  # late cancel of a fired event
+    assert len(q) == 1
+    assert q.pop() is not None
+    assert len(q) == 0 and not q
+
+
+def test_peek_time_skips_cancelled_without_changing_len():
+    q = EventQueue()
+    head, tail = make_event(1.0, 1), make_event(2.0, 2)
+    q.push(head)
+    q.push(tail)
+    head.cancel()
+    assert q.peek_time() == 2.0
+    assert len(q) == 1
+
+
+def test_all_cancelled_is_falsy():
+    q = EventQueue()
+    events = [make_event(float(i), i) for i in range(3)]
+    for event in events:
+        q.push(event)
+    for event in events:
+        event.cancel()
+    assert len(q) == 0
+    assert not q
+    assert q.peek_time() is None
+    assert q.pop() is None

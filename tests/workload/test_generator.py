@@ -85,3 +85,25 @@ def test_parallel_streams_merge():
     report = run_streams(system, streams, timeout=600.0)
     assert report.offered == 6
     assert report.committed == 6
+
+
+def test_one_absolute_deadline_for_all_streams():
+    """Regression for the deadline drift: ``timeout`` is one shared
+    absolute budget fixed before the first stream is awaited, not a
+    fresh allowance granted per stream as each predecessor settles."""
+    import pytest
+
+    system, client, uid = build_system(value=0)
+    ghost_uid = system.new_uid()  # never defined: binding always fails
+    slow = TransactionStream(client, factory_for(uid), count=3,
+                             rng=SeededRng(4), mean_think_time=1.0)
+    stuck = TransactionStream(client, factory_for(ghost_uid), count=1,
+                              rng=SeededRng(5), mean_think_time=0.3,
+                              max_attempts=10**9)
+    with pytest.raises(RuntimeError):
+        run_streams(system, [slow, stuck], timeout=6.0)
+    # The drifting version granted the stuck stream "slow's settle time
+    # + another full timeout" (~10s here); the shared deadline cuts it
+    # off at ~6s of virtual time.
+    assert system.scheduler.now < 9.0
+    assert slow.report.committed == 3
