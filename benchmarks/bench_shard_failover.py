@@ -1,0 +1,95 @@
+"""S2 -- shard-host failover on the replicated ring.
+
+PR 1's ring fixed the name service's capacity ceiling but made its
+availability *worse* than the paper's single node: each entry lived on
+exactly one shard host, so one crash black-holed that host's whole arc
+of the namespace until recovery.  This experiment shows the fix --
+``nameserver_replication`` -- doing its job: with every entry
+replicated over its ring arc's preference list, a crashed shard host
+costs nothing (writes flow through the surviving replicas, reads fail
+over down the preference list), and the recovered host rejoins the
+serving path only after the shard-resync daemon has copied its arcs
+back from its peers.
+
+The workload is the capacity sweep's closed loop (one object per
+client, no entry contention) run across a scripted mid-run outage of
+one shard host.  The acceptance shape:
+
+- ``replication=1`` (the PR 1 status quo) visibly degrades: bindings
+  against the victim's arcs can only abort during the outage;
+- ``replication=2`` keeps committed binding throughput above zero for
+  the victim's own arcs *throughout* the outage and ends with a 1.0
+  commit rate;
+- the victim serves again only after its resync completes
+  (``resync_done_at`` strictly after the scripted recovery time).
+"""
+
+import pytest
+
+from repro.workload import Table
+from repro.workload.sweep import sharded_failover_scenario, sweep
+
+from benchmarks.common import once
+
+REPLICATIONS = [1, 2]
+
+
+@pytest.mark.benchmark(group="shard_failover")
+def test_replicated_ring_survives_a_shard_host_outage(benchmark):
+    def experiment():
+        return sweep(REPLICATIONS,
+                     lambda n: sharded_failover_scenario(shards=3,
+                                                         replication=n),
+                     label="replication")
+
+    rows = once(benchmark, experiment)
+
+    table = Table("S2: shard-host outage vs binding availability "
+                  "(3 shards, 12 clients, one host down for 7s)",
+                  ["replication", "commit rate",
+                   "victim-arc commits during outage", "resync done at"])
+    for row in rows:
+        during = (f"{row['victim_commits_during_outage']}"
+                  f"/{row['victim_offered_during_outage']}")
+        table.add_row(row["replication"], row["commit_rate"], during,
+                      row["resync_done_at"] or "-")
+    table.show()
+
+    by_repl = {row["replication"]: row for row in rows}
+    bare, replicated = by_repl[1], by_repl[2]
+
+    # Both runs must exercise the interesting case at all.
+    for row in rows:
+        assert row["victim_arcs"] > 0, row
+        assert row["serving_again"], row
+
+    # The PR 1 status quo: the victim's arcs black-hole, so the loop
+    # cannot absorb the workload.
+    assert bare["commit_rate"] < 1.0, bare
+
+    # The acceptance shape: with replication, bindings against the
+    # crashed host's own arcs keep committing during the outage...
+    assert replicated["victim_commits_during_outage"] > 0, replicated
+    assert replicated["victim_commits_during_outage"] > \
+        bare["victim_commits_during_outage"], (bare, replicated)
+    # ...the whole workload commits...
+    assert replicated["commit_rate"] == 1.0, replicated
+    # ...and the recovered host re-enters the serving path only after
+    # its resync from the replica peers completed.
+    assert replicated["resyncs_completed"] == 1, replicated
+    assert replicated["resync_done_at"] is not None
+    assert replicated["resync_done_at"] > replicated["recovered_at"], \
+        replicated
+
+
+@pytest.mark.benchmark(group="shard_failover")
+def test_resync_copies_the_missed_writes(benchmark):
+    """The recovered host must actually have missed (and re-copied)
+    entries: an outage with live write traffic leaves it stale, and
+    rejoining without a copy would serve old views."""
+
+    def experiment():
+        return sharded_failover_scenario(shards=3, replication=2)
+
+    row = once(benchmark, experiment)
+    assert row["entries_refreshed"] > 0, row

@@ -155,7 +155,14 @@ class AtomicAction:
         return list(self._records)
 
     def add_record(self, record: AbstractRecord) -> None:
-        if self.status is not ActionStatus.RUNNING:
+        # Records may join while RUNNING or -- late enlistment --
+        # while PREPARING: a prepare-phase record can touch a resource
+        # the action never used before (e.g. state distribution
+        # Excluding a crashed store reaches a replica shard for the
+        # first time), and 2PC is free to admit participants up to the
+        # moment the decision is taken.  Prepare processes records in
+        # waves until none are new, so a late joiner still votes.
+        if self.status not in (ActionStatus.RUNNING, ActionStatus.PREPARING):
             raise InvalidActionState(
                 f"{self.id}: cannot add records while {self.status.value}")
         self._records.append(record)
@@ -200,24 +207,38 @@ class AtomicAction:
 
     def _commit_top_level(self) -> Generator[Any, Any, ActionStatus]:
         self.status = ActionStatus.PREPARING
-        ordered = sorted(self._records, key=lambda r: r.order)
         prepared: list[tuple[AbstractRecord, Vote]] = []
-        for record in ordered:
-            try:
-                vote = yield from record.prepare(self)
-            except Exception as exc:
-                self._tracer.record("action", "prepare raised", id=str(self.id),
-                                    record=type(record).__name__,
-                                    error=type(exc).__name__)
-                vote = Vote.ABORT
-            if vote is Vote.ABORT:
-                self._tracer.record("action", "prepare vetoed", id=str(self.id),
-                                    record=type(record).__name__)
-                yield from self._abort_records(self._records)
-                self.status = ActionStatus.ABORTED
-                return self.status
-            prepared.append((record, vote))
+        voted: set[int] = set()
+        while True:
+            # Wave-by-wave: a record's prepare may enlist further
+            # records (late enlistment); every joiner votes before the
+            # decision is taken.
+            wave = [r for r in self._records if id(r) not in voted]
+            if not wave:
+                break
+            voted.update(id(r) for r in wave)
+            for record in sorted(wave, key=lambda r: r.order):
+                try:
+                    vote = yield from record.prepare(self)
+                except Exception as exc:
+                    self._tracer.record("action", "prepare raised",
+                                        id=str(self.id),
+                                        record=type(record).__name__,
+                                        error=type(exc).__name__)
+                    vote = Vote.ABORT
+                if vote is Vote.ABORT:
+                    self._tracer.record("action", "prepare vetoed",
+                                        id=str(self.id),
+                                        record=type(record).__name__)
+                    yield from self._abort_records(self._records)
+                    self.status = ActionStatus.ABORTED
+                    return self.status
+                prepared.append((record, vote))
         self.status = ActionStatus.COMMITTING
+        # Re-sort: wave-by-wave prepare voted in enlistment waves, but
+        # phase 2 keeps the documented lower-order-first contract even
+        # when a late joiner carries a lower order than an early wave.
+        prepared.sort(key=lambda entry: entry[0].order)
         for record, vote in prepared:
             if vote is Vote.READONLY:
                 continue

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.actions.action import AtomicAction
+from repro.actions.action import ActionStatus, AtomicAction
 from repro.actions.errors import LockRefused
 from repro.cluster.node import Node
 from repro.cluster.store_host import STORE_SERVICE
@@ -89,12 +89,19 @@ class RecoveryManager:
         while True:
             yield Timeout(self.guard_interval)
             for uid in store.uids():
+                action = AtomicAction(node=self.node.name,
+                                      tracer=self.tracer)
                 try:
-                    action = AtomicAction(node=self.node.name,
-                                          tracer=self.tracer)
                     view = yield from self.db.get_view(action, uid)
                     yield from action.commit()
                 except Exception:
+                    # Abort, never abandon: a raised get_view/commit
+                    # would otherwise leave the probe's read locks held
+                    # on the shard until a cleaner happened to purge
+                    # them, blocking writers on the entry meanwhile.
+                    if action.status not in (ActionStatus.COMMITTED,
+                                             ActionStatus.ABORTED):
+                        yield from action.abort()
                     continue
                 if self.node.name in view:
                     continue

@@ -40,6 +40,7 @@ from repro.naming.cleanup import UseListCleaner
 from repro.naming.db_client import GroupViewDbClient
 from repro.naming.group_view_db import GroupViewDatabase
 from repro.naming.hybrid import HybridNameService
+from repro.naming.shard_resync import ShardResyncManager
 from repro.naming.shard_router import DEFAULT_RING_REPLICAS, ShardRouter
 from repro.naming.sharded_client import (
     ShardedGroupViewDatabase,
@@ -81,6 +82,8 @@ class SystemConfig:
     binding_scheme: str = "standard"
     nonatomic_name_server: bool = False      # section-5 variant (E6)
     nameserver_shards: int = 1               # >1 -> consistent-hash ring
+    nameserver_replication: int = 1          # >1 -> replicate each ring arc
+    shard_antientropy_interval: float | None = 10.0  # None disables the sweep
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
     enable_cleaner: bool = False
     cleaner_interval: float = 5.0
@@ -123,9 +126,18 @@ class DistributedSystem:
         # hosts when ``nameserver_shards > 1``.
         self.shard_router: ShardRouter | None = None
         self.cleaners: list[UseListCleaner] = []
+        self.shard_resyncers: dict[str, ShardResyncManager] = {}
         shard_count = self.config.nameserver_shards
+        replication = self.config.nameserver_replication
         if shard_count < 1:
             raise ValueError(f"nameserver_shards must be >= 1: {shard_count}")
+        if replication < 1:
+            raise ValueError(
+                f"nameserver_replication must be >= 1: {replication}")
+        if replication > shard_count:
+            raise ValueError(
+                f"nameserver_replication ({replication}) cannot exceed "
+                f"nameserver_shards ({shard_count})")
         if shard_count > 1:
             if self.config.nonatomic_name_server:
                 raise ValueError(
@@ -163,9 +175,16 @@ class DistributedSystem:
         Each shard host runs its own :class:`GroupViewDatabase` (own
         lock manager, own undo log) with a colocated cleanup daemon;
         entry placement is the consistent-hash ring shared by every
-        client through :class:`ShardedGroupViewDbClient`.
+        client through :class:`ShardedGroupViewDbClient`.  With
+        ``nameserver_replication > 1`` every entry additionally lives
+        on its arc's replica successors, the shard hosts become
+        legitimate crash/recovery targets for :class:`FaultPlan` and
+        :class:`StochasticFaultInjector`, and each host gets a
+        :class:`ShardResyncManager` that catches it up from its peers
+        before it serves again after a crash.
         """
         names = [f"{NAME_NODE}{i}" for i in range(shard_count)]
+        replication = self.config.nameserver_replication
         self.shard_router = ShardRouter(
             names, replicas=self.config.shard_ring_replicas)
         shard_dbs: dict[str, GroupViewDatabase] = {}
@@ -178,6 +197,20 @@ class DistributedSystem:
             shard_dbs[name] = db
             NameShardHost.install_on(node, db)
             StoreHost.install_on(node)
+            if replication > 1:
+                # Installed after NameShardHost so its boot hook runs
+                # second on recovery and can gate the service back out.
+                self.shard_resyncers[name] = ShardResyncManager(
+                    node, db, self.shard_router, replication,
+                    sweep_interval=self.config.shard_antientropy_interval,
+                    metrics=self.metrics.scoped(f"shard.{name}."),
+                    tracer=self.tracer)
+            else:
+                # No peers to resync from, but the fail-silent contract
+                # still holds: locks and undo logs are volatile, so a
+                # recovering shard host must not resurrect its
+                # pre-crash lock table or provisional writes.
+                self._install_volatile_reset(node, db)
             if self.config.enable_cleaner:
                 cleaner = UseListCleaner(
                     self.scheduler, node.rpc, db,
@@ -188,13 +221,30 @@ class DistributedSystem:
                 cleaner.start()
                 self.cleaners.append(cleaner)
         self.name_node = self.nodes[names[0]]
-        self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs)
+        self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs,
+                                           replication=replication)
+
+    @staticmethod
+    def _install_volatile_reset(node: Node, db: GroupViewDatabase) -> None:
+        """On every recovery, drop the shard db's volatile state.
+
+        ``run_now=False`` makes the hook recovery-only: it never fires
+        at initial boot, only when a crashed node comes back.
+        """
+        node.add_boot_hook(lambda _node: db.reset_volatile(), run_now=False)
 
     def _make_db_client(self, node: Node) -> Any:
         """The db adapter a client-side component on ``node`` should use."""
         if self.shard_router is not None:
-            return ShardedGroupViewDbClient(node.rpc, self.shard_router)
+            return ShardedGroupViewDbClient(
+                node.rpc, self.shard_router,
+                replication=self.config.nameserver_replication)
         return GroupViewDbClient(node.rpc, NAME_NODE)
+
+    @property
+    def shard_hosts(self) -> list[str]:
+        """The shard-host node names -- valid fault-injection targets."""
+        return list(self.shard_router.nodes) if self.shard_router else []
 
     # -- topology building ---------------------------------------------------
 

@@ -27,7 +27,10 @@ Beyond the paper, :mod:`~repro.naming.shard_router` and
 :mod:`~repro.naming.sharded_client` partition the database across a
 consistent-hash ring of store hosts so binding traffic scales
 horizontally while every entry keeps its per-entry lock semantics on
-its owning shard (see ``docs/architecture.md``).
+its owning shard; with ``nameserver_replication > 1`` each entry is
+replicated over its ring arc's preference list and
+:mod:`~repro.naming.shard_resync` catches recovered shard hosts up
+from their replica peers (see ``docs/architecture.md``).
 """
 
 from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
@@ -45,6 +48,7 @@ from repro.naming.binding import (
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.nonatomic import NonAtomicNameServer
 from repro.naming.shard_router import ShardRouter
+from repro.naming.shard_resync import ShardResyncManager
 from repro.naming.sharded_client import (
     ShardedGroupViewDatabase,
     ShardedGroupViewDbClient,
@@ -63,6 +67,7 @@ __all__ = [
     "ObjectServerDatabase",
     "ObjectStateDatabase",
     "ServerEntrySnapshot",
+    "ShardResyncManager",
     "ShardRouter",
     "ShardedGroupViewDatabase",
     "ShardedGroupViewDbClient",

@@ -73,6 +73,12 @@ class UseListCleaner:
 
     def run_once(self) -> Generator[Any, Any, list[str]]:
         """One cleanup round; returns the client nodes purged."""
+        if not self._rpc.up:
+            # The colocated host is down, so this daemon is too.  (The
+            # daemon outliving its node is a simulation artefact; acting
+            # on it would "detect" every client as dead, since pings
+            # from a downed interface all fail instantly.)
+            return []
         self.rounds += 1
         suspects = self._collect_client_nodes()
         purged: list[str] = []

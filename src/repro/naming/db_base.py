@@ -102,6 +102,19 @@ class ActionDatabase:
             if _is_prefix(path, owner.path):
                 self.locks.release_all(owner)
 
+    def reset_volatile(self) -> None:
+        """Model a crash of the hosting node: locks and undo logs are
+        volatile, committed entries are stable.
+
+        Used by shard-host recovery: whatever 2PC traffic was in
+        progress at the crash is decided by the surviving replicas, and
+        the recovering database must not resurrect half-applied writes
+        or stale lock claims.  The empty path is a prefix of every
+        action, so a blanket abort is exactly this semantics: all undo
+        entries reversed newest-first, every lock released.
+        """
+        self.abort(())
+
     # -- diagnostics ---------------------------------------------------------
 
     @property

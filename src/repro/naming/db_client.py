@@ -50,16 +50,42 @@ class GroupViewDbClient:
 
     # -- enlistment ----------------------------------------------------------
 
-    def enlist(self, action: AtomicAction) -> None:
-        """Make the db a 2PC participant of the action's top-level root."""
+    @staticmethod
+    def _root(action: AtomicAction) -> AtomicAction:
         root = action
         while root.parent is not None:
             root = root.parent
+        return root
+
+    def enlist(self, action: AtomicAction) -> None:
+        """Make the db a 2PC participant of the action's top-level root."""
+        root = self._root(action)
         if root.id.top_level_serial in self._enlisted_roots:
             return
         self._enlisted_roots.add(root.id.top_level_serial)
         root.add_record(RemoteParticipantRecord(
             self._rpc, self.db_node, self.service, order=600))
+
+    def is_enlisted(self, action: AtomicAction) -> bool:
+        """Whether this shard already participates in the action's root."""
+        return self._root(action).id.top_level_serial in self._enlisted_roots
+
+    def abort_stray(self, action: AtomicAction) -> None:
+        """Presumed abort for an op whose RPC failed before enlistment.
+
+        A timed-out request to a *live but queued* shard still executes
+        when the queue drains; without a participant record nothing
+        would ever release the stray op's locks or undo its provisional
+        write.  Firing a best-effort ``abort`` (no reply awaited) closes
+        that hole: the shard's single-server queue is FIFO, so the abort
+        lands after any stray op of this root and rolls it back, and on
+        a genuinely crashed shard both requests simply die.  (A latency
+        model that reorders messages can still strand a stray -- the
+        same residue presumed-abort leaves real systems, where an
+        orphan terminator picks it up.)
+        """
+        self._rpc.call(self.db_node, self.service, "abort",
+                       self._root(action).id.path)
 
     # -- calls ----------------------------------------------------------------
 
@@ -68,6 +94,42 @@ class GroupViewDbClient:
             result = yield self._rpc.call(self.db_node, self.service, method, *args)
         except RpcRemoteError as exc:
             raise_mapped(exc)
+        return result
+
+    def call_enlisted(self, action: AtomicAction, method: str,
+                      *args: Any) -> Generator[Any, Any, Any]:
+        """One db operation with eager enlistment (the single-home path).
+
+        Enlisting *before* the call means even a timed-out operation
+        leaves the shard a participant, so the caller's abort reaches it
+        and releases any locks the lost reply concealed.  That is the
+        right trade when the shard is the entry's only home; the
+        replicated path uses :meth:`call_reached` instead.
+        """
+        self.enlist(action)
+        return (yield from self._call(method, action.id.path, *args))
+
+    def call_reached(self, action: AtomicAction, method: str,
+                     *args: Any) -> Generator[Any, Any, Any]:
+        """One db operation, enlisting the shard only if it was *reached*.
+
+        The replicated write path must skip crashed replicas without
+        dooming the action, so a shard becomes a 2PC participant only
+        once an RPC demonstrably reached it: on success, and on mapped
+        database errors (``LockRefused`` and friends prove the shard
+        executed the request and may hold this action's earlier locks,
+        which termination must release).  An unreachable shard -- RPC
+        timeout, or no service registered because the host is mid-resync
+        -- raises without enlisting, letting the caller fail over.
+        """
+        try:
+            result = yield self._rpc.call(self.db_node, self.service, method,
+                                          action.id.path, *args)
+        except RpcRemoteError as exc:
+            if exc.remote_type in _ERROR_TYPES:
+                self.enlist(action)
+            raise_mapped(exc)
+        self.enlist(action)
         return result
 
     def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],

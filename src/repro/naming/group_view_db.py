@@ -122,6 +122,54 @@ class GroupViewDatabase:
     def ping(self) -> str:
         return "pong"
 
+    # -- shard resync support -------------------------------------------------------
+
+    def list_uids(self) -> list[str]:
+        """Every UID with an entry in either half (RPC-exposed).
+
+        Lock-free: enumerating keys is safe (an uncommitted ``define``
+        may briefly appear, but resync readers take real read locks per
+        entry and treat ``UnknownObject`` as "gone again").
+        """
+        uids = {str(uid) for uid in self.server_db.all_uids()}
+        uids.update(str(uid) for uid in self.state_db.all_uids())
+        return sorted(uids)
+
+    def entry_versions(self, uid_text: str) -> tuple[int, int]:
+        """The (server, state) write versions of one entry (RPC-exposed).
+
+        Resync callers invoke this while already holding the entry's
+        read locks (from the snapshot reads of the same action), so the
+        lock-free read is consistent.
+        """
+        uid = Uid.parse(uid_text)
+        return (self.server_db.entry_version(uid),
+                self.state_db.entry_version(uid))
+
+    def install_entry(self, uid_text: str, sv_hosts: list[str],
+                      uses: dict[str, dict[str, int]],
+                      st_hosts: list[str],
+                      versions: tuple[int, int]) -> bool:
+        """Install one committed entry from a replica peer's snapshot.
+
+        Each half lands only if the peer's write version is strictly
+        ahead of the local one (see the per-db ``install_entry``), so
+        resync and anti-entropy can only move a replica forward.
+        Returns whether anything was installed.
+        """
+        uid = Uid.parse(uid_text)
+        sv_version, st_version = versions
+        changed = self.server_db.install_entry(uid, list(sv_hosts), uses,
+                                               sv_version)
+        changed |= self.state_db.install_entry(uid, list(st_hosts),
+                                               st_version)
+        return changed
+
+    def reset_volatile(self) -> None:
+        """Crash semantics: drop all locks and undo in-flight actions."""
+        self.server_db.reset_volatile()
+        self.state_db.reset_volatile()
+
     # -- persistence -------------------------------------------------------------------
 
     def save_state(self) -> bytes:

@@ -39,6 +39,10 @@ class _ServerEntry:
     hosts: list[str]
     # uses[host][client_node] = count of that node's clients bound to host
     uses: dict[str, dict[str, int]]
+    # Monotonic write version: bumped by every committed mutation (undo
+    # un-bumps aborted ones), so replica shards applying the same op
+    # stream agree on it and resync can order divergent copies.
+    version: int = 1
 
 
 @dataclass(frozen=True)
@@ -76,6 +80,25 @@ class ObjectServerDatabase(ActionDatabase):
             raise ValueError(f"server entry already defined for {uid}")
         self._entries[uid] = _ServerEntry(list(hosts), {h: {} for h in hosts})
         self._record_undo(action_path, lambda: self._entries.pop(uid, None))
+
+    def entry_version(self, uid: Uid) -> int:
+        """The entry's write version (0 when unknown here)."""
+        entry = self._entries.get(uid)
+        return entry.version if entry is not None else 0
+
+    def _bump(self, action_path: ActionPath, uid: Uid) -> None:
+        """Advance the entry's write version, undoably."""
+        entry = self._entries.get(uid)
+        if entry is None:
+            return
+        entry.version += 1
+
+        def undo() -> None:
+            rolled = self._entries.get(uid)
+            if rolled is not None and rolled.version > 0:
+                rolled.version -= 1
+
+        self._record_undo(action_path, undo)
 
     def knows(self, uid: Uid) -> bool:
         return uid in self._entries
@@ -126,6 +149,7 @@ class ObjectServerDatabase(ActionDatabase):
         entry.hosts.append(host)
         entry.uses.setdefault(host, {})
         self._record_undo(action_path, lambda: self._remove_silently(uid, host))
+        self._bump(action_path, uid)
 
     def remove(self, action_path: ActionPath, uid: Uid, host: str) -> None:
         """``Remove``: drop a server node from ``Sv`` (write lock)."""
@@ -146,6 +170,7 @@ class ObjectServerDatabase(ActionDatabase):
                 restored.uses[host] = copy.deepcopy(saved_uses)
 
         self._record_undo(action_path, undo)
+        self._bump(action_path, uid)
 
     def increment(self, action_path: ActionPath, client_node: str, uid: Uid,
                   hosts: list[str]) -> None:
@@ -162,6 +187,7 @@ class ObjectServerDatabase(ActionDatabase):
             self._record_undo(
                 action_path,
                 lambda h=host: self._decrement_silently(uid, client_node, h))
+        self._bump(action_path, uid)
 
     def decrement(self, action_path: ActionPath, client_node: str, uid: Uid,
                   hosts: list[str]) -> None:
@@ -169,6 +195,7 @@ class ObjectServerDatabase(ActionDatabase):
         self._lock(action_path, self._key(uid), LockMode.WRITE)
         self.metrics.counter(f"{self.name}.decrement").increment()
         entry = self._entry(uid)
+        mutated = False
         for host in hosts:
             counters = entry.uses.get(host)
             if not counters or counters.get(client_node, 0) <= 0:
@@ -179,6 +206,9 @@ class ObjectServerDatabase(ActionDatabase):
             self._record_undo(
                 action_path,
                 lambda h=host: self._increment_silently(uid, client_node, h))
+            mutated = True
+        if mutated:
+            self._bump(action_path, uid)
 
     def purge_client(self, action_path: ActionPath, client_node: str) -> list[Uid]:
         """Remove every use-list counter belonging to ``client_node``.
@@ -209,9 +239,32 @@ class ObjectServerDatabase(ActionDatabase):
                     action_path,
                     lambda u=uid, h=host, c=count: self._restore_counter(
                         u, client_node, h, c))
+            self._bump(action_path, uid)
             purged.append(uid)
             self.metrics.counter(f"{self.name}.purged_clients").increment()
         return purged
+
+    def install_entry(self, uid: Uid, hosts: list[str],
+                      uses: Mapping[str, Mapping[str, int]],
+                      version: int) -> bool:
+        """Install a replica peer's committed entry (shard resync).
+
+        Version-gated: the copy applies only when the peer's write
+        version is strictly ahead of ours, so resync and anti-entropy
+        always converge replicas *forward* — a stale peer can never
+        overwrite a fresher copy, whichever side sweeps first.  No
+        locks are taken: callers must hold the entry's write lock or
+        keep the database out of the serving path.  Counters for hosts
+        outside ``hosts`` are dropped, preserving the invariant that
+        use lists exist exactly for Sv members.  Returns whether the
+        entry was installed.
+        """
+        current = self._entries.get(uid)
+        if current is not None and current.version >= version:
+            return False
+        fresh_uses = {h: dict(uses.get(h, {})) for h in hosts}
+        self._entries[uid] = _ServerEntry(list(hosts), fresh_uses, version)
+        return True
 
     def _restore_counter(self, uid: Uid, client_node: str, host: str,
                          count: int) -> None:

@@ -28,6 +28,9 @@ from repro.storage.uid import Uid
 @dataclass
 class _StateEntry:
     hosts: list[str]
+    # Monotonic write version (see _ServerEntry): lets resync order
+    # divergent replica copies.
+    version: int = 1
 
 
 class ObjectStateDatabase(ActionDatabase):
@@ -55,6 +58,25 @@ class ObjectStateDatabase(ActionDatabase):
     def all_uids(self) -> list[Uid]:
         return sorted(self._entries)
 
+    def entry_version(self, uid: Uid) -> int:
+        """The entry's write version (0 when unknown here)."""
+        entry = self._entries.get(uid)
+        return entry.version if entry is not None else 0
+
+    def _bump(self, action_path: ActionPath, uid: Uid) -> None:
+        """Advance the entry's write version, undoably."""
+        entry = self._entries.get(uid)
+        if entry is None:
+            return
+        entry.version += 1
+
+        def undo() -> None:
+            rolled = self._entries.get(uid)
+            if rolled is not None and rolled.version > 0:
+                rolled.version -= 1
+
+        self._record_undo(action_path, undo)
+
     # -- paper operations -----------------------------------------------------
 
     def get_view(self, action_path: ActionPath, uid: Uid) -> list[str]:
@@ -77,6 +99,7 @@ class ObjectStateDatabase(ActionDatabase):
             self._lock(action_path, self._key(uid), mode)
             self.metrics.counter(f"{self.name}.exclude").increment()
             entry = self._entry(uid)
+            mutated = False
             for host in hosts:
                 if host not in entry.hosts:
                     continue
@@ -85,6 +108,9 @@ class ObjectStateDatabase(ActionDatabase):
                 self._record_undo(
                     action_path,
                     lambda u=uid, h=host, p=position: self._reinsert(u, h, p))
+                mutated = True
+            if mutated:
+                self._bump(action_path, uid)
             self.tracer.record("db", "exclude", uid=str(uid), hosts=list(hosts),
                                remaining=list(entry.hosts))
 
@@ -97,8 +123,22 @@ class ObjectStateDatabase(ActionDatabase):
             return  # idempotent
         entry.hosts.append(host)
         self._record_undo(action_path, lambda: self._remove_silently(uid, host))
+        self._bump(action_path, uid)
         self.tracer.record("db", "include", uid=str(uid), host=host,
                            hosts=list(entry.hosts))
+
+    def install_entry(self, uid: Uid, hosts: list[str], version: int) -> bool:
+        """Install a replica peer's committed entry (shard resync).
+
+        Version-gated like its server-db counterpart: only a strictly
+        fresher peer copy lands, so convergence always runs forward.
+        Returns whether the entry was installed.
+        """
+        current = self._entries.get(uid)
+        if current is not None and current.version >= version:
+            return False
+        self._entries[uid] = _StateEntry(list(hosts), version)
+        return True
 
     # -- internals --------------------------------------------------------------
 

@@ -1,0 +1,311 @@
+"""Shard-host recovery: catch up from replica peers before serving.
+
+With ``nameserver_replication > 1`` an entry lives on every host of its
+ring arc's preference list.  Writes flow through all *live* replicas,
+so a crashed shard host misses every update committed during its
+outage; letting it serve again as-is would hand stale ``Sv``/``St``
+views and use counters to clients.  :class:`ShardResyncManager` is the
+recovery protocol -- the naming-database analogue of
+:class:`~repro.cluster.recovery.RecoveryManager`'s refresh+Include
+dance for object stores:
+
+1. **Gate.**  On recovery the manager unregisters the shard's RPC
+   service (the boot hook runs right after
+   :class:`~repro.cluster.store_host.NameShardHost` re-registered it),
+   so clients' reads and writes fail over around this host exactly as
+   they did during the outage.
+2. **Reset.**  Locks and undo logs are volatile: any action that was
+   in flight at the crash was decided -- or aborted -- by the surviving
+   replicas, so the local database aborts every in-flight path and
+   drops every lock (``reset_volatile``).  This also terminates the
+   prepared-but-undecided state of a 2PC whose coordinator could no
+   longer reach us for phase 2.
+3. **Copy.**  For every UID whose preference list contains this host
+   (the universe is the union of the local entries and every
+   reachable peer's ``list_uids``), read the committed entry from the
+   first live replica peer *under a real atomic action* -- the read
+   locks guarantee a consistent snapshot, never a half-applied write --
+   and install it locally.  Entries locked by live actions are retried
+   next round, like the cleanup daemon does.
+4. **Converge, then rejoin.**  Passes repeat until one applies no
+   changes (writes committed mid-resync land on the peers we copy
+   from), then the service is re-registered and the host serves again.
+
+The manager also runs a low-frequency **anti-entropy sweep** while the
+host is serving: the same copy pass, but each local install first
+try-locks the entry (an entry a live action holds locks on is skipped
+until the next sweep).  Crash-induced staleness is already repaired at
+recovery; the sweep bounds every *other* divergence -- chiefly a
+live-but-queued replica whose timed-out write was presume-aborted by
+the client -- to one sweep interval.
+
+The protocol is per-host and unsynchronised: any subset of shard hosts
+can crash and recover in any order, as long as each arc keeps one live
+replica -- the same availability contract the paper gives replicated
+application objects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.actions.action import AtomicAction
+from repro.actions.errors import LockRefused, PromotionRefused
+from repro.actions.locks import LockMode
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.errors import UnknownObject
+from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
+from repro.naming.shard_router import ShardRouter
+from repro.net.errors import RpcError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Timeout
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (cluster -> naming)
+    from repro.cluster.node import Node
+
+
+class ShardResyncManager:
+    """Gates a recovered shard host out of the ring until caught up."""
+
+    def __init__(self, node: "Node", db: GroupViewDatabase, router: ShardRouter,
+                 replication: int, service: str = SERVICE_NAME,
+                 retry_interval: float = 0.25, max_rounds: int = 200,
+                 sweep_interval: float | None = 10.0,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if replication < 2:
+            raise ValueError("shard resync needs replication >= 2 "
+                             "(a lone replica has no peer to copy from)")
+        self.node = node
+        self.db = db
+        self.router = router
+        self.replication = replication
+        self.service = service
+        self.retry_interval = retry_interval
+        self.max_rounds = max_rounds
+        self.sweep_interval = sweep_interval
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.resyncs_completed = 0
+        self.resyncs_forced = 0  # rejoined at max_rounds without converging
+        self.entries_refreshed = 0
+        self.last_resync_at: float | None = None
+        self._peer_clients: dict[str, GroupViewDbClient] = {}
+        self._install_hook()
+
+    @property
+    def serving(self) -> bool:
+        """Whether this host currently answers naming RPCs."""
+        return (not self.node.crashed
+                and self.node.rpc.has_service(self.service))
+
+    def _install_hook(self) -> None:
+        def sweep_hook(node: "Node") -> None:
+            if self.sweep_interval is not None:
+                node.spawn(self._sweep(), name="shard-anti-entropy")
+
+        self.node.add_boot_hook(sweep_hook, run_now=True)
+
+        def recovery_hook(node: "Node") -> None:
+            # Runs after NameShardHost's hook re-registered the service:
+            # pull it straight back out so no client read can slip in
+            # between the node coming up and the resync starting.
+            node.rpc.unregister(self.service)
+            self.db.reset_volatile()
+            node.spawn(self.run(), name="shard-resync")
+
+        # ``run_now=False``: never fires at initial boot (nothing was
+        # missed yet), fires on every recovery.
+        self.node.add_boot_hook(recovery_hook, run_now=False)
+
+    # -- the protocol -------------------------------------------------------
+
+    def run(self) -> Generator[Any, Any, None]:
+        """Copy this host's arcs from replica peers, then serve again."""
+        converged = False
+        for _ in range(self.max_rounds):
+            try:
+                changed = yield from self._sync_pass()
+            except _Deferred:
+                yield Timeout(self.retry_interval)
+                continue
+            if not changed:
+                converged = True
+                break
+            # A pass that applied changes re-runs to confirm convergence
+            # (writes committed mid-pass land on the peers we copy from).
+        self.node.rpc.register(self.service, self.db)
+        self.last_resync_at = self.node.scheduler.now
+        if converged:
+            self.resyncs_completed += 1
+            self.metrics.counter(
+                f"resync.{self.node.name}.completed").increment()
+        else:
+            # Availability over freshness after max_rounds: serve, but
+            # record the forced rejoin loudly -- resyncs_completed only
+            # ever counts converged passes, so monitors and benchmarks
+            # cannot mistake a stale rejoin for a caught-up one.
+            self.resyncs_forced += 1
+            self.metrics.counter(f"resync.{self.node.name}.forced").increment()
+            self.tracer.record("resync", "rejoining without convergence",
+                               node=self.node.name, rounds=self.max_rounds)
+        self.tracer.record("resync", f"{self.node.name} serving again",
+                           refreshed=self.entries_refreshed,
+                           converged=converged)
+
+    def _sweep(self) -> Generator[Any, Any, None]:
+        """Low-frequency anti-entropy while serving.
+
+        Crash-induced staleness is repaired by :meth:`run` at recovery;
+        this bounds every divergence that happens *without* a crash --
+        a live replica whose queued write timed out at the caller and
+        was presume-aborted -- to one sweep interval.  Installs are
+        lock-guarded (see :meth:`_install`), so the sweep can never
+        clobber an entry a live action is mid-flight on.
+        """
+        assert self.sweep_interval is not None
+        while True:
+            yield Timeout(self.sweep_interval)
+            if not self.serving:
+                continue  # a recovery resync owns the database right now
+            try:
+                yield from self._sync_pass()
+            except _Deferred:
+                pass  # peers dark or entries busy; next sweep retries
+
+    def _sync_pass(self) -> Generator[Any, Any, bool]:
+        """One full pass over this host's arcs; True if anything changed."""
+        me = self.node.name
+        peers = [n for n in self.router.nodes if n != me]
+        universe = set(self.db.list_uids())
+        saw_peer = False
+        for peer in peers:
+            try:
+                uids = yield self.node.rpc.call(peer, self.service, "list_uids")
+            except RpcError:
+                continue
+            saw_peer = True
+            universe.update(uids)
+        if peers and not saw_peer:
+            raise _Deferred  # the whole ring is dark; wait it out
+
+        changed = False
+        deferred = False
+        for uid_text in sorted(universe):
+            replicas = self.router.preference_list(uid_text, self.replication)
+            if me not in replicas:
+                continue  # a peer's arc, not ours
+            uid = Uid.parse(uid_text)
+            # Probe every source's versions first (lock-free and cheap:
+            # in the common already-in-sync case no snapshot is read
+            # and no peer lock is taken), then copy from each peer that
+            # is strictly ahead of us on either half.  Consulting all
+            # sources matters: an equal-version peer may simply share
+            # our staleness while a later replica holds the fresh copy.
+            probes: list[tuple[str, tuple[int, int]]] = []
+            reachable = False
+            for peer in (r for r in replicas if r != me):
+                try:
+                    versions = yield self.node.rpc.call(
+                        peer, self.service, "entry_versions", uid_text)
+                except RpcError:
+                    continue
+                reachable = True
+                probes.append((peer, tuple(versions)))
+            if not reachable:
+                deferred = True  # this arc's peers are all dark
+                continue
+            for peer, (sv_v, st_v) in probes:
+                if (sv_v <= self.db.server_db.entry_version(uid)
+                        and st_v <= self.db.state_db.entry_version(uid)):
+                    continue  # not strictly ahead of us on either half
+                outcome = yield from self._copy_entry(peer, uid_text)
+                if outcome == "copied":
+                    changed = True
+                elif outcome in ("locked", "unreachable"):
+                    deferred = True  # a known-fresher peer we missed
+                # "unknown": vanished since the probe (aborted define)
+        if deferred:
+            raise _Deferred
+        return changed
+
+    def _copy_entry(self, peer: str,
+                    uid_text: str) -> Generator[Any, Any, str]:
+        """Install one committed entry from ``peer``; returns the outcome."""
+        client = self._peer_clients.get(peer)
+        if client is None:
+            client = GroupViewDbClient(self.node.rpc, peer,
+                                       service=self.service)
+            self._peer_clients[peer] = client
+        uid = Uid.parse(uid_text)
+        action = AtomicAction(node=self.node.name, tracer=self.tracer)
+        try:
+            snapshot = yield from client.get_server_with_uses(action, uid)
+            view = yield from client.get_view(action, uid)
+            # Read under the locks the two snapshot reads already hold.
+            versions = yield self.node.rpc.call(peer, self.service,
+                                                "entry_versions", uid_text)
+        except (LockRefused, PromotionRefused):
+            yield from action.abort()
+            return "locked"
+        except UnknownObject:
+            # Defined-then-aborted, or a uid only the other half knows:
+            # nothing to copy from this peer.
+            yield from action.abort()
+            return "unknown"
+        except RpcError:
+            yield from action.abort()
+            return "unreachable"
+        yield from action.commit()  # read-only: prepare releases the locks
+        uses = {host: dict(counters)
+                for host, counters in snapshot.uses.items()}
+        changed = self._install(uid_text, list(snapshot.hosts), uses, view,
+                                tuple(versions))
+        if changed is None:
+            return "locked"
+        if changed:
+            self.entries_refreshed += 1
+            self.metrics.counter(
+                f"resync.{self.node.name}.entries_refreshed").increment()
+            self.tracer.record("resync", "entry refreshed", uid=uid_text,
+                               node=self.node.name, source=peer)
+            return "copied"
+        return "unchanged"
+
+    def _install(self, uid_text: str, sv_hosts: list[str],
+                 uses: dict[str, dict[str, int]],
+                 st_hosts: list[str],
+                 versions: tuple[int, int]) -> bool | None:
+        """Install one entry locally; None means locally locked (skip).
+
+        Both halves are try-locked first, gated or not: even while the
+        RPC service is out of the serving path, the *colocated* cleanup
+        daemon writes to the same database directly, and overwriting an
+        entry whose purge action is mid-flight would corrupt the
+        action's undo closures.  A refusal means a live local action
+        holds the entry; the pass retries it next round.  The install
+        itself is additionally version-gated, so only a strictly
+        fresher peer copy ever lands.
+        """
+        uid = Uid.parse(uid_text)
+        probe = AtomicAction(node=self.node.name, tracer=self.tracer)
+        locked = []
+        try:
+            for half, key in ((self.db.server_db, ("sv", uid)),
+                              (self.db.state_db, ("st", uid))):
+                half.locks.try_lock(probe.id, key, LockMode.WRITE)
+                locked.append(half)
+            return self.db.install_entry(uid_text, sv_hosts, uses, st_hosts,
+                                         versions)
+        except (LockRefused, PromotionRefused):
+            return None
+        finally:
+            for half in locked:
+                half.locks.release_all(probe.id)
+            probe.run_local(probe.abort())
+
+
+class _Deferred(Exception):
+    """A pass could not finish; sleep and retry."""

@@ -11,16 +11,24 @@ entry's UID hash.  Properties the naming layer relies on:
 - **determinism** -- the mapping is a pure function of the host names
   and the replica count, so every client, shard host, and recovery
   daemon computes the same placement without coordination (hashes come
-  from :func:`hashlib.md5`, not Python's salted ``hash``);
+  from :func:`hashlib.md5`, not Python's salted ``hash``); two virtual
+  nodes colliding on the same ring point are ordered by owner name, so
+  ownership never depends on insertion order;
 - **balance** -- with enough virtual nodes per host the keyspace is
   split near-evenly, so binding traffic spreads across shards;
 - **stability** -- adding or removing one host moves only the keys in
   the arcs it owned; unrelated entries keep their shard, so a ring can
   be grown without rewriting the whole database.
 
-Per-entry lock semantics are untouched: a UID maps to exactly one
-shard, whose :class:`~repro.naming.group_view_db.GroupViewDatabase`
-keeps the paper's per-entry concurrency control.
+:meth:`ShardRouter.preference_list` extends point lookup to *arc
+replication*: the owner plus its n-1 distinct successor hosts
+clockwise.  Replicating every entry across its preference list is what
+lets the naming database survive shard-host crashes -- the same trick
+the paper plays with application objects and their ``St`` sets.
+
+Per-entry lock semantics are untouched: each replica shard's
+:class:`~repro.naming.group_view_db.GroupViewDatabase` keeps the
+paper's per-entry concurrency control.
 """
 
 from __future__ import annotations
@@ -49,8 +57,10 @@ class ShardRouter:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.replicas = replicas
         self._nodes: list[str] = []
-        self._points: list[int] = []      # sorted ring positions
-        self._owners: list[str] = []      # _owners[i] owns _points[i]
+        # Sorted (point, owner) pairs.  Keeping the owner inside the
+        # sort key gives colliding points a deterministic order (by
+        # owner name) instead of one that depends on insertion order.
+        self._ring: list[tuple[int, str]] = []
         for node in nodes:
             self.add_node(node)
         if not self._nodes:
@@ -67,12 +77,12 @@ class ShardRouter:
         """Claim ``replicas`` ring points for ``node``."""
         if node in self._nodes:
             raise ValueError(f"shard node already on the ring: {node}")
+        if not node:
+            raise ValueError("shard node names must be non-empty")
         self._nodes.append(node)
         for index in range(self.replicas):
-            point = _ring_hash(f"{node}#{index}")
-            at = bisect.bisect(self._points, point)
-            self._points.insert(at, point)
-            self._owners.insert(at, node)
+            entry = (_ring_hash(f"{node}#{index}"), node)
+            self._ring.insert(bisect.bisect_left(self._ring, entry), entry)
 
     def remove_node(self, node: str) -> None:
         """Release the node's points; its arcs fall to the successors."""
@@ -81,19 +91,46 @@ class ShardRouter:
         if len(self._nodes) == 1:
             raise ValueError("cannot remove the last shard node")
         self._nodes.remove(node)
-        keep = [(p, o) for p, o in zip(self._points, self._owners) if o != node]
-        self._points = [p for p, _ in keep]
-        self._owners = [o for _, o in keep]
+        self._ring = [(p, o) for p, o in self._ring if o != node]
 
     # -- routing ------------------------------------------------------------
 
+    def _first_point_at_or_after(self, key: Hashable) -> int:
+        """Ring index of the first point clockwise of (or at) the key.
+
+        ``bisect_left`` on ``(hash, "")`` finds the first pair whose
+        point is >= the key's hash (node names are non-empty, so ``""``
+        sorts before every owner at the same point): a key hashing
+        *exactly* onto a point belongs to that point's own owner, not
+        the next one.
+        """
+        at = bisect.bisect_left(self._ring, (_ring_hash(str(key)), ""))
+        return 0 if at == len(self._ring) else at
+
     def shard_for(self, key: Hashable) -> str:
         """The shard host owning ``key`` (any value with a stable str)."""
-        point = _ring_hash(str(key))
-        at = bisect.bisect(self._points, point)
-        if at == len(self._points):
-            at = 0  # wrap past the highest point back to the start
-        return self._owners[at]
+        return self._ring[self._first_point_at_or_after(key)][1]
+
+    def preference_list(self, key: Hashable, n: int) -> list[str]:
+        """The key's owner plus its n-1 distinct successor hosts.
+
+        Walking clockwise from the owning point and collecting distinct
+        hosts yields the replica set for the key's arc: crash-disjoint
+        (all hosts distinct) and stable under ring growth the same way
+        single ownership is.  ``n`` greater than the ring's host count
+        returns every host.  ``preference_list(k, 1) == [shard_for(k)]``.
+        """
+        if n < 1:
+            raise ValueError(f"preference list size must be >= 1, got {n}")
+        start = self._first_point_at_or_after(key)
+        owners: list[str] = []
+        for offset in range(len(self._ring)):
+            owner = self._ring[(start + offset) % len(self._ring)][1]
+            if owner not in owners:
+                owners.append(owner)
+                if len(owners) == n:
+                    break
+        return owners
 
     def partition(self, keys: Iterable[T]) -> dict[str, list[T]]:
         """Group ``keys`` by owning shard (shards with no keys omitted)."""

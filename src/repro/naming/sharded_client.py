@@ -8,7 +8,7 @@ one logical service:
   exposes exactly the :class:`~repro.naming.db_client.GroupViewDbClient`
   surface the binding schemes, replication policies, and recovery
   daemons are written against, but routes every per-UID operation to
-  the shard owning that UID (via a
+  the shards owning that UID (via a
   :class:`~repro.naming.shard_router.ShardRouter`) and fans multi-UID
   operations (``Exclude``) out per shard.  Each touched shard is
   enlisted as its *own* two-phase-commit participant of the calling
@@ -21,10 +21,30 @@ one logical service:
   their own nodes for RPC) and routes by the same ring, so wire
   clients and the harness always agree on placement.
 
+With ``replication > 1`` an entry lives on its whole *preference list*
+(the ring owner plus its n-1 distinct successors), treating the naming
+database itself as a replicated object -- the same trick the paper
+plays with application objects:
+
+- **writes** go through to every replica of the entry, each live
+  replica enlisted as its own participant of the calling action's 2PC.
+  A replica whose RPC fails (crashed, or gated out while resyncing) is
+  skipped -- the write commits as long as at least one replica took it,
+  and the shard-resync daemon catches the absentee up on recovery;
+- **reads** are served by the first live replica in preference order,
+  failing over down the list when a replica's RPC errors out.  Only
+  synced replicas serve (recovery gates the RPC service until resync
+  completes), so failover never reads a stale arc.
+
+Replica divergence windows are closed by 2PC itself: a replica that
+dies *between* prepare and commit lost nothing durable -- its locks and
+undo log are volatile, and the resync daemon re-copies the committed
+entry from its peers before the host serves again.
+
 Per-entry semantics survive partitioning untouched: a UID's entry
-lives on exactly one shard, whose lock manager enforces the paper's
-per-entry locking; operations on different shards were always on
-different entries, hence never conflicted anyway.
+keeps the paper's per-entry locking on every replica shard; writes
+lock all replicas, so conflicting actions collide on whichever replica
+they reach first, exactly as they would on a single home shard.
 """
 
 from __future__ import annotations
@@ -33,9 +53,11 @@ from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
 from repro.naming.db_client import GroupViewDbClient
+from repro.naming.errors import UnknownObject
 from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
 from repro.naming.object_server_db import ServerEntrySnapshot
 from repro.naming.shard_router import ShardRouter
+from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
 from repro.storage.uid import Uid
 
@@ -44,10 +66,13 @@ class ShardedGroupViewDbClient:
     """Routes the :class:`GroupViewDbClient` surface over a shard ring."""
 
     def __init__(self, rpc: RpcAgent, router: ShardRouter,
-                 service: str = SERVICE_NAME) -> None:
+                 service: str = SERVICE_NAME, replication: int = 1) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
         self._rpc = rpc
         self.router = router
         self.service = service
+        self.replication = replication
         # Built lazily so a ring grown with ShardRouter.add_node keeps
         # working: an unseen owner gets its per-shard client on first
         # routing.  (Clients for removed nodes linger unused -- the
@@ -66,58 +91,156 @@ class ShardedGroupViewDbClient:
         return client
 
     def shard_client(self, uid: Uid | str) -> GroupViewDbClient:
-        """The per-shard client owning ``uid``."""
+        """The per-shard client owning ``uid`` (the primary replica)."""
         return self.shard_client_for_node(self.router.shard_for(uid))
+
+    def replicas_for(self, uid: Uid | str) -> list[str]:
+        """The shard hosts holding ``uid``, primary first."""
+        return self.router.preference_list(uid, self.replication)
 
     @property
     def shard_clients(self) -> dict[str, GroupViewDbClient]:
         return dict(self._shards)
 
+    # -- replicated call plumbing -------------------------------------------
+    # With replication == 1 both helpers collapse to the single-home
+    # behaviour (one routed call, enlist-on-reach); with replication > 1
+    # writes fan out to the whole preference list and reads fail over
+    # along it.  2PC enlistment happens per reached shard, so an action
+    # enlists exactly the shards it touched -- there is deliberately no
+    # blanket enlist-all entry point here.
+
+    def _write(self, action: AtomicAction, uid: Uid | str, method: str,
+               *args: Any) -> Generator[Any, Any, Any]:
+        """Apply a mutating operation to every live replica of ``uid``.
+
+        Lock refusals and quiescence violations propagate immediately
+        -- those verdicts hold wherever the entry lives, and the
+        caller's abort releases whatever earlier replicas provisionally
+        applied.  ``UnknownObject``, though, may just mean a *stale*
+        replica (one that missed the define via a disowned stray
+        write): it is only the verdict when no replica accepts; a
+        replica claiming ignorance while a peer applies the write is
+        skipped like a crashed one (enlisted for lock cleanup, repaired
+        by the next anti-entropy sweep).  RPC failures skip the
+        replica; only a fully-unreachable preference list fails the
+        write.
+        """
+        if self.replication == 1:
+            # Single home: enlist eagerly, exactly as PR 1's client did
+            # -- with nowhere to fail over to, a timed-out shard must
+            # stay a participant so the caller's abort still reaches it.
+            return (yield from self.shard_client(uid).call_enlisted(
+                action, method, *args))
+        result: Any = None
+        reached = False
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
+        for node in self.replicas_for(uid):
+            client = self.shard_client_for_node(node)
+            try:
+                result = yield from client.call_reached(action, method, *args)
+                reached = True
+            except RpcError as exc:
+                unreachable = exc
+                self._disown_stray(client, action)
+            except UnknownObject as exc:
+                unknown = exc  # stale replica, or truly undefined: see below
+        if not reached:
+            # An unreachable replica may well hold the entry, so its
+            # silence outranks a reachable peer's ignorance: report the
+            # retryable outage, and "undefined" only when every replica
+            # answered and disclaimed the uid.
+            if unreachable is not None:
+                raise unreachable
+            assert unknown is not None
+            raise unknown
+        return result
+
+    def _read(self, action: AtomicAction, uid: Uid | str, method: str,
+              *args: Any) -> Generator[Any, Any, Any]:
+        """Serve a read from the first live replica in preference order.
+
+        ``UnknownObject`` fails over like an RPC error -- a stale
+        replica missing the entry must not mask peers that hold it --
+        and is raised only when every replica answered and disclaimed
+        the uid (an unreachable replica may hold the entry, so its
+        outage outranks a peer's ignorance).
+        """
+        if self.replication == 1:
+            return (yield from self.shard_client(uid).call_enlisted(
+                action, method, *args))
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
+        for node in self.replicas_for(uid):
+            client = self.shard_client_for_node(node)
+            try:
+                return (yield from client.call_reached(action, method, *args))
+            except RpcError as exc:
+                unreachable = exc
+                self._disown_stray(client, action)
+            except UnknownObject as exc:
+                unknown = exc
+        if unreachable is not None:
+            raise unreachable
+        assert unknown is not None
+        raise unknown
+
+    @staticmethod
+    def _disown_stray(client: GroupViewDbClient, action: AtomicAction) -> None:
+        """After a failed op: presume-abort a replica we never enlisted.
+
+        A timed-out request to a live-but-queued replica still executes
+        when its FIFO queue drains; the fired abort (queued behind it)
+        rolls that stray back.  An *enlisted* replica is left alone --
+        its fate belongs to the action's 2PC (prepare will reach it, or
+        veto the action if it cannot).
+        """
+        if not client.is_enlisted(action):
+            client.abort_stray(action)
+
     # -- per-UID operations (routed) ----------------------------------------
-    # (2PC enlistment happens inside each per-shard client, so an
-    # action enlists exactly the shards it touches -- there is
-    # deliberately no blanket enlist-all entry point here.)
 
     def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],
                       st_hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).define_object(
-            action, uid, sv_hosts, st_hosts)
+        yield from self._write(action, uid, "define_object", str(uid),
+                               list(sv_hosts), list(st_hosts))
 
     def get_server(self, action: AtomicAction,
                    uid: Uid) -> Generator[Any, Any, list[str]]:
-        return (yield from self.shard_client(uid).get_server(action, uid))
+        return (yield from self._read(action, uid, "get_server", str(uid)))
 
     def get_server_with_uses(self, action: AtomicAction, uid: Uid,
                              for_update: bool = False,
                              ) -> Generator[Any, Any, ServerEntrySnapshot]:
-        return (yield from self.shard_client(uid).get_server_with_uses(
-            action, uid, for_update))
+        return (yield from self._read(action, uid, "get_server_with_uses",
+                                      str(uid), for_update))
 
     def insert(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).insert(action, uid, host)
+        yield from self._write(action, uid, "insert", str(uid), host)
 
     def remove(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).remove(action, uid, host)
+        yield from self._write(action, uid, "remove", str(uid), host)
 
     def increment(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).increment(action, client_node,
-                                                    uid, hosts)
+        yield from self._write(action, uid, "increment", client_node,
+                               str(uid), list(hosts))
 
     def decrement(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).decrement(action, client_node,
-                                                    uid, hosts)
+        yield from self._write(action, uid, "decrement", client_node,
+                               str(uid), list(hosts))
 
     def get_view(self, action: AtomicAction,
                  uid: Uid) -> Generator[Any, Any, list[str]]:
-        return (yield from self.shard_client(uid).get_view(action, uid))
+        return (yield from self._read(action, uid, "get_view", str(uid)))
 
     def include(self, action: AtomicAction, uid: Uid,
                 host: str) -> Generator[Any, Any, None]:
-        yield from self.shard_client(uid).include(action, uid, host)
+        yield from self._write(action, uid, "include", str(uid), host)
 
     # -- multi-UID operations (fanned out per shard) ------------------------
 
@@ -126,13 +249,44 @@ class ShardedGroupViewDbClient:
                 ) -> Generator[Any, Any, None]:
         # Grouped tuple-by-tuple (not keyed by UID) so a UID appearing
         # twice reaches its shard twice, exactly as the single-node
-        # client would forward it.
+        # client would forward it.  With replication every tuple goes
+        # to each replica of its UID.  Like the per-UID writes, one
+        # stale replica's UnknownObject must not veto the exclusion --
+        # the whole shard group is conservatively counted unreached
+        # (its pre-error exclusions stay provisional and resolve with
+        # the action) and the verdict stands only when some UID reached
+        # no replica at all, with an outage outranking ignorance.
         by_shard: dict[str, list[tuple[Uid, list[str]]]] = {}
         for uid, hosts in exclusions:
-            by_shard.setdefault(self.router.shard_for(uid),
-                                []).append((uid, hosts))
+            for node in self.replicas_for(uid):
+                by_shard.setdefault(node, []).append((uid, hosts))
+        if self.replication == 1:
+            for shard, lots in by_shard.items():
+                yield from self.shard_client_for_node(shard).exclude(
+                    action, lots)
+            return
+        reached: set[str] = set()
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
         for shard, lots in by_shard.items():
-            yield from self.shard_client_for_node(shard).exclude(action, lots)
+            client = self.shard_client_for_node(shard)
+            wire = [(str(uid), list(hosts)) for uid, hosts in lots]
+            try:
+                yield from client.call_reached(action, "exclude", wire)
+            except RpcError as exc:
+                unreachable = exc
+                self._disown_stray(client, action)
+                continue
+            except UnknownObject as exc:
+                unknown = exc
+                continue
+            reached.update(str(uid) for uid, _ in lots)
+        missed = [uid for uid, _ in exclusions if str(uid) not in reached]
+        if missed:
+            if unreachable is not None:
+                raise unreachable
+            assert unknown is not None
+            raise unknown
 
     def ping(self) -> Generator[Any, Any, bool]:
         """True only when every shard answers (the logical db is up)."""
@@ -151,28 +305,41 @@ class ShardedGroupViewDatabase:
     database is registered on its own node).  ``commit``/``abort`` are
     broadcast -- both are no-ops on shards the action never touched --
     so bootstrap code can terminate a multi-shard action in one call.
+    Reads route to the primary replica; replica-by-replica inspection
+    goes through :attr:`shards` directly.
     """
 
     def __init__(self, router: ShardRouter,
-                 shards: dict[str, GroupViewDatabase]) -> None:
+                 shards: dict[str, GroupViewDatabase],
+                 replication: int = 1) -> None:
         if set(router.nodes) != set(shards):
             raise ValueError("shard ring and database map disagree: "
                              f"{sorted(router.nodes)} vs {sorted(shards)}")
+        if replication < 1 or replication > len(shards):
+            raise ValueError(f"replication must be in 1..{len(shards)}, "
+                             f"got {replication}")
         self.router = router
         self.shards = dict(shards)
+        self.replication = replication
 
     def shard_db(self, uid_text: str) -> GroupViewDatabase:
         return self.shards[self.router.shard_for(uid_text)]
+
+    def replica_dbs(self, uid_text: str) -> dict[str, GroupViewDatabase]:
+        """The replica databases holding ``uid_text``, primary first."""
+        return {node: self.shards[node] for node in
+                self.router.preference_list(uid_text, self.replication)}
 
     # -- routed operations (the harness-facing subset) ----------------------
 
     def define_object(self, action_path: tuple[int, ...], uid_text: str,
                       sv_hosts: list[str], st_hosts: list[str]) -> None:
-        self.shard_db(uid_text).define_object(action_path, uid_text,
-                                              sv_hosts, st_hosts)
+        for db in self.replica_dbs(uid_text).values():
+            db.define_object(action_path, uid_text, sv_hosts, st_hosts)
 
     def knows(self, uid_text: str) -> bool:
-        return self.shard_db(uid_text).knows(uid_text)
+        return any(db.knows(uid_text)
+                   for db in self.replica_dbs(uid_text).values())
 
     def get_server(self, action_path: tuple[int, ...],
                    uid_text: str) -> list[str]:

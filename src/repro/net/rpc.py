@@ -99,6 +99,11 @@ class RpcAgent:
     def name(self) -> str:
         return self._nic.name
 
+    @property
+    def up(self) -> bool:
+        """Whether the owning node's interface is currently up."""
+        return self._nic.up
+
     # -- service registry ----------------------------------------------------
 
     def register(self, service_name: str, provider: object) -> None:

@@ -79,8 +79,22 @@ class FaultPlan:
             raise ValueError(f"outage must end after it starts: {start} .. {end}")
         return self.crash_at(start, target).recover_at(end, target)
 
+    def targets(self) -> set[str]:
+        """Every node name the plan touches (crash or recover)."""
+        return {event.target for event in self.events}
+
     def install(self, scheduler: Scheduler, targets: dict[str, Crashable]) -> None:
-        """Schedule every scripted event against its target."""
+        """Schedule every scripted event against its target.
+
+        Any crashable node qualifies -- including the name-service
+        shard hosts (``namenode0..``), whose outages the replicated
+        ring and the shard-resync protocol are built to absorb.
+        """
+        missing = self.targets() - set(targets)
+        if missing:
+            raise ValueError(
+                f"fault plan targets unknown nodes: {sorted(missing)} "
+                f"(known: {sorted(targets)})")
         for event in self.events:
             target = targets[event.target]
             if event.kind == "crash":

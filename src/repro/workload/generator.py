@@ -27,6 +27,7 @@ class StreamOutcome:
     attempts: int
     reason: str | None
     latency: float  # from first attempt start to final attempt end
+    finished_at: float = 0.0  # virtual time of the final attempt's end
 
 
 @dataclass
@@ -129,7 +130,8 @@ class TransactionStream:
         finished = self.client.node.scheduler.now
         self.report.outcomes.append(StreamOutcome(
             committed=result.committed, attempts=attempts,
-            reason=result.reason, latency=finished - started))
+            reason=result.reason, latency=finished - started,
+            finished_at=finished))
 
 
 def run_streams(system, streams: list[TransactionStream],

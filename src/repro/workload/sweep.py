@@ -9,6 +9,14 @@ sharded-name-service experiments: a closed-loop population of clients,
 each binding/unbinding against its own object, with per-node RPC
 service time making the name service the queueing bottleneck.  Swept
 over the shard count it shows binding throughput scaling horizontally.
+
+:func:`sharded_failover_scenario` is the availability companion: the
+same closed loop, but with one shard host crashed mid-run (a
+:class:`~repro.sim.failures.FaultPlan` outage) and every entry
+replicated over its ring arc (``nameserver_replication``).  The row
+separates commits on UIDs whose *primary* home is the crashed host --
+the arc a bare ring would black-hole -- and reports when the recovered
+host finished resyncing from its replica peers.
 """
 
 from __future__ import annotations
@@ -28,37 +36,25 @@ def sweep(values: Iterable[Any], run: Callable[[Any], dict[str, Any]],
     return rows
 
 
-def sharded_nameserver_scenario(
-    shards: int,
-    clients: int = 24,
-    txns_per_client: int = 6,
-    server_hosts: int = 8,
-    scheme: str = "independent",
-    service_time: float = 0.006,
-    mean_think_time: float = 0.01,
-    max_attempts: int = 10,
-    rpc_timeout: float = 5.0,
-    seed: int = 7,
-) -> dict[str, Any]:
-    """One run of the sharded-name-service workload; returns a row.
+def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
+                 mean_think_time: float, max_attempts: int,
+                 seed: int, **config_kwargs: Any):
+    """Boot the canned closed-loop deployment shared by the scenarios.
 
-    Every client owns one object (so there is no per-entry lock
-    contention -- the experiment isolates *capacity*, not locking),
-    server and store roles spread over ``server_hosts`` nodes, and the
-    name service runs on ``shards`` hosts.  Under the use-list schemes
-    a transaction makes ~7 database calls (read-for-update, increment,
-    2PC, decrement action) against ~1 call per server host, so with one
-    shard the name node is the hottest single-server queue in the
-    system and committed throughput is capped by it.
+    Every client owns one counter object (so there is no per-entry
+    lock contention), server and store roles spread over
+    ``server_hosts`` nodes; remaining config lands in ``SystemConfig``.
+    Returns ``(system, streams, uids)`` -- run with
+    :func:`~repro.workload.generator.run_streams`.
     """
     # Imported here: repro.workload is a substrate the cluster layer's
-    # callers pull in; the scenario is the one piece that goes the
+    # callers pull in; the scenarios are the one piece that goes the
     # other way and builds a whole system.
     from repro.actions.locks import LockMode
     from repro.cluster.system import DistributedSystem, SystemConfig
     from repro.core.objects import PersistentObject, operation
     from repro.sim.rng import SeededRng
-    from repro.workload.generator import TransactionStream, run_streams
+    from repro.workload.generator import TransactionStream
 
     class SweepCounter(PersistentObject):
         TYPE_NAME = "sweep.Counter"
@@ -78,13 +74,8 @@ def sharded_nameserver_scenario(
             self.value += amount
             return self.value
 
-    # The generous rpc timeout matters: an overloaded name node shows
-    # up as queueing delay, not as spurious timeout aborts, so the
-    # sweep measures capacity rather than timeout tuning.
     system = DistributedSystem(SystemConfig(
-        seed=seed, nameserver_shards=shards, binding_scheme=scheme,
-        service_time=service_time, rpc_timeout=rpc_timeout,
-        enable_recovery_managers=False))
+        seed=seed, enable_recovery_managers=False, **config_kwargs))
     system.registry.register(SweepCounter)
     hosts = [f"s{i}" for i in range(server_hosts)]
     for host in hosts:
@@ -112,6 +103,39 @@ def sharded_nameserver_scenario(
                           max_attempts=max_attempts)
         for i, runtime in enumerate(runtimes)
     ]
+    return system, streams, uids
+
+
+def sharded_nameserver_scenario(
+    shards: int,
+    clients: int = 24,
+    txns_per_client: int = 6,
+    server_hosts: int = 8,
+    scheme: str = "independent",
+    service_time: float = 0.006,
+    mean_think_time: float = 0.01,
+    max_attempts: int = 10,
+    rpc_timeout: float = 5.0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the sharded-name-service workload; returns a row.
+
+    The closed loop isolates *capacity*, not locking: under the
+    use-list schemes a transaction makes ~7 database calls
+    (read-for-update, increment, 2PC, decrement action) against ~1
+    call per server host, so with one shard the name node is the
+    hottest single-server queue in the system and committed throughput
+    is capped by it.  The generous rpc timeout matters: an overloaded
+    name node shows up as queueing delay, not as spurious timeout
+    aborts, so the sweep measures capacity rather than timeout tuning.
+    """
+    from repro.workload.generator import run_streams
+
+    system, streams, uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, nameserver_shards=shards,
+        binding_scheme=scheme, service_time=service_time,
+        rpc_timeout=rpc_timeout)
     report = run_streams(system, streams)
     elapsed = system.scheduler.now
     row: dict[str, Any] = {
@@ -132,6 +156,87 @@ def sharded_nameserver_scenario(
         row["entry_spread"] = {"namenode": len(uids)}
         row["per_shard_reads"] = {
             "namenode": system.metrics.counter_value("server_db.get_server")}
+    return row
+
+
+def sharded_failover_scenario(
+    shards: int = 3,
+    replication: int = 2,
+    clients: int = 12,
+    txns_per_client: int = 10,
+    server_hosts: int = 4,
+    scheme: str = "independent",
+    mean_think_time: float = 0.05,
+    max_attempts: int = 10,
+    rpc_timeout: float = 0.3,
+    outage: tuple[float, float] = (2.0, 9.0),
+    victim_index: int = 0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the shard-failover workload; returns a row.
+
+    The closed loop of :func:`sharded_nameserver_scenario` (one object
+    per client, no entry contention) runs across a scripted outage of
+    one shard host.  With ``replication == 1`` the victim's arc is
+    black-holed for the outage -- bindings against its UIDs can only
+    abort; with ``replication >= 2`` writes flow through the surviving
+    replicas and reads fail over, so the row's
+    ``victim_commits_during_outage`` stays positive.  The tight
+    ``rpc_timeout`` matters here for the opposite reason than in the
+    capacity sweep: a call to the crashed host must fail fast so the
+    client's failover (not the timeout tuning) dominates the measured
+    availability.
+    """
+    from repro.sim.failures import FaultPlan
+    from repro.workload.generator import run_streams
+
+    system, streams, uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, nameserver_shards=shards,
+        nameserver_replication=replication, binding_scheme=scheme,
+        rpc_timeout=rpc_timeout)
+    assert system.shard_router is not None
+    victim = system.shard_hosts[victim_index]
+    start, end = outage
+    system.install_fault_plan(FaultPlan().outage(start, end, victim))
+    report = run_streams(system, streams)
+    # Let the victim's recovery and resync play out before inspecting.
+    system.run(until=max(system.scheduler.now, end) + 30.0)
+
+    victim_uids = {str(uid) for uid in uids
+                   if system.shard_router.shard_for(uid) == victim}
+
+    def in_outage(outcome):
+        return start <= outcome.finished_at <= end
+
+    victim_outcomes = [o for i, stream in enumerate(streams)
+                       if str(uids[i]) in victim_uids
+                       for o in stream.report.outcomes]
+    victim_during = [o for o in victim_outcomes if in_outage(o)]
+    resyncer = system.shard_resyncers.get(victim)
+    row: dict[str, Any] = {
+        "shards": shards,
+        "replication": replication,
+        "victim": victim,
+        "victim_arcs": len(victim_uids),
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "victim_offered_during_outage": len(victim_during),
+        "victim_commits_during_outage": sum(
+            1 for o in victim_during if o.committed),
+        "victim_commits_total": sum(
+            1 for o in victim_outcomes if o.committed),
+        "resyncs_completed": (resyncer.resyncs_completed
+                              if resyncer is not None else 0),
+        "entries_refreshed": (resyncer.entries_refreshed
+                              if resyncer is not None else 0),
+        "resync_done_at": (resyncer.last_resync_at
+                           if resyncer is not None else None),
+        "recovered_at": end,
+        "serving_again": (resyncer.serving if resyncer is not None
+                          else not system.nodes[victim].crashed),
+    }
     return row
 
 

@@ -176,6 +176,39 @@ def test_child_ids_extend_parent_path():
     assert grandchild.id.related(parent.id)
 
 
+def test_record_enlisted_during_prepare_still_votes_and_commits():
+    """Late enlistment: a prepare-phase record may reach a resource the
+    action never used (state distribution Excluding through a fresh
+    replica shard), enlisting a new participant mid-phase-1.  The new
+    record must still vote and run phase 2."""
+    log = []
+    action = AtomicAction()
+    late = SpyRecord(log, "late", order=600)
+
+    def enlist_late(a):
+        a.add_record(late)
+        return Vote.OK
+
+    action.add_record(CallbackRecord(on_prepare=enlist_late,
+                                     on_commit=lambda a: log.append(
+                                         ("commit", "early")),
+                                     order=100))
+    status = drive(action.commit())
+    assert status is ActionStatus.COMMITTED
+    assert ("prepare", "late") in log and ("commit", "late") in log
+
+
+def test_late_enlisted_record_can_still_veto():
+    log = []
+    action = AtomicAction()
+    veto = SpyRecord(log, "veto", vote=Vote.ABORT)
+    action.add_record(CallbackRecord(
+        on_prepare=lambda a: a.add_record(veto) or Vote.OK))
+    status = drive(action.commit())
+    assert status is ActionStatus.ABORTED
+    assert ("abort", "veto") in log
+
+
 def test_cannot_add_record_after_termination():
     action = AtomicAction()
     drive(action.commit())

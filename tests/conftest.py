@@ -97,6 +97,46 @@ def get_work(uid):
     return work
 
 
+def shard_entry_state(system, shard, uid):
+    """One shard replica's committed view of an entry (probe locks
+    released)."""
+    db = system.db.shards[shard]
+    snapshot = db.get_server_with_uses((0,), str(uid))
+    view = db.get_view((0,), str(uid))
+    system._release_probe_locks()
+    return (tuple(snapshot.hosts),
+            {h: dict(c) for h, c in snapshot.uses.items()},
+            tuple(view))
+
+
+def assert_shard_replicas_agree(system, uid, replication=2):
+    """Every replica shard of ``uid`` holds the same committed entry."""
+    replicas = system.shard_router.preference_list(uid, replication)
+    states = [shard_entry_state(system, shard, uid) for shard in replicas]
+    assert all(state == states[0] for state in states), \
+        f"replicas diverge for {uid}: {dict(zip(replicas, states))}"
+
+
+def arm_crash_after_prepare(system, db, node):
+    """Doctor ``db.prepare`` to crash ``node`` right after its first
+    "ok" vote -- the reply is already on the wire, so the crash lands
+    exactly between the two commit phases.  Returns the list of action
+    paths it fired on; restore the method with ``del db.prepare``.
+    """
+    real_prepare = db.prepare
+    fired = []
+
+    def prepare_then_die(action_path):
+        vote = real_prepare(action_path)
+        if vote == "ok" and not fired:
+            fired.append(tuple(action_path))
+            system.scheduler.schedule(0.0, node.crash)
+        return vote
+
+    db.prepare = prepare_then_die
+    return fired
+
+
 @pytest.fixture
 def counter_cls():
     return Counter

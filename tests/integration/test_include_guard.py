@@ -58,6 +58,25 @@ def test_st_never_left_empty_with_single_store():
     assert follow_up.committed
 
 
+def test_guard_probe_failure_aborts_instead_of_leaking_locks():
+    """Regression: the guard's get_view probe takes a read lock at the
+    db *before* UnknownObject is raised (entry lookup follows locking).
+    The old bare ``except: continue`` abandoned the probe action in
+    RUNNING state, leaving that read lock held on the entry until a
+    cleaner happened by; the handler must abort the action instead."""
+    system, client, uid = build_system(sv=("s1",), st=("t1",))
+    # A state the store holds but the database never defined -- e.g. an
+    # object whose define aborted after bootstrap copied the state.
+    ghost = system.new_uid()
+    system.nodes["t1"].object_store.install(ghost, b"", version=1)
+    system.run(until=system.scheduler.now + 10.0)  # several guard rounds
+    assert not system.db.state_db.locks.is_locked(("st", ghost)), \
+        "an abandoned probe action must not leave read locks behind"
+    assert not system.db.server_db.locks.is_locked(("sv", ghost))
+    # The system stays fully usable for real objects.
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
 def test_guard_does_nothing_when_membership_correct():
     system, client, uid = build_system(sv=("s1",), st=("t1", "t2"))
     for _ in range(3):

@@ -17,7 +17,13 @@ from repro import (
 )
 from repro.naming import ShardedGroupViewDatabase
 
-from tests.conftest import Counter, add_work, get_work
+from tests.conftest import (
+    Counter,
+    add_work,
+    arm_crash_after_prepare,
+    assert_shard_replicas_agree,
+    get_work,
+)
 
 SCHEMES = ["standard", "independent", "nested_top_level"]
 
@@ -157,6 +163,56 @@ def test_sharding_rejects_invalid_configs():
     with pytest.raises(ValueError):
         DistributedSystem(SystemConfig(nameserver_shards=2,
                                        nonatomic_name_server=True))
+
+
+def test_shard_crash_between_prepare_and_commit_resolves_consistently():
+    """An Increment whose shard participant dies between prepare and
+    commit must resolve consistently on every replica: the survivors
+    commit the decided action, the casualty's prepared-but-undecided
+    state dies with its volatile memory, and resync re-copies the
+    committed entry before the host serves again."""
+    from repro import FaultPlan
+
+    # The independent scheme (figure 7) Increments under its own
+    # top-level bind action, so the shard participant votes "ok" --
+    # standard binding never writes the db and would prepare read-only.
+    system, (client,), uids = build(shards=3, objects=3,
+                                    scheme="independent",
+                                    nameserver_replication=2)
+    uid = uids[0]
+    replicas = system.shard_router.preference_list(uid, 2)
+    victim = replicas[0]
+    victim_node = system.nodes[victim]
+    db = system.db.shards[victim]
+
+    fired = arm_crash_after_prepare(system, db, victim_node)
+    result = system.run_transaction(client, add_work(uid, 1))
+    del db.prepare
+
+    assert fired, "the doctored prepare must have fired"
+    assert victim_node.crashed
+    # The bind action resolves *committed*: the survivor took phase 2,
+    # the victim's missed commit is a recorded heuristic.  The client
+    # action itself is conservatively vetoed (it had read-enlisted the
+    # now-silent victim), so per the paper it simply restarts -- and
+    # the restart must commit by skipping the dead replica.
+    attempts = 1
+    while not result.committed and attempts < 3:
+        result = system.run_transaction(client, add_work(uid, 1))
+        attempts += 1
+    assert result.committed, "the restarted action must commit"
+    assert system.run_transaction(client, get_work(uid)).value == 1
+
+    plan = FaultPlan().recover_at(system.scheduler.now + 1.0, victim)
+    system.install_fault_plan(plan)
+    system.run(until=system.scheduler.now + 30.0)
+    assert system.shard_resyncers[victim].serving
+
+    assert_shard_replicas_agree(system, uid)
+    follow_up = system.run_transaction(client, add_work(uid, 1))
+    assert follow_up.committed
+    assert system.run_transaction(client, get_work(uid)).value == \
+        result.value + 1
 
 
 def test_active_replication_on_the_ring():

@@ -89,6 +89,21 @@ def test_mixed_live_and_dead_clients():
     assert use_lists(db)["h1"] == {"c1": 1}
 
 
+def test_cleaner_idles_while_its_own_host_is_down():
+    """A colocated daemon must not act while its node is crashed: every
+    ping from a downed interface fails instantly, so a round run during
+    the outage would 'detect' all clients as dead and purge them."""
+    s, net, db, cleaner = make_world()
+    bind_client(db, "c1")
+    net.interface("db").up = False  # the shard host crashes
+    purged = run_round(s, cleaner)
+    assert purged == []
+    assert use_lists(db)["h1"] == {"c1": 1}, \
+        "a live client's counters must survive the host's own outage"
+    net.interface("db").up = True
+    assert run_round(s, cleaner) == []  # c1 answers pings again
+
+
 def test_periodic_daemon_runs():
     s, net, db, cleaner = make_world()
     bind_client(db, "ghost")

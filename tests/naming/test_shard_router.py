@@ -2,6 +2,7 @@
 
 import pytest
 
+import repro.naming.shard_router as shard_router_module
 from repro.naming import ShardRouter
 from repro.storage.uid import Uid
 
@@ -75,6 +76,74 @@ def test_len_and_nodes():
     router = ShardRouter(["a", "b"])
     assert len(router) == 2
     assert router.nodes == ["a", "b"]
+
+
+def _scripted_hashes(table):
+    """A deterministic stand-in for the md5 ring hash."""
+    def fake_hash(text):
+        return table[text]
+    return fake_hash
+
+
+def test_colliding_ring_points_do_not_depend_on_insertion_order(monkeypatch):
+    """Two virtual nodes hashing to the same 32-bit point must resolve
+    to the same owner no matter which host joined the ring first."""
+    table = {"a#0": 100, "b#0": 100, "k": 40}
+    monkeypatch.setattr(shard_router_module, "_ring_hash",
+                        _scripted_hashes(table))
+    first = ShardRouter(["a", "b"], replicas=1)
+    second = ShardRouter(["b", "a"], replicas=1)
+    assert first.shard_for("k") == second.shard_for("k") == "a"
+    assert first.preference_list("k", 2) == second.preference_list("k", 2)
+
+
+def test_key_hashing_exactly_onto_a_point_belongs_to_that_point(monkeypatch):
+    """Regression: ``bisect`` (right) assigned a key landing exactly on
+    a ring point to the *next* owner clockwise instead of the point's
+    own."""
+    table = {"x#0": 500, "y#0": 300, "k": 500}
+    monkeypatch.setattr(shard_router_module, "_ring_hash",
+                        _scripted_hashes(table))
+    router = ShardRouter(["x", "y"], replicas=1)
+    assert router.shard_for("k") == "x"
+    assert router.preference_list("k", 2) == ["x", "y"]
+
+
+def test_preference_list_is_distinct_and_primary_first():
+    router = ShardRouter([f"n{i}" for i in range(5)])
+    for key in KEYS:
+        for n in range(1, 6):
+            prefs = router.preference_list(key, n)
+            assert len(prefs) == n
+            assert len(set(prefs)) == n
+            assert prefs[0] == router.shard_for(key)
+            # Growing n only appends: shorter lists are prefixes.
+            assert prefs[:n - 1] == router.preference_list(key, n - 1) \
+                if n > 1 else True
+
+
+def test_preference_list_clamps_to_the_ring_size():
+    router = ShardRouter(["a", "b"])
+    for key in KEYS[:20]:
+        assert sorted(router.preference_list(key, 7)) == ["a", "b"]
+    with pytest.raises(ValueError):
+        router.preference_list("k", 0)
+
+
+def test_preference_lists_survive_ring_growth_mostly_unchanged():
+    """Consistent hashing's stability extends to replica sets: adding a
+    host only edits preference lists in the arcs it claimed."""
+    router = ShardRouter(["n0", "n1", "n2", "n3"])
+    before = {k: router.preference_list(k, 2) for k in KEYS}
+    router.add_node("n4")
+    changed = 0
+    for key in KEYS:
+        now = router.preference_list(key, 2)
+        if now != before[key]:
+            assert "n4" in now, \
+                "a grown ring must not reshuffle unrelated replica sets"
+            changed += 1
+    assert 0 < changed < len(KEYS)
 
 
 def test_invalid_configurations_rejected():

@@ -5,6 +5,21 @@ import math
 import pytest
 
 from repro.workload import Table, mean_and_spread, sweep
+from repro.workload.sweep import sharded_failover_scenario
+
+
+def test_sharded_failover_scenario_row_shape():
+    """A tiny run of the failover scenario produces a complete row."""
+    row = sharded_failover_scenario(shards=3, replication=2, clients=4,
+                                    txns_per_client=3, server_hosts=2,
+                                    outage=(1.0, 4.0))
+    assert row["replication"] == 2
+    assert row["victim"] == "namenode0"
+    assert row["offered"] == 12
+    assert 0.0 <= row["commit_rate"] <= 1.0
+    assert row["resyncs_completed"] == 1
+    assert row["resync_done_at"] > row["recovered_at"]
+    assert row["serving_again"]
 
 
 def test_sweep_collects_tagged_rows():
