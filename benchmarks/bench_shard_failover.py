@@ -27,7 +27,11 @@ one shard host.  The acceptance shape:
 import pytest
 
 from repro.workload import Table
-from repro.workload.sweep import sharded_failover_scenario, sweep
+from repro.workload.sweep import (
+    sharded_failover_scenario,
+    spread_read_scenario,
+    sweep,
+)
 
 from benchmarks.common import once
 
@@ -93,3 +97,46 @@ def test_resync_copies_the_missed_writes(benchmark):
 
     row = once(benchmark, experiment)
     assert row["entries_refreshed"] > 0, row
+
+
+@pytest.mark.benchmark(group="shard_failover")
+def test_spread_reads_cut_hot_arc_tail_latency(benchmark):
+    """Replicating an arc buys more than crash survival: with
+    ``nameserver_read_policy=spread`` the replicas also carry the
+    arc's *read load*.  A hot entry read under the default ``primary``
+    policy funnels every GetServer through the preference-list head's
+    single-server queue; ``spread`` rotates across all live replicas,
+    and the hot arc's tail latency is the difference."""
+
+    def experiment():
+        return sweep(["primary", "spread"],
+                     lambda p: spread_read_scenario(read_policy=p),
+                     label="policy")
+
+    rows = once(benchmark, experiment)
+
+    table = Table("S2b: hot-arc read policy vs latency "
+                  "(18 readers, 1 hot object, replication=3)",
+                  ["policy", "commit rate", "mean (s)", "p95 (s)",
+                   "reads per shard"])
+    for row in rows:
+        reads = ",".join(str(c) for c in row["per_shard_reads"].values())
+        table.add_row(row["policy"], row["commit_rate"], row["mean_latency"],
+                      row["p95_latency"], reads)
+    table.show()
+
+    by_policy = {row["policy"]: row for row in rows}
+    primary, spread = by_policy["primary"], by_policy["spread"]
+    for row in rows:
+        assert row["commit_rate"] == 1.0, row
+
+    # Primary hammers exactly one queue; spread must reach every
+    # replica of the hot arc...
+    assert sum(1 for c in primary["per_shard_reads"].values() if c > 0) == 1, \
+        primary
+    assert sum(1 for c in spread["per_shard_reads"].values() if c > 0) >= 3, \
+        spread
+    # ...and that is where the tail-latency win comes from.
+    assert spread["p95_latency"] < 0.85 * primary["p95_latency"], \
+        (primary["p95_latency"], spread["p95_latency"])
+    assert spread["mean_latency"] < primary["mean_latency"], rows

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.cluster.node import Node
-from repro.naming.group_view_db import SERVICE_NAME
+from repro.naming.group_view_db import SERVICE_NAME, SYNC_SERVICE_NAME
 from repro.storage.objectstore import ObjectStore
 from repro.storage.uid import Uid
 
@@ -87,15 +87,40 @@ class NameShardHost:
         self.node = node
         self.db = db
         self.service = service
+        self.retired = False
+        self._hook: Any = None
 
     @classmethod
     def install_on(cls, node: Node, db: Any,
                    service: str = SERVICE_NAME) -> "NameShardHost":
-        """Boot hook: serve ``db`` on ``node`` now and after recoveries."""
+        """Boot hook: serve ``db`` on ``node`` now and after recoveries.
+
+        Two registrations of the same database: ``service`` is the
+        client-facing name (recovery gating pulls it until resync
+        converges) and the sync service is the always-on side door for
+        replica-internal traffic.
+        """
         host = cls(node, db, service)
 
         def hook(n: Node) -> None:
             n.rpc.register(service, db)
+            n.rpc.register(SYNC_SERVICE_NAME, db)
 
+        host._hook = hook
         node.add_boot_hook(hook)
         return host
+
+    def retire(self) -> None:
+        """Stop serving the shard, now and after any future recovery.
+
+        Online resharding drains a host off the ring; once its arcs are
+        garbage-collected the naming service has no business answering
+        here -- and a later crash/recovery cycle must not resurrect it.
+        """
+        if self.retired:
+            return
+        self.retired = True
+        self.node.rpc.unregister(self.service)
+        self.node.rpc.unregister(SYNC_SERVICE_NAME)
+        if self._hook in self.node.boot_hooks:
+            self.node.boot_hooks.remove(self._hook)

@@ -40,9 +40,12 @@ from repro.naming.cleanup import UseListCleaner
 from repro.naming.db_client import GroupViewDbClient
 from repro.naming.group_view_db import GroupViewDatabase
 from repro.naming.hybrid import HybridNameService
+from repro.naming.read_repair import ReadRepairer
+from repro.naming.reshard import ReshardManager, ShardAutoscaler
 from repro.naming.shard_resync import ShardResyncManager
 from repro.naming.shard_router import DEFAULT_RING_REPLICAS, ShardRouter
 from repro.naming.sharded_client import (
+    READ_POLICIES,
     ShardedGroupViewDatabase,
     ShardedGroupViewDbClient,
 )
@@ -83,8 +86,14 @@ class SystemConfig:
     nonatomic_name_server: bool = False      # section-5 variant (E6)
     nameserver_shards: int = 1               # >1 -> consistent-hash ring
     nameserver_replication: int = 1          # >1 -> replicate each ring arc
+    nameserver_read_policy: str = "primary"  # or "spread": rotate replicas
+    nameserver_read_repair: bool = True      # repair stale replicas at read time
+    read_repair_interval: float | None = None  # per-uid sampled version verify
     shard_antientropy_interval: float | None = 10.0  # None disables the sweep
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
+    reshard_batch_size: int = 8              # arc copies between throttles
+    reshard_throttle: float = 0.02           # migration-bandwidth pause
+    reshard_settle: float | None = None      # None -> derived from rpc timeout
     enable_cleaner: bool = False
     cleaner_interval: float = 5.0
     enable_recovery_managers: bool = True
@@ -127,6 +136,11 @@ class DistributedSystem:
         self.shard_router: ShardRouter | None = None
         self.cleaners: list[UseListCleaner] = []
         self.shard_resyncers: dict[str, ShardResyncManager] = {}
+        self.reshard: ReshardManager | None = None
+        self.autoscaler: ShardAutoscaler | None = None
+        self.drained_shard_hosts: list[str] = []
+        self._shard_name_hosts: dict[str, Any] = {}
+        self._shard_cleaners: dict[str, UseListCleaner] = {}
         shard_count = self.config.nameserver_shards
         replication = self.config.nameserver_replication
         if shard_count < 1:
@@ -138,6 +152,11 @@ class DistributedSystem:
             raise ValueError(
                 f"nameserver_replication ({replication}) cannot exceed "
                 f"nameserver_shards ({shard_count})")
+        if self.config.nameserver_read_policy not in READ_POLICIES:
+            raise ValueError(
+                f"unknown nameserver_read_policy: "
+                f"{self.config.nameserver_read_policy!r} "
+                f"(expected one of {READ_POLICIES})")
         if shard_count > 1:
             if self.config.nonatomic_name_server:
                 raise ValueError(
@@ -187,42 +206,68 @@ class DistributedSystem:
         replication = self.config.nameserver_replication
         self.shard_router = ShardRouter(
             names, replicas=self.config.shard_ring_replicas)
-        shard_dbs: dict[str, GroupViewDatabase] = {}
-        for name in names:
-            node = self._make_node(name, has_store=True)
-            db = GroupViewDatabase(
-                use_exclude_write_lock=self.config.use_exclude_write_lock,
-                metrics=self.metrics.scoped(f"shard.{name}."),
-                tracer=self.tracer)
-            shard_dbs[name] = db
-            NameShardHost.install_on(node, db)
-            StoreHost.install_on(node)
-            if replication > 1:
-                # Installed after NameShardHost so its boot hook runs
-                # second on recovery and can gate the service back out.
-                self.shard_resyncers[name] = ShardResyncManager(
-                    node, db, self.shard_router, replication,
-                    sweep_interval=self.config.shard_antientropy_interval,
-                    metrics=self.metrics.scoped(f"shard.{name}."),
-                    tracer=self.tracer)
-            else:
-                # No peers to resync from, but the fail-silent contract
-                # still holds: locks and undo logs are volatile, so a
-                # recovering shard host must not resurrect its
-                # pre-crash lock table or provisional writes.
-                self._install_volatile_reset(node, db)
-            if self.config.enable_cleaner:
-                cleaner = UseListCleaner(
-                    self.scheduler, node.rpc, db,
-                    interval=self.config.cleaner_interval,
-                    node_name=f"cleaner@{name}",
-                    metrics=self.metrics.scoped(f"shard.{name}."),
-                    tracer=self.tracer)
-                cleaner.start()
-                self.cleaners.append(cleaner)
+        shard_dbs = {name: self._boot_shard_host(name) for name in names}
         self.name_node = self.nodes[names[0]]
         self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs,
                                            replication=replication)
+        # The coordinator of online membership changes.  Its settle
+        # interval must cover one client RPC timeout: that is how long a
+        # write computed against the pre-transition ring can stay in
+        # flight before it has either executed or been presume-aborted.
+        settle = self.config.reshard_settle
+        if settle is None:
+            rpc_timeout = self.config.rpc_timeout
+            if rpc_timeout is None:
+                rpc_timeout = self.network.latency.typical * 6 + 0.05
+            settle = max(0.5, rpc_timeout)
+        self.reshard = ReshardManager(
+            self.name_node, self.shard_router, replication,
+            batch_size=self.config.reshard_batch_size,
+            throttle=self.config.reshard_throttle, settle=settle,
+            metrics=self.metrics, tracer=self.tracer)
+
+    def _boot_shard_host(self, name: str) -> GroupViewDatabase:
+        """Boot one shard host: node, database, services, daemons.
+
+        Used both at initial boot and by :meth:`add_shard_host` when
+        online resharding grows the ring -- a host booted here serves
+        the naming RPC surface immediately but owns no arcs until the
+        router (or a migration epoch flip) says so.
+        """
+        assert self.shard_router is not None
+        replication = self.config.nameserver_replication
+        node = self._make_node(name, has_store=True)
+        db = GroupViewDatabase(
+            use_exclude_write_lock=self.config.use_exclude_write_lock,
+            metrics=self.metrics.scoped(f"shard.{name}."),
+            tracer=self.tracer)
+        self._shard_name_hosts[name] = NameShardHost.install_on(node, db)
+        StoreHost.install_on(node)
+        if replication > 1:
+            # Installed after NameShardHost so its boot hook runs
+            # second on recovery and can gate the service back out.
+            self.shard_resyncers[name] = ShardResyncManager(
+                node, db, self.shard_router, replication,
+                sweep_interval=self.config.shard_antientropy_interval,
+                metrics=self.metrics.scoped(f"shard.{name}."),
+                tracer=self.tracer)
+        else:
+            # No peers to resync from, but the fail-silent contract
+            # still holds: locks and undo logs are volatile, so a
+            # recovering shard host must not resurrect its
+            # pre-crash lock table or provisional writes.
+            self._install_volatile_reset(node, db)
+        if self.config.enable_cleaner:
+            cleaner = UseListCleaner(
+                self.scheduler, node.rpc, db,
+                interval=self.config.cleaner_interval,
+                node_name=f"cleaner@{name}",
+                metrics=self.metrics.scoped(f"shard.{name}."),
+                tracer=self.tracer)
+            cleaner.start()
+            self.cleaners.append(cleaner)
+            self._shard_cleaners[name] = cleaner
+        return db
 
     @staticmethod
     def _install_volatile_reset(node: Node, db: GroupViewDatabase) -> None:
@@ -236,15 +281,135 @@ class DistributedSystem:
     def _make_db_client(self, node: Node) -> Any:
         """The db adapter a client-side component on ``node`` should use."""
         if self.shard_router is not None:
+            replication = self.config.nameserver_replication
+            repair = None
+            if replication > 1 and self.config.nameserver_read_repair:
+                repair = ReadRepairer(
+                    self.scheduler, node.rpc, self.shard_router, replication,
+                    spawn=node.spawn,
+                    verify_interval=self.config.read_repair_interval,
+                    metrics=self.metrics, tracer=self.tracer)
             return ShardedGroupViewDbClient(
-                node.rpc, self.shard_router,
-                replication=self.config.nameserver_replication)
+                node.rpc, self.shard_router, replication=replication,
+                read_policy=self.config.nameserver_read_policy,
+                repair=repair)
         return GroupViewDbClient(node.rpc, NAME_NODE)
 
     @property
     def shard_hosts(self) -> list[str]:
         """The shard-host node names -- valid fault-injection targets."""
         return list(self.shard_router.nodes) if self.shard_router else []
+
+    # -- online resharding --------------------------------------------------
+
+    def add_shard_host(self, name: str | None = None) -> Process:
+        """Grow the shard ring by one host, live, under traffic.
+
+        Boots the host (node, database, services, daemons) immediately
+        -- it serves the naming RPC surface but owns nothing -- then
+        spawns the ReshardManager's migration epoch: dual-ownership
+        copy of the moving arcs, atomic epoch flip, garbage collection.
+        Returns the migration :class:`~repro.sim.process.Process`; the
+        system keeps serving throughout, so callers only wait on it to
+        learn when the new capacity is fully owned.
+        """
+        if self.shard_router is None or self.reshard is None:
+            raise ValueError("online resharding needs a sharded name "
+                             "service (boot with nameserver_shards > 1)")
+        if self.reshard.active:
+            raise ValueError("a ring membership change is already migrating")
+        if name is None:
+            index = 0
+            while (f"{NAME_NODE}{index}" in self.nodes
+                   or f"{NAME_NODE}{index}" in self.drained_shard_hosts):
+                index += 1
+            name = f"{NAME_NODE}{index}"
+        if name in self.nodes:
+            raise ValueError(f"node name already in use: {name}")
+        db = self._boot_shard_host(name)
+        assert isinstance(self.db, ShardedGroupViewDatabase)
+        self.db.add_shard(name, db)
+        return self.scheduler.spawn(self.reshard.grow(name),
+                                    name=f"reshard-grow:{name}")
+
+    def drain_shard_host(self, name: str) -> Process:
+        """Shrink the shard ring by one host, live, under traffic.
+
+        Spawns the ReshardManager's migration epoch (the drained host's
+        arcs are copied to their new owners before the flip, then
+        garbage-collected off it) and, once complete, retires the
+        host's naming service, resyncer, and cleaner -- the node itself
+        stays up as an ordinary store host.  Returns the migration
+        process.
+        """
+        if self.shard_router is None or self.reshard is None:
+            raise ValueError("online resharding needs a sharded name "
+                             "service (boot with nameserver_shards > 1)")
+        if name not in self.shard_router.nodes:
+            raise ValueError(f"not a shard host: {name}")
+        if self.reshard.active:
+            raise ValueError("a ring membership change is already migrating")
+
+        # Claims the migration slot synchronously (see ReshardManager).
+        migration = self.reshard.shrink(name)
+
+        def drain() -> Generator[Any, Any, dict[str, Any]]:
+            outcome = yield from migration
+            self._retire_shard_host(name)
+            return outcome
+
+        return self.scheduler.spawn(drain(), name=f"reshard-drain:{name}")
+
+    def _retire_shard_host(self, name: str) -> None:
+        """Take a fully-drained host out of every naming-service path."""
+        shard_host = self._shard_name_hosts.pop(name, None)
+        if shard_host is not None:
+            shard_host.retire()
+        resyncer = self.shard_resyncers.pop(name, None)
+        if resyncer is not None:
+            resyncer.retire()
+        cleaner = self._shard_cleaners.pop(name, None)
+        if cleaner is not None:
+            cleaner.stop()
+            self.cleaners.remove(cleaner)
+        assert isinstance(self.db, ShardedGroupViewDatabase)
+        self.db.remove_shard(name)
+        self.drained_shard_hosts.append(name)
+
+    def enable_autoscaler(self, ops_per_shard: float = 200.0,
+                          interval: float = 5.0,
+                          max_shards: int = 8) -> ShardAutoscaler:
+        """Start the load-triggered autoscaler over the shard ring.
+
+        Samples the per-shard naming-operation counters every
+        ``interval`` and grows the ring by one host whenever the
+        per-shard op rate exceeds ``ops_per_shard`` (each migration is
+        its own cooldown).
+        """
+        if self.shard_router is None or self.reshard is None:
+            raise ValueError("the autoscaler needs a sharded name service "
+                             "(boot with nameserver_shards > 1)")
+        if self.autoscaler is not None:
+            raise ValueError("the autoscaler is already running")
+        reshard = self.reshard
+        self.autoscaler = ShardAutoscaler(
+            self.scheduler, sample=self._shard_op_counts,
+            scale_up=self.add_shard_host, interval=interval,
+            ops_per_shard=ops_per_shard, max_shards=max_shards,
+            busy=lambda: reshard.active, tracer=self.tracer)
+        self.autoscaler.start()
+        return self.autoscaler
+
+    def _shard_op_counts(self) -> dict[str, float]:
+        """Cumulative naming-op count per current shard host."""
+        assert self.shard_router is not None
+        ops = ("server_db.get_server", "server_db.insert",
+               "server_db.remove", "server_db.increment",
+               "server_db.decrement", "state_db.get_view",
+               "state_db.exclude", "state_db.include")
+        return {name: float(sum(
+            self.metrics.counter_value(f"shard.{name}.{op}") for op in ops))
+            for name in self.shard_router.nodes}
 
     # -- topology building ---------------------------------------------------
 

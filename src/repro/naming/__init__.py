@@ -30,7 +30,10 @@ horizontally while every entry keeps its per-entry lock semantics on
 its owning shard; with ``nameserver_replication > 1`` each entry is
 replicated over its ring arc's preference list and
 :mod:`~repro.naming.shard_resync` catches recovered shard hosts up
-from their replica peers (see ``docs/architecture.md``).
+from their replica peers.  :mod:`~repro.naming.reshard` makes the ring
+*elastic* -- membership changes migrate live under dual-ownership
+routing -- and :mod:`~repro.naming.read_repair` closes residual
+staleness windows at read time (see ``docs/architecture.md``).
 """
 
 from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
@@ -47,7 +50,15 @@ from repro.naming.binding import (
 )
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.nonatomic import NonAtomicNameServer
-from repro.naming.shard_router import ShardRouter
+from repro.naming.read_repair import ReadRepairer
+from repro.naming.reshard import (
+    ReshardAborted,
+    ReshardError,
+    ReshardInProgress,
+    ReshardManager,
+    ShardAutoscaler,
+)
+from repro.naming.shard_router import RingTransition, ShardRouter
 from repro.naming.shard_resync import ShardResyncManager
 from repro.naming.sharded_client import (
     ShardedGroupViewDatabase,
@@ -66,7 +77,14 @@ __all__ = [
     "NotQuiescent",
     "ObjectServerDatabase",
     "ObjectStateDatabase",
+    "ReadRepairer",
+    "ReshardAborted",
+    "ReshardError",
+    "ReshardInProgress",
+    "ReshardManager",
+    "RingTransition",
     "ServerEntrySnapshot",
+    "ShardAutoscaler",
     "ShardResyncManager",
     "ShardRouter",
     "ShardedGroupViewDatabase",

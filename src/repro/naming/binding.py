@@ -189,36 +189,51 @@ class IndependentTopLevelBinding(BindingScheme):
 
     name = "independent"
 
+    def _db_action(self, action: AtomicAction) -> AtomicAction:
+        """The bind-side database action (independent of the client's)."""
+        return AtomicAction(node=self.client_node, tracer=self.tracer)
+
+    def _unbind_action(self,
+                       within_action: AtomicAction | None) -> AtomicAction:
+        """The unbind-side database action."""
+        return AtomicAction(node=self.client_node, tracer=self.tracer)
+
     def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
              k: int | None = None,
              read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
-        first = AtomicAction(node=self.client_node, tracer=self.tracer)
+        first = self._db_action(action)
         try:
             snapshot = yield from self.db.get_server_with_uses(first, uid,
                                                             for_update=True)
-        except RpcError:
-            yield from first.abort()
-            raise BindFailed(f"object server database unreachable for {uid}")
-
-        if snapshot.all_uses_empty:
-            candidates = list(snapshot.hosts)
-            limit = k
-        else:
-            # The object is already activated somewhere: bind only to the
-            # servers with non-zero counters, preserving mutual consistency.
-            candidates = snapshot.used_hosts()
-            limit = None  # must join every active server
-        bound, failed = yield from self._attempt_binds(
-            action, uid, binder, candidates, limit)
-
-        try:
+            if snapshot.all_uses_empty:
+                candidates = list(snapshot.hosts)
+                limit = k
+            else:
+                # The object is already activated somewhere: bind only to
+                # the servers with non-zero counters, preserving mutual
+                # consistency.
+                candidates = snapshot.used_hosts()
+                limit = None  # must join every active server
+            bound, failed = yield from self._attempt_binds(
+                action, uid, binder, candidates, limit)
             for host in failed:
                 yield from self.db.remove(first, uid, host)
             if bound:
-                yield from self.db.increment(first, self.client_node, uid, bound)
-        except RpcError:
+                yield from self.db.increment(first, self.client_node, uid,
+                                             bound)
+        except Exception as exc:
+            # Abort on *any* failure, not just unreachability: ``first``
+            # is a top-level action of its own, so nobody upstream will
+            # ever terminate it, and the locks and provisional writes it
+            # holds on the replicas it already reached would leak
+            # forever.  A LockRefused from one replica of a fan-out
+            # write is routine under replication (a resync, read-repair,
+            # or arc-migration copy holds the entry for an instant).
             yield from first.abort()
-            raise BindFailed(f"database update failed while binding {uid}")
+            if isinstance(exc, RpcError):
+                raise BindFailed(
+                    f"database unavailable while binding {uid}") from exc
+            raise
         status = yield from first.commit()
         if status.value != "committed":
             raise BindFailed(f"binding action aborted for {uid}")
@@ -241,7 +256,7 @@ class IndependentTopLevelBinding(BindingScheme):
         from repro.actions.errors import LockRefused
         from repro.sim.process import Timeout
         for attempt in range(self.unbind_attempts):
-            last = AtomicAction(node=self.client_node, tracer=self.tracer)
+            last = self._unbind_action(within_action)
             try:
                 yield from self.db.decrement(last, self.client_node, uid,
                                              outcome.bound_hosts)
@@ -252,6 +267,11 @@ class IndependentTopLevelBinding(BindingScheme):
             except RpcError:
                 yield from last.abort()
                 return  # the cleanup daemon will repair the counters
+            except Exception:
+                # Same leak rule as bind: a top-level action must always
+                # terminate, whatever the failure.
+                yield from last.abort()
+                raise
             yield from last.commit()
             return
         self.metrics.counter(f"binding.{self.name}.unbind_gave_up").increment()
@@ -270,65 +290,12 @@ class NestedTopLevelBinding(IndependentTopLevelBinding):
 
     name = "nested_top_level"
 
-    def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
-             k: int | None = None,
-             read_only: bool = False) -> Generator[Any, Any, BindOutcome]:
-        first = AtomicAction(node=self.client_node, parent=action,
-                             independent=True, tracer=self.tracer)
-        try:
-            snapshot = yield from self.db.get_server_with_uses(first, uid,
-                                                            for_update=True)
-        except RpcError:
-            yield from first.abort()
-            raise BindFailed(f"object server database unreachable for {uid}")
+    def _db_action(self, action: AtomicAction) -> AtomicAction:
+        return AtomicAction(node=self.client_node, parent=action,
+                            independent=True, tracer=self.tracer)
 
-        if snapshot.all_uses_empty:
-            candidates = list(snapshot.hosts)
-            limit = k
-        else:
-            candidates = snapshot.used_hosts()
-            limit = None
-        bound, failed = yield from self._attempt_binds(
-            action, uid, binder, candidates, limit)
-
-        try:
-            for host in failed:
-                yield from self.db.remove(first, uid, host)
-            if bound:
-                yield from self.db.increment(first, self.client_node, uid, bound)
-        except RpcError:
-            yield from first.abort()
-            raise BindFailed(f"database update failed while binding {uid}")
-        status = yield from first.commit()
-        if status.value != "committed":
-            raise BindFailed(f"binding action aborted for {uid}")
-
-        outcome = BindOutcome(uid, bound, failed, sv_hosts=list(snapshot.hosts),
-                              use_lists_were_empty=snapshot.all_uses_empty)
-        if not outcome.bound:
-            raise BindFailed(f"no server for {uid} reachable")
-        return outcome
-
-    def unbind(self, uid: Uid, outcome: BindOutcome,
-               within_action: AtomicAction | None = None) -> Generator[Any, Any, None]:
-        if not outcome.bound_hosts:
-            return
-        from repro.actions.errors import LockRefused
-        from repro.sim.process import Timeout
-        for attempt in range(self.unbind_attempts):
-            last = AtomicAction(node=self.client_node, parent=within_action,
-                                independent=within_action is not None,
-                                tracer=self.tracer)
-            try:
-                yield from self.db.decrement(last, self.client_node, uid,
-                                             outcome.bound_hosts)
-            except LockRefused:
-                yield from last.abort()
-                yield Timeout(self.unbind_backoff * (attempt + 1))
-                continue
-            except RpcError:
-                yield from last.abort()
-                return
-            yield from last.commit()
-            return
-        self.metrics.counter(f"binding.{self.name}.unbind_gave_up").increment()
+    def _unbind_action(self,
+                       within_action: AtomicAction | None) -> AtomicAction:
+        return AtomicAction(node=self.client_node, parent=within_action,
+                            independent=within_action is not None,
+                            tracer=self.tracer)

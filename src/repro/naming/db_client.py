@@ -6,10 +6,17 @@ methods usable from simulation processes, translates remote errors back
 into their naming/locking exception types, and automatically enlists
 the database as a two-phase-commit participant of the calling action's
 top-level root (once per top-level action).
+
+:func:`fetch_entry_copy` is the one shared implementation of the
+replica-copy read protocol -- a consistent committed snapshot of one
+entry plus its write versions, taken under a real atomic action --
+used by shard resync, the online-reshard arc migration, and
+read-repair alike.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
@@ -20,6 +27,7 @@ from repro.naming.group_view_db import SERVICE_NAME
 from repro.naming.object_server_db import ServerEntrySnapshot
 from repro.net.errors import RpcError, RpcRemoteError
 from repro.net.rpc import RpcAgent
+from repro.sim.tracing import Tracer
 from repro.storage.uid import Uid
 
 _ERROR_TYPES = {
@@ -194,3 +202,51 @@ class GroupViewDbClient:
         except RpcError:
             return False
         return answer == "pong"
+
+
+@dataclass(frozen=True)
+class EntryCopy:
+    """One entry's committed state, version-stamped, ready to install."""
+
+    hosts: list[str]
+    uses: dict[str, dict[str, int]]
+    view: list[str]
+    versions: tuple[int, int]
+
+
+def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
+                     node: str = "", tracer: Tracer | None = None,
+                     ) -> Generator[Any, Any, "EntryCopy | str"]:
+    """Read one committed entry from ``client``'s shard for replication.
+
+    The delicate part every copier must get right, implemented once:
+    both snapshot halves are read under a real atomic action (the read
+    locks guarantee a consistent committed view, never a torn write),
+    the write versions are read lock-free *while those locks are still
+    held*, and the read-only action is then committed (prepare releases
+    the locks).  Returns an :class:`EntryCopy`, or one of the outcome
+    tags ``"locked"`` (a live action holds the entry -- retry later),
+    ``"unknown"`` (this shard disclaims the uid), or ``"unreachable"``
+    (the shard went dark mid-read).
+    """
+    uid = Uid.parse(uid_text)
+    action = AtomicAction(node=node, tracer=tracer)
+    try:
+        snapshot = yield from client.get_server_with_uses(action, uid)
+        view = yield from client.get_view(action, uid)
+        versions = yield rpc.call(client.db_node, client.service,
+                                  "entry_versions", uid_text)
+    except (LockRefused, PromotionRefused):
+        yield from action.abort()
+        return "locked"
+    except UnknownObject:
+        yield from action.abort()
+        return "unknown"
+    except RpcError:
+        yield from action.abort()
+        return "unreachable"
+    yield from action.commit()
+    return EntryCopy(list(snapshot.hosts),
+                     {host: dict(counters)
+                      for host, counters in snapshot.uses.items()},
+                     list(view), tuple(versions))

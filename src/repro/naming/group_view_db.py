@@ -17,6 +17,9 @@ through the standard state buffers.
 
 from __future__ import annotations
 
+from repro.actions.action import ActionId, AtomicAction
+from repro.actions.errors import LockRefused, PromotionRefused
+from repro.actions.locks import LockMode
 from repro.naming.db_base import ActionPath
 from repro.naming.object_server_db import ObjectServerDatabase, ServerEntrySnapshot
 from repro.naming.object_state_db import ObjectStateDatabase
@@ -26,6 +29,18 @@ from repro.storage.states import InputObjectState, OutputObjectState
 from repro.storage.uid import Uid
 
 SERVICE_NAME = "group_view_db"
+
+# The replica-internal side door: shard hosts serve the same database
+# under this second name for resync, anti-entropy, arc migration, and
+# read-repair.  Recovery gating (pulling a stale host out of the
+# *client* serving path until it has caught up) unregisters only
+# SERVICE_NAME; the sync service stays up whenever the node is up, so
+# any set of simultaneously-recovering replicas can still copy from
+# each other -- gated peers deadlocking an arc's resync is otherwise a
+# real failure mode under stochastic churn.  Every install flowing over
+# this plane is version-gated, so reading a still-stale gated peer can
+# never move a replica backwards.
+SYNC_SERVICE_NAME = "group_view_db_sync"
 
 
 class GroupViewDatabase:
@@ -165,6 +180,64 @@ class GroupViewDatabase:
                                                st_version)
         return changed
 
+    def guarded_install_entry(self, uid_text: str, sv_hosts: list[str],
+                              uses: dict[str, dict[str, int]],
+                              st_hosts: list[str],
+                              versions: tuple[int, int]) -> bool | None:
+        """Lock-guarded :meth:`install_entry` (RPC-exposed).
+
+        Both halves are try-locked under a fresh probe action before
+        the install: a refusal means a live local action is mid-flight
+        on the entry (its undo closures must not be clobbered), and the
+        caller -- shard resync, the arc-migration pipeline, read-repair
+        -- retries later.  Returns ``None`` when locked, otherwise
+        whether the (version-gated) install changed anything.
+        """
+        uid = Uid.parse(uid_text)
+        probe = AtomicAction(node="install-probe")
+        locked = []
+        try:
+            for half, key in ((self.server_db, ("sv", uid)),
+                              (self.state_db, ("st", uid))):
+                half.locks.try_lock(probe.id, key, LockMode.WRITE)
+                locked.append(half)
+            return self.install_entry(uid_text, sv_hosts, uses, st_hosts,
+                                      tuple(versions))
+        except (LockRefused, PromotionRefused):
+            return None
+        finally:
+            for half in locked:
+                half.locks.release_all(probe.id)
+            probe.run_local(probe.abort())
+
+    def forget_entry(self, uid_text: str) -> bool | None:
+        """Lock-guarded removal of an entry this shard no longer owns.
+
+        The online-resharding garbage-collection step: after an epoch
+        flip the old owners of a moved arc still hold its entries, and
+        the coordinator asks them to forget.  Try-locking both halves
+        first means an entry still touched by an in-flight action
+        (e.g. a pre-flip write committing late) is left alone -- the
+        caller retries after the action resolves.  Returns ``None``
+        when locked, otherwise whether an entry was present.
+        """
+        uid = Uid.parse(uid_text)
+        probe = AtomicAction(node="forget-probe")
+        locked = []
+        try:
+            for half, key in ((self.server_db, ("sv", uid)),
+                              (self.state_db, ("st", uid))):
+                half.locks.try_lock(probe.id, key, LockMode.WRITE)
+                locked.append(half)
+            removed = self.server_db.forget(uid)
+            return self.state_db.forget(uid) or removed
+        except (LockRefused, PromotionRefused):
+            return None
+        finally:
+            for half in locked:
+                half.locks.release_all(probe.id)
+            probe.run_local(probe.abort())
+
     def reset_volatile(self) -> None:
         """Crash semantics: drop all locks and undo in-flight actions."""
         self.server_db.reset_volatile()
@@ -222,7 +295,5 @@ class GroupViewDatabase:
         db.commit((0,))
         return db
 
-
-from repro.actions.action import ActionId  # noqa: E402  (cycle-free tail import)
 
 _BOOT_OWNER = ActionId((0,))

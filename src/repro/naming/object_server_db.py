@@ -266,6 +266,16 @@ class ObjectServerDatabase(ActionDatabase):
         self._entries[uid] = _ServerEntry(list(hosts), fresh_uses, version)
         return True
 
+    def forget(self, uid: Uid) -> bool:
+        """Drop the entry outright (online-resharding garbage collection).
+
+        No locks, no undo: callers must hold the entry's write lock (or
+        own the database exclusively) and must only forget entries this
+        replica no longer owns under the current ring.  Returns whether
+        an entry was present.
+        """
+        return self._entries.pop(uid, None) is not None
+
     def _restore_counter(self, uid: Uid, client_node: str, host: str,
                          count: int) -> None:
         entry = self._entries.get(uid)

@@ -140,6 +140,15 @@ class ObjectStateDatabase(ActionDatabase):
         self._entries[uid] = _StateEntry(list(hosts), version)
         return True
 
+    def forget(self, uid: Uid) -> bool:
+        """Drop the entry outright (online-resharding garbage collection).
+
+        Lock- and undo-free like its server-db counterpart: only for
+        entries this replica no longer owns, under the entry's write
+        lock.  Returns whether an entry was present.
+        """
+        return self._entries.pop(uid, None) is not None
+
     # -- internals --------------------------------------------------------------
 
     @staticmethod

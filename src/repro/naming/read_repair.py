@@ -1,0 +1,166 @@
+"""Read-repair for the replicated shard ring.
+
+Resync (crash recovery) and the anti-entropy sweep bound how long a
+replica can stay stale, but both leave a *residual window*: a write
+that commits between a resync's last convergence probe and the
+host's re-registration is missing from the rejoined replica until the
+next sweep, and a presume-aborted stray leaves the same gap.  Reads
+are where staleness becomes visible, so reads are where it is
+repaired:
+
+- a **failover read** that steps past a replica disclaiming an entry
+  its peers hold has *proof* of staleness -- the client reports the
+  UID immediately;
+- a **routine replicated read** (primary or spread policy) can carry
+  no such proof, so the repairer optionally *verifies* it: a sampled,
+  per-UID-throttled background probe of every replica's write
+  versions.
+
+Either trigger enqueues the same repair: probe ``entry_versions`` on
+every replica of the UID's arc (lock-free, cheap), and for every
+replica strictly behind the freshest copy on either half, read a
+committed snapshot from a fresher peer *under a real atomic action*
+(read locks -- never a torn write) and push it through the target's
+lock-guarded, version-gated ``guarded_install_entry``.  The same
+install path resync and the arc-migration pipeline use, so repair can
+only ever move a replica forward.
+
+Repairs are fire-and-forget background processes: they never add
+latency to the triggering read, and per-UID throttling plus an
+in-flight guard bound the extra probe traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
+from repro.naming.group_view_db import SYNC_SERVICE_NAME
+from repro.naming.shard_router import ShardRouter
+from repro.net.errors import RpcError
+from repro.net.rpc import RpcAgent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+# An in-flight repair older than this is presumed killed (its owning
+# node crashed mid-repair) and no longer blocks re-triggering.
+_INFLIGHT_TIMEOUT = 30.0
+
+
+class ReadRepairer:
+    """Version-probing, lock-guarded replica repair driven by reads."""
+
+    def __init__(self, scheduler: Scheduler, rpc: RpcAgent,
+                 router: ShardRouter, replication: int,
+                 service: str = SYNC_SERVICE_NAME,
+                 spawn: Callable[..., Any] | None = None,
+                 min_interval: float = 0.5,
+                 verify_interval: float | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if replication < 2:
+            raise ValueError("read-repair needs replication >= 2 "
+                             "(a lone replica has no peer to repair from)")
+        self.scheduler = scheduler
+        self.rpc = rpc
+        self.router = router
+        self.replication = replication
+        self.service = service
+        self.min_interval = min_interval
+        self.verify_interval = verify_interval
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.repairs_triggered = 0
+        self.entries_repaired = 0
+        self._spawn = spawn or (
+            lambda body, name="": scheduler.spawn(body, name=name))
+        self._peer_clients: dict[str, GroupViewDbClient] = {}
+        self._last_checked: dict[str, float] = {}
+        self._inflight: dict[str, float] = {}
+
+    # -- triggers (called synchronously from the read path) -----------------
+
+    def note_stale(self, uid: Uid | str) -> None:
+        """A read proved a replica stale (UnknownObject failover)."""
+        self._maybe_repair(str(uid), self.min_interval)
+
+    def observe(self, uid: Uid | str) -> None:
+        """A routine replicated read; verify it if sampling is on."""
+        if self.verify_interval is not None:
+            self._maybe_repair(str(uid), self.verify_interval)
+
+    def _maybe_repair(self, uid_text: str, interval: float) -> None:
+        now = self.scheduler.now
+        started = self._inflight.get(uid_text)
+        if started is not None and now - started < _INFLIGHT_TIMEOUT:
+            return
+        last = self._last_checked.get(uid_text)
+        if last is not None and now - last < interval:
+            return
+        self._last_checked[uid_text] = now
+        self._inflight[uid_text] = now
+        self.repairs_triggered += 1
+        self.metrics.counter("read_repair.triggered").increment()
+        self._spawn(self._repair(uid_text), name=f"read-repair:{uid_text}")
+
+    # -- the repair process -------------------------------------------------
+
+    def _repair(self, uid_text: str) -> Generator[Any, Any, None]:
+        try:
+            replicas = self.router.union_preference_list(uid_text,
+                                                         self.replication)
+            probes: dict[str, tuple[int, int]] = {}
+            for peer in replicas:
+                try:
+                    versions = yield self.rpc.call(
+                        peer, self.service, "entry_versions", uid_text)
+                except RpcError:
+                    continue  # crashed or gated-out: resync owns that case
+                probes[peer] = tuple(versions)
+            if len(probes) < 2:
+                return
+            best = (max(sv for sv, _ in probes.values()),
+                    max(st for _, st in probes.values()))
+            laggards = [peer for peer, (sv, st) in probes.items()
+                        if sv < best[0] or st < best[1]]
+            if not laggards:
+                return
+            # Copy from every peer strictly ahead of a laggard on either
+            # half (not just the single "best" peer: like resync, the two
+            # halves' maxima may live on different replicas).
+            for source, (sv, st) in probes.items():
+                targets = [lag for lag in laggards if lag != source
+                           and (probes[lag][0] < sv or probes[lag][1] < st)]
+                if targets:
+                    yield from self._copy(source, targets, uid_text)
+        finally:
+            self._inflight.pop(uid_text, None)
+
+    def _copy(self, source: str, targets: list[str],
+              uid_text: str) -> Generator[Any, Any, None]:
+        """Push ``source``'s committed entry to each lagging target."""
+        client = self._peer_clients.get(source)
+        if client is None:
+            client = GroupViewDbClient(self.rpc, source, service=self.service)
+            self._peer_clients[source] = client
+        copy = yield from fetch_entry_copy(self.rpc, client, uid_text,
+                                           node=self.rpc.name,
+                                           tracer=self.tracer)
+        if isinstance(copy, str):
+            # Busy, vanished, or gone dark: the next triggering read
+            # re-enqueues the repair.
+            return
+        for target in targets:
+            try:
+                installed = yield self.rpc.call(
+                    target, self.service, "guarded_install_entry", uid_text,
+                    copy.hosts, copy.uses, copy.view, copy.versions)
+            except RpcError:
+                continue
+            if installed:  # None (locked) and False (already fresh) skip
+                self.entries_repaired += 1
+                self.metrics.counter("read_repair.entries_repaired").increment()
+                self.tracer.record("read_repair", "entry repaired",
+                                   uid=uid_text, source=source, target=target)

@@ -1,0 +1,566 @@
+"""Online resharding: grow or shrink the shard ring under live traffic.
+
+PR 1 sharded the group-view database over a consistent-hash ring and
+PR 2 replicated each ring arc, but membership was still fixed at boot.
+:class:`ReshardManager` makes the ring *elastic*: it adds or removes
+shard hosts from a live system with no restart, no write barrier, and
+no stale-served bindings, the way OpenStack Swift's ring-builder plans
+membership changes as bounded partition movements drained while both
+old and new owners serve.
+
+One membership change is one **migration epoch**:
+
+1. **Stage.**  The proposed ring is computed by cloning the live
+   :class:`~repro.naming.shard_router.ShardRouter` and applying the
+   change; the arc delta (every UID whose preference list differs) is
+   what must move.  A
+   :class:`~repro.naming.shard_router.RingTransition` is attached to
+   the shared router, which every client consults per call: from this
+   instant writes flow through the *union* of the old and new
+   preference lists (dual ownership) while reads stay old-epoch-first.
+2. **Settle.**  The pipeline waits one RPC-timeout-sized interval so
+   every write whose replica set was computed *before* the transition
+   has either executed (its version bump is visible to the copy
+   passes) or died at its caller (and was presume-aborted).
+3. **Copy.**  Throttled passes walk the moving arcs: each entry is
+   read from a current owner under a real atomic action (read locks --
+   never a torn write) and pushed through the incoming owner's
+   lock-guarded, version-gated ``guarded_install_entry`` -- the same
+   fresh-over-stale discipline as
+   :class:`~repro.naming.shard_resync.ShardResyncManager`.  Once an
+   entry is seeded, dual-ownership writes keep it current, so each
+   arc needs exactly one *confirmation*: a pass that probes its
+   incoming owners (lock-free) at-or-ahead of every reachable source.
+   A confirmed arc can never fall behind again and is skipped; an arc
+   that needed a copy is confirmed by a later pass, and an arc with
+   any unreachable replica holds the epoch open.
+4. **Flip.**  The membership change is applied to the live shared
+   router and the transition cleared with no intervening simulation
+   event -- an atomic epoch flip.  Every client's next routing
+   decision uses the new ring; the incoming owners are guaranteed
+   current by step 3.
+5. **GC.**  The outgoing owners still hold the moved arcs' entries;
+   the coordinator asks each to ``forget_entry`` (try-locked, so an
+   entry still touched by a pre-flip action committing late is
+   retried).  Post-flip no read or write routes to them, so the
+   garbage was never serveable.
+
+The coordinator is an ordinary node's RPC agent and the process
+survives coordinator crashes only in the sense that matters here: a
+dark coordinator just defers its passes (they retry), and an aborted
+migration clears the transition so the system falls back to the old
+ring -- any entries already copied are version-gated garbage a retry
+or later epoch reuses or removes.
+
+:class:`ShardAutoscaler` is the optional load-triggered driver: it
+samples per-shard naming-operation counters (the PR 1 scoped metrics)
+and calls a scale-up hook when the per-shard op rate crosses a
+threshold, waiting out each migration as its natural cooldown.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
+from repro.naming.errors import NamingError
+from repro.naming.group_view_db import SYNC_SERVICE_NAME
+from repro.naming.shard_router import RingTransition, ShardRouter
+from repro.net.errors import RpcError
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.process import Timeout
+from repro.sim.tracing import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (cluster -> naming)
+    from repro.cluster.node import Node
+
+
+class ReshardError(NamingError):
+    """Base for online-resharding failures."""
+
+
+class ReshardInProgress(ReshardError):
+    """A second membership change was requested mid-migration."""
+
+
+class ReshardAborted(ReshardError):
+    """A migration could not converge and fell back to the old ring."""
+
+
+class ReshardManager:
+    """Plans and drains live shard-ring membership changes."""
+
+    def __init__(self, node: "Node", router: ShardRouter, replication: int,
+                 service: str = SYNC_SERVICE_NAME, batch_size: int = 8,
+                 throttle: float = 0.02, settle: float = 0.5,
+                 retry_interval: float = 0.25, max_rounds: int = 400,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        self.node = node
+        self.router = router
+        self.replication = replication
+        self.service = service
+        self.batch_size = max(1, batch_size)
+        self.throttle = throttle
+        self.settle = settle
+        self.retry_interval = retry_interval
+        self.max_rounds = max_rounds
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.epochs_completed = 0
+        self.entries_copied = 0
+        self.entries_forgotten = 0
+        self.copy_passes = 0
+        self.history: list[dict[str, Any]] = []
+        self._busy = False
+        self._peer_clients: dict[str, GroupViewDbClient] = {}
+
+    @property
+    def active(self) -> bool:
+        """Whether a migration epoch (copy, flip, or GC) is running."""
+        return self._busy or self.router.transition is not None
+
+    # -- the public membership changes --------------------------------------
+
+    def grow(self, new_node: str) -> Generator[Any, Any, dict[str, Any]]:
+        """Migrate the ring to include ``new_node`` (already booted).
+
+        The host must already serve the naming RPC service (empty is
+        fine); it owns nothing until the epoch flips.  The migration
+        slot is claimed and the transition staged *synchronously* at
+        this call -- two same-instant requests cannot both pass -- so
+        the returned generator must be driven to completion.
+        """
+        target = self.router.clone()
+        target.add_node(new_node)
+        return self._migrate(target, added=[new_node], removed=[])
+
+    def shrink(self, node_name: str) -> Generator[Any, Any, dict[str, Any]]:
+        """Drain ``node_name`` off the ring, then garbage-collect it.
+
+        Claims the migration slot synchronously, like :meth:`grow`.
+        """
+        if node_name not in self.router.nodes:
+            raise ValueError(f"not a shard node: {node_name}")
+        if len(self.router) - 1 < self.replication:
+            raise ValueError(
+                f"cannot drain below the replication factor: "
+                f"{len(self.router) - 1} hosts < replication "
+                f"{self.replication}")
+        target = self.router.clone()
+        target.remove_node(node_name)
+        return self._migrate(target, added=[], removed=[node_name])
+
+    # -- the migration epoch -------------------------------------------------
+
+    def _migrate(self, target: ShardRouter, added: list[str],
+                 removed: list[str]) -> Generator[Any, Any, dict[str, Any]]:
+        # Synchronous prologue: claim the slot and stage dual ownership
+        # before the migration process first runs.
+        if self.active:
+            raise ReshardInProgress(
+                "a ring membership change is already migrating")
+        record: dict[str, Any] = {
+            "added": list(added), "removed": list(removed),
+            "epoch": target.epoch,
+            "started_at": self.node.scheduler.now,
+            "flipped_at": None, "done_at": None,
+            "entries_copied": 0, "entries_forgotten": 0,
+        }
+        self.history.append(record)
+        self._busy = True
+        self.router.transition = RingTransition(
+            target, epoch=target.epoch,
+            added=tuple(added), removed=tuple(removed))
+        self.tracer.record("reshard", "transition staged",
+                           added=list(added), removed=list(removed),
+                           epoch=target.epoch)
+        return self._drain_epoch(target, added, removed, record)
+
+    def _drain_epoch(self, target: ShardRouter, added: list[str],
+                     removed: list[str],
+                     record: dict[str, Any]) -> Generator[Any, Any,
+                                                          dict[str, Any]]:
+        try:
+            # Settle: a write whose replica set predates the transition
+            # has, after one RPC-timeout interval, either executed (its
+            # version bump is visible to the copy passes) or timed out
+            # at its caller and been presume-aborted.
+            yield Timeout(self.settle)
+            converged = yield from self._converge(target, record)
+            if not converged:
+                raise ReshardAborted(
+                    f"migration to epoch {target.epoch} did not converge "
+                    f"within {self.max_rounds} passes")
+        except BaseException:
+            # Fall back to the old ring: dual ownership simply ends, and
+            # anything already copied is version-gated garbage a retry
+            # can reuse.  (Also runs when the coordinator is killed.)
+            self.router.transition = None
+            self._busy = False
+            self.tracer.record("reshard", "migration aborted",
+                               epoch=target.epoch)
+            raise
+        # FLIP -- atomic: membership mutation plus transition clear with
+        # no intervening yield, so no client ever routes by a half-state.
+        old_ring = self.router.clone()
+        for name in added:
+            self.router.add_node(name)
+        for name in removed:
+            self.router.remove_node(name)
+        self.router.transition = None
+        record["flipped_at"] = self.node.scheduler.now
+        self.metrics.counter("reshard.flips").increment()
+        self.tracer.record("reshard", "epoch flipped",
+                           epoch=self.router.epoch,
+                           nodes=list(self.router.nodes))
+        try:
+            yield from self._gc(old_ring, record)
+        finally:
+            self._busy = False
+        record["done_at"] = self.node.scheduler.now
+        self.epochs_completed += 1
+        self.metrics.counter("reshard.epochs_completed").increment()
+        return record
+
+    def _converge(self, target: ShardRouter,
+                  record: dict[str, Any]) -> Generator[Any, Any, bool]:
+        """Copy passes until every moving arc has confirmed convergence.
+
+        An arc is *done* once a pass probes its movers at-or-ahead of
+        every reachable source: a seeded mover rides dual-ownership
+        writes from then on, so it can never fall behind again and
+        later passes skip it.  An arc that needed a copy is not done
+        until a subsequent pass re-probes it clean -- its own
+        confirmation round.  Under live traffic this converges in a
+        handful of passes: probe skew on a hot entry defers only that
+        entry, not the whole epoch.
+        """
+        done: set[str] = set()
+        for _ in range(self.max_rounds):
+            try:
+                converged = yield from self._copy_pass(target, record, done)
+            except _Deferred:
+                self._unconfirm_dirty(done)
+                yield Timeout(self.retry_interval)
+                continue
+            if self._unconfirm_dirty(done):
+                continue  # a write skipped a replica: re-confirm its arc
+            if converged:
+                # No yield separates this return from the flip, and
+                # dirty marks are recorded synchronously by writers, so
+                # no skipped write can slip between drain and flip.
+                return True
+        return False
+
+    def _unconfirm_dirty(self, done: set[str]) -> bool:
+        """Drain the transition's dirty UIDs out of the confirmed set.
+
+        A confirmed arc stays current only while its incoming owners
+        receive every dual-ownership write; a write that could not
+        reach a replica marks its UID dirty, and the arc must be
+        re-probed (and, if need be, re-copied) before the epoch flips.
+        """
+        transition = self.router.transition
+        if transition is None or not transition.dirty:
+            return False
+        dirty, transition.dirty = transition.dirty, set()
+        done.difference_update(dirty)
+        self.metrics.counter("reshard.arcs_unconfirmed").increment(len(dirty))
+        return True
+
+    def _copy_pass(self, target: ShardRouter, record: dict[str, Any],
+                   done: set[str]) -> Generator[Any, Any, bool]:
+        """One pass over the moving arcs; True once every arc is done."""
+        self.copy_passes += 1
+        live = self.router
+        universe: set[str] = set()
+        saw_host = False
+        for host in live.nodes:
+            try:
+                uids = yield self.node.rpc.call(host, self.service,
+                                                "list_uids")
+            except RpcError:
+                continue
+            saw_host = True
+            universe.update(uids)
+        if not saw_host:
+            raise _Deferred  # the whole old ring is dark; wait it out
+        pending = False
+        deferred = False
+        copied_since_pause = 0
+        for uid_text in sorted(universe):
+            if uid_text in done:
+                continue
+            old_plist = live.preference_list(uid_text, self.replication)
+            new_plist = target.preference_list(uid_text, self.replication)
+            movers = [h for h in new_plist if h not in old_plist]
+            if not movers:
+                continue  # this arc does not move
+            # Lock-free version probes on both sides first: the common
+            # case -- a seeded mover tracking dual-ownership writes --
+            # is detected without taking a single lock or snapshot, so
+            # a converging pass never contends with live traffic.
+            mover_versions: dict[str, tuple[int, int]] = {}
+            unreachable = False
+            for mover in movers:
+                try:
+                    versions = yield self.node.rpc.call(
+                        mover, self.service, "entry_versions", uid_text)
+                except RpcError:
+                    unreachable = True  # mover dark; retry the arc later
+                    continue
+                mover_versions[mover] = tuple(versions)
+            sources: list[tuple[str, tuple[int, int]]] = []
+            for source in old_plist:
+                try:
+                    versions = yield self.node.rpc.call(
+                        source, self.service, "entry_versions", uid_text)
+                except RpcError:
+                    # An unreachable source of a *moving* arc may hold a
+                    # committed write none of its reachable peers took;
+                    # flipping without it could orphan that write once
+                    # the arc leaves the host.  Hold the epoch open.
+                    unreachable = True
+                    continue
+                sources.append((source, tuple(versions)))
+            if unreachable or not sources:
+                deferred = True
+                continue
+            if not mover_versions:
+                deferred = True
+                continue
+            best = (max(sv for _, (sv, _) in sources),
+                    max(st for _, (_, st) in sources))
+            behind = {mover: versions
+                      for mover, versions in mover_versions.items()
+                      if versions[0] < best[0] or versions[1] < best[1]}
+            if not behind:
+                # Every incoming owner is current and (being seeded)
+                # rides every dual-ownership write from here on: the
+                # arc has confirmed convergence and stays converged.
+                done.add(uid_text)
+                continue
+            outcome = yield from self._copy_arc(sources, uid_text, behind,
+                                                best, record)
+            if outcome == "unknown":
+                # Every source disclaimed the uid under locks (a define
+                # that aborted after enumeration): nothing to move.
+                done.add(uid_text)
+                continue
+            if outcome == "deferred":
+                deferred = True
+                continue
+            if outcome == "copied":
+                copied_since_pause += 1
+                if copied_since_pause >= self.batch_size and self.throttle > 0:
+                    copied_since_pause = 0
+                    yield Timeout(self.throttle)  # bound migration bandwidth
+            # "copied"/"clean" arcs stay pending until a later pass
+            # re-probes them clean -- their own confirmation round.
+            pending = True
+        if deferred:
+            raise _Deferred
+        return not pending
+
+    def _copy_arc(self, sources: list[tuple[str, tuple[int, int]]],
+                  uid_text: str, behind: dict[str, tuple[int, int]],
+                  best: tuple[int, int],
+                  record: dict[str, Any]) -> Generator[Any, Any, str]:
+        """Copy one entry to its lagging movers, freshest sources first.
+
+        Walks the probed sources in descending version order and pushes
+        each one's committed snapshot to every mover still behind it --
+        consulting more than one source matters because the two halves'
+        maxima can live on different replicas, and the version-gated
+        install merges them per half.  Any mover still behind ``best``
+        at the end (a locked entry, a probe that saw a provisional
+        bump) defers the arc to the next pass.
+        """
+        remaining = dict(behind)
+        copied = False
+        unknown_everywhere = True
+        for source, (source_sv, source_st) in sorted(
+                sources, key=lambda entry: (-entry[1][0], -entry[1][1])):
+            targets = [mover for mover, (sv, st) in remaining.items()
+                       if sv < source_sv or st < source_st]
+            if not targets:
+                unknown_everywhere = False
+                continue
+            copy = yield from fetch_entry_copy(
+                self.node.rpc, self._client(source), uid_text,
+                node=self.node.name, tracer=self.tracer)
+            if copy == "locked":
+                return "deferred"  # a live action owns the entry; next pass
+            if copy == "unknown":
+                continue  # aborted define, or only the peers hold it
+            if copy == "unreachable":
+                return "deferred"  # source went dark since the probe
+            unknown_everywhere = False
+            read_sv, read_st = copy.versions
+            for mover in targets:
+                try:
+                    installed = yield self.node.rpc.call(
+                        mover, self.service, "guarded_install_entry",
+                        uid_text, copy.hosts, copy.uses, copy.view,
+                        copy.versions)
+                except RpcError:
+                    return "deferred"  # mover went dark; next pass
+                if installed is None:
+                    return "deferred"  # mover-side lock; next pass
+                if installed:
+                    copied = True
+                    self.entries_copied += 1
+                    record["entries_copied"] += 1
+                    self.metrics.counter("reshard.entries_copied").increment()
+                    self.tracer.record("reshard", "arc entry copied",
+                                       uid=uid_text, source=source,
+                                       target=mover)
+                old_sv, old_st = remaining[mover]
+                remaining[mover] = (max(old_sv, read_sv), max(old_st, read_st))
+        if unknown_everywhere:
+            return "unknown"
+        still_behind = any(sv < best[0] or st < best[1]
+                           for sv, st in remaining.values())
+        if still_behind:
+            return "deferred"
+        return "copied" if copied else "clean"
+
+    def _gc(self, old_ring: ShardRouter,
+            record: dict[str, Any]) -> Generator[Any, Any, None]:
+        """Remove moved arcs from their outgoing owners (post-flip)."""
+        for _ in range(self.max_rounds):
+            deferred = False
+            universe: set[str] = set()
+            for host in old_ring.nodes:
+                try:
+                    uids = yield self.node.rpc.call(host, self.service,
+                                                    "list_uids")
+                except RpcError:
+                    deferred = True  # dark host may hold garbage; retry
+                    continue
+                universe.update(uids)
+            forgotten_since_pause = 0
+            for uid_text in sorted(universe):
+                keep = set(self.router.preference_list(uid_text,
+                                                       self.replication))
+                for host in old_ring.preference_list(uid_text,
+                                                     self.replication):
+                    if host in keep:
+                        continue
+                    try:
+                        removed = yield self.node.rpc.call(
+                            host, self.service, "forget_entry", uid_text)
+                    except RpcError:
+                        deferred = True
+                        continue
+                    if removed is None:
+                        deferred = True  # pre-flip action still live
+                    elif removed:
+                        self.entries_forgotten += 1
+                        record["entries_forgotten"] += 1
+                        self.metrics.counter(
+                            "reshard.entries_forgotten").increment()
+                        forgotten_since_pause += 1
+                        if (forgotten_since_pause >= self.batch_size
+                                and self.throttle > 0):
+                            forgotten_since_pause = 0
+                            yield Timeout(self.throttle)
+            if not deferred:
+                return
+            yield Timeout(self.retry_interval)
+        # Leftovers on a host that stayed dark through every round are
+        # harmless: nothing routes to them, and the version gate keeps a
+        # later epoch from ever serving them stale.
+        self.tracer.record("reshard", "gc gave up with leftovers",
+                           epoch=self.router.epoch)
+
+    def _client(self, node_name: str) -> GroupViewDbClient:
+        client = self._peer_clients.get(node_name)
+        if client is None:
+            client = GroupViewDbClient(self.node.rpc, node_name,
+                                       service=self.service)
+            self._peer_clients[node_name] = client
+        return client
+
+
+class ShardAutoscaler:
+    """Optional load-triggered ring growth.
+
+    Samples cumulative per-shard naming-operation counts (the PR 1
+    ``shard.<host>.*`` scoped metrics, via the ``sample`` hook) every
+    ``interval`` and calls ``scale_up`` when the per-shard op *rate*
+    exceeds ``ops_per_shard`` -- then waits out whatever waitable
+    ``scale_up`` returns, so an in-flight migration is its own
+    cooldown.  ``busy`` (typically the ReshardManager's ``active``)
+    suppresses triggering mid-migration.
+    """
+
+    def __init__(self, scheduler: Any,
+                 sample: Callable[[], dict[str, float]],
+                 scale_up: Callable[[], Any],
+                 interval: float = 5.0, ops_per_shard: float = 200.0,
+                 max_shards: int = 8,
+                 busy: Callable[[], bool] | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if interval <= 0:
+            raise ValueError("autoscaler interval must be positive")
+        self.scheduler = scheduler
+        self.sample = sample
+        self.scale_up = scale_up
+        self.interval = interval
+        self.ops_per_shard = ops_per_shard
+        self.max_shards = max_shards
+        self.busy = busy or (lambda: False)
+        self.tracer = tracer or NULL_TRACER
+        self.samples_taken = 0
+        self.scale_ups_triggered = 0
+        self.last_rate_per_shard = 0.0
+        self._running = False
+        self._process: Any = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._process = self.scheduler.spawn(self._run(),
+                                             name="shard-autoscaler")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _run(self) -> Generator[Any, Any, None]:
+        last = self.sample()
+        while self._running:
+            yield Timeout(self.interval)
+            if not self._running:
+                return
+            current = self.sample()
+            self.samples_taken += 1
+            shards = len(current)
+            delta = sum(current.values()) - sum(last.values())
+            last = current
+            if shards == 0:
+                continue
+            self.last_rate_per_shard = max(0.0, delta) / self.interval / shards
+            if (self.last_rate_per_shard <= self.ops_per_shard
+                    or shards >= self.max_shards or self.busy()):
+                continue
+            self.tracer.record("reshard", "autoscaler triggering",
+                               rate_per_shard=self.last_rate_per_shard,
+                               shards=shards)
+            self.scale_ups_triggered += 1
+            try:
+                waitable = self.scale_up()
+                if waitable is not None:
+                    yield waitable  # the migration is the cooldown
+            except Exception as exc:
+                self.tracer.record("reshard", "autoscaler scale-up failed",
+                                   error=type(exc).__name__)
+            last = self.sample()  # don't count migration traffic as load
+
+
+class _Deferred(Exception):
+    """A pass could not finish; sleep and retry."""

@@ -37,7 +37,17 @@ try-locks the entry (an entry a live action holds locks on is skipped
 until the next sweep).  Crash-induced staleness is already repaired at
 recovery; the sweep bounds every *other* divergence -- chiefly a
 live-but-queued replica whose timed-out write was presume-aborted by
-the client -- to one sweep interval.
+the client -- to one sweep interval.  The sweep is also the standing
+garbage collector for arcs this host no longer owns: an install that
+was in flight when an online-reshard epoch flip moved an arc away can
+land *after* the migration's own GC round, and the next sweep forgets
+it (never during a staged transition, when this host may legitimately
+hold freshly-copied arcs it does not own under the live ring yet).
+
+Peer traffic -- uid enumeration, version probes, snapshot reads --
+flows over the always-on *sync service* rather than the gated client
+service, so any set of simultaneously-recovering hosts can still copy
+from each other instead of deadlocking on one another's gates.
 
 The protocol is per-host and unsynchronised: any subset of shard hosts
 can crash and recover in any order, as long as each arc keeps one live
@@ -49,12 +59,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.actions.action import AtomicAction
-from repro.actions.errors import LockRefused, PromotionRefused
-from repro.actions.locks import LockMode
-from repro.naming.db_client import GroupViewDbClient
-from repro.naming.errors import UnknownObject
-from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
+from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
+from repro.naming.group_view_db import (
+    SERVICE_NAME,
+    SYNC_SERVICE_NAME,
+    GroupViewDatabase,
+)
 from repro.naming.shard_router import ShardRouter
 from repro.net.errors import RpcError
 from repro.sim.metrics import MetricsRegistry
@@ -71,6 +81,7 @@ class ShardResyncManager:
 
     def __init__(self, node: "Node", db: GroupViewDatabase, router: ShardRouter,
                  replication: int, service: str = SERVICE_NAME,
+                 sync_service: str = SYNC_SERVICE_NAME,
                  retry_interval: float = 0.25, max_rounds: int = 200,
                  sweep_interval: float | None = 10.0,
                  metrics: MetricsRegistry | None = None,
@@ -83,6 +94,7 @@ class ShardResyncManager:
         self.router = router
         self.replication = replication
         self.service = service
+        self.sync_service = sync_service
         self.retry_interval = retry_interval
         self.max_rounds = max_rounds
         self.sweep_interval = sweep_interval
@@ -92,6 +104,7 @@ class ShardResyncManager:
         self.resyncs_forced = 0  # rejoined at max_rounds without converging
         self.entries_refreshed = 0
         self.last_resync_at: float | None = None
+        self.retired = False  # drained off the ring: never serve again
         self._peer_clients: dict[str, GroupViewDbClient] = {}
         self._install_hook()
 
@@ -101,9 +114,19 @@ class ShardResyncManager:
         return (not self.node.crashed
                 and self.node.rpc.has_service(self.service))
 
+    def retire(self) -> None:
+        """Drained off the ring: stop sweeping and never serve again.
+
+        Standing sweep processes exit at their next tick and future
+        recoveries only reset volatile state -- the drained host's
+        database keeps its (garbage-collected) contents but re-enters
+        no serving path.
+        """
+        self.retired = True
+
     def _install_hook(self) -> None:
         def sweep_hook(node: "Node") -> None:
-            if self.sweep_interval is not None:
+            if self.sweep_interval is not None and not self.retired:
                 node.spawn(self._sweep(), name="shard-anti-entropy")
 
         self.node.add_boot_hook(sweep_hook, run_now=True)
@@ -114,7 +137,8 @@ class ShardResyncManager:
             # between the node coming up and the resync starting.
             node.rpc.unregister(self.service)
             self.db.reset_volatile()
-            node.spawn(self.run(), name="shard-resync")
+            if not self.retired:
+                node.spawn(self.run(), name="shard-resync")
 
         # ``run_now=False``: never fires at initial boot (nothing was
         # missed yet), fires on every recovery.
@@ -126,6 +150,8 @@ class ShardResyncManager:
         """Copy this host's arcs from replica peers, then serve again."""
         converged = False
         for _ in range(self.max_rounds):
+            if self.retired:
+                return  # drained mid-resync: stay out of the serving path
             try:
                 changed = yield from self._sync_pass()
             except _Deferred:
@@ -136,6 +162,8 @@ class ShardResyncManager:
                 break
             # A pass that applied changes re-runs to confirm convergence
             # (writes committed mid-pass land on the peers we copy from).
+        if self.retired:
+            return
         self.node.rpc.register(self.service, self.db)
         self.last_resync_at = self.node.scheduler.now
         if converged:
@@ -168,6 +196,8 @@ class ShardResyncManager:
         assert self.sweep_interval is not None
         while True:
             yield Timeout(self.sweep_interval)
+            if self.retired:
+                return  # drained off the ring: nothing left to patrol
             if not self.serving:
                 continue  # a recovery resync owns the database right now
             try:
@@ -179,11 +209,13 @@ class ShardResyncManager:
         """One full pass over this host's arcs; True if anything changed."""
         me = self.node.name
         peers = [n for n in self.router.nodes if n != me]
-        universe = set(self.db.list_uids())
+        local = set(self.db.list_uids())
+        universe = set(local)
         saw_peer = False
         for peer in peers:
             try:
-                uids = yield self.node.rpc.call(peer, self.service, "list_uids")
+                uids = yield self.node.rpc.call(peer, self.sync_service,
+                                                "list_uids")
             except RpcError:
                 continue
             saw_peer = True
@@ -196,7 +228,20 @@ class ShardResyncManager:
         for uid_text in sorted(universe):
             replicas = self.router.preference_list(uid_text, self.replication)
             if me not in replicas:
-                continue  # a peer's arc, not ours
+                # Not our arc.  A *local* copy of it is leftover garbage
+                # -- e.g. a resync or read-repair install that was in
+                # flight when an epoch flip moved the arc away landed
+                # after the migration's GC round.  Sweep it out, but
+                # never during a staged transition: mid-migration this
+                # host may be an incoming owner holding freshly-copied
+                # arcs it does not own under the *live* ring yet.
+                if uid_text in local and self.router.transition is None:
+                    if self.db.forget_entry(uid_text):
+                        self.metrics.counter(
+                            f"resync.{self.node.name}.gc_leftovers").increment()
+                        self.tracer.record("resync", "leftover arc swept",
+                                           uid=uid_text, node=me)
+                continue
             uid = Uid.parse(uid_text)
             # Probe every source's versions first (lock-free and cheap:
             # in the common already-in-sync case no snapshot is read
@@ -209,7 +254,7 @@ class ShardResyncManager:
             for peer in (r for r in replicas if r != me):
                 try:
                     versions = yield self.node.rpc.call(
-                        peer, self.service, "entry_versions", uid_text)
+                        peer, self.sync_service, "entry_versions", uid_text)
                 except RpcError:
                     continue
                 reachable = True
@@ -237,32 +282,17 @@ class ShardResyncManager:
         client = self._peer_clients.get(peer)
         if client is None:
             client = GroupViewDbClient(self.node.rpc, peer,
-                                       service=self.service)
+                                       service=self.sync_service)
             self._peer_clients[peer] = client
-        uid = Uid.parse(uid_text)
-        action = AtomicAction(node=self.node.name, tracer=self.tracer)
-        try:
-            snapshot = yield from client.get_server_with_uses(action, uid)
-            view = yield from client.get_view(action, uid)
-            # Read under the locks the two snapshot reads already hold.
-            versions = yield self.node.rpc.call(peer, self.service,
-                                                "entry_versions", uid_text)
-        except (LockRefused, PromotionRefused):
-            yield from action.abort()
-            return "locked"
-        except UnknownObject:
-            # Defined-then-aborted, or a uid only the other half knows:
-            # nothing to copy from this peer.
-            yield from action.abort()
-            return "unknown"
-        except RpcError:
-            yield from action.abort()
-            return "unreachable"
-        yield from action.commit()  # read-only: prepare releases the locks
-        uses = {host: dict(counters)
-                for host, counters in snapshot.uses.items()}
-        changed = self._install(uid_text, list(snapshot.hosts), uses, view,
-                                tuple(versions))
+        copy = yield from fetch_entry_copy(self.node.rpc, client, uid_text,
+                                           node=self.node.name,
+                                           tracer=self.tracer)
+        if isinstance(copy, str):
+            # "unknown": defined-then-aborted, or a uid only the other
+            # half knows -- nothing to copy from this peer.
+            return copy
+        changed = self._install(uid_text, copy.hosts, copy.uses, copy.view,
+                                copy.versions)
         if changed is None:
             return "locked"
         if changed:
@@ -280,31 +310,17 @@ class ShardResyncManager:
                  versions: tuple[int, int]) -> bool | None:
         """Install one entry locally; None means locally locked (skip).
 
-        Both halves are try-locked first, gated or not: even while the
-        RPC service is out of the serving path, the *colocated* cleanup
-        daemon writes to the same database directly, and overwriting an
-        entry whose purge action is mid-flight would corrupt the
-        action's undo closures.  A refusal means a live local action
-        holds the entry; the pass retries it next round.  The install
-        itself is additionally version-gated, so only a strictly
-        fresher peer copy ever lands.
+        Delegates to the database's lock-guarded install: even while
+        the RPC service is out of the serving path, the *colocated*
+        cleanup daemon writes to the same database directly, and
+        overwriting an entry whose purge action is mid-flight would
+        corrupt the action's undo closures.  A refusal means a live
+        local action holds the entry; the pass retries it next round.
+        The install itself is additionally version-gated, so only a
+        strictly fresher peer copy ever lands.
         """
-        uid = Uid.parse(uid_text)
-        probe = AtomicAction(node=self.node.name, tracer=self.tracer)
-        locked = []
-        try:
-            for half, key in ((self.db.server_db, ("sv", uid)),
-                              (self.db.state_db, ("st", uid))):
-                half.locks.try_lock(probe.id, key, LockMode.WRITE)
-                locked.append(half)
-            return self.db.install_entry(uid_text, sv_hosts, uses, st_hosts,
-                                         versions)
-        except (LockRefused, PromotionRefused):
-            return None
-        finally:
-            for half in locked:
-                half.locks.release_all(probe.id)
-            probe.run_local(probe.abort())
+        return self.db.guarded_install_entry(uid_text, sv_hosts, uses,
+                                             st_hosts, versions)
 
 
 class _Deferred(Exception):

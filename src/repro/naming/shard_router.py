@@ -26,6 +26,20 @@ clockwise.  Replicating every entry across its preference list is what
 lets the naming database survive shard-host crashes -- the same trick
 the paper plays with application objects and their ``St`` sets.
 
+**Online resharding** (see :mod:`repro.naming.reshard`) grows or
+shrinks a *live* ring.  The membership change is first staged as a
+:class:`RingTransition` hanging off the shared router: the live ring
+keeps serving as the *old* epoch while ``transition.target`` holds the
+proposed ring, and every client writes through the union of the two
+preference lists (:meth:`ShardRouter.union_preference_list`) so no
+committed update can miss the incoming owners.  Once the moving arcs
+are copied, the change is applied to the shared router *atomically*
+(membership mutation plus transition clear, with no intervening
+simulation event) -- every client, shard host, and daemon holds the
+same router object, so the epoch flip is a single routing decision
+for the whole system.  ``epoch`` counts membership changes so
+observers can tell rings apart.
+
 Per-entry lock semantics are untouched: each replica shard's
 :class:`~repro.naming.group_view_db.GroupViewDatabase` keeps the
 paper's per-entry concurrency control.
@@ -35,6 +49,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+from dataclasses import dataclass, field
 from typing import Hashable, Iterable, TypeVar
 
 T = TypeVar("T")
@@ -48,6 +63,35 @@ def _ring_hash(text: str) -> int:
     return int.from_bytes(digest[:4], "big")
 
 
+@dataclass
+class RingTransition:
+    """A staged membership change: dual ownership until the flip.
+
+    While a transition is attached to the live router, the live ring is
+    the *old* epoch (reads prefer it) and ``target`` is the proposed
+    ring (writes also flow to its owners).  ``added``/``removed`` name
+    the membership delta for observers; ``epoch`` is the epoch the flip
+    will land on.
+
+    ``dirty`` is the un-confirmation channel: a client whose
+    dual-ownership write could not reach one of the entry's replicas
+    records the UID here, because the skipped replica may now be
+    missing a committed write even if a migration pass had already
+    confirmed its arc.  The ReshardManager drains the set and
+    re-confirms those arcs before it will flip.
+    """
+
+    target: "ShardRouter"
+    epoch: int
+    added: tuple[str, ...] = ()
+    removed: tuple[str, ...] = ()
+    dirty: set[str] = field(default_factory=set)
+
+    def mark_dirty(self, uid: Hashable) -> None:
+        """Record that a write to ``uid`` skipped an unreachable replica."""
+        self.dirty.add(str(uid))
+
+
 class ShardRouter:
     """A consistent-hash ring over named shard hosts."""
 
@@ -56,6 +100,11 @@ class ShardRouter:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.replicas = replicas
+        self.epoch = 0
+        # A staged membership change (online resharding): while set,
+        # clients write through both epochs' preference lists and read
+        # old-first.  Set and cleared only by the ReshardManager.
+        self.transition: RingTransition | None = None
         self._nodes: list[str] = []
         # Sorted (point, owner) pairs.  Keeping the owner inside the
         # sort key gives colliding points a deterministic order (by
@@ -65,6 +114,7 @@ class ShardRouter:
             self.add_node(node)
         if not self._nodes:
             raise ValueError("a shard ring needs at least one node")
+        self.epoch = 0  # boot membership is epoch 0; changes count from 1
 
     # -- membership ---------------------------------------------------------
 
@@ -83,6 +133,7 @@ class ShardRouter:
         for index in range(self.replicas):
             entry = (_ring_hash(f"{node}#{index}"), node)
             self._ring.insert(bisect.bisect_left(self._ring, entry), entry)
+        self.epoch += 1
 
     def remove_node(self, node: str) -> None:
         """Release the node's points; its arcs fall to the successors."""
@@ -92,6 +143,23 @@ class ShardRouter:
             raise ValueError("cannot remove the last shard node")
         self._nodes.remove(node)
         self._ring = [(p, o) for p, o in self._ring if o != node]
+        self.epoch += 1
+
+    def clone(self) -> "ShardRouter":
+        """An independent copy of the membership (no shared ring state).
+
+        Ring points are a pure function of the node names, so a clone
+        routes identically until one side's membership changes; the
+        ReshardManager stages proposed rings this way.  The clone never
+        carries a transition of its own.
+        """
+        dup = ShardRouter.__new__(ShardRouter)
+        dup.replicas = self.replicas
+        dup.epoch = self.epoch
+        dup.transition = None
+        dup._nodes = list(self._nodes)
+        dup._ring = list(self._ring)
+        return dup
 
     # -- routing ------------------------------------------------------------
 
@@ -130,6 +198,22 @@ class ShardRouter:
                 owners.append(owner)
                 if len(owners) == n:
                     break
+        return owners
+
+    def union_preference_list(self, key: Hashable, n: int) -> list[str]:
+        """The key's replica set across both epochs of a transition.
+
+        With no transition staged this is exactly
+        :meth:`preference_list`.  During a transition the old epoch's
+        owners come first (they are guaranteed current -- reads prefer
+        them) followed by the target epoch's owners not already listed
+        (they must see every write committed before the flip).
+        """
+        owners = self.preference_list(key, n)
+        if self.transition is not None:
+            for extra in self.transition.target.preference_list(key, n):
+                if extra not in owners:
+                    owners.append(extra)
         return owners
 
     def partition(self, keys: Iterable[T]) -> dict[str, list[T]]:

@@ -36,10 +36,39 @@ plays with application objects:
   synced replicas serve (recovery gates the RPC service until resync
   completes), so failover never reads a stale arc.
 
-Replica divergence windows are closed by 2PC itself: a replica that
-dies *between* prepare and commit lost nothing durable -- its locks and
-undo log are volatile, and the resync daemon re-copies the committed
-entry from its peers before the host serves again.
+- **read policy** -- ``primary`` (default) always starts at the
+  preference-list head; ``spread`` rotates the starting replica
+  round-robin so read traffic for a hot arc is spread over every live
+  replica instead of hammering the head's single-server queue.  Either
+  way the remaining replicas stay the failover chain.
+
+During an **online reshard** (a :class:`~repro.naming.shard_router.RingTransition`
+staged on the shared router) the client routes with *dual ownership*:
+writes flow through the union of the old and the proposed ring's
+preference lists -- so the incoming owners see every update committed
+after the transition began -- while reads stay old-epoch-first (the
+old owners are guaranteed current; the new ones are still being
+copied).  This applies even with ``replication == 1``: a transition
+always makes an entry multi-homed for its duration.  A write that
+cannot reach one of the union's replicas marks the UID dirty on the
+transition, forcing the migration to re-confirm that arc before the
+flip.  One deliberate availability trade remains: when *every*
+old-epoch replica of an arc is unreachable mid-transition, reads fall
+back to the incoming owners, which may be mid-copy -- the same
+availability-over-freshness stance as a forced resync rejoin, and the
+arc would otherwise be entirely dark.
+
+A failover read that steps past a replica disclaiming the entry, and
+(optionally, sampled) any replicated read, reports the UID to the
+attached read-repairer, which probes per-entry write versions and
+pushes lock-guarded installs to lagging replicas -- closing the
+residual window a recovered host can rejoin inside (see
+:mod:`repro.naming.read_repair`).
+
+Replica divergence windows are otherwise closed by 2PC itself: a
+replica that dies *between* prepare and commit lost nothing durable --
+its locks and undo log are volatile, and the resync daemon re-copies
+the committed entry from its peers before the host serves again.
 
 Per-entry semantics survive partitioning untouched: a UID's entry
 keeps the paper's per-entry locking on every replica shard; writes
@@ -62,17 +91,28 @@ from repro.net.rpc import RpcAgent
 from repro.storage.uid import Uid
 
 
+READ_POLICIES = ("primary", "spread")
+
+
 class ShardedGroupViewDbClient:
     """Routes the :class:`GroupViewDbClient` surface over a shard ring."""
 
     def __init__(self, rpc: RpcAgent, router: ShardRouter,
-                 service: str = SERVICE_NAME, replication: int = 1) -> None:
+                 service: str = SERVICE_NAME, replication: int = 1,
+                 read_policy: str = "primary",
+                 repair: Any | None = None) -> None:
         if replication < 1:
             raise ValueError(f"replication must be >= 1, got {replication}")
+        if read_policy not in READ_POLICIES:
+            raise ValueError(f"unknown read policy: {read_policy!r} "
+                             f"(expected one of {READ_POLICIES})")
         self._rpc = rpc
         self.router = router
         self.service = service
         self.replication = replication
+        self.read_policy = read_policy
+        self.repair = repair  # a ReadRepairer, or None
+        self._spread_cursor = 0
         # Built lazily so a ring grown with ShardRouter.add_node keeps
         # working: an unseen owner gets its per-shard client on first
         # routing.  (Clients for removed nodes linger unused -- the
@@ -95,8 +135,35 @@ class ShardedGroupViewDbClient:
         return self.shard_client_for_node(self.router.shard_for(uid))
 
     def replicas_for(self, uid: Uid | str) -> list[str]:
-        """The shard hosts holding ``uid``, primary first."""
-        return self.router.preference_list(uid, self.replication)
+        """The shard hosts a write to ``uid`` must reach, primary first.
+
+        During a ring transition this is the *union* of the old and
+        proposed rings' preference lists -- dual-ownership writes are
+        what let the epoch flip happen without a write barrier.
+        """
+        return self.router.union_preference_list(uid, self.replication)
+
+    def _read_order(self, uid: Uid | str) -> list[str]:
+        """The replicas a read tries, in failover order.
+
+        ``primary`` starts at the preference-list head; ``spread``
+        rotates the start round-robin across the old-epoch replicas.
+        A transition's incoming owners are appended *last* either way:
+        until the flip they may not have been copied yet, so they serve
+        only when every old-epoch replica is unreachable.
+        """
+        order = self.router.preference_list(uid, self.replication)
+        if self.read_policy == "spread" and len(order) > 1:
+            start = self._spread_cursor % len(order)
+            self._spread_cursor += 1
+            order = order[start:] + order[:start]
+        transition = self.router.transition
+        if transition is not None:
+            for extra in transition.target.preference_list(
+                    uid, self.replication):
+                if extra not in order:
+                    order.append(extra)
+        return order
 
     @property
     def shard_clients(self) -> dict[str, GroupViewDbClient]:
@@ -126,10 +193,12 @@ class ShardedGroupViewDbClient:
         replica; only a fully-unreachable preference list fails the
         write.
         """
-        if self.replication == 1:
+        if self.replication == 1 and self.router.transition is None:
             # Single home: enlist eagerly, exactly as PR 1's client did
             # -- with nowhere to fail over to, a timed-out shard must
             # stay a participant so the caller's abort still reaches it.
+            # (A transition makes even a replication=1 entry
+            # multi-homed, so it takes the fan-out path below.)
             return (yield from self.shard_client(uid).call_enlisted(
                 action, method, *args))
         result: Any = None
@@ -144,8 +213,18 @@ class ShardedGroupViewDbClient:
             except RpcError as exc:
                 unreachable = exc
                 self._disown_stray(client, action)
+                transition = self.router.transition
+                if transition is not None:
+                    # Mid-migration, a skipped replica may be an incoming
+                    # owner whose arc the pipeline already confirmed: tell
+                    # the ReshardManager to re-confirm before flipping.
+                    transition.mark_dirty(uid)
             except UnknownObject as exc:
                 unknown = exc  # stale replica, or truly undefined: see below
+        if reached and unknown is not None and self.repair is not None:
+            # A replica disclaimed an entry its peers accept: it is
+            # stale-missing; queue a lock-guarded re-seed.
+            self.repair.note_stale(uid)
         if not reached:
             # An unreachable replica may well hold the entry, so its
             # silence outranks a reachable peer's ignorance: report the
@@ -167,20 +246,32 @@ class ShardedGroupViewDbClient:
         the uid (an unreachable replica may hold the entry, so its
         outage outranks a peer's ignorance).
         """
-        if self.replication == 1:
+        if self.replication == 1 and self.router.transition is None:
             return (yield from self.shard_client(uid).call_enlisted(
                 action, method, *args))
         unreachable: RpcError | None = None
         unknown: UnknownObject | None = None
-        for node in self.replicas_for(uid):
+        for node in self._read_order(uid):
             client = self.shard_client_for_node(node)
             try:
-                return (yield from client.call_reached(action, method, *args))
+                result = yield from client.call_reached(action, method, *args)
             except RpcError as exc:
                 unreachable = exc
                 self._disown_stray(client, action)
+                continue
             except UnknownObject as exc:
                 unknown = exc
+                continue
+            if self.repair is not None:
+                if unknown is not None:
+                    # We stepped past a replica disclaiming the entry:
+                    # it is stale-missing; queue a lock-guarded re-seed.
+                    self.repair.note_stale(uid)
+                else:
+                    # Routine replicated read: sampled version verify
+                    # (no-op unless the repairer has verification on).
+                    self.repair.observe(uid)
+            return result
         if unreachable is not None:
             raise unreachable
         assert unknown is not None
@@ -260,7 +351,7 @@ class ShardedGroupViewDbClient:
         for uid, hosts in exclusions:
             for node in self.replicas_for(uid):
                 by_shard.setdefault(node, []).append((uid, hosts))
-        if self.replication == 1:
+        if self.replication == 1 and self.router.transition is None:
             for shard, lots in by_shard.items():
                 yield from self.shard_client_for_node(shard).exclude(
                     action, lots)
@@ -276,6 +367,10 @@ class ShardedGroupViewDbClient:
             except RpcError as exc:
                 unreachable = exc
                 self._disown_stray(client, action)
+                transition = self.router.transition
+                if transition is not None:
+                    for uid, _ in lots:  # see _write: re-confirm these arcs
+                        transition.mark_dirty(uid)
                 continue
             except UnknownObject as exc:
                 unknown = exc
@@ -322,13 +417,35 @@ class ShardedGroupViewDatabase:
         self.shards = dict(shards)
         self.replication = replication
 
+    def add_shard(self, node: str, db: GroupViewDatabase) -> None:
+        """Admit a booted-but-not-yet-owning shard host's database.
+
+        Online resharding boots the new host *before* staging the ring
+        transition; the facade must know its database so dual-ownership
+        bootstrap writes (and post-flip routing) can reach it.  The
+        router only routes to it once the ReshardManager flips.
+        """
+        if node in self.shards:
+            raise ValueError(f"shard already known to the facade: {node}")
+        self.shards[node] = db
+
+    def remove_shard(self, node: str) -> GroupViewDatabase:
+        """Forget a drained shard host's database (after its GC pass)."""
+        if node in self.router.nodes:
+            raise ValueError(f"cannot drop a shard still on the ring: {node}")
+        return self.shards.pop(node)
+
     def shard_db(self, uid_text: str) -> GroupViewDatabase:
         return self.shards[self.router.shard_for(uid_text)]
 
     def replica_dbs(self, uid_text: str) -> dict[str, GroupViewDatabase]:
-        """The replica databases holding ``uid_text``, primary first."""
+        """The replica databases holding ``uid_text``, primary first.
+
+        During a ring transition the union of both epochs' owners, so
+        harness bootstrap writes land wherever clients would put them.
+        """
         return {node: self.shards[node] for node in
-                self.router.preference_list(uid_text, self.replication)}
+                self.router.union_preference_list(uid_text, self.replication)}
 
     # -- routed operations (the harness-facing subset) ----------------------
 

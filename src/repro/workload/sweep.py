@@ -38,11 +38,15 @@ def sweep(values: Iterable[Any], run: Callable[[Any], dict[str, Any]],
 
 def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
                  mean_think_time: float, max_attempts: int,
-                 seed: int, **config_kwargs: Any):
+                 seed: int, objects: int | None = None,
+                 read_only: bool = False, **config_kwargs: Any):
     """Boot the canned closed-loop deployment shared by the scenarios.
 
-    Every client owns one counter object (so there is no per-entry
-    lock contention), server and store roles spread over
+    By default every client owns one counter object (so there is no
+    per-entry lock contention); passing ``objects`` smaller than
+    ``clients`` makes clients share hot objects round-robin, and
+    ``read_only=True`` turns the streams into pure ``get`` loops (the
+    spread-read experiments).  Server and store roles spread over
     ``server_hosts`` nodes; remaining config lands in ``SystemConfig``.
     Returns ``(system, streams, uids)`` -- run with
     :func:`~repro.workload.generator.run_streams`.
@@ -69,6 +73,10 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
         def restore_state(self, state):
             self.value = state.unpack_int()
 
+        @operation(LockMode.READ)
+        def get(self):
+            return self.value
+
         @operation(LockMode.WRITE)
         def add(self, amount):
             self.value += amount
@@ -82,7 +90,7 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
         system.add_node(host, server=True, store=True)
     runtimes = [system.add_client(f"c{i}") for i in range(clients)]
     uids = []
-    for i in range(clients):
+    for i in range(objects if objects is not None else clients):
         host = hosts[i % server_hosts]
         uids.append(system.create_object(
             SweepCounter(system.new_uid(), value=0),
@@ -91,16 +99,19 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
     def factory_for(uid):
         def factory(_index):
             def work(txn):
+                if read_only:
+                    return (yield from txn.invoke(uid, "get"))
                 return (yield from txn.invoke(uid, "add", 1))
             return work
         return factory
 
     streams = [
-        TransactionStream(runtime, factory_for(uids[i]),
+        TransactionStream(runtime, factory_for(uids[i % len(uids)]),
                           count=txns_per_client,
                           rng=SeededRng(seed, f"stream{i}"),
                           mean_think_time=mean_think_time,
-                          max_attempts=max_attempts)
+                          max_attempts=max_attempts,
+                          read_only=read_only)
         for i, runtime in enumerate(runtimes)
     ]
     return system, streams, uids
@@ -238,6 +249,209 @@ def sharded_failover_scenario(
                           else not system.nodes[victim].crashed),
     }
     return row
+
+
+def online_reshard_scenario(
+    initial_shards: int = 2,
+    target_shards: int = 4,
+    replication: int = 2,
+    clients: int = 24,
+    txns_per_client: int = 36,
+    server_hosts: int = 4,
+    scheme: str = "independent",
+    service_time: float = 0.006,
+    mean_think_time: float = 0.01,
+    max_attempts: int = 10,
+    rpc_timeout: float = 5.0,
+    reshard_at: float = 2.0,
+    reshard_settle: float = 0.5,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the online-resharding workload; returns a row.
+
+    The capacity sweep's closed loop (one object per client, per-node
+    service time making the name service the bottleneck) runs while a
+    driver grows -- or, with ``target_shards < initial_shards``, drains
+    -- the shard ring one host at a time, live.  The row separates
+    committed throughput into before/during/after-migration windows
+    and carries the correctness ledger the acceptance criteria are
+    about:
+
+    - ``lost_bindings`` -- committed counter increments missing from
+      the final value (a moved arc dropped a write);
+    - ``stale_bindings`` -- final value *beyond* the committed count
+      (an aborted attempt's effect served from a stale copy);
+    - ``aborted_for_routing`` -- transactions whose final abort reason
+      was ``UnknownObject``/RPC routing, i.e. the ring sent a client
+      somewhere that could not serve it;
+    - ``misplaced_entries`` / ``replica_disagreements`` -- post-flip
+      placement and convergence audits over every shard database.
+
+    ``reshard_settle`` is pinned (rather than derived from the
+    generous capacity-sweep RPC timeout) to keep the demo brisk; the
+    two-clean-pass convergence rule is what carries correctness.
+    """
+    from repro.sim.process import Timeout
+    from repro.workload.generator import run_streams
+
+    system, streams, uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, nameserver_shards=initial_shards,
+        nameserver_replication=replication, binding_scheme=scheme,
+        service_time=service_time, rpc_timeout=rpc_timeout,
+        reshard_settle=reshard_settle)
+    assert system.shard_router is not None
+    flips: list[dict[str, Any]] = []
+
+    def driver():
+        yield Timeout(reshard_at)
+        while len(system.shard_router.nodes) < target_shards:
+            flips.append((yield system.add_shard_host()))
+        while len(system.shard_router.nodes) > target_shards:
+            victim = system.shard_router.nodes[-1]
+            flips.append((yield system.drain_shard_host(victim)))
+
+    driver_process = system.scheduler.spawn(driver(), name="reshard-driver")
+    report = run_streams(system, streams)
+    system.run_until(driver_process, timeout=300.0)
+    system.run(until=system.scheduler.now + 2.0)  # let repairs settle
+
+    # -- the correctness ledger ---------------------------------------------
+    reader = next(iter(system.clients.values()))
+    lost = stale = 0
+    for i, stream in enumerate(streams):
+        committed = sum(1 for o in stream.report.outcomes if o.committed)
+
+        def read_value(uid=uids[i]):
+            def work(txn):
+                return (yield from txn.invoke(uid, "get"))
+            return work
+
+        result = system.run_transaction(reader, read_value(), read_only=True)
+        assert result.committed, f"final audit read failed: {result.reason}"
+        lost += max(0, committed - result.value)
+        stale += max(0, result.value - committed)
+
+    reasons = report.abort_reasons()
+    aborted_for_routing = sum(
+        count for bucket, count in reasons.items()
+        if "UnknownObject" in bucket or bucket.startswith("Rpc"))
+
+    misplaced = 0
+    disagreements = 0
+    for uid in uids:
+        owners = system.shard_router.preference_list(uid, replication)
+        for shard, db in system.db.shards.items():
+            if db.knows(str(uid)) != (shard in owners):
+                misplaced += 1
+        states = []
+        for shard in owners:
+            db = system.db.shards[shard]
+            snapshot = db.get_server_with_uses((0,), str(uid))
+            view = db.get_view((0,), str(uid))
+            states.append((tuple(snapshot.hosts),
+                           {h: dict(c) for h, c in snapshot.uses.items()},
+                           tuple(view)))
+        system._release_probe_locks()
+        if any(state != states[0] for state in states):
+            disagreements += 1
+
+    # -- throughput windows --------------------------------------------------
+    start = flips[0]["started_at"] if flips else None
+    done = flips[-1]["done_at"] if flips else None
+    finishes = [o.finished_at for o in report.outcomes]
+    last_finish = max(finishes) if finishes else 0.0
+
+    def window_rate(lo, hi):
+        if lo is None or hi is None or hi <= lo:
+            return 0.0
+        commits = sum(1 for o in report.outcomes
+                      if o.committed and lo <= o.finished_at < hi)
+        return commits / (hi - lo)
+
+    return {
+        "shards_before": initial_shards,
+        "shards_after": len(system.shard_router.nodes),
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "throughput_before": window_rate(0.0, start),
+        "throughput_during": window_rate(start, done),
+        "throughput_after": window_rate(done, last_finish),
+        "migration_started_at": start,
+        "migration_done_at": done,
+        "epochs": len(flips),
+        "entries_copied": sum(f["entries_copied"] for f in flips),
+        "entries_forgotten": sum(f["entries_forgotten"] for f in flips),
+        "lost_bindings": lost,
+        "stale_bindings": stale,
+        "aborted_for_routing": aborted_for_routing,
+        "misplaced_entries": misplaced,
+        "replica_disagreements": disagreements,
+    }
+
+
+def spread_read_scenario(
+    read_policy: str = "primary",
+    shards: int = 3,
+    replication: int = 3,
+    clients: int = 18,
+    txns_per_client: int = 12,
+    server_hosts: int = 3,
+    hot_objects: int = 1,
+    shard_service_time: float = 0.005,
+    mean_think_time: float = 0.01,
+    max_attempts: int = 5,
+    rpc_timeout: float = 5.0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the hot-arc read workload; returns a row.
+
+    Every client loops read-only transactions against the same few hot
+    objects, and *only the shard hosts* charge service time, so the
+    name service is the sole queueing bottleneck.  Under the
+    ``primary`` policy every read of a hot entry lands on its
+    preference-list head -- one single-server queue -- while ``spread``
+    rotates reads across the arc's whole replica set; the row's tail
+    latency is the difference.
+    """
+    from repro.workload.generator import run_streams
+
+    system, streams, _uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, objects=hot_objects, read_only=True,
+        nameserver_shards=shards, nameserver_replication=replication,
+        nameserver_read_policy=read_policy, binding_scheme="standard",
+        rpc_timeout=rpc_timeout)
+    for host in system.shard_hosts:
+        system.nodes[host].rpc.service_time = shard_service_time
+    report = run_streams(system, streams)
+    latencies = [o.latency for o in report.outcomes]
+    elapsed = system.scheduler.now
+    return {
+        "read_policy": read_policy,
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "mean_latency": report.mean_latency(),
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
+        "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+        "per_shard_reads": {
+            name: system.metrics.counter_value(
+                f"shard.{name}.server_db.get_server")
+            for name in system.shard_hosts},
+    }
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` quantile of ``values`` (nearest-rank)."""
+    if not values:
+        return math.nan
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
 
 
 def mean_and_spread(values: Sequence[float]) -> tuple[float, float]:

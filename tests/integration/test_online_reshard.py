@@ -1,0 +1,260 @@
+"""Integration tests for online resharding.
+
+The ReshardManager must grow and shrink the live ring with no restart
+and no correctness cost: dual-ownership routing keeps every binding
+committing while the moving arcs are copied, the epoch flip is atomic,
+and the old owners' garbage is collected -- all while crashes,
+concurrent membership changes, and live traffic do their worst.
+"""
+
+import pytest
+
+from repro import DistributedSystem, SystemConfig
+from repro.naming import ReshardInProgress
+from repro.naming.group_view_db import SERVICE_NAME
+
+from tests.conftest import (
+    add_work,
+    assert_shard_replicas_agree,
+    get_work,
+)
+from tests.integration.test_sharded_nameserver import build
+
+
+def assert_placement_matches_ring(system, uids, replication=2):
+    """Entries live exactly on their (current-ring) preference lists."""
+    for uid in uids:
+        owners = set(system.shard_router.preference_list(uid, replication))
+        for shard, db in system.db.shards.items():
+            assert db.knows(str(uid)) == (shard in owners), \
+                f"{uid} misplaced at {shard}: owners {sorted(owners)}"
+
+
+def test_scale_out_moves_arcs_flips_and_garbage_collects():
+    system, (client,), uids = build(shards=2, objects=12,
+                                    nameserver_replication=2)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+    process = system.add_shard_host()
+    outcome = system.run_until(process, timeout=120.0)
+
+    assert system.shard_router.nodes == ["namenode0", "namenode1",
+                                         "namenode2"]
+    assert system.shard_router.epoch == 1
+    assert system.shard_router.transition is None
+    assert outcome["flipped_at"] is not None
+    assert outcome["done_at"] >= outcome["flipped_at"]
+    assert outcome["entries_forgotten"] > 0, \
+        "a grown ring must have moved (and GC'd) at least one arc"
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid)
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == 1
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_scale_out_commits_bindings_throughout_the_migration():
+    """Dual-ownership routing is the point: no write barrier, no abort
+    window, while arcs move."""
+    system, (client,), uids = build(shards=2, objects=8,
+                                    nameserver_replication=2)
+    process = system.add_shard_host()
+    rounds = 0
+    while not process.done:
+        for uid in uids:
+            assert system.run_transaction(client, add_work(uid, 1)).committed
+        rounds += 1
+        assert rounds < 200, "migration must finish under live traffic"
+    system.run_until(process, timeout=60.0)
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == rounds
+    assert_placement_matches_ring(system, uids)
+
+
+def test_drain_retires_the_host_and_keeps_its_arcs_served():
+    system, (client,), uids = build(shards=3, objects=9,
+                                    nameserver_replication=2)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+    victim = system.shard_router.nodes[-1]
+    victim_db = system.db.shards[victim]
+
+    process = system.drain_shard_host(victim)
+    outcome = system.run_until(process, timeout=120.0)
+
+    assert victim not in system.shard_router.nodes
+    assert victim in system.drained_shard_hosts
+    assert outcome["removed"] == [victim]
+    assert victim_db.list_uids() == [], \
+        "a drained host must end fully garbage-collected"
+    assert not system.nodes[victim].rpc.has_service(SERVICE_NAME), \
+        "a drained host must stop serving the naming RPC surface"
+    assert victim not in system.db.shards
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == 2
+
+
+def test_drained_host_recovery_does_not_resurrect_the_service():
+    system, (client,), uids = build(shards=3, objects=6,
+                                    nameserver_replication=2)
+    victim = system.shard_router.nodes[-1]
+    system.run_until(system.drain_shard_host(victim), timeout=120.0)
+
+    system.nodes[victim].crash()
+    system.run(until=system.scheduler.now + 1.0)
+    system.nodes[victim].recover()
+    system.run(until=system.scheduler.now + 30.0)
+    assert not system.nodes[victim].rpc.has_service(SERVICE_NAME), \
+        "retirement must survive a crash/recovery cycle"
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_drain_refuses_to_go_below_replication():
+    system, _, _ = build(shards=2, nameserver_replication=2)
+    with pytest.raises(ValueError):
+        system.run_until(system.drain_shard_host("namenode1"), timeout=30.0)
+
+
+def test_concurrent_membership_changes_are_refused():
+    system, (client,), uids = build(shards=2, objects=6,
+                                    nameserver_replication=2)
+    first = system.add_shard_host()
+    with pytest.raises(ValueError):
+        system.add_shard_host()  # eager refusal while the first migrates
+    system.run_until(first, timeout=120.0)
+    # After the epoch completes the ring is elastic again.
+    second = system.add_shard_host()
+    system.run_until(second, timeout=120.0)
+    assert len(system.shard_router.nodes) == 4
+    assert_placement_matches_ring(system, uids)
+
+
+def test_reshard_manager_itself_rejects_overlapping_epochs():
+    system, _, _ = build(shards=2, objects=3, nameserver_replication=2)
+    process = system.add_shard_host()
+    with pytest.raises(ReshardInProgress):
+        system.run_until(
+            system.scheduler.spawn(system.reshard.grow("late-host"),
+                                   name="late"), timeout=30.0)
+    system.run_until(process, timeout=120.0)
+
+
+def test_migration_defers_while_a_source_host_is_down():
+    """A moving arc with an unreachable old owner must hold the epoch
+    open -- the dark host may hold a committed write nobody else took
+    -- and complete once it recovers."""
+    system, (client,), uids = build(shards=2, objects=8,
+                                    nameserver_replication=2)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+    victim = system.shard_router.nodes[0]
+    system.nodes[victim].crash()
+
+    process = system.add_shard_host()
+    system.run(until=system.scheduler.now + 10.0)
+    assert not process.done, \
+        "the migration must wait for the dark source, not flip past it"
+    assert system.shard_router.transition is not None
+
+    system.nodes[victim].recover()
+    outcome = system.run_until(process, timeout=240.0)
+    assert outcome["flipped_at"] is not None
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid)
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_new_host_crash_during_migration_heals():
+    """Crashing the incoming owner mid-copy defers the epoch; its
+    recovery (gated by its own resync manager) lets the migration
+    finish, and the flip still lands."""
+    from repro import FaultPlan
+
+    system, (client,), uids = build(shards=3, objects=9,
+                                    nameserver_replication=2)
+    process = system.add_shard_host("namenode3")
+    # Crash the incoming host shortly into the migration, recover later.
+    system.install_fault_plan(
+        FaultPlan().outage(system.scheduler.now + 0.2,
+                           system.scheduler.now + 5.0, "namenode3"))
+    outcome = system.run_until(process, timeout=240.0)
+    assert outcome["flipped_at"] is not None
+    assert "namenode3" in system.shard_router.nodes
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid)
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_sweep_garbage_collects_an_install_that_raced_the_flip():
+    """An install computed against the pre-flip ring can land on an
+    ex-owner after the migration's GC round; the anti-entropy sweep is
+    the standing collector that forgets it -- but never while a
+    transition is staged (the host may hold freshly-copied arcs it
+    does not own under the live ring yet)."""
+    from repro.naming.shard_router import RingTransition
+
+    system, (client,), uids = build(shards=3, objects=6,
+                                    nameserver_replication=2,
+                                    shard_antientropy_interval=2.0)
+    uid = uids[0]
+    owners = system.shard_router.preference_list(uid, 2)
+    outsider = [n for n in system.shard_hosts if n not in owners][0]
+    foreign = system.db.shards[outsider]
+
+    # Plant the raced install: a committed copy on a non-owner.
+    assert foreign.guarded_install_entry(
+        str(uid), ["a1", "a2"], {"a1": {}, "a2": {}}, ["a1", "a2"], (1, 1))
+    assert foreign.knows(str(uid))
+
+    # While a transition is staged the sweep must leave it alone...
+    target = system.shard_router.clone()
+    system.shard_router.transition = RingTransition(target, epoch=99)
+    system.run(until=system.scheduler.now + 6.0)
+    assert foreign.knows(str(uid)), \
+        "mid-transition the sweep must not touch unowned local arcs"
+
+    # ...and once the ring is stable again, sweep it out.
+    system.shard_router.transition = None
+    system.run(until=system.scheduler.now + 6.0)
+    assert not foreign.knows(str(uid)), \
+        "the sweep must collect the leftover arc"
+    assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_resharding_requires_a_sharded_deployment():
+    system = DistributedSystem(SystemConfig(seed=7))
+    with pytest.raises(ValueError):
+        system.add_shard_host()
+    with pytest.raises(ValueError):
+        system.drain_shard_host("namenode")
+    with pytest.raises(ValueError):
+        system.enable_autoscaler()
+
+
+def test_autoscaler_grows_the_ring_under_load():
+    """The end-to-end elasticity loop: per-shard op rates over the
+    threshold trigger a real migration epoch."""
+    system, (client,), uids = build(shards=2, objects=8,
+                                    nameserver_replication=2,
+                                    scheme="independent")
+    system.enable_autoscaler(ops_per_shard=5.0, interval=1.0, max_shards=3)
+    deadline = 60.0
+    while (len(system.shard_router.nodes) < 3
+           and system.scheduler.now < deadline):
+        for uid in uids:
+            system.run_transaction(client, add_work(uid, 1))
+    system.run(until=system.scheduler.now + 30.0)
+    assert len(system.shard_router.nodes) == 3, \
+        "sustained over-threshold load must grow the ring"
+    assert system.autoscaler.scale_ups_triggered >= 1
+    assert not system.reshard.active
+    assert_placement_matches_ring(system, uids)

@@ -1,0 +1,120 @@
+"""Long-haul stochastic churn over the shard ring.
+
+The ROADMAP's standing experiment: drive
+:class:`~repro.sim.failures.StochasticFaultInjector` against
+``system.shard_hosts`` -- random crash/recover cycles with no script
+-- while a closed loop of bindings runs, and (the hard part) while an
+online reshard migrates arcs through the middle of the chaos.  The
+whole machinery has to compose: replicated writes skip dark replicas,
+reads fail over, resync gates recovered hosts, read-repair patches
+residual staleness, and the migration epoch defers around outages
+instead of flipping past them.
+
+The invariants at the end of the haul:
+
+- **no binding lost** -- every committed counter increment is in the
+  final value (and nothing beyond them: no aborted effect survived);
+- **the ring converges** -- every shard host serves again and every
+  arc's replicas agree entry-for-entry;
+- **the reshard completed** -- the ring grew by one host whose arcs
+  are placed exactly as the new ring dictates.
+"""
+
+from tests.conftest import add_work, assert_shard_replicas_agree, get_work
+from tests.integration.test_sharded_nameserver import build
+
+
+def assert_placement_matches_ring(system, uids, replication):
+    for uid in uids:
+        owners = set(system.shard_router.preference_list(uid, replication))
+        for shard, db in system.db.shards.items():
+            assert db.knows(str(uid)) == (shard in owners), \
+                f"{uid} misplaced at {shard}: owners {sorted(owners)}"
+
+
+def test_stochastic_shard_churn_with_a_concurrent_reshard():
+    replication = 3
+    system, (client,), uids = build(shards=4, objects=8,
+                                    scheme="independent",
+                                    nameserver_replication=replication,
+                                    shard_antientropy_interval=2.0,
+                                    enable_recovery_managers=False,
+                                    rpc_timeout=0.3, seed=11)
+    # Churn every original shard host: exponential crashes, sub-second
+    # repairs, for the first 25 simulated seconds.  (The host added
+    # mid-run is deliberately not a target: the injector snapshot
+    # predates it, exactly like an operator pointing chaos tooling at
+    # the old fleet.)  The rates are tuned so the ring stays mostly
+    # available -- harsher churn just measures blackout arcs, not the
+    # machinery under test.
+    injector = system.stochastic_faults(system.shard_hosts, mttf=12.0,
+                                        mttr=0.8, stop_after=25.0)
+
+    committed = {str(uid): 0 for uid in uids}
+    migration = None
+    while system.scheduler.now < 30.0:
+        for uid in uids:
+            result = system.run_transaction(client, add_work(uid, 1),
+                                            timeout=30.0)
+            if result.committed:
+                committed[str(uid)] += 1
+        if migration is None and system.scheduler.now >= 10.0:
+            # Grow the ring in the middle of the churn window.
+            migration = system.add_shard_host()
+
+    assert injector.crashes_injected > 0, "the haul must actually churn"
+    assert migration is not None
+    outcome = system.run_until(migration, timeout=600.0)
+    assert outcome["flipped_at"] is not None
+    assert len(system.shard_router.nodes) == 5
+
+    # Let every recovery resync and anti-entropy sweep play out.
+    system.run(until=system.scheduler.now + 60.0)
+    for host, resyncer in system.shard_resyncers.items():
+        assert resyncer.serving, f"{host} must be back in the serving path"
+
+    total = sum(committed.values())
+    assert total > 0, "the haul must commit real work through the churn"
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid), timeout=30.0)
+        assert result.committed, f"final read of {uid} failed: {result.reason}"
+        assert result.value == committed[str(uid)], \
+            (f"{uid}: committed {committed[str(uid)]} increments but the "
+             f"counter reads {result.value} -- a binding was "
+             f"{'lost' if result.value < committed[str(uid)] else 'invented'}")
+
+    assert_placement_matches_ring(system, uids, replication)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid, replication=replication)
+
+
+def test_stochastic_churn_without_resharding_converges():
+    """The baseline haul: churn alone (no membership change) must also
+    end with every replica converged -- the regression guard for the
+    resync/anti-entropy/read-repair stack under random faults."""
+    replication = 2
+    system, (client,), uids = build(shards=3, objects=6,
+                                    scheme="independent",
+                                    nameserver_replication=replication,
+                                    shard_antientropy_interval=2.0,
+                                    enable_recovery_managers=False,
+                                    rpc_timeout=0.3, seed=23)
+    injector = system.stochastic_faults(system.shard_hosts, mttf=5.0,
+                                        mttr=1.0, stop_after=25.0)
+    committed = {str(uid): 0 for uid in uids}
+    while system.scheduler.now < 30.0:
+        for uid in uids:
+            result = system.run_transaction(client, add_work(uid, 1),
+                                            timeout=30.0)
+            if result.committed:
+                committed[str(uid)] += 1
+
+    assert injector.crashes_injected > 0
+    system.run(until=system.scheduler.now + 60.0)
+    for host, resyncer in system.shard_resyncers.items():
+        assert resyncer.serving, f"{host} must be back in the serving path"
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid), timeout=30.0)
+        assert result.committed and result.value == committed[str(uid)], \
+            (uid, result.value, committed[str(uid)])
+        assert_shard_replicas_agree(system, uid, replication=replication)

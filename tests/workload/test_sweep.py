@@ -5,7 +5,46 @@ import math
 import pytest
 
 from repro.workload import Table, mean_and_spread, sweep
-from repro.workload.sweep import sharded_failover_scenario
+from repro.workload.sweep import (
+    online_reshard_scenario,
+    percentile,
+    sharded_failover_scenario,
+    spread_read_scenario,
+)
+
+
+def test_online_reshard_scenario_row_shape():
+    """A tiny scale-out run produces a complete, all-clean row."""
+    row = online_reshard_scenario(initial_shards=2, target_shards=3,
+                                  clients=6, txns_per_client=12,
+                                  server_hosts=2, reshard_at=1.0)
+    assert row["shards_before"] == 2
+    assert row["shards_after"] == 3
+    assert row["epochs"] == 1
+    assert row["commit_rate"] == 1.0
+    assert row["lost_bindings"] == 0
+    assert row["stale_bindings"] == 0
+    assert row["aborted_for_routing"] == 0
+    assert row["misplaced_entries"] == 0
+    assert row["replica_disagreements"] == 0
+    assert row["migration_done_at"] > row["migration_started_at"]
+
+
+def test_spread_read_scenario_row_shape():
+    row = spread_read_scenario(read_policy="spread", clients=6,
+                               txns_per_client=4)
+    assert row["read_policy"] == "spread"
+    assert row["commit_rate"] == 1.0
+    assert row["p95_latency"] >= row["p50_latency"] >= 0.0
+    assert sum(row["per_shard_reads"].values()) > 0
+
+
+def test_percentile_nearest_rank():
+    values = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0]
+    assert percentile(values, 0.50) == 0.5
+    assert percentile(values, 0.95) == 1.0
+    assert percentile(values, 0.0) == 0.1
+    assert math.isnan(percentile([], 0.5))
 
 
 def test_sharded_failover_scenario_row_shape():
