@@ -9,6 +9,14 @@ copied under dual-ownership routing, the epoch flipped atomically, and
 the old owners garbage-collected -- while every transaction keeps
 committing.
 
+Since the epoch-fenced replica plane landed there is no settle
+interval anywhere in the pipeline: servers reject requests routed by a
+pre-transition ring view (``StaleRingEpoch``) and clients re-route,
+so the migration starts copying immediately -- the scale-out completes
+faster, and correctness rides the fence instead of a timer.  The
+``--plan`` mode (also run as a CI smoke) exercises the multi-host
+``plan_rebalance``: 2->4 in *one* staged epoch.
+
 The acceptance shape (the row's correctness ledger must be all zeros):
 
 - **zero lost bindings** -- every committed counter increment is in
@@ -72,6 +80,36 @@ def test_scale_out_absorbs_load_without_losing_bindings(benchmark):
 
 
 @pytest.mark.benchmark(group="online_reshard")
+def test_multi_host_plan_rebalance_is_one_epoch(benchmark):
+    """The rebalance plan: 2->4 in a single staged transition -- one
+    dual-ownership window, one copy pipeline, one flip -- with the same
+    all-zeros ledger the per-host path must show."""
+    def experiment():
+        return online_reshard_scenario(initial_shards=2, target_shards=4,
+                                       txns_per_client=60, reshard_at=4.0,
+                                       plan=True)
+
+    row = once(benchmark, experiment)
+
+    table = Table("S3: 2->4 plan_rebalance (one epoch) under load",
+                  ["phase", "throughput (txn/s)", "lost", "stale",
+                   "routing aborts"])
+    table.add_row("before (2 shards)", row["throughput_before"], "-", "-", "-")
+    table.add_row("during migration", row["throughput_during"], "-", "-", "-")
+    table.add_row("after (4 shards)", row["throughput_after"],
+                  row["lost_bindings"], row["stale_bindings"],
+                  row["aborted_for_routing"])
+    table.show()
+
+    _ledger_is_clean(row)
+    assert row["shards_after"] == 4, row
+    assert row["epochs"] == 1, \
+        "a plan moves every host in ONE migration epoch"
+    assert row["throughput_after"] > row["throughput_before"], row
+    assert row["throughput_during"] > 0.5 * row["throughput_before"], row
+
+
+@pytest.mark.benchmark(group="online_reshard")
 def test_drain_returns_capacity_without_losing_bindings(benchmark):
     def experiment():
         return online_reshard_scenario(initial_shards=4, target_shards=2,
@@ -96,3 +134,43 @@ def test_drain_returns_capacity_without_losing_bindings(benchmark):
     # trade away is a binding.
     assert row["throughput_during"] > 0, row
     assert row["throughput_after"] > 0, row
+
+
+def _smoke_plan():  # pragma: no cover - exercised by CI, not pytest
+    """CI smoke: the multi-host plan under load, tiny parameters.
+
+    Fails loudly on ANY lost, stale-served, or misplaced binding, any
+    routing abort, or a plan that took more than one epoch.
+    """
+    row = online_reshard_scenario(initial_shards=2, target_shards=4,
+                                  clients=8, txns_per_client=14,
+                                  server_hosts=2, reshard_at=1.0, plan=True)
+    assert row["commit_rate"] == 1.0, row
+    assert row["lost_bindings"] == 0, f"lost bindings: {row}"
+    assert row["stale_bindings"] == 0, f"stale-served bindings: {row}"
+    assert row["aborted_for_routing"] == 0, f"routing aborts: {row}"
+    assert row["misplaced_entries"] == 0, row
+    assert row["replica_disagreements"] == 0, row
+    assert row["shards_after"] == 4, row
+    assert row["epochs"] == 1, f"a plan must be one epoch: {row}"
+    print(f"plan_rebalance smoke: {row['committed']}/{row['offered']} "
+          f"committed, 2->4 shards in {row['epochs']} epoch, "
+          f"throughput {row['throughput_before']:.1f} -> "
+          f"{row['throughput_after']:.1f} txn/s, "
+          f"{row['requests_fenced']} requests fenced, "
+          f"0 lost / 0 stale / 0 misplaced")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="online-resharding smoke runs")
+    parser.add_argument("--plan", action="store_true",
+                        help="run the multi-host plan_rebalance smoke "
+                             "(2->4 in one epoch) and assert the ledger")
+    args = parser.parse_args()
+    if args.plan:
+        _smoke_plan()
+    else:
+        parser.error("choose a smoke mode (--plan)")

@@ -6,9 +6,19 @@ section 3 for the experiment index and EXPERIMENTS.md for recorded
 results.  Run with::
 
     pytest benchmarks/ --benchmark-only -s
+
+Every experiment driven through :func:`once` is also recorded
+machine-readably: at session end ``benchmarks/conftest.py`` writes one
+``benchmarks/results/BENCH_<name>.json`` per bench module (rows,
+throughput, latency percentiles, correctness ledgers -- whatever the
+experiment returned), so CI can archive the perf trajectory instead of
+letting it evaporate into stdout tables.
 """
 
 from __future__ import annotations
+
+from pathlib import PurePath
+from typing import Any
 
 from repro import (
     DistributedSystem,
@@ -93,6 +103,22 @@ def run_workload(system, runtimes, uid, txns_per_client=50,
     return run_streams(system, streams)
 
 
+# One entry per bench module that ran this session:
+# ``{module_stem: {test_name: result}}``.  Drained by
+# benchmarks/conftest.py into BENCH_<name>.json files at session end.
+BENCH_RESULTS: dict[str, dict[str, Any]] = {}
+
+
 def once(benchmark, fn):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, rounds=1, iterations=1)
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiment's return value (a row, a list of rows, a tuple of
+    headline numbers) is recorded for the machine-readable
+    ``BENCH_<name>.json`` artifact alongside the printed table.
+    """
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    fullname = getattr(benchmark, "fullname", "") or ""
+    module = PurePath(fullname.split("::", 1)[0]).stem or "unknown"
+    test = getattr(benchmark, "name", None) or "experiment"
+    BENCH_RESULTS.setdefault(module, {})[test] = result
+    return result

@@ -1,0 +1,35 @@
+"""Benchmark-session hooks: machine-readable result artifacts.
+
+Every experiment driven through :func:`benchmarks.common.once` records
+its returned rows; this hook drains that registry at session end and
+writes one ``benchmarks/results/BENCH_<name>.json`` per bench module
+that ran.  CI uploads the directory as an artifact, so the perf
+trajectory (throughput, tail latencies, correctness ledgers) is
+recorded per commit instead of living only in stdout tables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    from benchmarks.common import BENCH_RESULTS
+
+    if not BENCH_RESULTS:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, results in sorted(BENCH_RESULTS.items()):
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        payload = {
+            "bench": module,
+            "results": results,
+        }
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        # default=str: rows may carry Uids or other repr-able values.
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                                   default=str) + "\n")
+        print(f"wrote {path}")

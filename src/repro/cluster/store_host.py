@@ -13,7 +13,7 @@ host" are the same machine class booted with one extra service.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.cluster.node import Node
 from repro.naming.group_view_db import SERVICE_NAME, SYNC_SERVICE_NAME
@@ -92,18 +92,30 @@ class NameShardHost:
 
     @classmethod
     def install_on(cls, node: Node, db: Any,
-                   service: str = SERVICE_NAME) -> "NameShardHost":
+                   service: str = SERVICE_NAME,
+                   fence: Callable[[], int] | None = None) -> "NameShardHost":
         """Boot hook: serve ``db`` on ``node`` now and after recoveries.
 
         Two registrations of the same database: ``service`` is the
         client-facing name (recovery gating pulls it until resync
         converges) and the sync service is the always-on side door for
-        replica-internal traffic.
+        replica-internal traffic.  ``fence`` -- typically the shared
+        router's ``fence_epoch`` -- arms epoch fencing on the
+        *client-facing* service only: tagged requests routed by a stale
+        ring view are rejected before dispatch.  The sync plane stays
+        unfenced on purpose (resync, migration, and repair must reach
+        hosts the live ring does not own yet, or no longer owns; their
+        installs are version-gated instead).  Because the boot hook
+        re-registers with the same fence on every recovery, a crashed
+        host can never rejoin accepting fenced traffic unchecked: a
+        node crash resets the RPC agent's services *and* fences, and
+        this hook re-arms both against the shared router -- whose fence
+        epoch is monotonic, never reset to zero by any recovery.
         """
         host = cls(node, db, service)
 
         def hook(n: Node) -> None:
-            n.rpc.register(service, db)
+            n.rpc.register(service, db, fence=fence)
             n.rpc.register(SYNC_SERVICE_NAME, db)
 
         host._hook = hook

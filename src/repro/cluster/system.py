@@ -93,7 +93,6 @@ class SystemConfig:
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
     reshard_batch_size: int = 8              # arc copies between throttles
     reshard_throttle: float = 0.02           # migration-bandwidth pause
-    reshard_settle: float | None = None      # None -> derived from rpc timeout
     enable_cleaner: bool = False
     cleaner_interval: float = 5.0
     enable_recovery_managers: bool = True
@@ -210,20 +209,14 @@ class DistributedSystem:
         self.name_node = self.nodes[names[0]]
         self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs,
                                            replication=replication)
-        # The coordinator of online membership changes.  Its settle
-        # interval must cover one client RPC timeout: that is how long a
-        # write computed against the pre-transition ring can stay in
-        # flight before it has either executed or been presume-aborted.
-        settle = self.config.reshard_settle
-        if settle is None:
-            rpc_timeout = self.config.rpc_timeout
-            if rpc_timeout is None:
-                rpc_timeout = self.network.latency.typical * 6 + 0.05
-            settle = max(0.5, rpc_timeout)
+        # The coordinator of online membership changes.  No settle
+        # interval: the epoch fence rejects (at dispatch time) any write
+        # still in flight from a pre-transition ring view, so the copy
+        # passes may trust the sources' version probes immediately.
         self.reshard = ReshardManager(
             self.name_node, self.shard_router, replication,
             batch_size=self.config.reshard_batch_size,
-            throttle=self.config.reshard_throttle, settle=settle,
+            throttle=self.config.reshard_throttle,
             metrics=self.metrics, tracer=self.tracer)
 
     def _boot_shard_host(self, name: str) -> GroupViewDatabase:
@@ -241,7 +234,12 @@ class DistributedSystem:
             use_exclude_write_lock=self.config.use_exclude_write_lock,
             metrics=self.metrics.scoped(f"shard.{name}."),
             tracer=self.tracer)
-        self._shard_name_hosts[name] = NameShardHost.install_on(node, db)
+        # The client-facing service is epoch-fenced against the shared
+        # router (re-armed by the boot hook on every recovery); the
+        # sync plane stays open for resync/migration/repair traffic.
+        router = self.shard_router
+        self._shard_name_hosts[name] = NameShardHost.install_on(
+            node, db, fence=lambda: router.fence_epoch)
         StoreHost.install_on(node)
         if replication > 1:
             # Installed after NameShardHost so its boot hook runs
@@ -249,6 +247,7 @@ class DistributedSystem:
             self.shard_resyncers[name] = ShardResyncManager(
                 node, db, self.shard_router, replication,
                 sweep_interval=self.config.shard_antientropy_interval,
+                fence=lambda: router.fence_epoch,
                 metrics=self.metrics.scoped(f"shard.{name}."),
                 tracer=self.tracer)
         else:
@@ -292,7 +291,7 @@ class DistributedSystem:
             return ShardedGroupViewDbClient(
                 node.rpc, self.shard_router, replication=replication,
                 read_policy=self.config.nameserver_read_policy,
-                repair=repair)
+                repair=repair, metrics=self.metrics, tracer=self.tracer)
         return GroupViewDbClient(node.rpc, NAME_NODE)
 
     @property
@@ -307,58 +306,84 @@ class DistributedSystem:
 
         Boots the host (node, database, services, daemons) immediately
         -- it serves the naming RPC surface but owns nothing -- then
-        spawns the ReshardManager's migration epoch: dual-ownership
+        runs the ReshardManager's migration epoch: dual-ownership
         copy of the moving arcs, atomic epoch flip, garbage collection.
         Returns the migration :class:`~repro.sim.process.Process`; the
         system keeps serving throughout, so callers only wait on it to
         learn when the new capacity is fully owned.
         """
-        if self.shard_router is None or self.reshard is None:
-            raise ValueError("online resharding needs a sharded name "
-                             "service (boot with nameserver_shards > 1)")
-        if self.reshard.active:
-            raise ValueError("a ring membership change is already migrating")
-        if name is None:
-            index = 0
-            while (f"{NAME_NODE}{index}" in self.nodes
-                   or f"{NAME_NODE}{index}" in self.drained_shard_hosts):
-                index += 1
-            name = f"{NAME_NODE}{index}"
-        if name in self.nodes:
-            raise ValueError(f"node name already in use: {name}")
-        db = self._boot_shard_host(name)
-        assert isinstance(self.db, ShardedGroupViewDatabase)
-        self.db.add_shard(name, db)
-        return self.scheduler.spawn(self.reshard.grow(name),
-                                    name=f"reshard-grow:{name}")
+        return self.plan_rebalance(add=(1 if name is None else [name]))
 
     def drain_shard_host(self, name: str) -> Process:
         """Shrink the shard ring by one host, live, under traffic.
 
-        Spawns the ReshardManager's migration epoch (the drained host's
+        Runs the ReshardManager's migration epoch (the drained host's
         arcs are copied to their new owners before the flip, then
         garbage-collected off it) and, once complete, retires the
         host's naming service, resyncer, and cleaner -- the node itself
         stays up as an ordinary store host.  Returns the migration
         process.
         """
+        return self.plan_rebalance(remove=[name])
+
+    def plan_rebalance(self, add: int | list[str] = 0,
+                       remove: list[str] | None = None) -> Process:
+        """Move several shard hosts in *one* live migration epoch.
+
+        ``add`` is either a count (hosts are auto-named like
+        :meth:`add_shard_host`) or explicit names; ``remove`` names
+        current shard hosts to drain.  Every added host is booted
+        immediately (serving but owning nothing), then the whole plan
+        is staged as a single ring transition: one dual-ownership
+        window, one copy pipeline over the combined arc delta, one
+        atomic epoch flip, one GC round -- a 2->4 scale-out pays one
+        migration, not two.  Removed hosts are retired (naming service,
+        resyncer, cleaner) once the epoch completes.  Returns the
+        migration :class:`~repro.sim.process.Process`; the system keeps
+        serving throughout.
+        """
         if self.shard_router is None or self.reshard is None:
             raise ValueError("online resharding needs a sharded name "
                              "service (boot with nameserver_shards > 1)")
-        if name not in self.shard_router.nodes:
-            raise ValueError(f"not a shard host: {name}")
         if self.reshard.active:
             raise ValueError("a ring membership change is already migrating")
+        removed = list(remove or [])
+        for name in removed:
+            if name not in self.shard_router.nodes:
+                raise ValueError(f"not a shard host: {name}")
+        if isinstance(add, int):
+            added = []
+            index = 0
+            for _ in range(add):
+                while (f"{NAME_NODE}{index}" in self.nodes
+                       or f"{NAME_NODE}{index}" in self.drained_shard_hosts):
+                    index += 1
+                added.append(f"{NAME_NODE}{index}")
+                index += 1
+        else:
+            added = list(add)
+            for name in added:
+                if name in self.nodes:
+                    raise ValueError(f"node name already in use: {name}")
+        # Validate the whole plan BEFORE booting anything: a plan the
+        # manager would reject must not leave orphan shard hosts booted
+        # and serving but never on the ring.
+        added, removed = self.reshard.validate_plan(added, removed)
+        assert isinstance(self.db, ShardedGroupViewDatabase)
+        for name in added:
+            self.db.add_shard(name, self._boot_shard_host(name))
 
         # Claims the migration slot synchronously (see ReshardManager).
-        migration = self.reshard.shrink(name)
+        migration = self.reshard.plan_rebalance(add=added, remove=removed)
 
         def drain() -> Generator[Any, Any, dict[str, Any]]:
             outcome = yield from migration
-            self._retire_shard_host(name)
+            for name in removed:
+                self._retire_shard_host(name)
             return outcome
 
-        return self.scheduler.spawn(drain(), name=f"reshard-drain:{name}")
+        label = f"+{len(added)}/-{len(removed)}"
+        return self.scheduler.spawn(drain(), name=f"reshard-plan:{label}")
 
     def _retire_shard_host(self, name: str) -> None:
         """Take a fully-drained host out of every naming-service path."""
@@ -378,13 +403,20 @@ class DistributedSystem:
 
     def enable_autoscaler(self, ops_per_shard: float = 200.0,
                           interval: float = 5.0,
-                          max_shards: int = 8) -> ShardAutoscaler:
+                          max_shards: int = 8,
+                          low_ops_per_shard: float | None = None,
+                          min_shards: int | None = None,
+                          down_after: int = 3) -> ShardAutoscaler:
         """Start the load-triggered autoscaler over the shard ring.
 
         Samples the per-shard naming-operation counters every
         ``interval`` and grows the ring by one host whenever the
         per-shard op rate exceeds ``ops_per_shard`` (each migration is
-        its own cooldown).
+        its own cooldown).  Passing ``low_ops_per_shard`` (at most half
+        the high watermark -- hysteresis) arms the scale-*down* policy:
+        after ``down_after`` consecutive quiet samples the least-loaded
+        shard host is drained, never below ``min_shards`` (default: the
+        replication factor, the floor a drain is valid at anyway).
         """
         if self.shard_router is None or self.reshard is None:
             raise ValueError("the autoscaler needs a sharded name service "
@@ -392,10 +424,16 @@ class DistributedSystem:
         if self.autoscaler is not None:
             raise ValueError("the autoscaler is already running")
         reshard = self.reshard
+        if min_shards is None:
+            min_shards = max(2, self.config.nameserver_replication)
         self.autoscaler = ShardAutoscaler(
             self.scheduler, sample=self._shard_op_counts,
             scale_up=self.add_shard_host, interval=interval,
             ops_per_shard=ops_per_shard, max_shards=max_shards,
+            scale_down=(self.drain_shard_host
+                        if low_ops_per_shard is not None else None),
+            low_ops_per_shard=low_ops_per_shard,
+            min_shards=min_shards, down_after=down_after,
             busy=lambda: reshard.active, tracer=self.tracer)
         self.autoscaler.start()
         return self.autoscaler

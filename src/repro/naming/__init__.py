@@ -51,6 +51,7 @@ from repro.naming.binding import (
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.nonatomic import NonAtomicNameServer
 from repro.naming.read_repair import ReadRepairer
+from repro.naming.replica_io import EntryCopy, ReplicaIO
 from repro.naming.reshard import (
     ReshardAborted,
     ReshardError,
@@ -58,7 +59,7 @@ from repro.naming.reshard import (
     ReshardManager,
     ShardAutoscaler,
 )
-from repro.naming.shard_router import RingTransition, ShardRouter
+from repro.naming.shard_router import RingTransition, RingView, ShardRouter
 from repro.naming.shard_resync import ShardResyncManager
 from repro.naming.sharded_client import (
     ShardedGroupViewDatabase,
@@ -77,12 +78,15 @@ __all__ = [
     "NotQuiescent",
     "ObjectServerDatabase",
     "ObjectStateDatabase",
+    "EntryCopy",
     "ReadRepairer",
+    "ReplicaIO",
     "ReshardAborted",
     "ReshardError",
     "ReshardInProgress",
     "ReshardManager",
     "RingTransition",
+    "RingView",
     "ServerEntrySnapshot",
     "ShardAutoscaler",
     "ShardResyncManager",

@@ -7,16 +7,14 @@ into their naming/locking exception types, and automatically enlists
 the database as a two-phase-commit participant of the calling action's
 top-level root (once per top-level action).
 
-:func:`fetch_entry_copy` is the one shared implementation of the
-replica-copy read protocol -- a consistent committed snapshot of one
-entry plus its write versions, taken under a real atomic action --
-used by shard resync, the online-reshard arc migration, and
-read-repair alike.
+Calls issued on behalf of a captured ring view carry its fence token
+(``ring_epoch``); the replica-copy read protocol itself lives in
+:mod:`repro.naming.replica_io`, the one engine every replica-plane
+consumer shares.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
@@ -27,7 +25,6 @@ from repro.naming.group_view_db import SERVICE_NAME
 from repro.naming.object_server_db import ServerEntrySnapshot
 from repro.net.errors import RpcError, RpcRemoteError
 from repro.net.rpc import RpcAgent
-from repro.sim.tracing import Tracer
 from repro.storage.uid import Uid
 
 _ERROR_TYPES = {
@@ -97,28 +94,36 @@ class GroupViewDbClient:
 
     # -- calls ----------------------------------------------------------------
 
-    def _call(self, method: str, *args: Any) -> Generator[Any, Any, Any]:
+    def _call(self, method: str, *args: Any,
+              ring_epoch: int | None = None) -> Generator[Any, Any, Any]:
         try:
-            result = yield self._rpc.call(self.db_node, self.service, method, *args)
+            result = yield self._rpc.call(self.db_node, self.service, method,
+                                          *args, ring_epoch=ring_epoch)
         except RpcRemoteError as exc:
             raise_mapped(exc)
         return result
 
-    def call_enlisted(self, action: AtomicAction, method: str,
-                      *args: Any) -> Generator[Any, Any, Any]:
+    def call_enlisted(self, action: AtomicAction, method: str, *args: Any,
+                      ring_epoch: int | None = None,
+                      ) -> Generator[Any, Any, Any]:
         """One db operation with eager enlistment (the single-home path).
 
         Enlisting *before* the call means even a timed-out operation
         leaves the shard a participant, so the caller's abort reaches it
         and releases any locks the lost reply concealed.  That is the
         right trade when the shard is the entry's only home; the
-        replicated path uses :meth:`call_reached` instead.
+        replicated path uses :meth:`call_reached` instead.  A fencing
+        rejection (``StaleRingEpoch``) leaves the shard enlisted but is
+        harmless: the rejected request never executed, and an abort to
+        an untouched participant is a no-op.
         """
         self.enlist(action)
-        return (yield from self._call(method, action.id.path, *args))
+        return (yield from self._call(method, action.id.path, *args,
+                                      ring_epoch=ring_epoch))
 
-    def call_reached(self, action: AtomicAction, method: str,
-                     *args: Any) -> Generator[Any, Any, Any]:
+    def call_reached(self, action: AtomicAction, method: str, *args: Any,
+                     ring_epoch: int | None = None,
+                     ) -> Generator[Any, Any, Any]:
         """One db operation, enlisting the shard only if it was *reached*.
 
         The replicated write path must skip crashed replicas without
@@ -128,11 +133,14 @@ class GroupViewDbClient:
         executed the request and may hold this action's earlier locks,
         which termination must release).  An unreachable shard -- RPC
         timeout, or no service registered because the host is mid-resync
-        -- raises without enlisting, letting the caller fail over.
+        -- raises without enlisting, letting the caller fail over; so
+        does a fencing rejection (the server refused before dispatch,
+        so it holds nothing of this action's).
         """
         try:
             result = yield self._rpc.call(self.db_node, self.service, method,
-                                          action.id.path, *args)
+                                          action.id.path, *args,
+                                          ring_epoch=ring_epoch)
         except RpcRemoteError as exc:
             if exc.remote_type in _ERROR_TYPES:
                 self.enlist(action)
@@ -186,10 +194,12 @@ class GroupViewDbClient:
         return (yield from self._call("get_view", action.id.path, str(uid)))
 
     def exclude(self, action: AtomicAction,
-                exclusions: list[tuple[Uid, list[str]]]) -> Generator[Any, Any, None]:
+                exclusions: list[tuple[Uid, list[str]]],
+                ring_epoch: int | None = None) -> Generator[Any, Any, None]:
         self.enlist(action)
         wire = [(str(uid), list(hosts)) for uid, hosts in exclusions]
-        yield from self._call("exclude", action.id.path, wire)
+        yield from self._call("exclude", action.id.path, wire,
+                              ring_epoch=ring_epoch)
 
     def include(self, action: AtomicAction, uid: Uid,
                 host: str) -> Generator[Any, Any, None]:
@@ -202,51 +212,3 @@ class GroupViewDbClient:
         except RpcError:
             return False
         return answer == "pong"
-
-
-@dataclass(frozen=True)
-class EntryCopy:
-    """One entry's committed state, version-stamped, ready to install."""
-
-    hosts: list[str]
-    uses: dict[str, dict[str, int]]
-    view: list[str]
-    versions: tuple[int, int]
-
-
-def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
-                     node: str = "", tracer: Tracer | None = None,
-                     ) -> Generator[Any, Any, "EntryCopy | str"]:
-    """Read one committed entry from ``client``'s shard for replication.
-
-    The delicate part every copier must get right, implemented once:
-    both snapshot halves are read under a real atomic action (the read
-    locks guarantee a consistent committed view, never a torn write),
-    the write versions are read lock-free *while those locks are still
-    held*, and the read-only action is then committed (prepare releases
-    the locks).  Returns an :class:`EntryCopy`, or one of the outcome
-    tags ``"locked"`` (a live action holds the entry -- retry later),
-    ``"unknown"`` (this shard disclaims the uid), or ``"unreachable"``
-    (the shard went dark mid-read).
-    """
-    uid = Uid.parse(uid_text)
-    action = AtomicAction(node=node, tracer=tracer)
-    try:
-        snapshot = yield from client.get_server_with_uses(action, uid)
-        view = yield from client.get_view(action, uid)
-        versions = yield rpc.call(client.db_node, client.service,
-                                  "entry_versions", uid_text)
-    except (LockRefused, PromotionRefused):
-        yield from action.abort()
-        return "locked"
-    except UnknownObject:
-        yield from action.abort()
-        return "unknown"
-    except RpcError:
-        yield from action.abort()
-        return "unreachable"
-    yield from action.commit()
-    return EntryCopy(list(snapshot.hosts),
-                     {host: dict(counters)
-                      for host, counters in snapshot.uses.items()},
-                     list(view), tuple(versions))

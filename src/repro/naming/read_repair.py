@@ -17,13 +17,16 @@ repaired:
   versions.
 
 Either trigger enqueues the same repair: probe ``entry_versions`` on
-every replica of the UID's arc (lock-free, cheap), and for every
-replica strictly behind the freshest copy on either half, read a
-committed snapshot from a fresher peer *under a real atomic action*
-(read locks -- never a torn write) and push it through the target's
-lock-guarded, version-gated ``guarded_install_entry``.  The same
-install path resync and the arc-migration pipeline use, so repair can
-only ever move a replica forward.
+every replica of the UID's arc (lock-free, cheap), then hand the
+probed versions to the shared
+:class:`~repro.naming.replica_io.ReplicaIO` engine's
+``converge_entry`` -- for every replica strictly behind the freshest
+copy on either half it reads a committed snapshot from a fresher peer
+*under a real atomic action* (read locks -- never a torn write) and
+pushes it through the target's lock-guarded, version-gated
+``guarded_install_entry``.  The same engine resync and the
+arc-migration pipeline drive, so repair can only ever move a replica
+forward.
 
 Repairs are fire-and-forget background processes: they never add
 latency to the triggering read, and per-UID throttling plus an
@@ -34,10 +37,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator
 
-from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
 from repro.naming.group_view_db import SYNC_SERVICE_NAME
+from repro.naming.replica_io import ReplicaIO
 from repro.naming.shard_router import ShardRouter
-from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.scheduler import Scheduler
@@ -76,7 +78,12 @@ class ReadRepairer:
         self.entries_repaired = 0
         self._spawn = spawn or (
             lambda body, name="": scheduler.spawn(body, name=name))
-        self._peer_clients: dict[str, GroupViewDbClient] = {}
+        # The shared replica engine (sync plane: probes, snapshot
+        # reads, guarded installs).  Unfenced on purpose -- a repair
+        # may legitimately touch replicas the live ring no longer (or
+        # does not yet) own.
+        self.io = ReplicaIO(rpc, router, replication, sync_service=service,
+                            metrics=self.metrics, tracer=self.tracer)
         self._last_checked: dict[str, float] = {}
         self._inflight: dict[str, float] = {}
 
@@ -109,58 +116,27 @@ class ReadRepairer:
 
     def _repair(self, uid_text: str) -> Generator[Any, Any, None]:
         try:
-            replicas = self.router.union_preference_list(uid_text,
-                                                         self.replication)
-            probes: dict[str, tuple[int, int]] = {}
-            for peer in replicas:
-                try:
-                    versions = yield self.rpc.call(
-                        peer, self.service, "entry_versions", uid_text)
-                except RpcError:
-                    continue  # crashed or gated-out: resync owns that case
-                probes[peer] = tuple(versions)
+            replicas = self.router.view().write_set(uid_text,
+                                                    self.replication)
+            # Crashed or gated-out replicas simply don't answer the
+            # probe: resync owns those; repair levels the ones serving.
+            probes, _dark = yield from self.io.probe_versions(uid_text,
+                                                              replicas)
             if len(probes) < 2:
                 return
-            best = (max(sv for sv, _ in probes.values()),
-                    max(st for _, st in probes.values()))
-            laggards = [peer for peer, (sv, st) in probes.items()
-                        if sv < best[0] or st < best[1]]
-            if not laggards:
-                return
-            # Copy from every peer strictly ahead of a laggard on either
-            # half (not just the single "best" peer: like resync, the two
-            # halves' maxima may live on different replicas).
-            for source, (sv, st) in probes.items():
-                targets = [lag for lag in laggards if lag != source
-                           and (probes[lag][0] < sv or probes[lag][1] < st)]
-                if targets:
-                    yield from self._copy(source, targets, uid_text)
+            # Every probed replica is both a potential source and a
+            # potential target: the engine copies from every peer
+            # strictly ahead of a laggard on either half (not just the
+            # single "best" peer -- the two halves' maxima may live on
+            # different replicas).  A busy or vanished entry defers;
+            # the next triggering read re-enqueues the repair.
+            _outcome, copied = yield from self.io.converge_entry(
+                uid_text, sources=probes, targets=probes)
+            if copied:
+                self.entries_repaired += copied
+                self.metrics.counter(
+                    "read_repair.entries_repaired").increment(copied)
+                self.tracer.record("read_repair", "entry repaired",
+                                   uid=uid_text)
         finally:
             self._inflight.pop(uid_text, None)
-
-    def _copy(self, source: str, targets: list[str],
-              uid_text: str) -> Generator[Any, Any, None]:
-        """Push ``source``'s committed entry to each lagging target."""
-        client = self._peer_clients.get(source)
-        if client is None:
-            client = GroupViewDbClient(self.rpc, source, service=self.service)
-            self._peer_clients[source] = client
-        copy = yield from fetch_entry_copy(self.rpc, client, uid_text,
-                                           node=self.rpc.name,
-                                           tracer=self.tracer)
-        if isinstance(copy, str):
-            # Busy, vanished, or gone dark: the next triggering read
-            # re-enqueues the repair.
-            return
-        for target in targets:
-            try:
-                installed = yield self.rpc.call(
-                    target, self.service, "guarded_install_entry", uid_text,
-                    copy.hosts, copy.uses, copy.view, copy.versions)
-            except RpcError:
-                continue
-            if installed:  # None (locked) and False (already fresh) skip
-                self.entries_repaired += 1
-                self.metrics.counter("read_repair.entries_repaired").increment()
-                self.tracer.record("read_repair", "entry repaired",
-                                   uid=uid_text, source=source, target=target)

@@ -1,0 +1,584 @@
+"""The replica data-plane engine for the sharded name service.
+
+PRs 1-3 grew four consumers of the same replica protocol -- the
+sharded client's fan-out writes and failover reads, the shard-resync
+daemon's catch-up copies, the online-reshard arc migration, and
+read-repair -- each carrying its own copy of the fan-out / failover /
+probe-and-install loops.  :class:`ReplicaIO` is the single engine they
+all call now, split along the two planes the protocol actually has:
+
+**Client plane** (action-scoped, epoch-fenced).  Every operation
+captures one :class:`~repro.naming.shard_router.RingView` and tags its
+RPCs with the view's fence token:
+
+- :meth:`write` fans a mutating operation out to every live replica of
+  the view's write set, enlisting each *reached* shard as its own
+  late 2PC participant of the calling action (``call_reached``), and
+  collapsing to eager single-home enlistment when the entry has one
+  home and no transition is staged;
+- :meth:`read` serves from the first live replica of the view's read
+  order, failing over past dark or disclaiming replicas and reporting
+  observed staleness to the attached read-repairer;
+- :meth:`exclude` is the multi-UID fan-out write.
+
+A replica answering :class:`~repro.net.errors.StaleRingEpoch` proves
+the membership moved past the captured view *before the request
+dispatched*: nothing executed there, so the engine refreshes the view
+and retries against the current owners -- skipping replicas the
+operation already applied on, which stay enlisted participants.  This
+fenced retry is what replaced the reshard pipeline's settle interval:
+a write routed by a pre-transition view either executed before the
+staging or is rejected and re-routed through the dual-ownership union;
+there is no in-between window for it to land on the wrong owners.
+
+**Sync plane** (replica maintenance, unfenced).  Resync, migration,
+and repair keep replicas convergent *across* epochs -- their traffic
+must flow even to hosts the live ring does not own yet (incoming
+owners mid-copy) or no longer owns (sources being drained), so it is
+deliberately not fenced; per-entry write versions carry correctness
+instead:
+
+- :meth:`probe_versions` -- lock-free per-replica version probes;
+- :meth:`fetch_copy` -- one committed snapshot under a real atomic
+  action (read locks, never a torn write), versions read while those
+  locks are held;
+- :meth:`converge_entry` -- the one implementation of
+  "push committed snapshots from fresher sources through lock-guarded,
+  version-gated ``guarded_install_entry`` on every lagging target",
+  multi-source (the two version halves' maxima may live on different
+  replicas) and multi-target (a migration seeds several movers at
+  once).  Targets may be remote (installed over the sync RPC) or local
+  (a resync installing into its own database via the ``install``
+  hook).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable
+
+from repro.actions.action import AtomicAction
+from repro.actions.errors import LockRefused, PromotionRefused
+from repro.naming.db_client import GroupViewDbClient
+from repro.naming.errors import UnknownObject
+from repro.naming.group_view_db import SERVICE_NAME, SYNC_SERVICE_NAME
+from repro.naming.shard_router import RingView, ShardRouter
+from repro.net.errors import RpcError, StaleRingEpoch
+from repro.net.rpc import RpcAgent
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.tracing import NULL_TRACER, Tracer
+from repro.storage.uid import Uid
+
+READ_POLICIES = ("primary", "spread")
+
+# How many StaleRingEpoch refresh-and-retry rounds one operation will
+# absorb before giving up.  Each retry proves the membership moved
+# mid-operation; rings do not flip often enough for a live system to
+# exhaust this, so hitting the cap indicates a routing storm and the
+# operation fails with the (retryable) fencing error.
+DEFAULT_STALE_RETRIES = 4
+
+
+@dataclass(frozen=True)
+class EntryCopy:
+    """One entry's committed state, version-stamped, ready to install."""
+
+    hosts: list[str]
+    uses: dict[str, dict[str, int]]
+    view: list[str]
+    versions: tuple[int, int]
+
+
+def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
+                     node: str = "", tracer: Tracer | None = None,
+                     ) -> Generator[Any, Any, "EntryCopy | str"]:
+    """Read one committed entry from ``client``'s shard for replication.
+
+    The delicate part every copier must get right, implemented once:
+    both snapshot halves are read under a real atomic action (the read
+    locks guarantee a consistent committed view, never a torn write),
+    the write versions are read lock-free *while those locks are still
+    held*, and the read-only action is then committed (prepare releases
+    the locks).  Returns an :class:`EntryCopy`, or one of the outcome
+    tags ``"locked"`` (a live action holds the entry -- retry later),
+    ``"unknown"`` (this shard disclaims the uid), or ``"unreachable"``
+    (the shard went dark mid-read).
+    """
+    uid = Uid.parse(uid_text)
+    action = AtomicAction(node=node, tracer=tracer)
+    try:
+        snapshot = yield from client.get_server_with_uses(action, uid)
+        view = yield from client.get_view(action, uid)
+        versions = yield rpc.call(client.db_node, client.service,
+                                  "entry_versions", uid_text)
+    except (LockRefused, PromotionRefused):
+        yield from action.abort()
+        return "locked"
+    except UnknownObject:
+        yield from action.abort()
+        return "unknown"
+    except RpcError:
+        yield from action.abort()
+        return "unreachable"
+    yield from action.commit()
+    return EntryCopy(list(snapshot.hosts),
+                     {host: dict(counters)
+                      for host, counters in snapshot.uses.items()},
+                     list(view), tuple(versions))
+
+
+Installer = Callable[[str, str, EntryCopy], Any]
+
+
+class ReplicaIO:
+    """The one engine behind every replica fan-out, failover, and copy."""
+
+    def __init__(self, rpc: RpcAgent, router: ShardRouter, replication: int,
+                 service: str = SERVICE_NAME,
+                 sync_service: str = SYNC_SERVICE_NAME,
+                 read_policy: str = "primary",
+                 repair: Any | None = None,
+                 max_stale_retries: int = DEFAULT_STALE_RETRIES,
+                 metrics: MetricsRegistry | None = None,
+                 tracer: Tracer | None = None) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication}")
+        if read_policy not in READ_POLICIES:
+            raise ValueError(f"unknown read policy: {read_policy!r} "
+                             f"(expected one of {READ_POLICIES})")
+        self.rpc = rpc
+        self.router = router
+        self.replication = replication
+        self.service = service
+        self.sync_service = sync_service
+        self.read_policy = read_policy
+        self.repair = repair  # a ReadRepairer, or None
+        self.max_stale_retries = max_stale_retries
+        self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer or NULL_TRACER
+        self.stale_retries = 0  # fenced requests this engine re-routed
+        self._spread_cursor = 0
+        # Per-(node, service) clients, built lazily so a ring grown
+        # online keeps working: an unseen owner gets its client on
+        # first routing.  (Clients for removed nodes linger unused --
+        # the router simply never routes to them again.)
+        self._clients: dict[tuple[str, str], GroupViewDbClient] = {}
+
+    # -- client cache --------------------------------------------------------
+
+    def client_for(self, node: str,
+                   service: str | None = None) -> GroupViewDbClient:
+        key = (node, service or self.service)
+        client = self._clients.get(key)
+        if client is None:
+            client = GroupViewDbClient(self.rpc, node, service=key[1])
+            self._clients[key] = client
+        return client
+
+    def sync_client_for(self, node: str) -> GroupViewDbClient:
+        return self.client_for(node, self.sync_service)
+
+    def clients_for_service(self, service: str | None = None,
+                            ) -> dict[str, GroupViewDbClient]:
+        """The cached per-node clients of one service (default: client
+        plane), keyed by node -- an inspection surface; routing always
+        goes through :meth:`client_for`."""
+        wanted = service or self.service
+        return {node: client
+                for (node, client_service), client in self._clients.items()
+                if client_service == wanted}
+
+    # -- the client plane: fenced, action-scoped operations ------------------
+
+    def _note_stale(self, view: RingView, exc: StaleRingEpoch) -> None:
+        self.stale_retries += 1
+        self.metrics.counter("replica_io.stale_ring_retries").increment()
+        self.tracer.record("replica_io", "view fenced; refreshing",
+                           view_epoch=view.epoch,
+                           server_epoch=exc.server_epoch)
+
+    def _disown_stray(self, client: GroupViewDbClient,
+                      action: AtomicAction) -> None:
+        """After a failed op: presume-abort a replica we never enlisted.
+
+        A timed-out request to a live-but-queued replica still executes
+        when its FIFO queue drains; the fired abort (queued behind it)
+        rolls that stray back.  An *enlisted* replica is left alone --
+        its fate belongs to the action's 2PC (prepare will reach it, or
+        veto the action if it cannot).
+        """
+        if not client.is_enlisted(action):
+            client.abort_stray(action)
+
+    def write(self, action: AtomicAction, uid: Uid | str, method: str,
+              *args: Any) -> Generator[Any, Any, Any]:
+        """Apply a mutating operation to every live replica of ``uid``.
+
+        Lock refusals and quiescence violations propagate immediately
+        -- those verdicts hold wherever the entry lives, and the
+        caller's abort releases whatever earlier replicas provisionally
+        applied.  ``UnknownObject``, though, may just mean a *stale*
+        replica (one that missed the define via a disowned stray
+        write): it is only the verdict when no replica accepts; a
+        replica claiming ignorance while a peer applies the write is
+        skipped like a crashed one (enlisted for lock cleanup, repaired
+        by the next anti-entropy sweep).  RPC failures skip the
+        replica; only a fully-unreachable replica set fails the write.
+        A fencing rejection refreshes the view and retries the replicas
+        not yet applied -- the rejecting server executed nothing.
+        """
+        applied: set[str] = set()
+        result: Any = None
+        reached = False
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
+        stale: StaleRingEpoch | None = None
+        for _attempt in range(self.max_stale_retries + 1):
+            view = self.router.view()
+            stale = None
+            if (self.replication == 1 and not view.in_transition
+                    and not applied):
+                # Single home: enlist eagerly, exactly as PR 1's client
+                # did -- with nowhere to fail over to, a timed-out shard
+                # must stay a participant so the caller's abort still
+                # reaches it.  (A transition makes even a replication=1
+                # entry multi-homed, so it takes the fan-out path.)
+                client = self.client_for(view.primary(uid))
+                try:
+                    return (yield from client.call_enlisted(
+                        action, method, *args, ring_epoch=view.epoch))
+                except StaleRingEpoch as exc:
+                    self._note_stale(view, exc)
+                    stale = exc
+                    continue
+            for node in view.write_set(uid, self.replication):
+                if node in applied:
+                    continue
+                client = self.client_for(node)
+                try:
+                    result = yield from client.call_reached(
+                        action, method, *args, ring_epoch=view.epoch)
+                    reached = True
+                    applied.add(node)
+                except StaleRingEpoch as exc:
+                    self._note_stale(view, exc)
+                    stale = exc
+                    break  # re-route the rest through a fresh view
+                except RpcError as exc:
+                    unreachable = exc
+                    self._disown_stray(client, action)
+                    # Mid-migration, a skipped replica may be an
+                    # incoming owner whose arc the pipeline already
+                    # confirmed: tell the ReshardManager to re-confirm
+                    # before flipping.
+                    view.mark_dirty(uid)
+                except UnknownObject as exc:
+                    unknown = exc  # stale replica, or truly undefined
+            if stale is None:
+                break
+        if stale is not None:
+            raise stale
+        if reached and unknown is not None and self.repair is not None:
+            # A replica disclaimed an entry its peers accept: it is
+            # stale-missing; queue a lock-guarded re-seed.
+            self.repair.note_stale(uid)
+        if not reached:
+            # An unreachable replica may well hold the entry, so its
+            # silence outranks a reachable peer's ignorance: report the
+            # retryable outage, and "undefined" only when every replica
+            # answered and disclaimed the uid.
+            if unreachable is not None:
+                raise unreachable
+            assert unknown is not None
+            raise unknown
+        return result
+
+    def read(self, action: AtomicAction, uid: Uid | str, method: str,
+             *args: Any) -> Generator[Any, Any, Any]:
+        """Serve a read from the first live replica in preference order.
+
+        ``UnknownObject`` fails over like an RPC error -- a stale
+        replica missing the entry must not mask peers that hold it --
+        and is raised only when every replica answered and disclaimed
+        the uid (an unreachable replica may hold the entry, so its
+        outage outranks a peer's ignorance).  A fencing rejection
+        refreshes the view and restarts the (idempotent) failover walk.
+        """
+        rotation = 0
+        if self.read_policy == "spread":
+            rotation = self._spread_cursor
+            self._spread_cursor += 1
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
+        stale: StaleRingEpoch | None = None
+        for _attempt in range(self.max_stale_retries + 1):
+            view = self.router.view()
+            stale = None
+            if self.replication == 1 and not view.in_transition:
+                client = self.client_for(view.primary(uid))
+                try:
+                    return (yield from client.call_enlisted(
+                        action, method, *args, ring_epoch=view.epoch))
+                except StaleRingEpoch as exc:
+                    self._note_stale(view, exc)
+                    stale = exc
+                    continue
+            for node in view.read_order(uid, self.replication, rotation):
+                client = self.client_for(node)
+                try:
+                    result = yield from client.call_reached(
+                        action, method, *args, ring_epoch=view.epoch)
+                except StaleRingEpoch as exc:
+                    self._note_stale(view, exc)
+                    stale = exc
+                    break
+                except RpcError as exc:
+                    unreachable = exc
+                    self._disown_stray(client, action)
+                    continue
+                except UnknownObject as exc:
+                    unknown = exc
+                    continue
+                if self.repair is not None:
+                    if unknown is not None:
+                        # We stepped past a replica disclaiming the
+                        # entry -- on this walk or one a fence retry
+                        # restarted: it is stale-missing; queue a
+                        # lock-guarded re-seed.
+                        self.repair.note_stale(uid)
+                    else:
+                        # Routine replicated read: sampled version
+                        # verify (no-op unless verification is on).
+                        self.repair.observe(uid)
+                return result
+            if stale is None:
+                break
+        if stale is not None:
+            raise stale
+        if unreachable is not None:
+            raise unreachable
+        assert unknown is not None
+        raise unknown
+
+    def exclude(self, action: AtomicAction,
+                exclusions: list[tuple[Uid, list[str]]],
+                ) -> Generator[Any, Any, None]:
+        """The multi-UID fan-out write (``Exclude``), grouped per shard.
+
+        Grouped tuple-by-tuple (not keyed by UID) so a UID appearing
+        twice reaches its shard twice, exactly as the single-node
+        client would forward it.  With replication every tuple goes to
+        each replica of its UID.  Like the per-UID writes, one stale
+        replica's ``UnknownObject`` must not veto the exclusion -- the
+        whole shard group is conservatively counted unreached (its
+        pre-error exclusions stay provisional and resolve with the
+        action) and the verdict stands only when some UID reached no
+        replica at all, with an outage outranking ignorance.  Fencing
+        rejections re-group the not-yet-applied tuples under a fresh
+        view; a shard that already executed a group is never re-sent it.
+        """
+        applied: dict[str, set[int]] = {}
+        reached: set[str] = set()
+        unreachable: RpcError | None = None
+        unknown: UnknownObject | None = None
+        stale: StaleRingEpoch | None = None
+        for _attempt in range(self.max_stale_retries + 1):
+            view = self.router.view()
+            stale = None
+            eager = self.replication == 1 and not view.in_transition
+            by_shard: dict[str, list[int]] = {}
+            for index, (uid, _hosts) in enumerate(exclusions):
+                owners = ([view.primary(uid)] if eager
+                          else view.write_set(uid, self.replication))
+                for node in owners:
+                    if index not in applied.get(node, set()):
+                        by_shard.setdefault(node, []).append(index)
+            for node, indices in by_shard.items():
+                client = self.client_for(node)
+                lots = [exclusions[i] for i in indices]
+                try:
+                    if eager:
+                        yield from client.exclude(action, lots,
+                                                  ring_epoch=view.epoch)
+                    else:
+                        wire = [(str(uid), list(hosts))
+                                for uid, hosts in lots]
+                        yield from client.call_reached(
+                            action, "exclude", wire, ring_epoch=view.epoch)
+                except StaleRingEpoch as exc:
+                    self._note_stale(view, exc)
+                    stale = exc
+                    break
+                except RpcError as exc:
+                    unreachable = exc
+                    self._disown_stray(client, action)
+                    for uid, _hosts in lots:
+                        view.mark_dirty(uid)  # see write(): re-confirm arcs
+                    continue
+                except UnknownObject as exc:
+                    # The group executed (and partially applied) on the
+                    # shard; never re-send it, but count its UIDs
+                    # unreached so the verdict stays conservative.
+                    unknown = exc
+                    applied.setdefault(node, set()).update(indices)
+                    continue
+                applied.setdefault(node, set()).update(indices)
+                reached.update(str(exclusions[i][0]) for i in indices)
+            if stale is None:
+                break
+        if stale is not None:
+            raise stale
+        missed = [uid for uid, _ in exclusions if str(uid) not in reached]
+        if missed:
+            if unreachable is not None:
+                raise unreachable
+            assert unknown is not None
+            raise unknown
+
+    # -- the sync plane: unfenced replica-maintenance protocol ---------------
+
+    def collect_uids(self, nodes: Iterable[str],
+                     ) -> Generator[Any, Any, tuple[set[str], int]]:
+        """Union the ``list_uids`` of every reachable node.
+
+        Returns the universe plus how many nodes answered, so callers
+        can distinguish "empty ring" from "dark ring".
+        """
+        universe: set[str] = set()
+        answered = 0
+        for node in nodes:
+            try:
+                uids = yield self.rpc.call(node, self.sync_service,
+                                           "list_uids")
+            except RpcError:
+                continue
+            answered += 1
+            universe.update(uids)
+        return universe, answered
+
+    def probe_versions(self, uid_text: str, nodes: Iterable[str],
+                       ) -> Generator[Any, Any,
+                                      tuple[dict[str, tuple[int, int]],
+                                            list[str]]]:
+        """Lock-free per-replica version probes for one entry.
+
+        Returns ``(probes, dark)``: the (server, state) write versions
+        of every node that answered, and the nodes that did not.
+        """
+        probes: dict[str, tuple[int, int]] = {}
+        dark: list[str] = []
+        for node in nodes:
+            try:
+                versions = yield self.rpc.call(node, self.sync_service,
+                                               "entry_versions", uid_text)
+            except RpcError:
+                dark.append(node)
+                continue
+            probes[node] = tuple(versions)
+        return probes, dark
+
+    def fetch_copy(self, source: str, uid_text: str,
+                   ) -> Generator[Any, Any, "EntryCopy | str"]:
+        """One committed, version-stamped snapshot from ``source``."""
+        return (yield from fetch_entry_copy(
+            self.rpc, self.sync_client_for(source), uid_text,
+            node=self.rpc.name, tracer=self.tracer))
+
+    def install_remote(self, target: str, uid_text: str, copy: EntryCopy,
+                       ) -> Generator[Any, Any, "bool | None | str"]:
+        """Push one snapshot through a remote lock-guarded install.
+
+        Returns the database's verdict (``True`` installed, ``False``
+        already fresh, ``None`` locked by a live action) or
+        ``"unreachable"`` when the target went dark.
+        """
+        try:
+            installed = yield self.rpc.call(
+                target, self.sync_service, "guarded_install_entry", uid_text,
+                copy.hosts, copy.uses, copy.view, copy.versions)
+        except RpcError:
+            return "unreachable"
+        return installed
+
+    def converge_entry(self, uid_text: str,
+                       sources: dict[str, tuple[int, int]],
+                       targets: dict[str, tuple[int, int]],
+                       install: Installer | None = None,
+                       ) -> Generator[Any, Any, tuple[str, int]]:
+        """Bring every lagging target level with the freshest sources.
+
+        ``sources`` and ``targets`` map replica names to probed
+        (server, state) write versions; they may overlap -- a replica
+        is never "behind" itself.  Snapshots are fetched from sources
+        in descending version order and pushed to each target still
+        behind that source; consulting more than one source matters
+        because the two version halves' maxima can live on different
+        replicas, and the version-gated install merges them per half.
+        ``install`` overrides how a target takes a snapshot (a resync
+        installing into its own database); by default targets are
+        remote and installed over the sync RPC.
+
+        Returns ``(outcome, installed_count)`` with outcome one of:
+
+        - ``"clean"`` -- no target was behind any source: nothing to do
+          (a migration treats this as the arc's convergence proof);
+        - ``"copied"`` -- at least one install landed;
+        - ``"settled"`` -- targets looked behind at probe time but every
+          install was a version-gated no-op (they caught up mid-pass);
+        - ``"deferred"`` -- a lock, a dark replica, or a still-behind
+          target got in the way; the caller retries a later pass;
+        - ``"unknown"`` -- every consulted source disclaimed the entry
+          under locks (a define that aborted after enumeration).
+        """
+        install = install or self.install_remote
+        if not sources:
+            return "deferred", 0  # nothing reachable to copy from
+        best = (max(sv for sv, _ in sources.values()),
+                max(st for _, st in sources.values()))
+        remaining = {name: versions for name, versions in targets.items()
+                     if versions[0] < best[0] or versions[1] < best[1]}
+        if not remaining:
+            return "clean", 0
+        installed_count = 0
+        unknown_everywhere = True
+        for source, (source_sv, source_st) in sorted(
+                sources.items(), key=lambda item: (-item[1][0], -item[1][1])):
+            names = [name for name, (sv, st) in remaining.items()
+                     if name != source and (sv < source_sv or st < source_st)]
+            if not names:
+                unknown_everywhere = False
+                continue
+            copy = yield from self.fetch_copy(source, uid_text)
+            if copy == "locked":
+                return "deferred", installed_count
+            if copy == "unknown":
+                continue  # aborted define, or only the peers hold it
+            if copy == "unreachable":
+                return "deferred", installed_count
+            unknown_everywhere = False
+            for name in names:
+                outcome = install(name, uid_text, copy)
+                if hasattr(outcome, "send"):  # a generator-based installer
+                    outcome = yield from outcome
+                if outcome == "unreachable" or outcome is None:
+                    # Target dark, or a live local action holds the
+                    # entry: the snapshot must not be forced past it.
+                    return "deferred", installed_count
+                if outcome:
+                    installed_count += 1
+                    self.metrics.counter(
+                        "replica_io.entries_installed").increment()
+                    self.tracer.record("replica_io", "entry installed",
+                                       uid=uid_text, source=source,
+                                       target=name)
+                old_sv, old_st = remaining[name]
+                remaining[name] = (max(old_sv, copy.versions[0]),
+                                   max(old_st, copy.versions[1]))
+        if unknown_everywhere:
+            return "unknown", installed_count
+        if any(sv < best[0] or st < best[1]
+               for sv, st in remaining.values()):
+            return "deferred", installed_count
+        if installed_count:
+            return "copied", installed_count
+        return "settled", 0

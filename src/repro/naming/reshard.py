@@ -1,4 +1,4 @@
-"""Online resharding: grow or shrink the shard ring under live traffic.
+"""Online resharding: grow, shrink, or rebalance the ring under traffic.
 
 PR 1 sharded the group-view database over a consistent-hash ring and
 PR 2 replicated each ring arc, but membership was still fixed at boot.
@@ -6,7 +6,12 @@ PR 2 replicated each ring arc, but membership was still fixed at boot.
 shard hosts from a live system with no restart, no write barrier, and
 no stale-served bindings, the way OpenStack Swift's ring-builder plans
 membership changes as bounded partition movements drained while both
-old and new owners serve.
+old and new owners serve.  :meth:`plan_rebalance` generalises the
+single-host grow/shrink to a *plan*: several hosts joining and leaving
+in one staged transition, one copy pipeline, one atomic flip -- the
+arc movement stays bounded because the pipeline copies sequentially
+and throttles by ``batch_size``/``throttle`` regardless of how many
+hosts the plan moves.
 
 One membership change is one **migration epoch**:
 
@@ -15,16 +20,18 @@ One membership change is one **migration epoch**:
    change; the arc delta (every UID whose preference list differs) is
    what must move.  A
    :class:`~repro.naming.shard_router.RingTransition` is attached to
-   the shared router, which every client consults per call: from this
-   instant writes flow through the *union* of the old and new
-   preference lists (dual ownership) while reads stay old-epoch-first.
-2. **Settle.**  The pipeline waits one RPC-timeout-sized interval so
-   every write whose replica set was computed *before* the transition
-   has either executed (its version bump is visible to the copy
-   passes) or died at its caller (and was presume-aborted).
-3. **Copy.**  Throttled passes walk the moving arcs: each entry is
-   read from a current owner under a real atomic action (read locks --
-   never a torn write) and pushed through the incoming owner's
+   the shared router, which advances the router's *fence epoch*: every
+   client's next operation captures a fresh
+   :class:`~repro.naming.shard_router.RingView` and writes through the
+   *union* of the old and new preference lists (dual ownership) while
+   reads stay old-epoch-first.  A write still in flight from a
+   pre-stage view is rejected by the shard services' epoch fence at
+   dispatch time and retried against the union -- which is why this
+   pipeline needs no settle interval: there is no window in which a
+   stale-routed write can land on the wrong owners.
+2. **Copy.**  Throttled passes walk the moving arcs: the engine
+   (:class:`~repro.naming.replica_io.ReplicaIO`) probes both sides
+   lock-free and pushes each behind arc through the incoming owner's
    lock-guarded, version-gated ``guarded_install_entry`` -- the same
    fresh-over-stale discipline as
    :class:`~repro.naming.shard_resync.ShardResyncManager`.  Once an
@@ -34,12 +41,13 @@ One membership change is one **migration epoch**:
    A confirmed arc can never fall behind again and is skipped; an arc
    that needed a copy is confirmed by a later pass, and an arc with
    any unreachable replica holds the epoch open.
-4. **Flip.**  The membership change is applied to the live shared
+3. **Flip.**  The membership change is applied to the live shared
    router and the transition cleared with no intervening simulation
-   event -- an atomic epoch flip.  Every client's next routing
-   decision uses the new ring; the incoming owners are guaranteed
-   current by step 3.
-5. **GC.**  The outgoing owners still hold the moved arcs' entries;
+   event -- an atomic epoch flip that also advances the fence, so any
+   request still routed by the transition's union view is rejected and
+   re-routed.  Every client's next routing decision uses the new ring;
+   the incoming owners are guaranteed current by step 2.
+4. **GC.**  The outgoing owners still hold the moved arcs' entries;
    the coordinator asks each to ``forget_entry`` (try-locked, so an
    entry still touched by a pre-flip action committing late is
    retried).  Post-flip no read or write routes to them, so the
@@ -54,17 +62,22 @@ or later epoch reuses or removes.
 
 :class:`ShardAutoscaler` is the optional load-triggered driver: it
 samples per-shard naming-operation counters (the PR 1 scoped metrics)
-and calls a scale-up hook when the per-shard op rate crosses a
-threshold, waiting out each migration as its natural cooldown.
+and calls a scale-up hook when the per-shard op rate crosses the high
+watermark -- and, when configured with a *low* watermark, drains the
+least-loaded host after the rate sits under it for a full cooldown of
+consecutive samples.  The two watermarks are kept apart (hysteresis)
+so a scale-down can never push the per-shard rate back over the
+scale-up threshold: the policy refuses a low watermark above half the
+high one, and any scale event restarts the cooldown from zero.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
 
-from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
 from repro.naming.errors import NamingError
 from repro.naming.group_view_db import SYNC_SERVICE_NAME
+from repro.naming.replica_io import ReplicaIO
 from repro.naming.shard_router import RingTransition, ShardRouter
 from repro.net.errors import RpcError
 from repro.sim.metrics import MetricsRegistry
@@ -92,7 +105,7 @@ class ReshardManager:
 
     def __init__(self, node: "Node", router: ShardRouter, replication: int,
                  service: str = SYNC_SERVICE_NAME, batch_size: int = 8,
-                 throttle: float = 0.02, settle: float = 0.5,
+                 throttle: float = 0.02,
                  retry_interval: float = 0.25, max_rounds: int = 400,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
@@ -104,7 +117,6 @@ class ReshardManager:
         self.service = service
         self.batch_size = max(1, batch_size)
         self.throttle = throttle
-        self.settle = settle
         self.retry_interval = retry_interval
         self.max_rounds = max_rounds
         self.metrics = metrics or MetricsRegistry()
@@ -115,7 +127,13 @@ class ReshardManager:
         self.copy_passes = 0
         self.history: list[dict[str, Any]] = []
         self._busy = False
-        self._peer_clients: dict[str, GroupViewDbClient] = {}
+        # The shared replica engine (sync plane): uid enumeration,
+        # version probes, snapshot reads, guarded installs.  Unfenced --
+        # migration traffic must reach incoming owners the live ring
+        # does not own yet.
+        self.io = ReplicaIO(node.rpc, router, replication,
+                            sync_service=service,
+                            metrics=self.metrics, tracer=self.tracer)
 
     @property
     def active(self) -> bool:
@@ -133,25 +151,71 @@ class ReshardManager:
         this call -- two same-instant requests cannot both pass -- so
         the returned generator must be driven to completion.
         """
-        target = self.router.clone()
-        target.add_node(new_node)
-        return self._migrate(target, added=[new_node], removed=[])
+        return self.plan_rebalance(add=[new_node], remove=[])
 
     def shrink(self, node_name: str) -> Generator[Any, Any, dict[str, Any]]:
         """Drain ``node_name`` off the ring, then garbage-collect it.
 
         Claims the migration slot synchronously, like :meth:`grow`.
         """
-        if node_name not in self.router.nodes:
-            raise ValueError(f"not a shard node: {node_name}")
-        if len(self.router) - 1 < self.replication:
+        return self.plan_rebalance(add=[], remove=[node_name])
+
+    def validate_plan(self, add: Sequence[str] = (),
+                      remove: Sequence[str] = (),
+                      ) -> tuple[list[str], list[str]]:
+        """Check a rebalance plan; returns the deduplicated (add, remove).
+
+        Raises ``ValueError`` on an empty plan, an add/remove overlap,
+        an add already on the ring, an unknown remove, or a plan that
+        would leave fewer hosts than the replication factor.  Exposed
+        so callers can validate *before* spending anything on the plan
+        (the system harness boots new hosts first -- a plan rejected
+        after booting would leak orphan shard hosts).
+        """
+        added = list(dict.fromkeys(add))
+        removed = list(dict.fromkeys(remove))
+        if not added and not removed:
+            raise ValueError("a rebalance plan must move at least one host")
+        overlap = set(added) & set(removed)
+        if overlap:
+            raise ValueError(f"hosts both added and removed: "
+                             f"{sorted(overlap)}")
+        for name in added:
+            if name in self.router.nodes:
+                raise ValueError(f"shard node already on the ring: {name}")
+        for name in removed:
+            if name not in self.router.nodes:
+                raise ValueError(f"not a shard node: {name}")
+        survivors = len(self.router) + len(added) - len(removed)
+        if survivors < self.replication:
             raise ValueError(
-                f"cannot drain below the replication factor: "
-                f"{len(self.router) - 1} hosts < replication "
-                f"{self.replication}")
+                f"cannot rebalance below the replication factor: "
+                f"{survivors} hosts < replication {self.replication}")
+        return added, removed
+
+    def plan_rebalance(self, add: Sequence[str] = (),
+                       remove: Sequence[str] = (),
+                       ) -> Generator[Any, Any, dict[str, Any]]:
+        """Move several hosts in *one* migration epoch.
+
+        The whole plan is staged as a single transition -- one dual-
+        ownership window, one copy pipeline over the combined arc
+        delta, one atomic flip -- instead of one epoch per host, so a
+        2->4 scale-out pays one migration, not two.  Arc movement stays
+        bounded however many hosts move: the pipeline copies entries
+        sequentially and pauses ``throttle`` seconds every
+        ``batch_size`` copies, so the migration bandwidth cap is
+        independent of the plan's size.  Hosts being added must already
+        be booted and serving; the slot is claimed and the transition
+        staged synchronously, exactly like :meth:`grow`.
+        """
+        added, removed = self.validate_plan(add, remove)
         target = self.router.clone()
-        target.remove_node(node_name)
-        return self._migrate(target, added=[], removed=[node_name])
+        for name in added:
+            target.add_node(name)
+        for name in removed:
+            target.remove_node(name)
+        return self._migrate(target, added=added, removed=removed)
 
     # -- the migration epoch -------------------------------------------------
 
@@ -171,12 +235,17 @@ class ReshardManager:
         }
         self.history.append(record)
         self._busy = True
+        # Staging advances the router's fence epoch: from this instant
+        # the shard services reject any request still routed by a
+        # pre-stage view, so no settle interval is needed before the
+        # copy passes may trust the sources' version probes.
         self.router.transition = RingTransition(
             target, epoch=target.epoch,
             added=tuple(added), removed=tuple(removed))
         self.tracer.record("reshard", "transition staged",
                            added=list(added), removed=list(removed),
-                           epoch=target.epoch)
+                           epoch=target.epoch,
+                           fence=self.router.fence_epoch)
         return self._drain_epoch(target, added, removed, record)
 
     def _drain_epoch(self, target: ShardRouter, added: list[str],
@@ -184,11 +253,6 @@ class ReshardManager:
                      record: dict[str, Any]) -> Generator[Any, Any,
                                                           dict[str, Any]]:
         try:
-            # Settle: a write whose replica set predates the transition
-            # has, after one RPC-timeout interval, either executed (its
-            # version bump is visible to the copy passes) or timed out
-            # at its caller and been presume-aborted.
-            yield Timeout(self.settle)
             converged = yield from self._converge(target, record)
             if not converged:
                 raise ReshardAborted(
@@ -204,7 +268,9 @@ class ReshardManager:
                                epoch=target.epoch)
             raise
         # FLIP -- atomic: membership mutation plus transition clear with
-        # no intervening yield, so no client ever routes by a half-state.
+        # no intervening yield, so no client ever routes by a half-state
+        # (and the fence advances, so a request still in flight from the
+        # union view is rejected and re-routed, never half-applied).
         old_ring = self.router.clone()
         for name in added:
             self.router.add_node(name)
@@ -276,17 +342,8 @@ class ReshardManager:
         """One pass over the moving arcs; True once every arc is done."""
         self.copy_passes += 1
         live = self.router
-        universe: set[str] = set()
-        saw_host = False
-        for host in live.nodes:
-            try:
-                uids = yield self.node.rpc.call(host, self.service,
-                                                "list_uids")
-            except RpcError:
-                continue
-            saw_host = True
-            universe.update(uids)
-        if not saw_host:
+        universe, answered = yield from self.io.collect_uids(live.nodes)
+        if not answered:
             raise _Deferred  # the whole old ring is dark; wait it out
         pending = False
         deferred = False
@@ -303,145 +360,61 @@ class ReshardManager:
             # case -- a seeded mover tracking dual-ownership writes --
             # is detected without taking a single lock or snapshot, so
             # a converging pass never contends with live traffic.
-            mover_versions: dict[str, tuple[int, int]] = {}
-            unreachable = False
-            for mover in movers:
-                try:
-                    versions = yield self.node.rpc.call(
-                        mover, self.service, "entry_versions", uid_text)
-                except RpcError:
-                    unreachable = True  # mover dark; retry the arc later
-                    continue
-                mover_versions[mover] = tuple(versions)
-            sources: list[tuple[str, tuple[int, int]]] = []
-            for source in old_plist:
-                try:
-                    versions = yield self.node.rpc.call(
-                        source, self.service, "entry_versions", uid_text)
-                except RpcError:
-                    # An unreachable source of a *moving* arc may hold a
-                    # committed write none of its reachable peers took;
-                    # flipping without it could orphan that write once
-                    # the arc leaves the host.  Hold the epoch open.
-                    unreachable = True
-                    continue
-                sources.append((source, tuple(versions)))
-            if unreachable or not sources:
+            mover_versions, dark_movers = yield from self.io.probe_versions(
+                uid_text, movers)
+            # An unreachable source of a *moving* arc may hold a
+            # committed write none of its reachable peers took; flipping
+            # without it could orphan that write once the arc leaves the
+            # host.  Hold the epoch open (dark movers likewise defer).
+            sources, dark_sources = yield from self.io.probe_versions(
+                uid_text, old_plist)
+            if dark_movers or dark_sources or not sources:
                 deferred = True
                 continue
             if not mover_versions:
                 deferred = True
                 continue
-            best = (max(sv for _, (sv, _) in sources),
-                    max(st for _, (_, st) in sources))
-            behind = {mover: versions
-                      for mover, versions in mover_versions.items()
-                      if versions[0] < best[0] or versions[1] < best[1]}
-            if not behind:
-                # Every incoming owner is current and (being seeded)
-                # rides every dual-ownership write from here on: the
-                # arc has confirmed convergence and stays converged.
-                done.add(uid_text)
-                continue
-            outcome = yield from self._copy_arc(sources, uid_text, behind,
-                                                best, record)
-            if outcome == "unknown":
-                # Every source disclaimed the uid under locks (a define
-                # that aborted after enumeration): nothing to move.
-                done.add(uid_text)
-                continue
-            if outcome == "deferred":
-                deferred = True
-                continue
-            if outcome == "copied":
+            outcome, copied = yield from self.io.converge_entry(
+                uid_text, sources=sources, targets=mover_versions)
+            if copied:
+                self.entries_copied += copied
+                record["entries_copied"] += copied
+                self.metrics.counter(
+                    "reshard.entries_copied").increment(copied)
+                self.tracer.record("reshard", "arc entries copied",
+                                   uid=uid_text, copied=copied)
                 copied_since_pause += 1
                 if copied_since_pause >= self.batch_size and self.throttle > 0:
                     copied_since_pause = 0
                     yield Timeout(self.throttle)  # bound migration bandwidth
-            # "copied"/"clean" arcs stay pending until a later pass
-            # re-probes them clean -- their own confirmation round.
-            pending = True
+            if outcome == "clean":
+                # Every incoming owner probed current and (being seeded)
+                # rides every dual-ownership write from here on: the arc
+                # has confirmed convergence and stays converged.
+                done.add(uid_text)
+            elif outcome == "unknown":
+                # Every source disclaimed the uid under locks (a define
+                # that aborted after enumeration): nothing to move.
+                done.add(uid_text)
+            elif outcome == "deferred":
+                deferred = True
+            else:
+                # "copied"/"settled" arcs stay pending until a later
+                # pass re-probes them clean -- their confirmation round.
+                pending = True
         if deferred:
             raise _Deferred
         return not pending
-
-    def _copy_arc(self, sources: list[tuple[str, tuple[int, int]]],
-                  uid_text: str, behind: dict[str, tuple[int, int]],
-                  best: tuple[int, int],
-                  record: dict[str, Any]) -> Generator[Any, Any, str]:
-        """Copy one entry to its lagging movers, freshest sources first.
-
-        Walks the probed sources in descending version order and pushes
-        each one's committed snapshot to every mover still behind it --
-        consulting more than one source matters because the two halves'
-        maxima can live on different replicas, and the version-gated
-        install merges them per half.  Any mover still behind ``best``
-        at the end (a locked entry, a probe that saw a provisional
-        bump) defers the arc to the next pass.
-        """
-        remaining = dict(behind)
-        copied = False
-        unknown_everywhere = True
-        for source, (source_sv, source_st) in sorted(
-                sources, key=lambda entry: (-entry[1][0], -entry[1][1])):
-            targets = [mover for mover, (sv, st) in remaining.items()
-                       if sv < source_sv or st < source_st]
-            if not targets:
-                unknown_everywhere = False
-                continue
-            copy = yield from fetch_entry_copy(
-                self.node.rpc, self._client(source), uid_text,
-                node=self.node.name, tracer=self.tracer)
-            if copy == "locked":
-                return "deferred"  # a live action owns the entry; next pass
-            if copy == "unknown":
-                continue  # aborted define, or only the peers hold it
-            if copy == "unreachable":
-                return "deferred"  # source went dark since the probe
-            unknown_everywhere = False
-            read_sv, read_st = copy.versions
-            for mover in targets:
-                try:
-                    installed = yield self.node.rpc.call(
-                        mover, self.service, "guarded_install_entry",
-                        uid_text, copy.hosts, copy.uses, copy.view,
-                        copy.versions)
-                except RpcError:
-                    return "deferred"  # mover went dark; next pass
-                if installed is None:
-                    return "deferred"  # mover-side lock; next pass
-                if installed:
-                    copied = True
-                    self.entries_copied += 1
-                    record["entries_copied"] += 1
-                    self.metrics.counter("reshard.entries_copied").increment()
-                    self.tracer.record("reshard", "arc entry copied",
-                                       uid=uid_text, source=source,
-                                       target=mover)
-                old_sv, old_st = remaining[mover]
-                remaining[mover] = (max(old_sv, read_sv), max(old_st, read_st))
-        if unknown_everywhere:
-            return "unknown"
-        still_behind = any(sv < best[0] or st < best[1]
-                           for sv, st in remaining.values())
-        if still_behind:
-            return "deferred"
-        return "copied" if copied else "clean"
 
     def _gc(self, old_ring: ShardRouter,
             record: dict[str, Any]) -> Generator[Any, Any, None]:
         """Remove moved arcs from their outgoing owners (post-flip)."""
         for _ in range(self.max_rounds):
             deferred = False
-            universe: set[str] = set()
-            for host in old_ring.nodes:
-                try:
-                    uids = yield self.node.rpc.call(host, self.service,
-                                                    "list_uids")
-                except RpcError:
-                    deferred = True  # dark host may hold garbage; retry
-                    continue
-                universe.update(uids)
+            universe, answered = yield from self.io.collect_uids(
+                old_ring.nodes)
+            if answered < len(old_ring.nodes):
+                deferred = True  # a dark host may hold garbage; retry
             forgotten_since_pause = 0
             for uid_text in sorted(universe):
                 keep = set(self.router.preference_list(uid_text,
@@ -477,17 +450,9 @@ class ReshardManager:
         self.tracer.record("reshard", "gc gave up with leftovers",
                            epoch=self.router.epoch)
 
-    def _client(self, node_name: str) -> GroupViewDbClient:
-        client = self._peer_clients.get(node_name)
-        if client is None:
-            client = GroupViewDbClient(self.node.rpc, node_name,
-                                       service=self.service)
-            self._peer_clients[node_name] = client
-        return client
-
 
 class ShardAutoscaler:
-    """Optional load-triggered ring growth.
+    """Optional load-triggered ring growth -- and, optionally, shrink.
 
     Samples cumulative per-shard naming-operation counts (the PR 1
     ``shard.<host>.*`` scoped metrics, via the ``sample`` hook) every
@@ -496,6 +461,18 @@ class ShardAutoscaler:
     ``scale_up`` returns, so an in-flight migration is its own
     cooldown.  ``busy`` (typically the ReshardManager's ``active``)
     suppresses triggering mid-migration.
+
+    The scale-**down** policy is symmetric but deliberately slower: a
+    single quiet sample proves nothing, so a drain fires only after
+    ``down_after`` *consecutive* samples (a full cooldown) under the
+    ``low_ops_per_shard`` watermark, and only above ``min_shards``.
+    ``scale_down`` receives the least-loaded shard host of the last
+    sample -- the cheapest arc set to move.  Hysteresis keeps the two
+    policies from fighting: the low watermark must sit at or below
+    half the high one (so the post-drain rate, at most doubled, still
+    clears the scale-up threshold with replication-factor headroom),
+    any scale event in either direction restarts the quiet streak, and
+    a sample above the low watermark resets it.
     """
 
     def __init__(self, scheduler: Any,
@@ -503,21 +480,38 @@ class ShardAutoscaler:
                  scale_up: Callable[[], Any],
                  interval: float = 5.0, ops_per_shard: float = 200.0,
                  max_shards: int = 8,
+                 scale_down: Callable[[str], Any] | None = None,
+                 low_ops_per_shard: float | None = None,
+                 min_shards: int = 2, down_after: int = 3,
                  busy: Callable[[], bool] | None = None,
                  tracer: Tracer | None = None) -> None:
         if interval <= 0:
             raise ValueError("autoscaler interval must be positive")
+        if (low_ops_per_shard is not None
+                and low_ops_per_shard > ops_per_shard / 2):
+            raise ValueError(
+                f"low watermark {low_ops_per_shard} must be <= half the "
+                f"scale-up threshold {ops_per_shard} (hysteresis: a drain "
+                f"must never push the ring back over the high watermark)")
+        if down_after < 1:
+            raise ValueError("down_after must be >= 1 sample")
         self.scheduler = scheduler
         self.sample = sample
         self.scale_up = scale_up
+        self.scale_down = scale_down
         self.interval = interval
         self.ops_per_shard = ops_per_shard
+        self.low_ops_per_shard = low_ops_per_shard
         self.max_shards = max_shards
+        self.min_shards = min_shards
+        self.down_after = down_after
         self.busy = busy or (lambda: False)
         self.tracer = tracer or NULL_TRACER
         self.samples_taken = 0
         self.scale_ups_triggered = 0
+        self.scale_downs_triggered = 0
         self.last_rate_per_shard = 0.0
+        self.quiet_samples = 0  # consecutive samples under the low mark
         self._running = False
         self._process: Any = None
 
@@ -540,26 +534,56 @@ class ShardAutoscaler:
             current = self.sample()
             self.samples_taken += 1
             shards = len(current)
-            delta = sum(current.values()) - sum(last.values())
+            per_shard_rates = {
+                name: max(0.0, count - last.get(name, 0.0)) / self.interval
+                for name, count in current.items()}
             last = current
             if shards == 0:
                 continue
-            self.last_rate_per_shard = max(0.0, delta) / self.interval / shards
-            if (self.last_rate_per_shard <= self.ops_per_shard
-                    or shards >= self.max_shards or self.busy()):
+            self.last_rate_per_shard = (sum(per_shard_rates.values())
+                                        / shards)
+            if self.busy():
+                # A migrating ring must not trigger another change, and
+                # migration traffic must not count toward a drain.
+                self.quiet_samples = 0
                 continue
-            self.tracer.record("reshard", "autoscaler triggering",
+            if (self.last_rate_per_shard > self.ops_per_shard
+                    and shards < self.max_shards):
+                self.quiet_samples = 0
+                self.tracer.record("reshard", "autoscaler triggering",
+                                   rate_per_shard=self.last_rate_per_shard,
+                                   shards=shards)
+                self.scale_ups_triggered += 1
+                yield from self._wait_out(self.scale_up)
+                last = self.sample()  # don't count migration as load
+                continue
+            if (self.scale_down is None or self.low_ops_per_shard is None
+                    or self.last_rate_per_shard > self.low_ops_per_shard
+                    or shards <= self.min_shards):
+                self.quiet_samples = 0
+                continue
+            self.quiet_samples += 1
+            if self.quiet_samples < self.down_after:
+                continue
+            victim = min(per_shard_rates, key=per_shard_rates.get)
+            self.quiet_samples = 0  # hysteresis: restart the cooldown
+            self.tracer.record("reshard", "autoscaler draining",
                                rate_per_shard=self.last_rate_per_shard,
-                               shards=shards)
-            self.scale_ups_triggered += 1
-            try:
-                waitable = self.scale_up()
-                if waitable is not None:
-                    yield waitable  # the migration is the cooldown
-            except Exception as exc:
-                self.tracer.record("reshard", "autoscaler scale-up failed",
-                                   error=type(exc).__name__)
-            last = self.sample()  # don't count migration traffic as load
+                               shards=shards, victim=victim)
+            self.scale_downs_triggered += 1
+            yield from self._wait_out(lambda: self.scale_down(victim))
+            last = self.sample()  # don't count migration as load
+
+    def _wait_out(self, trigger: Callable[[], Any],
+                  ) -> Generator[Any, Any, None]:
+        """Fire a scale hook and wait out whatever waitable it returns."""
+        try:
+            waitable = trigger()
+            if waitable is not None:
+                yield waitable  # the migration is the cooldown
+        except Exception as exc:
+            self.tracer.record("reshard", "autoscaler scale hook failed",
+                               error=type(exc).__name__)
 
 
 class _Deferred(Exception):

@@ -57,16 +57,15 @@ application objects.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
-from repro.naming.db_client import GroupViewDbClient, fetch_entry_copy
 from repro.naming.group_view_db import (
     SERVICE_NAME,
     SYNC_SERVICE_NAME,
     GroupViewDatabase,
 )
+from repro.naming.replica_io import EntryCopy, ReplicaIO
 from repro.naming.shard_router import ShardRouter
-from repro.net.errors import RpcError
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.process import Timeout
 from repro.sim.tracing import NULL_TRACER, Tracer
@@ -84,6 +83,7 @@ class ShardResyncManager:
                  sync_service: str = SYNC_SERVICE_NAME,
                  retry_interval: float = 0.25, max_rounds: int = 200,
                  sweep_interval: float | None = 10.0,
+                 fence: "Callable[[], int] | None" = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 2:
@@ -98,6 +98,12 @@ class ShardResyncManager:
         self.retry_interval = retry_interval
         self.max_rounds = max_rounds
         self.sweep_interval = sweep_interval
+        # The epoch fence to re-arm when the converged host re-enters
+        # the serving path.  Gating unregisters the client service (and
+        # with it the fence); re-registering without one would let a
+        # recovered host accept stale-ring traffic unchecked -- the
+        # "reset to epoch 0" hole the fencing design must not have.
+        self.fence = fence
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
         self.resyncs_completed = 0
@@ -105,7 +111,12 @@ class ShardResyncManager:
         self.entries_refreshed = 0
         self.last_resync_at: float | None = None
         self.retired = False  # drained off the ring: never serve again
-        self._peer_clients: dict[str, GroupViewDbClient] = {}
+        # The shared replica engine: peer probes, snapshot reads, and
+        # the converge protocol all flow through it (sync plane only --
+        # resync traffic must reach gated peers, so it is unfenced).
+        self.io = ReplicaIO(node.rpc, router, replication,
+                            service=service, sync_service=sync_service,
+                            metrics=self.metrics, tracer=self.tracer)
         self._install_hook()
 
     @property
@@ -164,7 +175,7 @@ class ShardResyncManager:
             # (writes committed mid-pass land on the peers we copy from).
         if self.retired:
             return
-        self.node.rpc.register(self.service, self.db)
+        self.node.rpc.register(self.service, self.db, fence=self.fence)
         self.last_resync_at = self.node.scheduler.now
         if converged:
             self.resyncs_completed += 1
@@ -210,17 +221,9 @@ class ShardResyncManager:
         me = self.node.name
         peers = [n for n in self.router.nodes if n != me]
         local = set(self.db.list_uids())
-        universe = set(local)
-        saw_peer = False
-        for peer in peers:
-            try:
-                uids = yield self.node.rpc.call(peer, self.sync_service,
-                                                "list_uids")
-            except RpcError:
-                continue
-            saw_peer = True
-            universe.update(uids)
-        if peers and not saw_peer:
+        universe, answered = yield from self.io.collect_uids(peers)
+        universe.update(local)
+        if peers and not answered:
             raise _Deferred  # the whole ring is dark; wait it out
 
         changed = False
@@ -243,72 +246,41 @@ class ShardResyncManager:
                                            uid=uid_text, node=me)
                 continue
             uid = Uid.parse(uid_text)
-            # Probe every source's versions first (lock-free and cheap:
-            # in the common already-in-sync case no snapshot is read
-            # and no peer lock is taken), then copy from each peer that
-            # is strictly ahead of us on either half.  Consulting all
-            # sources matters: an equal-version peer may simply share
-            # our staleness while a later replica holds the fresh copy.
-            probes: list[tuple[str, tuple[int, int]]] = []
-            reachable = False
-            for peer in (r for r in replicas if r != me):
-                try:
-                    versions = yield self.node.rpc.call(
-                        peer, self.sync_service, "entry_versions", uid_text)
-                except RpcError:
-                    continue
-                reachable = True
-                probes.append((peer, tuple(versions)))
-            if not reachable:
+            # Lock-free version probes first (in the common
+            # already-in-sync case no snapshot is read and no peer lock
+            # is taken), then the engine copies from each peer strictly
+            # ahead of us on either half.  Consulting all sources
+            # matters: an equal-version peer may simply share our
+            # staleness while a later replica holds the fresh copy.
+            probes, _dark = yield from self.io.probe_versions(
+                uid_text, (r for r in replicas if r != me))
+            if not probes:
                 deferred = True  # this arc's peers are all dark
                 continue
-            for peer, (sv_v, st_v) in probes:
-                if (sv_v <= self.db.server_db.entry_version(uid)
-                        and st_v <= self.db.state_db.entry_version(uid)):
-                    continue  # not strictly ahead of us on either half
-                outcome = yield from self._copy_entry(peer, uid_text)
-                if outcome == "copied":
-                    changed = True
-                elif outcome in ("locked", "unreachable"):
-                    deferred = True  # a known-fresher peer we missed
-                # "unknown": vanished since the probe (aborted define)
+            mine = (self.db.server_db.entry_version(uid),
+                    self.db.state_db.entry_version(uid))
+            outcome, copied = yield from self.io.converge_entry(
+                uid_text, sources=probes, targets={me: mine},
+                install=self._install_local)
+            if copied:
+                changed = True
+                self.entries_refreshed += copied
+                self.metrics.counter(
+                    f"resync.{self.node.name}.entries_refreshed").increment(
+                        copied)
+                self.tracer.record("resync", "entry refreshed", uid=uid_text,
+                                   node=me)
+            if outcome == "deferred":
+                deferred = True  # a known-fresher peer we missed
+            # "clean"/"settled": level with every reachable peer;
+            # "unknown": vanished since the probe (aborted define).
         if deferred:
             raise _Deferred
         return changed
 
-    def _copy_entry(self, peer: str,
-                    uid_text: str) -> Generator[Any, Any, str]:
-        """Install one committed entry from ``peer``; returns the outcome."""
-        client = self._peer_clients.get(peer)
-        if client is None:
-            client = GroupViewDbClient(self.node.rpc, peer,
-                                       service=self.sync_service)
-            self._peer_clients[peer] = client
-        copy = yield from fetch_entry_copy(self.node.rpc, client, uid_text,
-                                           node=self.node.name,
-                                           tracer=self.tracer)
-        if isinstance(copy, str):
-            # "unknown": defined-then-aborted, or a uid only the other
-            # half knows -- nothing to copy from this peer.
-            return copy
-        changed = self._install(uid_text, copy.hosts, copy.uses, copy.view,
-                                copy.versions)
-        if changed is None:
-            return "locked"
-        if changed:
-            self.entries_refreshed += 1
-            self.metrics.counter(
-                f"resync.{self.node.name}.entries_refreshed").increment()
-            self.tracer.record("resync", "entry refreshed", uid=uid_text,
-                               node=self.node.name, source=peer)
-            return "copied"
-        return "unchanged"
-
-    def _install(self, uid_text: str, sv_hosts: list[str],
-                 uses: dict[str, dict[str, int]],
-                 st_hosts: list[str],
-                 versions: tuple[int, int]) -> bool | None:
-        """Install one entry locally; None means locally locked (skip).
+    def _install_local(self, _target: str, uid_text: str,
+                       copy: EntryCopy) -> bool | None:
+        """The engine's install hook: land one snapshot in our database.
 
         Delegates to the database's lock-guarded install: even while
         the RPC service is out of the serving path, the *colocated*
@@ -319,8 +291,8 @@ class ShardResyncManager:
         The install itself is additionally version-gated, so only a
         strictly fresher peer copy ever lands.
         """
-        return self.db.guarded_install_entry(uid_text, sv_hosts, uses,
-                                             st_hosts, versions)
+        return self.db.guarded_install_entry(uid_text, copy.hosts, copy.uses,
+                                             copy.view, copy.versions)
 
 
 class _Deferred(Exception):

@@ -40,6 +40,24 @@ same router object, so the epoch flip is a single routing decision
 for the whole system.  ``epoch`` counts membership changes so
 observers can tell rings apart.
 
+**Epoch fencing** turns agreement on the ring from a hope into a
+checked invariant.  Every routing decision a client makes is captured
+as a :class:`RingView` -- an immutable snapshot of the membership, the
+staged transition (if any), and the *fence epoch*, a monotonic token
+(:attr:`ShardRouter.fence_epoch`) that advances on every observable
+routing change: staging a transition, flipping it, aborting it, or any
+direct membership mutation.  Clients tag each RPC with their view's
+token; shard services registered with the fence reject a mismatched
+tag with :class:`~repro.net.errors.StaleRingEpoch` *at dispatch time*
+(after any service-queue delay), so a request routed by a pre-change
+view can never execute against post-change ownership.  That check is
+what lets the reshard pipeline drop its settle interval: a write
+computed before a transition staged either executed before the staging
+or is fenced and retried against the union view -- there is no window
+in between.  A recovered shard host re-arms the fence when its boot
+hook re-registers the service against the same shared router, so it
+can never come back accepting fenced traffic at a reset epoch.
+
 Per-entry lock semantics are untouched: each replica shard's
 :class:`~repro.naming.group_view_db.GroupViewDatabase` keeps the
 paper's per-entry concurrency control.
@@ -61,6 +79,24 @@ def _ring_hash(text: str) -> int:
     """A stable 32-bit ring position for ``text``."""
     digest = hashlib.md5(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def _extend_with_ring(owners: list[str], ring: "ShardRouter",
+                      key: Hashable, n: int) -> list[str]:
+    """Append ``ring``'s owners of ``key`` not already listed.
+
+    The one implementation of the dual-ownership union step: the
+    earlier epoch's owners keep their places (they are guaranteed
+    current -- reads prefer them, writes hit them first) and the other
+    epoch's owners follow.  Shared by the live router's
+    ``union_preference_list`` and a captured view's write/read orders,
+    so harness placement and client routing can never diverge on what
+    "the union" means.
+    """
+    for extra in ring.preference_list(key, n):
+        if extra not in owners:
+            owners.append(extra)
+    return owners
 
 
 @dataclass
@@ -101,10 +137,18 @@ class ShardRouter:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.replicas = replicas
         self.epoch = 0
+        # The fencing token: advances on *every* observable routing
+        # change (membership mutation, transition staged / cleared), so
+        # a captured RingView's epoch matches the live router's only
+        # while routing by that view is still correct.  Monotonic for
+        # the router's lifetime -- unlike ``epoch`` it is never reset,
+        # so a snapshot can never collide with a later state.
+        self._fence = 0
         # A staged membership change (online resharding): while set,
         # clients write through both epochs' preference lists and read
         # old-first.  Set and cleared only by the ReshardManager.
-        self.transition: RingTransition | None = None
+        self._transition: RingTransition | None = None
+        self._view: RingView | None = None
         self._nodes: list[str] = []
         # Sorted (point, owner) pairs.  Keeping the owner inside the
         # sort key gives colliding points a deterministic order (by
@@ -123,6 +167,18 @@ class ShardRouter:
         """The shard hosts, in insertion order."""
         return list(self._nodes)
 
+    @property
+    def transition(self) -> RingTransition | None:
+        return self._transition
+
+    @transition.setter
+    def transition(self, staged: RingTransition | None) -> None:
+        # Staging, aborting, or flipping a transition all change how
+        # the next operation must route, so each advances the fence.
+        self._transition = staged
+        self._fence += 1
+        self._view = None
+
     def add_node(self, node: str) -> None:
         """Claim ``replicas`` ring points for ``node``."""
         if node in self._nodes:
@@ -134,6 +190,8 @@ class ShardRouter:
             entry = (_ring_hash(f"{node}#{index}"), node)
             self._ring.insert(bisect.bisect_left(self._ring, entry), entry)
         self.epoch += 1
+        self._fence += 1
+        self._view = None
 
     def remove_node(self, node: str) -> None:
         """Release the node's points; its arcs fall to the successors."""
@@ -144,6 +202,8 @@ class ShardRouter:
         self._nodes.remove(node)
         self._ring = [(p, o) for p, o in self._ring if o != node]
         self.epoch += 1
+        self._fence += 1
+        self._view = None
 
     def clone(self) -> "ShardRouter":
         """An independent copy of the membership (no shared ring state).
@@ -156,10 +216,35 @@ class ShardRouter:
         dup = ShardRouter.__new__(ShardRouter)
         dup.replicas = self.replicas
         dup.epoch = self.epoch
-        dup.transition = None
+        dup._fence = self._fence
+        dup._transition = None
+        dup._view = None
         dup._nodes = list(self._nodes)
         dup._ring = list(self._ring)
         return dup
+
+    # -- fencing ------------------------------------------------------------
+
+    @property
+    def fence_epoch(self) -> int:
+        """The current fencing token shard services compare tags against."""
+        return self._fence
+
+    def view(self) -> "RingView":
+        """The current :class:`RingView` snapshot (cached per fence epoch).
+
+        Clients capture one view per operation and route every replica
+        of that operation by it; the view's ``epoch`` is the tag their
+        RPCs carry.  The snapshot is immutable -- it clones the live
+        membership -- so an epoch flip mid-operation changes what the
+        *servers* accept, never what the captured view computes.
+        """
+        if self._view is None or self._view.epoch != self._fence:
+            target = (self._transition.target
+                      if self._transition is not None else None)
+            self._view = RingView(self._fence, self.clone(), target,
+                                  self._transition)
+        return self._view
 
     # -- routing ------------------------------------------------------------
 
@@ -211,9 +296,7 @@ class ShardRouter:
         """
         owners = self.preference_list(key, n)
         if self.transition is not None:
-            for extra in self.transition.target.preference_list(key, n):
-                if extra not in owners:
-                    owners.append(extra)
+            _extend_with_ring(owners, self.transition.target, key, n)
         return owners
 
     def partition(self, keys: Iterable[T]) -> dict[str, list[T]]:
@@ -236,3 +319,88 @@ class ShardRouter:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ShardRouter nodes={len(self._nodes)} "
                 f"replicas={self.replicas}>")
+
+
+class RingView:
+    """One operation's immutable capture of the ring.
+
+    A view pins three things for the duration of one replica-plane
+    operation: the membership snapshot to route by (``ring``, a private
+    clone the live router can no longer mutate), the staged target ring
+    if a transition was live at capture time, and ``epoch`` -- the
+    fence token every RPC of the operation is tagged with.  Servers
+    reject the tag with :class:`~repro.net.errors.StaleRingEpoch` the
+    instant the live router moves on, so a view can be *held* as long
+    as the caller likes but can never *act* stale.
+
+    The captured transition object is shared with the live router on
+    purpose: :meth:`mark_dirty` must reach the ReshardManager's
+    un-confirmation channel even from a snapshot.
+    """
+
+    def __init__(self, epoch: int, ring: "ShardRouter",
+                 target: "ShardRouter | None",
+                 transition: RingTransition | None) -> None:
+        self.epoch = epoch
+        self.ring = ring
+        self.target = target
+        self._transition = transition
+
+    @property
+    def nodes(self) -> list[str]:
+        return self.ring.nodes
+
+    @property
+    def in_transition(self) -> bool:
+        """Whether a membership change was staged at capture time."""
+        return self.target is not None
+
+    def primary(self, key: Hashable) -> str:
+        return self.ring.shard_for(key)
+
+    def preference_list(self, key: Hashable, n: int) -> list[str]:
+        return self.ring.preference_list(key, n)
+
+    def write_set(self, key: Hashable, n: int) -> list[str]:
+        """The replicas a write must reach: both epochs' owners, old first.
+
+        With no transition captured this is the plain preference list;
+        during one it is the dual-ownership union -- the old owners
+        (guaranteed current) followed by the incoming owners (which
+        must see every write committed before the flip).
+        """
+        owners = self.ring.preference_list(key, n)
+        if self.target is not None:
+            _extend_with_ring(owners, self.target, key, n)
+        return owners
+
+    def read_order(self, key: Hashable, n: int, rotation: int = 0) -> list[str]:
+        """The replicas a read tries, in failover order.
+
+        ``rotation`` rotates the starting replica across the old
+        epoch's preference list (the ``spread`` read policy); a
+        transition's incoming owners are appended *last* either way --
+        until the flip they may not have been copied yet, so they serve
+        only when every old-epoch replica is unreachable.
+        """
+        order = self.ring.preference_list(key, n)
+        if rotation and len(order) > 1:
+            start = rotation % len(order)
+            order = order[start:] + order[:start]
+        if self.target is not None:
+            _extend_with_ring(order, self.target, key, n)
+        return order
+
+    def mark_dirty(self, key: Hashable) -> None:
+        """Report a write that skipped an unreachable replica.
+
+        Forwards to the captured transition's dirty channel so the
+        ReshardManager re-confirms the arc before flipping; a no-op
+        when the view was captured outside any transition.
+        """
+        if self._transition is not None:
+            self._transition.mark_dirty(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RingView epoch={self.epoch} nodes={len(self.ring)} "
+                f"transition={self.in_transition}>")

@@ -1,4 +1,4 @@
-"""The sharded group-view database: client router and server facade.
+"""The sharded group-view database: client facade and server facade.
 
 Two pieces turn N per-host
 :class:`~repro.naming.group_view_db.GroupViewDatabase` instances into
@@ -7,13 +7,15 @@ one logical service:
 - :class:`ShardedGroupViewDbClient` -- the client-side adapter.  It
   exposes exactly the :class:`~repro.naming.db_client.GroupViewDbClient`
   surface the binding schemes, replication policies, and recovery
-  daemons are written against, but routes every per-UID operation to
-  the shards owning that UID (via a
-  :class:`~repro.naming.shard_router.ShardRouter`) and fans multi-UID
-  operations (``Exclude``) out per shard.  Each touched shard is
-  enlisted as its *own* two-phase-commit participant of the calling
-  action's top-level root, so a transaction pays 2PC only to the
-  shards it actually used.
+  daemons are written against, and maps every operation onto the one
+  :class:`~repro.naming.replica_io.ReplicaIO` engine: epoch-fenced
+  fan-out writes through the current
+  :class:`~repro.naming.shard_router.RingView`'s write set (each
+  reached shard its own late-enlisted 2PC participant of the calling
+  action), failover reads down the view's read order, and the multi-UID
+  ``Exclude`` fan-out.  The routing policy itself -- dual-ownership
+  unions during a staged transition, old-epoch-first reads, primary or
+  spread read rotation -- lives in the view and the engine, not here.
 
 - :class:`ShardedGroupViewDatabase` -- the server-side facade used by
   the system harness for bootstrap (``define_object``) and inspection.
@@ -21,59 +23,16 @@ one logical service:
   their own nodes for RPC) and routes by the same ring, so wire
   clients and the harness always agree on placement.
 
-With ``replication > 1`` an entry lives on its whole *preference list*
-(the ring owner plus its n-1 distinct successors), treating the naming
-database itself as a replicated object -- the same trick the paper
-plays with application objects:
-
-- **writes** go through to every replica of the entry, each live
-  replica enlisted as its own participant of the calling action's 2PC.
-  A replica whose RPC fails (crashed, or gated out while resyncing) is
-  skipped -- the write commits as long as at least one replica took it,
-  and the shard-resync daemon catches the absentee up on recovery;
-- **reads** are served by the first live replica in preference order,
-  failing over down the list when a replica's RPC errors out.  Only
-  synced replicas serve (recovery gates the RPC service until resync
-  completes), so failover never reads a stale arc.
-
-- **read policy** -- ``primary`` (default) always starts at the
-  preference-list head; ``spread`` rotates the starting replica
-  round-robin so read traffic for a hot arc is spread over every live
-  replica instead of hammering the head's single-server queue.  Either
-  way the remaining replicas stay the failover chain.
-
-During an **online reshard** (a :class:`~repro.naming.shard_router.RingTransition`
-staged on the shared router) the client routes with *dual ownership*:
-writes flow through the union of the old and the proposed ring's
-preference lists -- so the incoming owners see every update committed
-after the transition began -- while reads stay old-epoch-first (the
-old owners are guaranteed current; the new ones are still being
-copied).  This applies even with ``replication == 1``: a transition
-always makes an entry multi-homed for its duration.  A write that
-cannot reach one of the union's replicas marks the UID dirty on the
-transition, forcing the migration to re-confirm that arc before the
-flip.  One deliberate availability trade remains: when *every*
-old-epoch replica of an arc is unreachable mid-transition, reads fall
-back to the incoming owners, which may be mid-copy -- the same
-availability-over-freshness stance as a forced resync rejoin, and the
-arc would otherwise be entirely dark.
-
-A failover read that steps past a replica disclaiming the entry, and
-(optionally, sampled) any replicated read, reports the UID to the
-attached read-repairer, which probes per-entry write versions and
-pushes lock-guarded installs to lagging replicas -- closing the
-residual window a recovered host can rejoin inside (see
-:mod:`repro.naming.read_repair`).
-
-Replica divergence windows are otherwise closed by 2PC itself: a
-replica that dies *between* prepare and commit lost nothing durable --
-its locks and undo log are volatile, and the resync daemon re-copies
-the committed entry from its peers before the host serves again.
-
-Per-entry semantics survive partitioning untouched: a UID's entry
-keeps the paper's per-entry locking on every replica shard; writes
-lock all replicas, so conflicting actions collide on whichever replica
-they reach first, exactly as they would on a single home shard.
+Every client RPC carries the captured view's fence token; a shard
+whose ring has moved on answers
+:class:`~repro.net.errors.StaleRingEpoch` and the engine re-routes the
+remainder of the operation through a refreshed view (see
+:mod:`repro.naming.replica_io` for the full protocol and its failure
+handling).  Per-entry semantics survive partitioning untouched: a
+UID's entry keeps the paper's per-entry locking on every replica
+shard; writes lock all replicas, so conflicting actions collide on
+whichever replica they reach first, exactly as they would on a single
+home shard.
 """
 
 from __future__ import annotations
@@ -82,16 +41,18 @@ from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
 from repro.naming.db_client import GroupViewDbClient
-from repro.naming.errors import UnknownObject
 from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
 from repro.naming.object_server_db import ServerEntrySnapshot
+from repro.naming.replica_io import READ_POLICIES, ReplicaIO
 from repro.naming.shard_router import ShardRouter
-from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
 from repro.storage.uid import Uid
 
-
-READ_POLICIES = ("primary", "spread")
+__all__ = [
+    "READ_POLICIES",
+    "ShardedGroupViewDatabase",
+    "ShardedGroupViewDbClient",
+]
 
 
 class ShardedGroupViewDbClient:
@@ -100,39 +61,43 @@ class ShardedGroupViewDbClient:
     def __init__(self, rpc: RpcAgent, router: ShardRouter,
                  service: str = SERVICE_NAME, replication: int = 1,
                  read_policy: str = "primary",
-                 repair: Any | None = None) -> None:
-        if replication < 1:
-            raise ValueError(f"replication must be >= 1, got {replication}")
-        if read_policy not in READ_POLICIES:
-            raise ValueError(f"unknown read policy: {read_policy!r} "
-                             f"(expected one of {READ_POLICIES})")
-        self._rpc = rpc
-        self.router = router
-        self.service = service
-        self.replication = replication
-        self.read_policy = read_policy
-        self.repair = repair  # a ReadRepairer, or None
-        self._spread_cursor = 0
-        # Built lazily so a ring grown with ShardRouter.add_node keeps
-        # working: an unseen owner gets its per-shard client on first
-        # routing.  (Clients for removed nodes linger unused -- the
-        # router simply never routes to them again.)
-        self._shards: dict[str, GroupViewDbClient] = {}
+                 repair: Any | None = None,
+                 metrics: Any | None = None,
+                 tracer: Any | None = None) -> None:
+        self.io = ReplicaIO(rpc, router, replication, service=service,
+                            read_policy=read_policy, repair=repair,
+                            metrics=metrics, tracer=tracer)
         for node in router.nodes:
-            self.shard_client_for_node(node)
+            self.io.client_for(node)
 
-    # -- routing helpers ----------------------------------------------------
+    # -- engine pass-throughs (inspection and compatibility surface) ---------
+
+    @property
+    def router(self) -> ShardRouter:
+        return self.io.router
+
+    @property
+    def service(self) -> str:
+        return self.io.service
+
+    @property
+    def replication(self) -> int:
+        return self.io.replication
+
+    @property
+    def read_policy(self) -> str:
+        return self.io.read_policy
+
+    @property
+    def repair(self) -> Any | None:
+        return self.io.repair
 
     def shard_client_for_node(self, node: str) -> GroupViewDbClient:
-        client = self._shards.get(node)
-        if client is None:
-            client = GroupViewDbClient(self._rpc, node, service=self.service)
-            self._shards[node] = client
-        return client
+        return self.io.client_for(node)
 
     def shard_client(self, uid: Uid | str) -> GroupViewDbClient:
         """The per-shard client owning ``uid`` (the primary replica)."""
-        return self.shard_client_for_node(self.router.shard_for(uid))
+        return self.io.client_for(self.router.shard_for(uid))
 
     def replicas_for(self, uid: Uid | str) -> list[str]:
         """The shard hosts a write to ``uid`` must reach, primary first.
@@ -141,252 +106,66 @@ class ShardedGroupViewDbClient:
         proposed rings' preference lists -- dual-ownership writes are
         what let the epoch flip happen without a write barrier.
         """
-        return self.router.union_preference_list(uid, self.replication)
-
-    def _read_order(self, uid: Uid | str) -> list[str]:
-        """The replicas a read tries, in failover order.
-
-        ``primary`` starts at the preference-list head; ``spread``
-        rotates the start round-robin across the old-epoch replicas.
-        A transition's incoming owners are appended *last* either way:
-        until the flip they may not have been copied yet, so they serve
-        only when every old-epoch replica is unreachable.
-        """
-        order = self.router.preference_list(uid, self.replication)
-        if self.read_policy == "spread" and len(order) > 1:
-            start = self._spread_cursor % len(order)
-            self._spread_cursor += 1
-            order = order[start:] + order[:start]
-        transition = self.router.transition
-        if transition is not None:
-            for extra in transition.target.preference_list(
-                    uid, self.replication):
-                if extra not in order:
-                    order.append(extra)
-        return order
+        return self.router.view().write_set(uid, self.replication)
 
     @property
     def shard_clients(self) -> dict[str, GroupViewDbClient]:
-        return dict(self._shards)
+        return self.io.clients_for_service(self.service)
 
-    # -- replicated call plumbing -------------------------------------------
-    # With replication == 1 both helpers collapse to the single-home
-    # behaviour (one routed call, enlist-on-reach); with replication > 1
-    # writes fan out to the whole preference list and reads fail over
-    # along it.  2PC enlistment happens per reached shard, so an action
-    # enlists exactly the shards it touched -- there is deliberately no
-    # blanket enlist-all entry point here.
-
-    def _write(self, action: AtomicAction, uid: Uid | str, method: str,
-               *args: Any) -> Generator[Any, Any, Any]:
-        """Apply a mutating operation to every live replica of ``uid``.
-
-        Lock refusals and quiescence violations propagate immediately
-        -- those verdicts hold wherever the entry lives, and the
-        caller's abort releases whatever earlier replicas provisionally
-        applied.  ``UnknownObject``, though, may just mean a *stale*
-        replica (one that missed the define via a disowned stray
-        write): it is only the verdict when no replica accepts; a
-        replica claiming ignorance while a peer applies the write is
-        skipped like a crashed one (enlisted for lock cleanup, repaired
-        by the next anti-entropy sweep).  RPC failures skip the
-        replica; only a fully-unreachable preference list fails the
-        write.
-        """
-        if self.replication == 1 and self.router.transition is None:
-            # Single home: enlist eagerly, exactly as PR 1's client did
-            # -- with nowhere to fail over to, a timed-out shard must
-            # stay a participant so the caller's abort still reaches it.
-            # (A transition makes even a replication=1 entry
-            # multi-homed, so it takes the fan-out path below.)
-            return (yield from self.shard_client(uid).call_enlisted(
-                action, method, *args))
-        result: Any = None
-        reached = False
-        unreachable: RpcError | None = None
-        unknown: UnknownObject | None = None
-        for node in self.replicas_for(uid):
-            client = self.shard_client_for_node(node)
-            try:
-                result = yield from client.call_reached(action, method, *args)
-                reached = True
-            except RpcError as exc:
-                unreachable = exc
-                self._disown_stray(client, action)
-                transition = self.router.transition
-                if transition is not None:
-                    # Mid-migration, a skipped replica may be an incoming
-                    # owner whose arc the pipeline already confirmed: tell
-                    # the ReshardManager to re-confirm before flipping.
-                    transition.mark_dirty(uid)
-            except UnknownObject as exc:
-                unknown = exc  # stale replica, or truly undefined: see below
-        if reached and unknown is not None and self.repair is not None:
-            # A replica disclaimed an entry its peers accept: it is
-            # stale-missing; queue a lock-guarded re-seed.
-            self.repair.note_stale(uid)
-        if not reached:
-            # An unreachable replica may well hold the entry, so its
-            # silence outranks a reachable peer's ignorance: report the
-            # retryable outage, and "undefined" only when every replica
-            # answered and disclaimed the uid.
-            if unreachable is not None:
-                raise unreachable
-            assert unknown is not None
-            raise unknown
-        return result
-
-    def _read(self, action: AtomicAction, uid: Uid | str, method: str,
-              *args: Any) -> Generator[Any, Any, Any]:
-        """Serve a read from the first live replica in preference order.
-
-        ``UnknownObject`` fails over like an RPC error -- a stale
-        replica missing the entry must not mask peers that hold it --
-        and is raised only when every replica answered and disclaimed
-        the uid (an unreachable replica may hold the entry, so its
-        outage outranks a peer's ignorance).
-        """
-        if self.replication == 1 and self.router.transition is None:
-            return (yield from self.shard_client(uid).call_enlisted(
-                action, method, *args))
-        unreachable: RpcError | None = None
-        unknown: UnknownObject | None = None
-        for node in self._read_order(uid):
-            client = self.shard_client_for_node(node)
-            try:
-                result = yield from client.call_reached(action, method, *args)
-            except RpcError as exc:
-                unreachable = exc
-                self._disown_stray(client, action)
-                continue
-            except UnknownObject as exc:
-                unknown = exc
-                continue
-            if self.repair is not None:
-                if unknown is not None:
-                    # We stepped past a replica disclaiming the entry:
-                    # it is stale-missing; queue a lock-guarded re-seed.
-                    self.repair.note_stale(uid)
-                else:
-                    # Routine replicated read: sampled version verify
-                    # (no-op unless the repairer has verification on).
-                    self.repair.observe(uid)
-            return result
-        if unreachable is not None:
-            raise unreachable
-        assert unknown is not None
-        raise unknown
-
-    @staticmethod
-    def _disown_stray(client: GroupViewDbClient, action: AtomicAction) -> None:
-        """After a failed op: presume-abort a replica we never enlisted.
-
-        A timed-out request to a live-but-queued replica still executes
-        when its FIFO queue drains; the fired abort (queued behind it)
-        rolls that stray back.  An *enlisted* replica is left alone --
-        its fate belongs to the action's 2PC (prepare will reach it, or
-        veto the action if it cannot).
-        """
-        if not client.is_enlisted(action):
-            client.abort_stray(action)
-
-    # -- per-UID operations (routed) ----------------------------------------
+    # -- per-UID operations (routed through the engine) ----------------------
 
     def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],
                       st_hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "define_object", str(uid),
-                               list(sv_hosts), list(st_hosts))
+        yield from self.io.write(action, uid, "define_object", str(uid),
+                                 list(sv_hosts), list(st_hosts))
 
     def get_server(self, action: AtomicAction,
                    uid: Uid) -> Generator[Any, Any, list[str]]:
-        return (yield from self._read(action, uid, "get_server", str(uid)))
+        return (yield from self.io.read(action, uid, "get_server", str(uid)))
 
     def get_server_with_uses(self, action: AtomicAction, uid: Uid,
                              for_update: bool = False,
                              ) -> Generator[Any, Any, ServerEntrySnapshot]:
-        return (yield from self._read(action, uid, "get_server_with_uses",
-                                      str(uid), for_update))
+        return (yield from self.io.read(action, uid, "get_server_with_uses",
+                                        str(uid), for_update))
 
     def insert(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "insert", str(uid), host)
+        yield from self.io.write(action, uid, "insert", str(uid), host)
 
     def remove(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "remove", str(uid), host)
+        yield from self.io.write(action, uid, "remove", str(uid), host)
 
     def increment(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "increment", client_node,
-                               str(uid), list(hosts))
+        yield from self.io.write(action, uid, "increment", client_node,
+                                 str(uid), list(hosts))
 
     def decrement(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "decrement", client_node,
-                               str(uid), list(hosts))
+        yield from self.io.write(action, uid, "decrement", client_node,
+                                 str(uid), list(hosts))
 
     def get_view(self, action: AtomicAction,
                  uid: Uid) -> Generator[Any, Any, list[str]]:
-        return (yield from self._read(action, uid, "get_view", str(uid)))
+        return (yield from self.io.read(action, uid, "get_view", str(uid)))
 
     def include(self, action: AtomicAction, uid: Uid,
                 host: str) -> Generator[Any, Any, None]:
-        yield from self._write(action, uid, "include", str(uid), host)
+        yield from self.io.write(action, uid, "include", str(uid), host)
 
     # -- multi-UID operations (fanned out per shard) ------------------------
 
     def exclude(self, action: AtomicAction,
                 exclusions: list[tuple[Uid, list[str]]],
                 ) -> Generator[Any, Any, None]:
-        # Grouped tuple-by-tuple (not keyed by UID) so a UID appearing
-        # twice reaches its shard twice, exactly as the single-node
-        # client would forward it.  With replication every tuple goes
-        # to each replica of its UID.  Like the per-UID writes, one
-        # stale replica's UnknownObject must not veto the exclusion --
-        # the whole shard group is conservatively counted unreached
-        # (its pre-error exclusions stay provisional and resolve with
-        # the action) and the verdict stands only when some UID reached
-        # no replica at all, with an outage outranking ignorance.
-        by_shard: dict[str, list[tuple[Uid, list[str]]]] = {}
-        for uid, hosts in exclusions:
-            for node in self.replicas_for(uid):
-                by_shard.setdefault(node, []).append((uid, hosts))
-        if self.replication == 1 and self.router.transition is None:
-            for shard, lots in by_shard.items():
-                yield from self.shard_client_for_node(shard).exclude(
-                    action, lots)
-            return
-        reached: set[str] = set()
-        unreachable: RpcError | None = None
-        unknown: UnknownObject | None = None
-        for shard, lots in by_shard.items():
-            client = self.shard_client_for_node(shard)
-            wire = [(str(uid), list(hosts)) for uid, hosts in lots]
-            try:
-                yield from client.call_reached(action, "exclude", wire)
-            except RpcError as exc:
-                unreachable = exc
-                self._disown_stray(client, action)
-                transition = self.router.transition
-                if transition is not None:
-                    for uid, _ in lots:  # see _write: re-confirm these arcs
-                        transition.mark_dirty(uid)
-                continue
-            except UnknownObject as exc:
-                unknown = exc
-                continue
-            reached.update(str(uid) for uid, _ in lots)
-        missed = [uid for uid, _ in exclusions if str(uid) not in reached]
-        if missed:
-            if unreachable is not None:
-                raise unreachable
-            assert unknown is not None
-            raise unknown
+        yield from self.io.exclude(action, exclusions)
 
     def ping(self) -> Generator[Any, Any, bool]:
-        """True only when every shard answers (the logical db is up)."""
-        for client in self._shards.values():
-            alive = yield from client.ping()
+        """True only when every current shard answers (the db is up)."""
+        for node in self.router.nodes:
+            alive = yield from self.io.client_for(node).ping()
             if not alive:
                 return False
         return True

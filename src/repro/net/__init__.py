@@ -20,6 +20,7 @@ from repro.net.errors import (
     RpcError,
     RpcRemoteError,
     RpcTimeout,
+    StaleRingEpoch,
     UnknownMethod,
     UnknownService,
 )
@@ -63,6 +64,7 @@ __all__ = [
     "RpcReply",
     "RpcRequest",
     "RpcTimeout",
+    "StaleRingEpoch",
     "UnknownMethod",
     "UnknownService",
 ]

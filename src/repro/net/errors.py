@@ -31,6 +31,25 @@ class RpcRemoteError(RpcError):
         self.remote_message = remote_message
 
 
+class StaleRingEpoch(RpcError):
+    """The callee fenced the request: its ring epoch tag is stale.
+
+    Raised client-side when a request tagged with a ``ring_epoch``
+    reaches a service registered with an epoch fence and the tag no
+    longer matches the server's current epoch -- the caller routed by
+    a ring view the membership has moved past.  Unlike a timeout this
+    is a *typed* verdict: the request was rejected before dispatch, so
+    nothing executed, and ``server_epoch`` tells the caller exactly how
+    far behind it is.  The correct reaction is to refresh the ring view
+    and retry the operation against the current owners, never to fail
+    over as if the host were dark.
+    """
+
+    def __init__(self, message: str, server_epoch: int | None = None) -> None:
+        super().__init__(message)
+        self.server_epoch = server_epoch
+
+
 class UnknownService(RpcError):
     """The callee has no service registered under the requested name."""
 

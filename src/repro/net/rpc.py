@@ -29,10 +29,16 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.net.demux import MessageDemux
-from repro.net.errors import RpcRemoteError, RpcTimeout, UnknownMethod, UnknownService
+from repro.net.errors import (
+    RpcRemoteError,
+    RpcTimeout,
+    StaleRingEpoch,
+    UnknownMethod,
+    UnknownService,
+)
 from repro.net.message import Message
 from repro.net.network import NetworkInterface
 from repro.sim.futures import Future
@@ -48,23 +54,38 @@ REPLY_KIND = "rpc.reply"
 
 @dataclass(frozen=True)
 class RpcRequest:
-    """Wire format of a call."""
+    """Wire format of a call.
+
+    ``ring_epoch`` is the optional fencing tag: the caller's view of
+    the shard-ring epoch when it routed this request.  ``None`` means
+    the caller is not fencing (single-node deployments, the
+    replica-internal sync plane, probes); services registered with an
+    epoch fence reject any *tagged* request whose epoch does not match
+    their current one.
+    """
 
     request_id: int
     service: str
     method: str
     args: tuple
+    ring_epoch: int | None = None
 
 
 @dataclass(frozen=True)
 class RpcReply:
-    """Wire format of a reply: a value or a serialised remote error."""
+    """Wire format of a reply: a value or a serialised remote error.
+
+    ``ring_epoch`` carries the server's current ring epoch on a fencing
+    rejection, so a stale caller learns how far behind it is without a
+    second round trip.
+    """
 
     request_id: int
     ok: bool
     value: Any = None
     error_type: str = ""
     error_message: str = ""
+    ring_epoch: int | None = None
 
 
 class RpcAgent:
@@ -91,9 +112,11 @@ class RpcAgent:
         self._boot_epoch = 0    # bumped on reset(); orphans queued requests
         self._tracer = tracer or NULL_TRACER
         self._services: dict[str, object] = {}
+        self._fences: dict[str, Callable[[], int]] = {}
         self._pending: dict[int, Future] = {}
         self.calls_issued = 0
         self.calls_served = 0
+        self.calls_fenced = 0  # tagged requests rejected as stale
 
     @property
     def name(self) -> str:
@@ -106,14 +129,29 @@ class RpcAgent:
 
     # -- service registry ----------------------------------------------------
 
-    def register(self, service_name: str, provider: object) -> None:
-        """Expose ``provider``'s public methods under ``service_name``."""
+    def register(self, service_name: str, provider: object,
+                 fence: Callable[[], int] | None = None) -> None:
+        """Expose ``provider``'s public methods under ``service_name``.
+
+        ``fence`` arms epoch fencing for the service: a callable
+        returning the server's *current* ring epoch, consulted at
+        dispatch time (after any service-queue delay, so a request that
+        queued across an epoch change is still caught).  A tagged
+        request whose ``ring_epoch`` differs is rejected with
+        :class:`~repro.net.errors.StaleRingEpoch` before the handler
+        runs; untagged requests pass unfenced.  The fence must be
+        re-supplied on every (re)registration -- a recovered host that
+        re-registered without one would accept stale-ring traffic.
+        """
         if service_name in self._services:
             raise ValueError(f"service already registered: {service_name!r}")
         self._services[service_name] = provider
+        if fence is not None:
+            self._fences[service_name] = fence
 
     def unregister(self, service_name: str) -> None:
         self._services.pop(service_name, None)
+        self._fences.pop(service_name, None)
 
     def has_service(self, service_name: str) -> bool:
         return service_name in self._services
@@ -134,6 +172,7 @@ class RpcAgent:
         for future in pending.values():
             future.try_fail(RpcTimeout("local node crashed"))
         self._services.clear()
+        self._fences.clear()  # re-armed by the boot hooks that re-register
         # The service queue dies with the node: requests already
         # scheduled against the old incarnation are orphaned by the
         # epoch bump (their _execute no-ops even if the node has
@@ -144,14 +183,21 @@ class RpcAgent:
     # -- client side ---------------------------------------------------------
 
     def call(self, target: str, service: str, method: str, *args: Any,
-             timeout: float | None = None) -> Future:
-        """Invoke ``service.method(*args)`` on ``target``; returns a future."""
+             timeout: float | None = None,
+             ring_epoch: int | None = None) -> Future:
+        """Invoke ``service.method(*args)`` on ``target``; returns a future.
+
+        ``ring_epoch`` tags the request with the caller's ring view for
+        epoch fencing; a fenced service rejects a mismatched tag with
+        :class:`~repro.net.errors.StaleRingEpoch`.
+        """
         future = Future(label=f"rpc:{target}/{service}.{method}")
         if not self._nic.up:
             future.fail(RpcTimeout("local node is down"))
             return future
         self.calls_issued += 1
-        request = RpcRequest(next(_request_ids), service, method, tuple(args))
+        request = RpcRequest(next(_request_ids), service, method, tuple(args),
+                             ring_epoch=ring_epoch)
         self._pending[request.request_id] = future
         self._nic.send(target, REQUEST_KIND, request)
         deadline = timeout if timeout is not None else self.default_timeout
@@ -181,6 +227,13 @@ class RpcAgent:
             return  # late reply to a call that already timed out
         if reply.ok:
             future.resolve(reply.value)
+        elif reply.error_type == "StaleRingEpoch":
+            # A fencing rejection is a typed routing verdict, not a
+            # generic remote failure: surface it as its own exception
+            # (carrying the server's epoch) so callers refresh their
+            # ring view instead of failing over around a healthy host.
+            future.fail(StaleRingEpoch(reply.error_message,
+                                       server_epoch=reply.ring_epoch))
         else:
             future.fail(RpcRemoteError(reply.error_type, reply.error_message))
 
@@ -202,6 +255,30 @@ class RpcAgent:
             return  # queued before a crash: the request died with the node
         if not self._nic.up:
             return  # crashed while the request sat in the service queue
+        fence = self._fences.get(request.service)
+        if fence is not None and request.ring_epoch is not None:
+            current = fence()
+            if request.ring_epoch != current:
+                # Fenced before dispatch: the handler never ran, so the
+                # caller can safely retry against a refreshed ring view
+                # with no risk of a double-applied mutation here.
+                self.calls_fenced += 1
+                self._tracer.record("rpc", "request fenced as stale",
+                                    service=request.service,
+                                    method=request.method,
+                                    request_epoch=request.ring_epoch,
+                                    server_epoch=current)
+                self._nic.send(caller, REPLY_KIND, RpcReply(
+                    request.request_id, False,
+                    error_type="StaleRingEpoch",
+                    error_message=(
+                        f"{request.service}.{request.method}: request "
+                        f"epoch {request.ring_epoch} != server epoch "
+                        f"{current}"),
+                    ring_epoch=current))
+                return
+        # Fenced requests are rejected pre-dispatch and deliberately not
+        # counted as served.
         self.calls_served += 1
         provider = self._services.get(request.service)
         if provider is None:

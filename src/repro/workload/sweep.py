@@ -264,7 +264,7 @@ def online_reshard_scenario(
     max_attempts: int = 10,
     rpc_timeout: float = 5.0,
     reshard_at: float = 2.0,
-    reshard_settle: float = 0.5,
+    plan: bool = False,
     seed: int = 7,
 ) -> dict[str, Any]:
     """One run of the online-resharding workload; returns a row.
@@ -272,10 +272,14 @@ def online_reshard_scenario(
     The capacity sweep's closed loop (one object per client, per-node
     service time making the name service the bottleneck) runs while a
     driver grows -- or, with ``target_shards < initial_shards``, drains
-    -- the shard ring one host at a time, live.  The row separates
-    committed throughput into before/during/after-migration windows
-    and carries the correctness ledger the acceptance criteria are
-    about:
+    -- the shard ring live: one host at a time by default, or, with
+    ``plan=True``, the whole delta as a single ``plan_rebalance``
+    epoch (a 2->4 scale-out in one staged transition and one flip).
+    There is no settle interval anywhere in the pipeline -- the epoch
+    fence is what keeps pre-transition in-flight writes off the wrong
+    owners.  The row separates committed throughput into
+    before/during/after-migration windows and carries the correctness
+    ledger the acceptance criteria are about:
 
     - ``lost_bindings`` -- committed counter increments missing from
       the final value (a moved arc dropped a write);
@@ -286,10 +290,6 @@ def online_reshard_scenario(
       somewhere that could not serve it;
     - ``misplaced_entries`` / ``replica_disagreements`` -- post-flip
       placement and convergence audits over every shard database.
-
-    ``reshard_settle`` is pinned (rather than derived from the
-    generous capacity-sweep RPC timeout) to keep the demo brisk; the
-    two-clean-pass convergence rule is what carries correctness.
     """
     from repro.sim.process import Timeout
     from repro.workload.generator import run_streams
@@ -298,13 +298,20 @@ def online_reshard_scenario(
         clients, txns_per_client, server_hosts, mean_think_time,
         max_attempts, seed, nameserver_shards=initial_shards,
         nameserver_replication=replication, binding_scheme=scheme,
-        service_time=service_time, rpc_timeout=rpc_timeout,
-        reshard_settle=reshard_settle)
+        service_time=service_time, rpc_timeout=rpc_timeout)
     assert system.shard_router is not None
     flips: list[dict[str, Any]] = []
 
     def driver():
         yield Timeout(reshard_at)
+        if plan:
+            delta = target_shards - len(system.shard_router.nodes)
+            if delta > 0:
+                flips.append((yield system.plan_rebalance(add=delta)))
+            elif delta < 0:
+                victims = system.shard_router.nodes[delta:]
+                flips.append((yield system.plan_rebalance(remove=victims)))
+            return
         while len(system.shard_router.nodes) < target_shards:
             flips.append((yield system.add_shard_host()))
         while len(system.shard_router.nodes) > target_shards:
@@ -383,6 +390,10 @@ def online_reshard_scenario(
         "epochs": len(flips),
         "entries_copied": sum(f["entries_copied"] for f in flips),
         "entries_forgotten": sum(f["entries_forgotten"] for f in flips),
+        "requests_fenced": sum(node.rpc.calls_fenced
+                               for node in system.nodes.values()),
+        "stale_ring_retries": system.metrics.counter_value(
+            "replica_io.stale_ring_retries"),
         "lost_bindings": lost,
         "stale_bindings": stale,
         "aborted_for_routing": aborted_for_routing,

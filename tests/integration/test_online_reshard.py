@@ -258,3 +258,145 @@ def test_autoscaler_grows_the_ring_under_load():
     assert system.autoscaler.scale_ups_triggered >= 1
     assert not system.reshard.active
     assert_placement_matches_ring(system, uids)
+
+
+def test_plan_rebalance_moves_two_hosts_in_one_epoch():
+    """The multi-host plan: 2->4 in a single staged transition, one
+    copy pipeline, one atomic flip -- not one epoch per host."""
+    system, (client,), uids = build(shards=2, objects=12,
+                                    nameserver_replication=2)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+    process = system.plan_rebalance(add=2)
+    outcome = system.run_until(process, timeout=240.0)
+
+    assert len(system.shard_router.nodes) == 4
+    assert outcome["added"] == ["namenode2", "namenode3"]
+    assert outcome["flipped_at"] is not None
+    assert system.reshard.epochs_completed == 1, \
+        "a plan is one migration epoch, however many hosts it moves"
+    assert system.shard_router.transition is None
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid)
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == 1
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+
+
+def test_plan_rebalance_commits_bindings_throughout():
+    system, (client,), uids = build(shards=2, objects=8,
+                                    nameserver_replication=2)
+    process = system.plan_rebalance(add=2)
+    rounds = 0
+    while not process.done:
+        for uid in uids:
+            assert system.run_transaction(client, add_work(uid, 1)).committed
+        rounds += 1
+        assert rounds < 200, "the plan must finish under live traffic"
+    system.run_until(process, timeout=60.0)
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == rounds
+    assert_placement_matches_ring(system, uids)
+
+
+def test_plan_rebalance_swaps_hosts_in_one_epoch():
+    """A plan may add and remove in the same transition: the retiring
+    host's arcs land directly on the replacements."""
+    system, (client,), uids = build(shards=3, objects=9,
+                                    nameserver_replication=2)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed
+    victim = system.shard_router.nodes[-1]
+    process = system.plan_rebalance(add=["fresh-shard"], remove=[victim])
+    outcome = system.run_until(process, timeout=240.0)
+
+    assert victim not in system.shard_router.nodes
+    assert "fresh-shard" in system.shard_router.nodes
+    assert outcome["removed"] == [victim]
+    assert victim in system.drained_shard_hosts
+    assert system.db.shards.get(victim) is None
+    assert not system.nodes[victim].rpc.has_service(SERVICE_NAME)
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert_shard_replicas_agree(system, uid)
+        result = system.run_transaction(client, get_work(uid))
+        assert result.committed and result.value == 1
+
+
+def test_plan_rebalance_validates_its_inputs():
+    system, _, _ = build(shards=2, nameserver_replication=2)
+    with pytest.raises(ValueError):
+        system.plan_rebalance()  # an empty plan moves nothing
+    with pytest.raises(ValueError):
+        system.plan_rebalance(remove=["not-a-shard"])
+    with pytest.raises(ValueError):
+        system.plan_rebalance(remove=["namenode1"])  # below replication
+    with pytest.raises(ValueError):
+        system.reshard.plan_rebalance(add=["x"], remove=["x"])
+
+
+def test_rejected_plan_boots_no_orphan_hosts():
+    """Validation must run before anything is spent on the plan: a
+    rejected plan must not leave freshly-booted shard hosts serving
+    but never on the ring."""
+    system, _, _ = build(shards=2, nameserver_replication=2)
+    before_nodes = set(system.nodes)
+    before_shards = set(system.db.shards)
+    with pytest.raises(ValueError):
+        # Adds one, removes both: survivors < replication -> rejected.
+        system.plan_rebalance(add=1, remove=["namenode0", "namenode1"])
+    assert set(system.nodes) == before_nodes, \
+        "a rejected plan must not boot new nodes"
+    assert set(system.db.shards) == before_shards
+    assert not system.reshard.active
+    # The ring is still elastic afterwards (nothing half-claimed).
+    process = system.add_shard_host()
+    system.run_until(process, timeout=120.0)
+    assert len(system.shard_router.nodes) == 3
+
+
+def test_migration_under_traffic_requires_no_settle_interval():
+    """The fence replaces the settle window: a scale-out under load
+    with in-flight pre-stage writes still loses nothing -- and the
+    manager simply has no settle knob any more."""
+    assert not hasattr(system_reshard_attrs(), "settle")
+    system, (client,), uids = build(shards=2, objects=6,
+                                    nameserver_replication=2,
+                                    service_time=0.004)
+    process = system.add_shard_host()
+    while not process.done:
+        for uid in uids:
+            assert system.run_transaction(client, add_work(uid, 1)).committed
+    system.run_until(process, timeout=60.0)
+    assert_placement_matches_ring(system, uids)
+
+
+def system_reshard_attrs():
+    system, _, _ = build(shards=2, nameserver_replication=2)
+    return system.reshard
+
+
+def test_autoscaler_drains_an_idle_ring():
+    """The scale-down policy end-to-end: per-shard op rates sitting
+    under the low watermark for a full cooldown drain the least-loaded
+    host, and never below min_shards."""
+    system, (client,), uids = build(shards=3, objects=6,
+                                    nameserver_replication=2,
+                                    scheme="independent")
+    system.enable_autoscaler(ops_per_shard=1000.0, low_ops_per_shard=5.0,
+                             interval=1.0, min_shards=2, down_after=3)
+    # No traffic at all: every sample is quiet.
+    system.run(until=system.scheduler.now + 60.0)
+    assert system.autoscaler.scale_downs_triggered >= 1
+    assert len(system.shard_router.nodes) == 2, \
+        "an idle ring must drain to the floor and stop there"
+    assert not system.reshard.active
+    system.run(until=system.scheduler.now + 30.0)
+    assert len(system.shard_router.nodes) == 2, \
+        "min_shards is a floor, not a suggestion"
+    assert_placement_matches_ring(system, uids)
+    for uid in uids:
+        assert system.run_transaction(client, add_work(uid, 1)).committed

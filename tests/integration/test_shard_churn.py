@@ -20,8 +20,17 @@ The invariants at the end of the haul:
   are placed exactly as the new ring dictates.
 """
 
+import pytest
+
+from repro.naming.group_view_db import SERVICE_NAME
+from repro.net.errors import StaleRingEpoch
+
 from tests.conftest import add_work, assert_shard_replicas_agree, get_work
 from tests.integration.test_sharded_nameserver import build
+
+# Long-haul stochastic tests: excluded from the default tier-1 run
+# (``-m "not slow"``); CI's full-suite job still runs them.
+pytestmark = pytest.mark.slow
 
 
 def assert_placement_matches_ring(system, uids, replication):
@@ -52,6 +61,7 @@ def test_stochastic_shard_churn_with_a_concurrent_reshard():
 
     committed = {str(uid): 0 for uid in uids}
     migration = None
+    pre_flip_view = None
     while system.scheduler.now < 30.0:
         for uid in uids:
             result = system.run_transaction(client, add_work(uid, 1),
@@ -59,7 +69,9 @@ def test_stochastic_shard_churn_with_a_concurrent_reshard():
             if result.committed:
                 committed[str(uid)] += 1
         if migration is None and system.scheduler.now >= 10.0:
-            # Grow the ring in the middle of the churn window.
+            # Grow the ring in the middle of the churn window -- but
+            # first capture the view a laggard client would still hold.
+            pre_flip_view = system.shard_router.view()
             migration = system.add_shard_host()
 
     assert injector.crashes_injected > 0, "the haul must actually churn"
@@ -86,6 +98,21 @@ def test_stochastic_shard_churn_with_a_concurrent_reshard():
     assert_placement_matches_ring(system, uids, replication)
     for uid in uids:
         assert_shard_replicas_agree(system, uid, replication=replication)
+
+    # The fencing satellite, asserted inside the churn harness: the
+    # pre-flip view's token is dead at every serving shard -- a client
+    # that somehow held it through the whole haul cannot write to (or
+    # read from) anyone; it must refresh first.
+    assert pre_flip_view is not None
+    assert pre_flip_view.epoch != system.shard_router.fence_epoch
+    caller = client.node.rpc
+    for shard in system.shard_router.nodes:
+        if not system.nodes[shard].rpc.has_service(SERVICE_NAME):
+            continue
+        call = caller.call(shard, SERVICE_NAME, "ping",
+                           ring_epoch=pre_flip_view.epoch)
+        with pytest.raises(StaleRingEpoch):
+            system.scheduler.run_until_settled(call)
 
 
 def test_stochastic_churn_without_resharding_converges():

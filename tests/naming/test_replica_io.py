@@ -1,0 +1,181 @@
+"""Unit tests for the ReplicaIO engine's sync plane.
+
+The client plane (fenced fan-out writes, failover reads) is exercised
+end-to-end by ``test_replicated_client.py``, ``test_read_repair.py``
+and ``test_fencing.py``; these tests pin the sync-plane contract every
+maintenance daemon (resync, migration, repair) now shares:
+``converge_entry``'s outcomes, its multi-source version-half merging,
+and the local-install hook a resync uses for its own database.
+"""
+
+from repro.actions import AtomicAction
+from repro.naming import GroupViewDatabase, ReplicaIO, ShardRouter
+from repro.naming.group_view_db import SYNC_SERVICE_NAME
+from repro.net import FixedLatency, MessageDemux, Network, RpcAgent
+from repro.sim import Scheduler
+from repro.storage import Uid
+
+UID = Uid("sys", 1)
+NODES = ("shard-a", "shard-b", "shard-c")
+
+
+def make_world():
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    dbs, agents = {}, {}
+    for name in NODES:
+        nic = net.attach(name)
+        agents[name] = RpcAgent(s, nic, demux=MessageDemux(nic))
+        db = GroupViewDatabase()
+        boot = AtomicAction()
+        db.define_object(boot.id.path, str(UID), ["h1"], ["t1"])
+        db.commit(boot.id.path)
+        agents[name].register(SYNC_SERVICE_NAME, db)
+        dbs[name] = db
+    nic_c = net.attach("client")
+    agent = RpcAgent(s, nic_c, default_timeout=0.5,
+                     demux=MessageDemux(nic_c))
+    router = ShardRouter(list(NODES), replicas=8)
+    io = ReplicaIO(agent, router, replication=3)
+    return s, dbs, agents, router, io
+
+
+def run(s, gen):
+    return s.run_until_settled(s.spawn(gen), until=100.0)
+
+
+def bump_sv(db, times=1):
+    """Commit ``times`` server-half mutations (version +1 each)."""
+    for _ in range(times):
+        action = AtomicAction()
+        db.increment(action.id.path, "binder", str(UID), ["h1"])
+        db.commit(action.id.path)
+
+
+def bump_st(db, times=1, start=2):
+    """Commit ``times`` state-half mutations (version +1 each)."""
+    for i in range(times):
+        action = AtomicAction()
+        db.include(action.id.path, str(UID), f"t{start + i}")
+        db.commit(action.id.path)
+
+
+def probe_all(s, io):
+    probes, dark = run(s, io.probe_versions(str(UID), NODES))
+    assert not dark
+    return probes
+
+
+def test_converge_is_probe_only_when_nothing_lags():
+    s, dbs, agents, router, io = make_world()
+    probes = probe_all(s, io)
+    outcome, copied = run(s, io.converge_entry(str(UID), probes, probes))
+    assert (outcome, copied) == ("clean", 0)
+
+
+def test_converge_merges_halves_from_different_sources():
+    """The two version halves' maxima can live on different replicas;
+    one converge pass must pull both into every laggard."""
+    s, dbs, agents, router, io = make_world()
+    bump_sv(dbs["shard-a"])        # a: (2, 1)
+    bump_st(dbs["shard-b"])        # b: (1, 2)
+    probes = probe_all(s, io)
+    assert probes["shard-a"] == (2, 1)
+    assert probes["shard-b"] == (1, 2)
+    assert probes["shard-c"] == (1, 1)
+
+    outcome, copied = run(s, io.converge_entry(str(UID), probes, probes))
+    assert outcome == "copied"
+    assert copied >= 2  # c took both halves; a and b took each other's
+    for db in dbs.values():
+        assert db.entry_versions(str(UID)) == (2, 2)
+    # Content followed the versions: everyone has a's use count and b's
+    # grown view.
+    for db in dbs.values():
+        snapshot = db.get_server_with_uses((0,), str(UID))
+        view = db.get_view((0,), str(UID))
+        db.server_db.locks.release_all(_probe_id())
+        db.state_db.locks.release_all(_probe_id())
+        assert dict(snapshot.uses["h1"]) == {"binder": 1}
+        assert "t2" in view
+
+
+def _probe_id():
+    from repro.actions.action import ActionId
+    return ActionId((0,))
+
+
+def test_converge_defers_on_a_locked_target():
+    s, dbs, agents, router, io = make_world()
+    bump_sv(dbs["shard-a"])
+    holder = AtomicAction()
+    dbs["shard-c"].get_server(holder.id.path, str(UID))  # live local action
+    probes = probe_all(s, io)
+    outcome, copied = run(s, io.converge_entry(str(UID), probes, probes))
+    assert outcome == "deferred"
+    dbs["shard-c"].abort(holder.id.path)
+    probes = probe_all(s, io)
+    outcome, _ = run(s, io.converge_entry(str(UID), probes, probes))
+    assert outcome == "copied"
+
+
+def test_converge_settles_when_the_probe_was_stale():
+    """A target that caught up between probe and install is a no-op
+    (version-gated), not a copy -- the caller's confirmation pass
+    logic depends on the distinction."""
+    s, dbs, agents, router, io = make_world()
+    bump_sv(dbs["shard-a"])
+    stale_probe = {"shard-b": (1, 1)}  # but b catches up before the push
+    bump_sv(dbs["shard-b"])
+    outcome, copied = run(s, io.converge_entry(
+        str(UID), {"shard-a": (2, 1)}, stale_probe))
+    assert (outcome, copied) == ("settled", 0)
+
+
+def test_converge_reports_unknown_when_every_source_disclaims():
+    s, dbs, agents, router, io = make_world()
+    dbs["shard-a"].forget_entry(str(UID))
+    outcome, copied = run(s, io.converge_entry(
+        str(UID), {"shard-a": (5, 5)}, {"shard-c": (1, 1)}))
+    assert (outcome, copied) == ("unknown", 0)
+
+
+def test_converge_defers_when_a_source_goes_dark_mid_pass():
+    s, dbs, agents, router, io = make_world()
+    bump_sv(dbs["shard-a"])
+    probes = probe_all(s, io)
+    agents["shard-a"]._nic.up = False  # dark between probe and fetch
+    outcome, copied = run(s, io.converge_entry(str(UID), probes, probes))
+    assert (outcome, copied) == ("deferred", 0)
+
+
+def test_converge_with_a_local_install_hook():
+    """A resync passes a plain callable installing into its own
+    database; the engine must take both plain and generator hooks."""
+    s, dbs, agents, router, io = make_world()
+    bump_sv(dbs["shard-a"], times=2)
+    local = GroupViewDatabase()
+    installs = []
+
+    def install(target, uid_text, copy):
+        installs.append(target)
+        local.define_object((0,), uid_text, copy.hosts, copy.view)
+        local.commit((0,))
+        return True
+
+    outcome, copied = run(s, io.converge_entry(
+        str(UID), {"shard-a": (3, 1)}, {"me": (0, 0)}, install=install))
+    assert (outcome, copied) == ("copied", 1)
+    assert installs == ["me"]
+    assert local.knows(str(UID))
+
+
+def test_collect_uids_unions_reachable_peers():
+    s, dbs, agents, router, io = make_world()
+    boot = AtomicAction()
+    dbs["shard-b"].define_object(boot.id.path, "sys:9", ["h9"], ["t9"])
+    dbs["shard-b"].commit(boot.id.path)
+    agents["shard-c"]._nic.up = False
+    universe, answered = run(s, io.collect_uids(NODES))
+    assert answered == 2
+    assert universe == {str(UID), "sys:9"}

@@ -253,3 +253,88 @@ def test_mark_dirty_unconfirms_arcs():
     assert done == {"sys:1", "sys:3"}
     assert ring.transition.dirty == set()
     assert manager._unconfirm_dirty(done) is False  # drained: nothing left
+
+
+def test_autoscaler_scale_down_needs_a_full_quiet_cooldown():
+    scheduler = Scheduler()
+    load = _FakeLoad({"a": 1.0, "b": 0.0, "c": 2.0})
+    load.clock = lambda: scheduler.now
+    drained = []
+    scaler = ShardAutoscaler(scheduler, sample=load.sample,
+                             scale_up=lambda: None, interval=1.0,
+                             ops_per_shard=200.0,
+                             scale_down=drained.append,
+                             low_ops_per_shard=50.0,
+                             min_shards=2, down_after=3)
+    scaler.start()
+    scheduler.run(until=2.5)
+    assert drained == [], "two quiet samples are not a cooldown"
+    scheduler.run(until=10.0)
+    assert drained, "a full quiet cooldown must trigger the drain"
+    assert drained[0] == "b", "the least-loaded host is the victim"
+
+
+def test_autoscaler_scale_down_respects_min_shards():
+    scheduler = Scheduler()
+    load = _FakeLoad({"a": 0.0, "b": 0.0})
+    load.clock = lambda: scheduler.now
+    drained = []
+    scaler = ShardAutoscaler(scheduler, sample=load.sample,
+                             scale_up=lambda: None, interval=1.0,
+                             ops_per_shard=200.0,
+                             scale_down=drained.append,
+                             low_ops_per_shard=50.0,
+                             min_shards=2, down_after=2)
+    scaler.start()
+    scheduler.run(until=10.0)
+    assert drained == [], "a ring at min_shards must never drain"
+
+
+def test_autoscaler_quiet_streak_resets_on_a_loud_sample():
+    scheduler = Scheduler()
+    load = _FakeLoad({"a": 10.0, "b": 10.0, "c": 10.0})
+    load.clock = lambda: scheduler.now
+    drained = []
+    scaler = ShardAutoscaler(scheduler, sample=load.sample,
+                             scale_up=lambda: None, interval=1.0,
+                             ops_per_shard=200.0,
+                             scale_down=drained.append,
+                             low_ops_per_shard=50.0,
+                             min_shards=2, down_after=3)
+    scaler.start()
+
+    def spike():
+        # One loud sample mid-cooldown: every shard jumps for a second.
+        load.rates = {"a": 500.0, "b": 500.0, "c": 500.0}
+        scheduler.schedule(1.0, lambda: load.rates.update(
+            {"a": 10.0, "b": 10.0, "c": 10.0}))
+
+    scheduler.schedule(2.5, spike)
+    scheduler.run(until=4.5)
+    assert drained == [], "the spike must restart the quiet streak"
+    scheduler.run(until=10.0)
+    assert drained, "quiet re-sustained past the spike drains again"
+
+
+def test_autoscaler_hysteresis_rejects_overlapping_watermarks():
+    with pytest.raises(ValueError):
+        ShardAutoscaler(Scheduler(), sample=dict, scale_up=lambda: None,
+                        ops_per_shard=100.0, low_ops_per_shard=60.0,
+                        scale_down=lambda name: None)
+
+
+def test_autoscaler_busy_freezes_the_quiet_streak():
+    scheduler = Scheduler()
+    load = _FakeLoad({"a": 0.0, "b": 0.0, "c": 0.0})
+    load.clock = lambda: scheduler.now
+    drained = []
+    scaler = ShardAutoscaler(scheduler, sample=load.sample,
+                             scale_up=lambda: None, interval=1.0,
+                             ops_per_shard=200.0,
+                             scale_down=drained.append,
+                             low_ops_per_shard=50.0,
+                             min_shards=2, down_after=2,
+                             busy=lambda: True)
+    scaler.start()
+    scheduler.run(until=10.0)
+    assert drained == [], "a migrating ring must not also drain"

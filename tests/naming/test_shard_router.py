@@ -159,3 +159,88 @@ def test_invalid_configurations_rejected():
     router.remove_node("b")
     with pytest.raises(ValueError):
         router.remove_node("a")  # never drop the last shard
+
+
+# -- ring views and the fence epoch ------------------------------------------
+
+
+def test_fence_epoch_advances_on_every_routing_change():
+    from repro.naming.shard_router import RingTransition
+
+    router = ShardRouter(["a", "b"], replicas=8)
+    fence = router.fence_epoch
+    router.add_node("c")
+    assert router.fence_epoch == fence + 1
+    router.remove_node("c")
+    assert router.fence_epoch == fence + 2
+    target = router.clone()
+    target.add_node("d")
+    router.transition = RingTransition(target, epoch=target.epoch)
+    assert router.fence_epoch == fence + 3, "staging must advance the fence"
+    router.transition = None
+    assert router.fence_epoch == fence + 4, "clearing must advance the fence"
+    # Unlike ``epoch`` (a membership counter reset at boot), the fence
+    # is monotonic for the router's lifetime.
+    assert router.epoch == 2
+
+
+def test_view_is_cached_per_fence_epoch():
+    router = ShardRouter(["a", "b"], replicas=8)
+    assert router.view() is router.view()
+    before = router.view()
+    router.add_node("c")
+    after = router.view()
+    assert after is not before
+    assert after.epoch == router.fence_epoch
+
+
+def test_view_is_immutable_across_the_flip():
+    """A captured view keeps routing by the membership it snapshot --
+    the *fence*, not the snapshot, is what stops it acting stale."""
+    router = ShardRouter(["a", "b"], replicas=8)
+    view = router.view()
+    router.add_node("c")
+    assert view.nodes == ["a", "b"]
+    assert set(router.view().nodes) == {"a", "b", "c"}
+    for key in range(40):
+        assert view.primary(key) in ("a", "b")
+    assert view.epoch != router.fence_epoch
+
+
+def test_view_write_set_and_read_order_during_a_transition():
+    from repro.naming.shard_router import RingTransition
+
+    router = ShardRouter(["a", "b", "c"], replicas=16)
+    target = router.clone()
+    target.add_node("d")
+    router.transition = RingTransition(target, epoch=target.epoch)
+    view = router.view()
+    assert view.in_transition
+    for key in range(60):
+        old = router.preference_list(key, 2)
+        union = view.write_set(key, 2)
+        assert union[:len(old)] == old, "old owners come first"
+        assert set(union) == set(old) | set(target.preference_list(key, 2))
+        order = view.read_order(key, 2)
+        assert order[:len(old)] == old, \
+            "incoming owners must serve reads only as the last resort"
+        rotated = view.read_order(key, 2, rotation=1)
+        assert rotated[0] == old[1 % len(old)]
+        assert set(rotated) == set(order)
+
+
+def test_view_mark_dirty_reaches_the_live_transition():
+    from repro.naming.shard_router import RingTransition
+
+    router = ShardRouter(["a", "b"], replicas=8)
+    target = router.clone()
+    target.add_node("c")
+    transition = RingTransition(target, epoch=target.epoch)
+    router.transition = transition
+    view = router.view()
+    view.mark_dirty("sys:7")
+    assert "sys:7" in transition.dirty
+    # A view captured outside any transition reports nowhere.
+    router.transition = None
+    router.view().mark_dirty("sys:8")
+    assert "sys:8" not in transition.dirty

@@ -9,6 +9,7 @@ from repro.net import (
     RpcAgent,
     RpcRemoteError,
     RpcTimeout,
+    StaleRingEpoch,
 )
 from repro.sim import Scheduler, Timeout
 
@@ -230,3 +231,86 @@ def test_call_counters():
     s.run_until_settled(f)
     assert a.calls_issued == 1
     assert b.calls_served == 1
+
+
+# -- epoch fencing -----------------------------------------------------------
+
+
+def make_fenced_pair(**kwargs):
+    s, net, a, b = make_pair(**kwargs)
+    calc = Calc()
+    epoch = {"value": 3}
+    b.register("calc", calc, fence=lambda: epoch["value"])
+    return s, a, b, calc, epoch
+
+
+def test_fenced_service_serves_a_matching_tag():
+    s, a, b, calc, epoch = make_fenced_pair()
+    f = a.call("b", "calc", "add", 2, 3, ring_epoch=3)
+    assert s.run_until_settled(f) == 5
+    assert calc.calls == 1
+    assert b.calls_fenced == 0
+
+
+def test_fenced_service_rejects_a_stale_tag_with_its_epoch():
+    s, a, b, calc, epoch = make_fenced_pair()
+    f = a.call("b", "calc", "add", 2, 3, ring_epoch=2)
+    with pytest.raises(StaleRingEpoch) as info:
+        s.run_until_settled(f)
+    assert info.value.server_epoch == 3
+    assert calc.calls == 0, "a fenced request must be rejected pre-dispatch"
+    assert b.calls_fenced == 1
+
+
+def test_untagged_requests_pass_a_fenced_service():
+    s, a, b, calc, epoch = make_fenced_pair()
+    f = a.call("b", "calc", "add", 1, 1)
+    assert s.run_until_settled(f) == 2
+    assert calc.calls == 1
+
+
+def test_tagged_requests_pass_an_unfenced_service():
+    s, _, a, b = make_pair()
+    b.register("calc", Calc())
+    f = a.call("b", "calc", "add", 1, 1, ring_epoch=99)
+    assert s.run_until_settled(f) == 2
+
+
+def test_fence_is_checked_at_dispatch_not_at_send():
+    """The whole point of fencing over a settle window: a request that
+    queued across an epoch change is rejected when it *executes*, even
+    though its tag matched when it was sent."""
+    s, a, b, calc, epoch = make_fenced_pair(service_time=0.2)
+    ok = a.call("b", "calc", "add", 1, 1, ring_epoch=3, timeout=10.0)
+    late = a.call("b", "calc", "add", 2, 2, ring_epoch=3, timeout=10.0)
+    # The epoch moves while the second request sits in the service
+    # queue behind the first.
+    s.schedule(0.25, lambda: epoch.update(value=4))
+    assert s.run_until_settled(ok) == 2
+    with pytest.raises(StaleRingEpoch) as info:
+        s.run_until_settled(late)
+    assert info.value.server_epoch == 4
+    assert calc.calls == 1
+
+
+def test_reset_drops_the_fence_until_reregistration():
+    s, a, b, calc, epoch = make_fenced_pair()
+    b.reset()
+    fresh = Calc()
+    b.register("calc", fresh)  # recovered without re-arming the fence
+    f = a.call("b", "calc", "add", 2, 3, ring_epoch=0)
+    assert s.run_until_settled(f) == 5, \
+        "an unfenced re-registration must serve (the fence died with it)"
+    b.unregister("calc")
+    b.register("calc", fresh, fence=lambda: epoch["value"])
+    f = a.call("b", "calc", "add", 2, 3, ring_epoch=0)
+    with pytest.raises(StaleRingEpoch):
+        s.run_until_settled(f)
+
+
+def test_unregister_clears_the_fence():
+    s, a, b, calc, epoch = make_fenced_pair()
+    b.unregister("calc")
+    b.register("calc", calc)
+    f = a.call("b", "calc", "add", 2, 3, ring_epoch=0)
+    assert s.run_until_settled(f) == 5
