@@ -1,0 +1,111 @@
+"""The CI perf gate: fail on smoke-bench throughput regressions.
+
+``benchmarks/results/BENCH_*.json`` files are checked into the repo as
+the perf baseline (regenerated whenever a PR legitimately moves the
+numbers).  CI copies the checked-in baseline aside, re-runs the smoke
+benches (which rewrite ``benchmarks/results/``), then runs::
+
+    python -m benchmarks.check_regression \
+        --baseline /tmp/bench-baseline --current benchmarks/results
+
+Every numeric value whose JSON path contains ``throughput`` (or a key
+explicitly listed in ``GATED_KEYS``) is compared pathwise; a current
+value more than ``--tolerance`` (default 20%) below its baseline fails
+the gate.  Benches present on only one side are skipped (a brand-new
+bench gains its baseline the commit it lands), as are baseline values
+of zero.  Latency keys are deliberately *not* gated: simulated tail
+latencies at tiny smoke sizes are too discrete for a ratio gate, and
+the throughput floor already catches a queueing collapse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Substrings of a flattened JSON path that mark a gated higher-is-better
+# metric.
+GATED_KEYS = ("throughput",)
+
+
+def flatten(value: object, path: str = "") -> dict[str, float]:
+    """Every numeric leaf of a JSON document, keyed by dotted path."""
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[path] = float(value)
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            out.update(flatten(item, f"{path}.{key}" if path else str(key)))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            out.update(flatten(item, f"{path}[{index}]"))
+    return out
+
+
+def gated(path: str) -> bool:
+    # Only the leaf key decides: a *test name* containing "throughput"
+    # must not drag its unrelated row fields into the gate.
+    leaf = path.rsplit(".", 1)[-1].lower()
+    return any(key in leaf for key in GATED_KEYS)
+
+
+def compare(baseline_dir: Path, current_dir: Path,
+            tolerance: float) -> list[str]:
+    failures: list[str] = []
+    compared = 0
+    for baseline_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        current_path = current_dir / baseline_path.name
+        if not current_path.exists():
+            print(f"skip {baseline_path.name}: not re-run in this job")
+            continue
+        baseline = flatten(json.loads(baseline_path.read_text()))
+        current = flatten(json.loads(current_path.read_text()))
+        for path, base_value in sorted(baseline.items()):
+            if not gated(path) or base_value <= 0:
+                continue
+            now = current.get(path)
+            if now is None:
+                print(f"skip {baseline_path.name}:{path}: "
+                      f"gone from current results")
+                continue
+            compared += 1
+            floor = base_value * (1.0 - tolerance)
+            verdict = "ok" if now >= floor else "REGRESSED"
+            print(f"{verdict:9s} {baseline_path.name}:{path}: "
+                  f"{now:.3f} vs baseline {base_value:.3f} "
+                  f"(floor {floor:.3f})")
+            if now < floor:
+                failures.append(
+                    f"{baseline_path.name}:{path}: {now:.3f} < "
+                    f"{floor:.3f} ({tolerance:.0%} below {base_value:.3f})")
+    if compared == 0:
+        failures.append("no gated metrics compared -- baseline or current "
+                        "results missing entirely")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory of checked-in BENCH_*.json files")
+    parser.add_argument("--current", type=Path, required=True,
+                        help="directory of freshly-generated BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional throughput drop (0.20)")
+    args = parser.parse_args(argv)
+    failures = compare(args.baseline, args.current, args.tolerance)
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from repro.naming.binding import (
 )
 from repro.naming.cleanup import UseListCleaner
 from repro.naming.db_client import GroupViewDbClient
+from repro.naming.entry_cache import EntryCache
 from repro.naming.group_view_db import GroupViewDatabase
 from repro.naming.hybrid import HybridNameService
 from repro.naming.read_repair import ReadRepairer
@@ -88,6 +89,16 @@ class SystemConfig:
     nameserver_replication: int = 1          # >1 -> replicate each ring arc
     nameserver_read_policy: str = "primary"  # or "spread": rotate replicas
     nameserver_read_repair: bool = True      # repair stale replicas at read time
+    # The leased read plane: a per-client LRU of entry snapshots, each
+    # served RPC- and lock-free while its lease TTL holds and the ring's
+    # fence epoch has not moved.  ``None`` disables the cache (every
+    # ``GetServer`` stays an authoritative locking read).  Setting a
+    # lease boots the sharded name service even at one shard -- the
+    # plane lives in the sharded client.
+    nameserver_lease: float | None = None
+    nameserver_lease_validate: bool = False  # validate-at-commit records
+    nameserver_cache_capacity: int = 512     # per-client LRU entries
+    nameserver_cache_ledger: bool = False    # record every cache-served read
     read_repair_interval: float | None = None  # per-uid sampled version verify
     shard_antientropy_interval: float | None = 10.0  # None disables the sweep
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
@@ -133,6 +144,9 @@ class DistributedSystem:
         # one name node by default, or a consistent-hash ring of shard
         # hosts when ``nameserver_shards > 1``.
         self.shard_router: ShardRouter | None = None
+        # Every leased entry cache handed out by _make_db_client, keyed
+        # by owning node -- the churn harnesses audit their ledgers.
+        self.entry_caches: dict[str, EntryCache] = {}
         self.cleaners: list[UseListCleaner] = []
         self.shard_resyncers: dict[str, ShardResyncManager] = {}
         self.reshard: ReshardManager | None = None
@@ -156,10 +170,14 @@ class DistributedSystem:
                 f"unknown nameserver_read_policy: "
                 f"{self.config.nameserver_read_policy!r} "
                 f"(expected one of {READ_POLICIES})")
-        if shard_count > 1:
+        lease = self.config.nameserver_lease
+        if lease is not None and lease <= 0:
+            raise ValueError(f"nameserver_lease must be > 0: {lease}")
+        if shard_count > 1 or lease is not None:
             if self.config.nonatomic_name_server:
                 raise ValueError(
-                    "the non-atomic name server variant cannot be sharded")
+                    "the non-atomic name server variant cannot be sharded "
+                    "and has no leased read plane")
             self._boot_sharded_name_service(shard_count)
         else:
             self._boot_single_name_service()
@@ -288,10 +306,34 @@ class DistributedSystem:
                     spawn=node.spawn,
                     verify_interval=self.config.read_repair_interval,
                     metrics=self.metrics, tracer=self.tracer)
+            cache = None
+            if self.config.nameserver_lease is not None:
+                # Per-client leased cache: lease expiry runs on the
+                # simulation clock, epoch invalidation on the shared
+                # router's fence -- any reshard or failover that
+                # changes routing kills every pre-change entry.
+                router = self.shard_router
+                cache = EntryCache(
+                    self.config.nameserver_lease,
+                    fence=lambda: router.fence_epoch,
+                    clock=lambda: self.scheduler.now,
+                    capacity=self.config.nameserver_cache_capacity,
+                    metrics=self.metrics,
+                    keep_ledger=self.config.nameserver_cache_ledger)
+                # A node can host several db clients (shadow resolver +
+                # recovery manager): suffix the key rather than shadow
+                # an earlier cache out of the audit registry.
+                key = node.name
+                while key in self.entry_caches:
+                    key += "+"
+                self.entry_caches[key] = cache
             return ShardedGroupViewDbClient(
                 node.rpc, self.shard_router, replication=replication,
                 read_policy=self.config.nameserver_read_policy,
-                repair=repair, metrics=self.metrics, tracer=self.tracer)
+                repair=repair, cache=cache,
+                validate_leases=self.config.nameserver_lease_validate,
+                clock=lambda: self.scheduler.now,
+                metrics=self.metrics, tracer=self.tracer)
         return GroupViewDbClient(node.rpc, NAME_NODE)
 
     @property

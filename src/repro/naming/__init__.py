@@ -33,7 +33,12 @@ replicated over its ring arc's preference list and
 from their replica peers.  :mod:`~repro.naming.reshard` makes the ring
 *elastic* -- membership changes migrate live under dual-ownership
 routing -- and :mod:`~repro.naming.read_repair` closes residual
-staleness windows at read time (see ``docs/architecture.md``).
+staleness windows at read time.  :mod:`~repro.naming.entry_cache` is
+the *leased read plane*: per-client snapshots of hot entries served
+RPC- and lock-free while their lease TTL and the ring's fence epoch
+hold -- the paper's "act on possibly out-of-date information, detect
+at use time" made into a first-class, bounded mechanism (see
+``docs/architecture.md``).
 """
 
 from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
@@ -49,6 +54,7 @@ from repro.naming.binding import (
     StandardBinding,
 )
 from repro.naming.cleanup import UseListCleaner
+from repro.naming.entry_cache import EntryCache, LeaseValidationRecord
 from repro.naming.nonatomic import NonAtomicNameServer
 from repro.naming.read_repair import ReadRepairer
 from repro.naming.replica_io import EntryCopy, ReplicaIO
@@ -72,12 +78,14 @@ __all__ = [
     "GroupViewDatabase",
     "GroupViewDbClient",
     "IndependentTopLevelBinding",
+    "LeaseValidationRecord",
     "NamingError",
     "NestedTopLevelBinding",
     "NonAtomicNameServer",
     "NotQuiescent",
     "ObjectServerDatabase",
     "ObjectStateDatabase",
+    "EntryCache",
     "EntryCopy",
     "ReadRepairer",
     "ReplicaIO",

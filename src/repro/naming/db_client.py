@@ -206,6 +206,38 @@ class GroupViewDbClient:
         self.enlist(action)
         yield from self._call("include", action.id.path, str(uid), host)
 
+    # -- lease/sync-plane calls (no action, no enlistment) --------------------
+
+    def read_entry_versioned(self, uid_text: str,
+                             ring_epoch: int | None = None,
+                             ) -> Generator[Any, Any, Any]:
+        """One committed snapshot + versions, outside any action.
+
+        The client half of the leased read plane: no participant is
+        enlisted and no lock spans the wire (the server takes and
+        releases probe locks inside the dispatch).  ``ring_epoch``
+        tags the request for epoch fencing when the call rides the
+        fenced client service.  Returns the wire tuple, or the
+        ``"locked"``/``"unknown"`` markers; RPC failures (and fencing
+        rejections) propagate so the caller can fail over.
+        """
+        return (yield self._rpc.call(self.db_node, self.service,
+                                     "read_entry_versioned", uid_text,
+                                     ring_epoch=ring_epoch))
+
+    def entry_versions_many(self, uid_texts: list[str],
+                            ) -> Generator[Any, Any, list[tuple[int, int]]]:
+        """Batched lock-free version probes: one RPC for a whole arc."""
+        return (yield self._rpc.call(self.db_node, self.service,
+                                     "entry_versions_many", list(uid_texts)))
+
+    def read_entry_versioned_many(self, uid_texts: list[str],
+                                  ) -> Generator[Any, Any, list[Any]]:
+        """Batched :meth:`read_entry_versioned`: one RPC, many snapshots."""
+        return (yield self._rpc.call(self.db_node, self.service,
+                                     "read_entry_versioned_many",
+                                     list(uid_texts)))
+
     def ping(self) -> Generator[Any, Any, bool]:
         try:
             answer = yield self._rpc.call(self.db_node, self.service, "ping")

@@ -13,14 +13,25 @@ Action ids arrive as path tuples (the RPC wire form); every method is
 safe to expose as an RPC service.  The object is itself persistent:
 :meth:`save_state`/:meth:`restore_state` serialise the full mapping
 through the standard state buffers.
+
+Beyond the paper's surface, the database serves the *leased read
+plane* and the batched replica-maintenance protocol on the sync
+service: :meth:`read_entry_versioned` (a committed snapshot plus write
+versions under probe locks that never span the wire, no 2PC
+enlistment) and the coalesced :meth:`entry_versions_many` /
+:meth:`read_entry_versioned_many` round trips that anti-entropy,
+resync, and read-repair batch their per-entry traffic into.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 from repro.actions.action import ActionId, AtomicAction
 from repro.actions.errors import LockRefused, PromotionRefused
 from repro.actions.locks import LockMode
 from repro.naming.db_base import ActionPath
+from repro.naming.errors import UnknownObject
 from repro.naming.object_server_db import ObjectServerDatabase, ServerEntrySnapshot
 from repro.naming.object_state_db import ObjectStateDatabase
 from repro.sim.metrics import MetricsRegistry
@@ -160,6 +171,67 @@ class GroupViewDatabase:
         uid = Uid.parse(uid_text)
         return (self.server_db.entry_version(uid),
                 self.state_db.entry_version(uid))
+
+    def entry_versions_many(self, uid_texts: list[str],
+                            ) -> list[tuple[int, int]]:
+        """Batched :meth:`entry_versions` (RPC-exposed): ``probe_many``.
+
+        One round trip replaces the per-uid probe storm of anti-entropy
+        and resync sweeps.  Versions are plain monotonic counters read
+        without locks -- exactly like the single probe, each value is a
+        point-in-time lower bound a version-gated install re-checks
+        under locks before anything lands.
+        """
+        return [self.entry_versions(uid_text) for uid_text in uid_texts]
+
+    # -- the leased read plane ------------------------------------------------
+
+    def read_entry_versioned(self, uid_text: str) -> Any:
+        """One committed entry + write versions, no 2PC enlistment.
+
+        The server half of the leased read plane (RPC-exposed on the
+        sync service): both halves are read under a throwaway local
+        probe action -- the try-locks are taken and released inside
+        this one dispatch, so no lock ever spans the wire, no
+        participant is enlisted, and the caller's action is never
+        serialized against the entry.  Returns
+        ``(sv_hosts, uses, st_hosts, (sv_version, st_version))``, or
+        ``"locked"`` when a live action is mid-flight on the entry (the
+        caller falls back to the authoritative locking read), or
+        ``"unknown"`` when this replica disclaims the uid.
+        """
+        uid = Uid.parse(uid_text)
+        probe = AtomicAction(node="lease-read-probe")
+        # The databases key lock owners by bare path (the RPC wire
+        # form), so the release must use the same node-less identity.
+        owner = ActionId(probe.id.path)
+        try:
+            snapshot = self.server_db.get_server_with_uses(probe.id.path, uid)
+            view = self.state_db.get_view(probe.id.path, uid)
+            versions = (self.server_db.entry_version(uid),
+                        self.state_db.entry_version(uid))
+            return (list(snapshot.hosts),
+                    {host: dict(counters)
+                     for host, counters in snapshot.uses.items()},
+                    list(view), versions)
+        except (LockRefused, PromotionRefused):
+            return "locked"
+        except UnknownObject:
+            return "unknown"
+        finally:
+            self.server_db.locks.release_all(owner)
+            self.state_db.locks.release_all(owner)
+            probe.run_local(probe.abort())
+
+    def read_entry_versioned_many(self, uid_texts: list[str]) -> list[Any]:
+        """Batched :meth:`read_entry_versioned` (RPC-exposed): ``get_many``.
+
+        Each entry is snapshotted under its own probe locks (per-entry
+        consistency, exactly like the single read); the batch only
+        coalesces the round trips, so a resync copying a whole arc pays
+        one RPC instead of one per entry.
+        """
+        return [self.read_entry_versioned(uid_text) for uid_text in uid_texts]
 
     def install_entry(self, uid_text: str, sv_hosts: list[str],
                       uses: dict[str, dict[str, int]],

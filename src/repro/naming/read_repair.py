@@ -30,7 +30,10 @@ forward.
 
 Repairs are fire-and-forget background processes: they never add
 latency to the triggering read, and per-UID throttling plus an
-in-flight guard bound the extra probe traffic.
+in-flight guard bound the extra probe traffic.  Triggered UIDs are
+coalesced into one drain process that probes in *batches* -- one
+``probe_many`` per replica node covering every pending UID it hosts --
+so a burst of triggered repairs pays round trips per node, not per UID.
 """
 
 from __future__ import annotations
@@ -86,6 +89,15 @@ class ReadRepairer:
                             metrics=self.metrics, tracer=self.tracer)
         self._last_checked: dict[str, float] = {}
         self._inflight: dict[str, float] = {}
+        # Pending UIDs awaiting the drain (insertion-ordered dedupe)
+        # and the drain process's liveness guard.
+        self._pending: dict[str, None] = {}
+        self._draining = False
+        self._drain_started = 0.0
+        self._drain_generation = 0
+
+    # How many pending UIDs one drain round batches together.
+    batch_size = 16
 
     # -- triggers (called synchronously from the read path) -----------------
 
@@ -110,20 +122,71 @@ class ReadRepairer:
         self._inflight[uid_text] = now
         self.repairs_triggered += 1
         self.metrics.counter("read_repair.triggered").increment()
-        self._spawn(self._repair(uid_text), name=f"read-repair:{uid_text}")
+        self._pending[uid_text] = None
+        if self._draining and now - self._drain_started < _INFLIGHT_TIMEOUT:
+            return  # the live drain picks the uid up on its next round
+        self._draining = True
+        self._drain_started = now
+        self._drain_generation += 1
+        self._spawn(self._drain(self._drain_generation),
+                    name="read-repair-drain")
 
-    # -- the repair process -------------------------------------------------
+    # -- the drain process --------------------------------------------------
 
-    def _repair(self, uid_text: str) -> Generator[Any, Any, None]:
+    def _drain(self, generation: int) -> Generator[Any, Any, None]:
+        """Drain pending repairs in batches until the queue runs dry.
+
+        One process per burst: triggers arriving while a drain runs
+        join its queue instead of spawning their own probes, and each
+        round coalesces its batch's probe traffic per replica node.
+        A drain presumed dead (its owner crashed mid-probe, or dark
+        replicas burned it past the in-flight timeout) may be
+        superseded by a newer one; only the newest generation may
+        clear the liveness flag, so a presumed-dead drain limping home
+        late cannot open the door to a third concurrent drain.
+        """
         try:
-            replicas = self.router.view().write_set(uid_text,
-                                                    self.replication)
-            # Crashed or gated-out replicas simply don't answer the
-            # probe: resync owns those; repair levels the ones serving.
-            probes, _dark = yield from self.io.probe_versions(uid_text,
-                                                              replicas)
+            while self._pending:
+                if generation == self._drain_generation:
+                    # Heartbeat: a drain making progress is alive, even
+                    # when dark replicas stretch a round past the
+                    # in-flight timeout -- only a genuinely wedged
+                    # drain (no round completing) may be superseded.
+                    self._drain_started = self.scheduler.now
+                batch = list(self._pending)[:self.batch_size]
+                for uid_text in batch:
+                    self._pending.pop(uid_text, None)
+                # Snapshot the in-flight markers this batch owns: a
+                # superseded drain limping home late must not clear a
+                # marker a successor's fresher trigger has re-armed,
+                # or the in-flight throttle is void mid-supersession.
+                owned = {uid_text: self._inflight.get(uid_text)
+                         for uid_text in batch}
+                try:
+                    yield from self._repair_batch(batch)
+                finally:
+                    for uid_text in batch:
+                        if self._inflight.get(uid_text) == owned[uid_text]:
+                            self._inflight.pop(uid_text, None)
+        finally:
+            if generation == self._drain_generation:
+                self._draining = False
+
+    def _repair_batch(self, uids: list[str]) -> Generator[Any, Any, None]:
+        # One probe_many per replica node covering every batched UID it
+        # hosts.  Crashed or gated-out replicas simply don't answer:
+        # resync owns those; repair levels the ones serving.
+        view = self.router.view()
+        uids_by_node: dict[str, list[str]] = {}
+        for uid_text in uids:
+            for node in view.write_set(uid_text, self.replication):
+                uids_by_node.setdefault(node, []).append(uid_text)
+        probes_by_uid, _dark = yield from self.io.probe_many_grouped(
+            uids_by_node)
+        for uid_text in uids:
+            probes = probes_by_uid[uid_text]
             if len(probes) < 2:
-                return
+                continue
             # Every probed replica is both a potential source and a
             # potential target: the engine copies from every peer
             # strictly ahead of a laggard on either half (not just the
@@ -138,5 +201,3 @@ class ReadRepairer:
                     "read_repair.entries_repaired").increment(copied)
                 self.tracer.record("read_repair", "entry repaired",
                                    uid=uid_text)
-        finally:
-            self._inflight.pop(uid_text, None)

@@ -88,6 +88,15 @@ class EntryCopy:
     view: list[str]
     versions: tuple[int, int]
 
+    @classmethod
+    def from_wire(cls, result: Any) -> "EntryCopy":
+        """Decode one ``read_entry_versioned`` wire tuple (the one
+        implementation every versioned-read consumer shares)."""
+        hosts, uses, view, versions = result
+        return cls(list(hosts),
+                   {host: dict(counters) for host, counters in uses.items()},
+                   list(view), tuple(versions))
+
 
 def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
                      node: str = "", tracer: Tracer | None = None,
@@ -435,7 +444,115 @@ class ReplicaIO:
             assert unknown is not None
             raise unknown
 
+    # -- the leased read plane -----------------------------------------------
+
+    def read_versioned(self, uid: Uid | str,
+                       ) -> Generator[Any, Any,
+                                      "tuple[EntryCopy, int] | None"]:
+        """A lock-free committed snapshot for the client's entry cache.
+
+        Walks the captured view's read order and asks each replica for
+        ``read_entry_versioned``: a committed snapshot plus write
+        versions taken under server-local probe locks that never span
+        the wire, with no 2PC enlistment.  The request goes over the
+        *client* service, tagged with the view's fence token -- never
+        the sync side door -- so a recovering replica gated out of the
+        serving path cannot seed a lease with its pre-crash state, and
+        a server past the captured epoch rejects the read outright.
+        Returns ``(copy, fence_epoch)`` tagged with the view's epoch,
+        or ``None`` when the caller must fall back to the authoritative
+        locking read: a replica answered ``"locked"`` (a live action is
+        mid-flight -- the locking read will serialize behind it), every
+        replica was dark or disclaimed the uid, or the ring's fence
+        moved during the read (a snapshot routed by a ring that is
+        already history must not seed a lease).
+
+        The walk honors the ``spread`` read policy's rotation (lease
+        refreshes of a hot arc must not all converge on its primary's
+        queue) and reports to the attached read-repairer exactly like
+        the authoritative read: a disclaiming replica stepped past is
+        stale-missing evidence, a served read is a routine observation.
+        """
+        rotation = 0
+        if self.read_policy == "spread":
+            rotation = self._spread_cursor
+            self._spread_cursor += 1
+        view = self.router.view()
+        uid_text = str(uid)
+        unknown_seen = False
+        for node in view.read_order(uid, self.replication, rotation):
+            client = self.client_for(node)
+            try:
+                result = yield from client.read_entry_versioned(
+                    uid_text, ring_epoch=view.epoch)
+            except StaleRingEpoch:
+                return None  # the ring moved; authoritative path re-routes
+            except RpcError:
+                continue
+            if result == "locked":
+                return None
+            if result == "unknown":
+                unknown_seen = True  # maybe stale-missing; try the next
+                continue
+            if self.router.fence_epoch != view.epoch:
+                return None  # the ring moved between dispatch and reply
+            self.metrics.counter("replica_io.versioned_reads").increment()
+            if self.repair is not None:
+                if unknown_seen:
+                    self.repair.note_stale(uid)
+                else:
+                    self.repair.observe(uid)
+            return EntryCopy.from_wire(result), view.epoch
+        return None
+
     # -- the sync plane: unfenced replica-maintenance protocol ---------------
+
+    def probe_many(self, node: str, uid_texts: list[str],
+                   ) -> Generator[Any, Any,
+                                  "dict[str, tuple[int, int]] | None"]:
+        """One node's write versions for many entries in one RPC.
+
+        The batched form of :meth:`probe_versions`, turned sideways:
+        one *node*, many uids -- anti-entropy and resync sweeps probe a
+        whole shared arc per peer round trip instead of per entry.
+        Returns ``{uid: (sv, st)}``, or ``None`` when the node is dark.
+        """
+        if not uid_texts:
+            return {}
+        client = self.sync_client_for(node)
+        try:
+            versions = yield from client.entry_versions_many(uid_texts)
+        except RpcError:
+            return None
+        return {uid_text: tuple(entry)
+                for uid_text, entry in zip(uid_texts, versions)}
+
+    def get_many(self, node: str, uid_texts: list[str],
+                 ) -> Generator[Any, Any, "dict[str, EntryCopy | str] | None"]:
+        """Many committed snapshots from one node in one RPC.
+
+        The batched form of :meth:`fetch_copy` for bulk catch-up: each
+        entry is still snapshotted under its own server-local probe
+        locks (per-entry consistency is what matters; cross-entry
+        atomicity never did), but a resync copying a crashed host's
+        whole arc pays one round trip per source instead of one per
+        entry.  Returns ``{uid: EntryCopy | "locked" | "unknown"}``, or
+        ``None`` when the node is dark.
+        """
+        if not uid_texts:
+            return {}
+        client = self.sync_client_for(node)
+        try:
+            results = yield from client.read_entry_versioned_many(uid_texts)
+        except RpcError:
+            return None
+        copies: dict[str, EntryCopy | str] = {}
+        for uid_text, result in zip(uid_texts, results):
+            if result in ("locked", "unknown"):
+                copies[uid_text] = result
+                continue
+            copies[uid_text] = EntryCopy.from_wire(result)
+        return copies
 
     def collect_uids(self, nodes: Iterable[str],
                      ) -> Generator[Any, Any, tuple[set[str], int]]:
@@ -457,6 +574,8 @@ class ReplicaIO:
         return universe, answered
 
     def probe_versions(self, uid_text: str, nodes: Iterable[str],
+                       service: str | None = None,
+                       ring_epoch: int | None = None,
                        ) -> Generator[Any, Any,
                                       tuple[dict[str, tuple[int, int]],
                                             list[str]]]:
@@ -464,18 +583,58 @@ class ReplicaIO:
 
         Returns ``(probes, dark)``: the (server, state) write versions
         of every node that answered, and the nodes that did not.
+        ``service`` defaults to the sync plane (replica maintenance
+        must reach gated hosts); lease validation passes the *client*
+        service instead, so a replica held out of the serving path
+        cannot certify a lease with stale versions -- and tags the
+        probe with its view's ``ring_epoch``, so a replica the ring has
+        moved past (e.g. a drained owner still holding the pre-move
+        entry before GC) is fenced into the dark set instead of
+        certifying versions for an arc it no longer serves.
         """
         probes: dict[str, tuple[int, int]] = {}
         dark: list[str] = []
         for node in nodes:
             try:
-                versions = yield self.rpc.call(node, self.sync_service,
-                                               "entry_versions", uid_text)
-            except RpcError:
+                versions = yield self.rpc.call(node,
+                                               service or self.sync_service,
+                                               "entry_versions", uid_text,
+                                               ring_epoch=ring_epoch)
+            except RpcError:  # includes StaleRingEpoch fencing rejections
                 dark.append(node)
                 continue
             probes[node] = tuple(versions)
         return probes, dark
+
+    def probe_many_grouped(self, uids_by_node: dict[str, list[str]],
+                           ) -> Generator[Any, Any,
+                                          tuple[dict[str,
+                                                     dict[str,
+                                                          tuple[int, int]]],
+                                                list[str]]]:
+        """Pivot batched probes: one :meth:`probe_many` per node, results
+        re-grouped per uid.
+
+        The shared scaffold of every batched consumer (anti-entropy,
+        resync, the read-repair drain): given the uids each node should
+        answer for, returns ``(probes_by_uid, dark_nodes)`` where
+        ``probes_by_uid[uid][node]`` holds the node's (server, state)
+        versions -- a uid absent from a dark node's map simply has no
+        entry for it.
+        """
+        probes_by_uid: dict[str, dict[str, tuple[int, int]]] = {}
+        for uids in uids_by_node.values():
+            for uid_text in uids:
+                probes_by_uid.setdefault(uid_text, {})
+        dark: list[str] = []
+        for node, uids in uids_by_node.items():
+            probed = yield from self.probe_many(node, uids)
+            if probed is None:
+                dark.append(node)
+                continue
+            for uid_text, versions in probed.items():
+                probes_by_uid[uid_text][node] = versions
+        return probes_by_uid, dark
 
     def fetch_copy(self, source: str, uid_text: str,
                    ) -> Generator[Any, Any, "EntryCopy | str"]:

@@ -217,7 +217,19 @@ class ShardResyncManager:
                 pass  # peers dark or entries busy; next sweep retries
 
     def _sync_pass(self) -> Generator[Any, Any, bool]:
-        """One full pass over this host's arcs; True if anything changed."""
+        """One full pass over this host's arcs; True if anything changed.
+
+        Coalesced: instead of one version probe per (uid, peer), each
+        peer answers a single ``probe_many`` for every uid of the arcs
+        it shares with us, and catch-up snapshots come back through one
+        ``get_many`` per source -- so an in-sync sweep costs O(peers)
+        round trips, not O(entries), and a crashed host copying a whole
+        arc back pays per source, not per entry.  Consulting *all*
+        probed sources still matters: an equal-version peer may simply
+        share our staleness while a later replica holds the fresh copy,
+        and the two version halves' maxima may live on different peers
+        (the per-half version gate in the install merges them).
+        """
         me = self.node.name
         peers = [n for n in self.router.nodes if n != me]
         local = set(self.db.list_uids())
@@ -228,6 +240,8 @@ class ShardResyncManager:
 
         changed = False
         deferred = False
+        mine: list[str] = []
+        shared_by_peer: dict[str, list[str]] = {}
         for uid_text in sorted(universe):
             replicas = self.router.preference_list(uid_text, self.replication)
             if me not in replicas:
@@ -245,35 +259,82 @@ class ShardResyncManager:
                         self.tracer.record("resync", "leftover arc swept",
                                            uid=uid_text, node=me)
                 continue
-            uid = Uid.parse(uid_text)
-            # Lock-free version probes first (in the common
-            # already-in-sync case no snapshot is read and no peer lock
-            # is taken), then the engine copies from each peer strictly
-            # ahead of us on either half.  Consulting all sources
-            # matters: an equal-version peer may simply share our
-            # staleness while a later replica holds the fresh copy.
-            probes, _dark = yield from self.io.probe_versions(
-                uid_text, (r for r in replicas if r != me))
+            mine.append(uid_text)
+            for peer in replicas:
+                if peer != me:
+                    shared_by_peer.setdefault(peer, []).append(uid_text)
+
+        # One lock-free batched probe per peer (in the common
+        # already-in-sync case no snapshot is read and no peer lock is
+        # taken anywhere in the pass).  Dark peers simply contribute no
+        # probes; their own resync levels them when they return.
+        probes_by_uid, _dark = yield from self.io.probe_many_grouped(
+            shared_by_peer)
+        for uid_text in mine:
+            probes_by_uid.setdefault(uid_text, {})
+
+        # Decide catch-up per uid, then fetch per *source*: every uid a
+        # source is strictly ahead of us on (either half) rides its one
+        # batched snapshot read.
+        local_versions: dict[str, tuple[int, int]] = {}
+        behind_by_source: dict[str, list[str]] = {}
+        for uid_text in mine:
+            probes = probes_by_uid[uid_text]
             if not probes:
                 deferred = True  # this arc's peers are all dark
                 continue
-            mine = (self.db.server_db.entry_version(uid),
-                    self.db.state_db.entry_version(uid))
-            outcome, copied = yield from self.io.converge_entry(
-                uid_text, sources=probes, targets={me: mine},
-                install=self._install_local)
-            if copied:
-                changed = True
-                self.entries_refreshed += copied
-                self.metrics.counter(
-                    f"resync.{self.node.name}.entries_refreshed").increment(
-                        copied)
-                self.tracer.record("resync", "entry refreshed", uid=uid_text,
-                                   node=me)
-            if outcome == "deferred":
-                deferred = True  # a known-fresher peer we missed
-            # "clean"/"settled": level with every reachable peer;
-            # "unknown": vanished since the probe (aborted define).
+            uid = Uid.parse(uid_text)
+            local_versions[uid_text] = (self.db.server_db.entry_version(uid),
+                                        self.db.state_db.entry_version(uid))
+            for peer, (sv, st) in probes.items():
+                if (sv > local_versions[uid_text][0]
+                        or st > local_versions[uid_text][1]):
+                    behind_by_source.setdefault(peer, []).append(uid_text)
+
+        for source, uids in behind_by_source.items():
+            # An earlier source this pass may already have pulled a uid
+            # level with this one; re-check before paying the fetch.
+            wanted = [uid_text for uid_text in uids
+                      if probes_by_uid[uid_text][source][0]
+                      > local_versions[uid_text][0]
+                      or probes_by_uid[uid_text][source][1]
+                      > local_versions[uid_text][1]]
+            copies = yield from self.io.get_many(source, wanted)
+            if copies is None:
+                deferred = True  # a known-fresher peer went dark
+                continue
+            for uid_text in wanted:
+                copy = copies.get(uid_text)
+                if copy == "locked" or copy is None:
+                    deferred = True  # busy entry; next round retries
+                    continue
+                if copy == "unknown":
+                    continue  # vanished since the probe (aborted define)
+                installed = self._install_local(source, uid_text, copy)
+                if installed is None:
+                    deferred = True  # a live local action holds it
+                    continue
+                if installed:
+                    changed = True
+                    self.entries_refreshed += 1
+                    self.metrics.counter(
+                        f"resync.{self.node.name}.entries_refreshed"
+                    ).increment()
+                    self.tracer.record("resync", "entry refreshed",
+                                       uid=uid_text, node=me)
+                old = local_versions[uid_text]
+                local_versions[uid_text] = (max(old[0], copy.versions[0]),
+                                            max(old[1], copy.versions[1]))
+
+        # Anything still behind the freshest probe (an install raced a
+        # local action, a source went dark mid-fetch) waits for the
+        # next round.
+        for uid_text, versions in local_versions.items():
+            probes = probes_by_uid[uid_text]
+            if (versions[0] < max(sv for sv, _ in probes.values())
+                    or versions[1] < max(st for _, st in probes.values())):
+                deferred = True
+                break
         if deferred:
             raise _Deferred
         return changed

@@ -68,13 +68,20 @@ from __future__ import annotations
 import bisect
 import hashlib
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Hashable, Iterable, TypeVar
 
 T = TypeVar("T")
 
 DEFAULT_RING_REPLICAS = 64
 
+# Preference-list walks are recomputed on every routing decision; the
+# set of hot keys is small, so a bounded memo pays for itself on every
+# operation.  Caches are per-ring and flushed by membership mutation.
+_PLIST_CACHE_CAP = 4096
 
+
+@lru_cache(maxsize=65536)
 def _ring_hash(text: str) -> int:
     """A stable 32-bit ring position for ``text``."""
     digest = hashlib.md5(text.encode("utf-8")).digest()
@@ -154,6 +161,9 @@ class ShardRouter:
         # sort key gives colliding points a deterministic order (by
         # owner name) instead of one that depends on insertion order.
         self._ring: list[tuple[int, str]] = []
+        # Memoized preference-list walks, keyed (key, n); flushed by
+        # every membership mutation (a cloned ring gets a fresh memo).
+        self._plist_cache: dict[tuple[str, int], list[str]] = {}
         for node in nodes:
             self.add_node(node)
         if not self._nodes:
@@ -192,6 +202,7 @@ class ShardRouter:
         self.epoch += 1
         self._fence += 1
         self._view = None
+        self._plist_cache.clear()
 
     def remove_node(self, node: str) -> None:
         """Release the node's points; its arcs fall to the successors."""
@@ -204,6 +215,7 @@ class ShardRouter:
         self.epoch += 1
         self._fence += 1
         self._view = None
+        self._plist_cache.clear()
 
     def clone(self) -> "ShardRouter":
         """An independent copy of the membership (no shared ring state).
@@ -221,6 +233,7 @@ class ShardRouter:
         dup._view = None
         dup._nodes = list(self._nodes)
         dup._ring = list(self._ring)
+        dup._plist_cache = {}
         return dup
 
     # -- fencing ------------------------------------------------------------
@@ -272,9 +285,18 @@ class ShardRouter:
         (all hosts distinct) and stable under ring growth the same way
         single ownership is.  ``n`` greater than the ring's host count
         returns every host.  ``preference_list(k, 1) == [shard_for(k)]``.
+
+        Walks are memoized per (key, n): the ring is immutable between
+        membership changes, so repeat lookups of a hot key cost one
+        dict hit instead of a full clockwise walk.  Callers get a fresh
+        list each time -- the memo is never aliased out.
         """
         if n < 1:
             raise ValueError(f"preference list size must be >= 1, got {n}")
+        memo_key = (str(key), n)
+        cached = self._plist_cache.get(memo_key)
+        if cached is not None:
+            return list(cached)
         start = self._first_point_at_or_after(key)
         owners: list[str] = []
         for offset in range(len(self._ring)):
@@ -283,7 +305,10 @@ class ShardRouter:
                 owners.append(owner)
                 if len(owners) == n:
                     break
-        return owners
+        if len(self._plist_cache) >= _PLIST_CACHE_CAP:
+            self._plist_cache.clear()
+        self._plist_cache[memo_key] = owners
+        return list(owners)
 
     def union_preference_list(self, key: Hashable, n: int) -> list[str]:
         """The key's replica set across both epochs of a transition.
@@ -345,6 +370,28 @@ class RingView:
         self.ring = ring
         self.target = target
         self._transition = transition
+        # Per-uid memo of (old-epoch preference list, target-epoch
+        # extras), keyed (key, n).  The view is immutable, so the walk
+        # result never changes; ``read_order`` rotations only reorder
+        # the old-epoch half, which the memo keeps unrotated.
+        self._orders: dict[tuple[str, int], tuple[list[str], list[str]]] = {}
+
+    def _order_halves(self, key: Hashable,
+                      n: int) -> tuple[list[str], list[str]]:
+        memo_key = (str(key), n)
+        halves = self._orders.get(memo_key)
+        if halves is None:
+            owners = self.ring.preference_list(key, n)
+            extras: list[str] = []
+            if self.target is not None:
+                extras = [node for node in
+                          _extend_with_ring(list(owners), self.target, key, n)
+                          if node not in owners]
+            if len(self._orders) >= _PLIST_CACHE_CAP:
+                self._orders.clear()
+            halves = (owners, extras)
+            self._orders[memo_key] = halves
+        return halves
 
     @property
     def nodes(self) -> list[str]:
@@ -369,10 +416,8 @@ class RingView:
         (guaranteed current) followed by the incoming owners (which
         must see every write committed before the flip).
         """
-        owners = self.ring.preference_list(key, n)
-        if self.target is not None:
-            _extend_with_ring(owners, self.target, key, n)
-        return owners
+        owners, extras = self._order_halves(key, n)
+        return list(owners) + list(extras)
 
     def read_order(self, key: Hashable, n: int, rotation: int = 0) -> list[str]:
         """The replicas a read tries, in failover order.
@@ -383,13 +428,12 @@ class RingView:
         until the flip they may not have been copied yet, so they serve
         only when every old-epoch replica is unreachable.
         """
-        order = self.ring.preference_list(key, n)
+        owners, extras = self._order_halves(key, n)
+        order = list(owners)
         if rotation and len(order) > 1:
             start = rotation % len(order)
             order = order[start:] + order[:start]
-        if self.target is not None:
-            _extend_with_ring(order, self.target, key, n)
-        return order
+        return order + list(extras)
 
     def mark_dirty(self, key: Hashable) -> None:
         """Report a write that skipped an unreachable replica.

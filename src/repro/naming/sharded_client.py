@@ -41,6 +41,7 @@ from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
 from repro.naming.db_client import GroupViewDbClient
+from repro.naming.entry_cache import EntryCache, LeaseValidationRecord
 from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
 from repro.naming.object_server_db import ServerEntrySnapshot
 from repro.naming.replica_io import READ_POLICIES, ReplicaIO
@@ -56,17 +57,47 @@ __all__ = [
 
 
 class ShardedGroupViewDbClient:
-    """Routes the :class:`GroupViewDbClient` surface over a shard ring."""
+    """Routes the :class:`GroupViewDbClient` surface over a shard ring.
+
+    With an :class:`~repro.naming.entry_cache.EntryCache` attached, the
+    hot ``get_server`` path becomes the *leased read plane*: a cache
+    hit within its lease + fence-epoch bounds skips the network
+    entirely; a miss repopulates through the engine's lock-free
+    ``read_versioned`` (no read locks, no 2PC enlistment) and only
+    falls back to the authoritative locking read when a live action
+    holds the entry or the ring moves mid-read.  The client's own
+    mutations invalidate its cached copy write-through, so an owner
+    never serves itself a binding it knows it changed.  With
+    ``validate_leases`` every cache-served read also attaches a
+    :class:`~repro.naming.entry_cache.LeaseValidationRecord` to the
+    calling action's root, restoring serializability optimistically
+    (version probe at prepare, abort on mismatch).
+    """
 
     def __init__(self, rpc: RpcAgent, router: ShardRouter,
                  service: str = SERVICE_NAME, replication: int = 1,
                  read_policy: str = "primary",
                  repair: Any | None = None,
+                 cache: EntryCache | None = None,
+                 validate_leases: bool = False,
+                 clock: Any | None = None,
                  metrics: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.io = ReplicaIO(rpc, router, replication, service=service,
                             read_policy=read_policy, repair=repair,
                             metrics=metrics, tracer=tracer)
+        self.cache = cache
+        self.validate_leases = validate_leases
+        # With a clock attached, every get_server is timed into the
+        # ``naming.get_server_latency`` histogram -- the read-latency
+        # series benchmarks pull p50/p95/p99 from.
+        self.clock = clock or (cache.clock if cache is not None else None)
+        # Live validation records keyed (root serial, uid): dedupe for
+        # repeat reads, the disarm channel for the root's own writes.
+        # Entries release themselves when their record resolves, so
+        # the table is bounded by the in-flight actions.
+        self._validation_records: dict[tuple[int, str],
+                                       LeaseValidationRecord] = {}
         for node in router.nodes:
             self.io.client_for(node)
 
@@ -112,16 +143,119 @@ class ShardedGroupViewDbClient:
     def shard_clients(self) -> dict[str, GroupViewDbClient]:
         return self.io.clients_for_service(self.service)
 
+    # -- the leased read plane -----------------------------------------------
+
+    @staticmethod
+    def _root(action: AtomicAction) -> AtomicAction:
+        root = action
+        while root.parent is not None:
+            root = root.parent
+        return root
+
+    def _invalidate(self, uid: Uid | str,
+                    action: AtomicAction | None = None) -> None:
+        """Write-through: drop our cached copy of an entry we mutate.
+
+        Called at write time, not commit time: between the provisional
+        write and the action's resolution, this client's reads must not
+        be served the pre-write snapshot (a leased read would not see
+        the action's own write); with the entry dropped, a same-action
+        re-read goes authoritative and the entry's locks -- which this
+        action holds -- give it its own provisional state, exactly as
+        before the cache existed.  If the action later aborts, the cost
+        was one spurious miss.
+
+        A validation record this root armed for the same uid is
+        *disarmed*: the write's real locks and 2PC enlistment now own
+        the uid's serialization, and the provisional version bump would
+        otherwise read as "the binding moved" at prepare and self-veto
+        the action on every retry.
+        """
+        if self.cache is not None:
+            self.cache.invalidate(str(uid))
+        if action is not None and self._validation_records:
+            key = (self._root(action).id.top_level_serial, str(uid))
+            record = self._validation_records.get(key)
+            if record is not None:
+                record.disarm()
+
+    def _attach_validation(self, action: AtomicAction, uid_text: str,
+                           versions: tuple[int, int]) -> None:
+        """Arm validate-at-commit for one cache-served read (deduped)."""
+        if not self.validate_leases:
+            return
+        root = self._root(action)
+        key = (root.id.top_level_serial, uid_text)
+        if key in self._validation_records:
+            return
+        record = LeaseValidationRecord(
+            self.io, uid_text, tuple(versions), self.replication,
+            cache=self.cache,
+            release=lambda: self._validation_records.pop(key, None))
+        self._validation_records[key] = record
+        root.add_record(record)
+
+    def _leased_read(self, action: AtomicAction, uid: Uid, part: str,
+                     ) -> Generator[Any, Any, "list[str] | None"]:
+        """Serve ``get_server``/``get_view`` from the leased plane.
+
+        ``part`` picks the half of the cached snapshot: ``"hosts"``
+        (the Sv set) or ``"view"`` (the St set) -- both ride the same
+        entry, lease, and fence bounds, and both arm the same
+        validate-at-commit record when validation is on.  A hit serves
+        straight from memory; a miss tries the lock-free versioned read
+        and repopulates.  Returning ``None`` means the caller must take
+        the authoritative locking path (entry busy, replicas dark, uid
+        unknown, or ring moved mid-read) -- which also owns raising the
+        proper error.
+        """
+        assert self.cache is not None
+        uid_text = str(uid)
+        entry = self.cache.lookup(uid_text)
+        if entry is not None:
+            self._attach_validation(action, uid_text, entry.versions)
+            return list(getattr(entry, part))
+        # Capture the invalidation token and the clock before
+        # suspending on the read: a write-through invalidation landing
+        # mid-flight advances the token so the conditional store
+        # refuses our (pre-write) snapshot, and anchoring the lease at
+        # send time keeps the round-trip latency inside the staleness
+        # bound instead of quietly extending it.
+        token = self.cache.invalidation_token(uid_text)
+        started = self.cache.clock()
+        fetched = yield from self.io.read_versioned(uid)
+        if fetched is None:
+            return None
+        copy, epoch = fetched
+        stored = self.cache.store(uid_text, copy.hosts, copy.view,
+                                  copy.versions, ring_epoch=epoch,
+                                  token=token, fetched_at=started)
+        if stored is None:
+            return None  # a write raced us; the locking read serializes
+        self._attach_validation(action, uid_text, stored.versions)
+        return list(getattr(stored, part))
+
     # -- per-UID operations (routed through the engine) ----------------------
 
     def define_object(self, action: AtomicAction, uid: Uid, sv_hosts: list[str],
                       st_hosts: list[str]) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "define_object", str(uid),
                                  list(sv_hosts), list(st_hosts))
 
     def get_server(self, action: AtomicAction,
                    uid: Uid) -> Generator[Any, Any, list[str]]:
-        return (yield from self.io.read(action, uid, "get_server", str(uid)))
+        started = self.clock() if self.clock is not None else None
+        hosts: list[str] | None = None
+        if self.cache is not None:
+            hosts = yield from self._leased_read(action, uid, "hosts")
+        if hosts is None:
+            hosts = yield from self.io.read(action, uid, "get_server",
+                                            str(uid))
+        if started is not None:
+            self.io.metrics.histogram("naming.get_server_latency").observe(
+                self.clock() - started)
+        return hosts
 
     def get_server_with_uses(self, action: AtomicAction, uid: Uid,
                              for_update: bool = False,
@@ -131,28 +265,37 @@ class ShardedGroupViewDbClient:
 
     def insert(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "insert", str(uid), host)
 
     def remove(self, action: AtomicAction, uid: Uid,
                host: str) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "remove", str(uid), host)
 
     def increment(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "increment", client_node,
                                  str(uid), list(hosts))
 
     def decrement(self, action: AtomicAction, client_node: str, uid: Uid,
                   hosts: list[str]) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "decrement", client_node,
                                  str(uid), list(hosts))
 
     def get_view(self, action: AtomicAction,
                  uid: Uid) -> Generator[Any, Any, list[str]]:
+        if self.cache is not None:
+            view = yield from self._leased_read(action, uid, "view")
+            if view is not None:
+                return view
         return (yield from self.io.read(action, uid, "get_view", str(uid)))
 
     def include(self, action: AtomicAction, uid: Uid,
                 host: str) -> Generator[Any, Any, None]:
+        self._invalidate(uid, action)
         yield from self.io.write(action, uid, "include", str(uid), host)
 
     # -- multi-UID operations (fanned out per shard) ------------------------
@@ -160,6 +303,8 @@ class ShardedGroupViewDbClient:
     def exclude(self, action: AtomicAction,
                 exclusions: list[tuple[Uid, list[str]]],
                 ) -> Generator[Any, Any, None]:
+        for uid, _hosts in exclusions:
+            self._invalidate(uid, action)
         yield from self.io.exclude(action, exclusions)
 
     def ping(self) -> Generator[Any, Any, bool]:

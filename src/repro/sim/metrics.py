@@ -93,6 +93,7 @@ class Histogram:
             "count": self.count,
             "mean": self.mean,
             "p50": self.percentile(50),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
             "max": self.maximum,
         }

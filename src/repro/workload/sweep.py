@@ -456,6 +456,214 @@ def spread_read_scenario(
     }
 
 
+def leased_read_scenario(
+    shards: int,
+    lease: float | None = None,
+    replication: int | None = None,
+    clients: int = 18,
+    txns_per_client: int = 12,
+    server_hosts: int = 3,
+    hot_objects: int = 6,
+    shard_service_time: float = 0.005,
+    mean_think_time: float = 0.01,
+    max_attempts: int = 5,
+    rpc_timeout: float = 5.0,
+    seed: int = 7,
+    **config_kwargs: Any,
+) -> dict[str, Any]:
+    """One run of the read-heavy leased-cache workload; returns a row.
+
+    The spread-read experiment's shape -- every client loops read-only
+    transactions over a few hot objects under the standard scheme, and
+    only the name-serving nodes charge service time, so binding lookups
+    are the sole queueing bottleneck -- with the leased read plane
+    toggled by ``lease``.  Uncached, every transaction pays a
+    ``GetServer`` RPC into a shard's single-server queue; cached, hot
+    bindings are served from client memory while their lease and fence
+    epoch hold, so the row's throughput and latency percentiles carry
+    the before/after of the whole plane.
+    """
+    from repro.workload.generator import run_streams
+
+    if replication is None:
+        replication = min(2, shards)
+    system, streams, _uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, objects=hot_objects, read_only=True,
+        nameserver_shards=shards, nameserver_replication=replication,
+        binding_scheme="standard", nameserver_lease=lease,
+        nameserver_cache_ledger=lease is not None,
+        rpc_timeout=rpc_timeout, **config_kwargs)
+    name_hosts = system.shard_hosts or ["namenode"]
+    for host in name_hosts:
+        system.nodes[host].rpc.service_time = shard_service_time
+    report = run_streams(system, streams)
+    latencies = [o.latency for o in report.outcomes]
+    elapsed = system.scheduler.now
+    hits = sum(cache.hits for cache in system.entry_caches.values())
+    misses = sum(cache.misses for cache in system.entry_caches.values())
+    violations = sum(len(cache.ledger_violations())
+                     for cache in system.entry_caches.values())
+    get_server_rpcs = sum(
+        system.metrics.counter_value(f"shard.{name}.server_db.get_server")
+        for name in system.shard_hosts
+    ) or system.metrics.counter_value("server_db.get_server")
+    return {
+        "shards": shards,
+        "lease": lease,
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+        "mean_latency": report.mean_latency(),
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "ledger_violations": violations,
+        "get_server_rpcs": get_server_rpcs,
+    }
+
+
+def leased_read_churn_scenario(
+    shards: int = 3,
+    lease: float = 2.0,
+    replication: int = 2,
+    clients: int = 8,
+    rounds_deadline: float = 14.0,
+    server_hosts: int = 3,
+    hot_objects: int = 6,
+    outage: tuple[float, float] = (3.0, 6.0),
+    reshard_at: float = 5.0,
+    rpc_timeout: float = 0.3,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """The leased plane's correctness ledger under churn; returns a row.
+
+    A closed loop of writes (so entry versions actually move) runs with
+    caching on while a scripted shard-host outage and a live reshard
+    both land mid-run.  Afterwards every client cache's ledger is
+    audited: a row with ``ledger_violations > 0`` means a cache-served
+    read escaped its lease TTL or survived a fence-epoch advance --
+    the bound the whole design promises can never break.  The row also
+    carries the lost/invented-binding ledger so staleness can never
+    hide behind availability.
+    """
+    from repro.cluster.system import DistributedSystem, SystemConfig
+    from repro.sim.failures import FaultPlan
+    from repro.sim.process import Timeout
+
+    system = DistributedSystem(SystemConfig(
+        seed=seed, nameserver_shards=shards,
+        nameserver_replication=replication, binding_scheme="standard",
+        nameserver_lease=lease, nameserver_cache_ledger=True,
+        enable_recovery_managers=False, rpc_timeout=rpc_timeout))
+    from repro.actions.locks import LockMode
+    from repro.core.objects import PersistentObject, operation
+
+    class ChurnCounter(PersistentObject):
+        TYPE_NAME = "leased_churn.Counter"
+
+        def __init__(self, uid, value=0):
+            super().__init__(uid)
+            self.value = value
+
+        def save_state(self, out):
+            out.pack_int(self.value)
+
+        def restore_state(self, state):
+            self.value = state.unpack_int()
+
+        @operation(LockMode.READ)
+        def get(self):
+            return self.value
+
+        @operation(LockMode.WRITE)
+        def add(self, amount):
+            self.value += amount
+            return self.value
+
+    system.registry.register(ChurnCounter)
+    hosts = [f"s{i}" for i in range(server_hosts)]
+    for host in hosts:
+        system.add_node(host, server=True, store=True)
+    runtimes = [system.add_client(f"c{i}") for i in range(clients)]
+    uids = [system.create_object(
+        ChurnCounter(system.new_uid(), value=0),
+        sv_hosts=[hosts[i % server_hosts]],
+        st_hosts=[hosts[i % server_hosts]]) for i in range(hot_objects)]
+
+    victim = system.shard_hosts[0]
+    start, end = outage
+    system.install_fault_plan(FaultPlan().outage(start, end, victim))
+
+    migrations: list[dict[str, Any]] = []
+
+    def reshard_driver():
+        yield Timeout(reshard_at)
+        migrations.append((yield system.add_shard_host()))
+
+    system.scheduler.spawn(reshard_driver(), name="leased-churn-reshard")
+
+    def add_txn(uid):
+        def work(txn):
+            return (yield from txn.invoke(uid, "add", 1))
+        return work
+
+    def get_txn(uid):
+        def work(txn):
+            return (yield from txn.invoke(uid, "get"))
+        return work
+
+    committed = {str(uid): 0 for uid in uids}
+    offered = 0
+    while system.scheduler.now < rounds_deadline:
+        for i, uid in enumerate(uids):
+            runtime = runtimes[i % clients]
+            offered += 1
+            result = system.run_transaction(runtime, add_txn(uid),
+                                            timeout=30.0)
+            if result.committed:
+                committed[str(uid)] += 1
+    system.run(until=max(system.scheduler.now, end) + 30.0)
+
+    lost = invented = 0
+    reader = runtimes[0]
+    for uid in uids:
+        result = system.run_transaction(reader, get_txn(uid), timeout=30.0)
+        if not result.committed:
+            lost += committed[str(uid)]
+            continue
+        lost += max(0, committed[str(uid)] - result.value)
+        invented += max(0, result.value - committed[str(uid)])
+
+    hits = sum(cache.hits for cache in system.entry_caches.values())
+    misses = sum(cache.misses for cache in system.entry_caches.values())
+    fenced = sum(cache.fenced for cache in system.entry_caches.values())
+    expired = sum(cache.expired for cache in system.entry_caches.values())
+    violations = sum(len(cache.ledger_violations())
+                     for cache in system.entry_caches.values())
+    return {
+        "shards": shards,
+        "lease": lease,
+        "offered": offered,
+        "committed": sum(committed.values()),
+        "crashed_host": victim,
+        "reshards": len(migrations),
+        "flipped": bool(migrations and migrations[0]["flipped_at"]),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "fenced_invalidations": fenced,
+        "expired_invalidations": expired,
+        "ledger_violations": violations,
+        "lost_bindings": lost,
+        "invented_bindings": invented,
+    }
+
+
 def percentile(values: Sequence[float], fraction: float) -> float:
     """The ``fraction`` quantile of ``values`` (nearest-rank)."""
     if not values:

@@ -1,0 +1,121 @@
+"""The leased read plane under ring churn.
+
+The staleness argument (lease ∧ epoch ⇒ bounded staleness) is cheap to
+state and easy to break in the integration: a reshard flips ownership
+mid-run, a shard-host crash rewires reads, and a cache that kept
+serving through either would hand out bindings routed by a dead ring.
+These tests run the whole system with caching on and audit the
+:class:`~repro.naming.entry_cache.EntryCache` ledgers afterwards --
+every cache-served read must have been inside its lease TTL *and*
+tagged with the then-live fence epoch, or the plane is broken.
+
+The long-haul variant composes the cache with the full churn harness
+(stochastic crash/recover cycles plus a live reshard) and additionally
+re-checks the PR-2 invariant: no committed binding lost, no aborted
+effect invented.
+"""
+
+import pytest
+
+from tests.conftest import add_work, get_work
+from tests.integration.test_sharded_nameserver import build
+
+LEASE = 2.0
+
+
+def audit_ledgers(system):
+    """Assert every cache served real hits and none escaped bounds."""
+    total_hits = 0
+    for name, cache in system.entry_caches.items():
+        violations = cache.ledger_violations()
+        assert violations == [], \
+            f"{name}: cache-served reads escaped their bounds: {violations}"
+        total_hits += len(cache.ledger)
+    return total_hits
+
+
+def test_reshard_mid_run_never_serves_past_the_fence():
+    system, (client,), uids = build(
+        shards=2, objects=6, clients=1, scheme="standard",
+        nameserver_replication=2, nameserver_lease=LEASE,
+        nameserver_cache_ledger=True, enable_recovery_managers=False)
+
+    committed = {str(uid): 0 for uid in uids}
+    migration = None
+    while system.scheduler.now < 12.0:
+        for uid in uids:
+            result = system.run_transaction(client, add_work(uid, 1),
+                                            timeout=30.0)
+            if result.committed:
+                committed[str(uid)] += 1
+        if migration is None and system.scheduler.now >= 4.0:
+            epoch_before = system.shard_router.fence_epoch
+            migration = system.add_shard_host()
+
+    assert migration is not None
+    outcome = system.run_until(migration, timeout=300.0)
+    assert outcome["flipped_at"] is not None
+    assert system.shard_router.fence_epoch > epoch_before, \
+        "the migration must have advanced the fence"
+    system.run(until=system.scheduler.now + 5.0)
+
+    # No binding lost or invented across the flip...
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid), timeout=30.0)
+        assert result.committed
+        assert result.value == committed[str(uid)]
+    # ...and every cache-served read stayed inside lease + epoch.
+    hits = audit_ledgers(system)
+    assert hits > 0, "the haul must actually exercise the cache"
+    # The staged transition and the flip each advanced the fence, so
+    # some pre-change entries must have been fenced out, proving the
+    # epoch bound did real work (not just the TTL).
+    fenced = sum(cache.fenced for cache in system.entry_caches.values())
+    assert fenced > 0, "the flip must invalidate pre-change entries"
+
+
+@pytest.mark.slow
+def test_stochastic_churn_with_leases_keeps_every_bound():
+    replication = 3
+    # The standard scheme (figure 6) is the leased plane's hot path:
+    # its bind is exactly one GetServer, served from the cache.  (The
+    # use-list schemes read for update and so always bypass the cache.)
+    system, (client,), uids = build(
+        shards=4, objects=8, clients=1, scheme="standard",
+        nameserver_replication=replication,
+        nameserver_lease=LEASE, nameserver_cache_ledger=True,
+        shard_antientropy_interval=2.0, enable_recovery_managers=False,
+        rpc_timeout=0.3, seed=13)
+    injector = system.stochastic_faults(system.shard_hosts, mttf=12.0,
+                                        mttr=0.8, stop_after=20.0)
+
+    committed = {str(uid): 0 for uid in uids}
+    migration = None
+    while system.scheduler.now < 25.0:
+        for uid in uids:
+            result = system.run_transaction(client, add_work(uid, 1),
+                                            timeout=30.0)
+            if result.committed:
+                committed[str(uid)] += 1
+        if migration is None and system.scheduler.now >= 8.0:
+            migration = system.add_shard_host()
+
+    assert injector.crashes_injected > 0, "the haul must actually churn"
+    assert migration is not None
+    outcome = system.run_until(migration, timeout=600.0)
+    assert outcome["flipped_at"] is not None
+    system.run(until=system.scheduler.now + 60.0)
+    for host, resyncer in system.shard_resyncers.items():
+        assert resyncer.serving, f"{host} must be back in the serving path"
+
+    total = sum(committed.values())
+    assert total > 0, "the haul must commit real work through the churn"
+    for uid in uids:
+        result = system.run_transaction(client, get_work(uid), timeout=30.0)
+        assert result.committed, f"final read of {uid}: {result.reason}"
+        assert result.value == committed[str(uid)], \
+            (f"{uid}: committed {committed[str(uid)]} but the counter "
+             f"reads {result.value}")
+
+    hits = audit_ledgers(system)
+    assert hits > 0, "the haul must actually exercise the cache"
