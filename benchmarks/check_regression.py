@@ -16,6 +16,11 @@ bench gains its baseline the commit it lands), as are baseline values
 of zero.  Latency keys are deliberately *not* gated: simulated tail
 latencies at tiny smoke sizes are too discrete for a ratio gate, and
 the throughput floor already catches a queueing collapse.
+
+Separately from the ratio gate, every re-run bench module's recorded
+``wall_clock_seconds`` total is held to an absolute budget
+(``--wall-budget``, default 300s): real runtime quietly ballooning is
+a regression even when the simulated numbers are unchanged.
 """
 
 from __future__ import annotations
@@ -48,7 +53,11 @@ def flatten(value: object, path: str = "") -> dict[str, float]:
 
 def gated(path: str) -> bool:
     # Only the leaf key decides: a *test name* containing "throughput"
-    # must not drag its unrelated row fields into the gate.
+    # must not drag its unrelated row fields into the gate.  Wall-clock
+    # entries are keyed by test name too, and are lower-is-better --
+    # they get their own absolute budget below, never the ratio gate.
+    if path.startswith("wall_clock_seconds"):
+        return False
     leaf = path.rsplit(".", 1)[-1].lower()
     return any(key in leaf for key in GATED_KEYS)
 
@@ -88,6 +97,32 @@ def compare(baseline_dir: Path, current_dir: Path,
     return failures
 
 
+def check_wall_budget(current_dir: Path, budget: float) -> list[str]:
+    """Hold every re-run bench module to an absolute wall-clock budget.
+
+    The ratio gate compares *simulated* numbers; this row catches the
+    other failure mode -- a bench whose real runtime quietly balloons
+    (an accidental event-loop blowup, an unbounded retry) even though
+    its simulated metrics still look fine.  Only the freshly-generated
+    results are consulted: the budget is absolute, not relative.
+    """
+    failures: list[str] = []
+    for current_path in sorted(current_dir.glob("BENCH_*.json")):
+        recorded = json.loads(current_path.read_text()).get(
+            "wall_clock_seconds")
+        if not recorded:
+            continue  # an older artifact without the instrumentation
+        total = sum(float(value) for value in recorded.values())
+        verdict = "ok" if total <= budget else "OVER BUDGET"
+        print(f"{verdict:9s} {current_path.name}: wall clock "
+              f"{total:.1f}s of {budget:.0f}s budget")
+        if total > budget:
+            failures.append(
+                f"{current_path.name}: wall clock {total:.1f}s exceeds "
+                f"the {budget:.0f}s budget")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", type=Path, required=True,
@@ -96,8 +131,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="directory of freshly-generated BENCH_*.json")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed fractional throughput drop (0.20)")
+    parser.add_argument("--wall-budget", type=float, default=300.0,
+                        help="absolute per-bench wall-clock cap in real "
+                             "seconds (300)")
     args = parser.parse_args(argv)
     failures = compare(args.baseline, args.current, args.tolerance)
+    failures += check_wall_budget(args.current, args.wall_budget)
     if failures:
         print("\nperf gate FAILED:")
         for failure in failures:

@@ -108,17 +108,30 @@ def run_workload(system, runtimes, uid, txns_per_client=50,
 # benchmarks/conftest.py into BENCH_<name>.json files at session end.
 BENCH_RESULTS: dict[str, dict[str, Any]] = {}
 
+# Real (host) seconds each experiment took, ``{module: {test: secs}}``.
+# Written into every BENCH_<name>.json so the regression gate can hold
+# an absolute wall-clock budget: a bench that silently grows from
+# seconds to minutes is a regression even if its simulated numbers are
+# unchanged.
+BENCH_WALL_CLOCK: dict[str, dict[str, float]] = {}
+
 
 def once(benchmark, fn):
     """Run an experiment exactly once under pytest-benchmark timing.
 
     The experiment's return value (a row, a list of rows, a tuple of
     headline numbers) is recorded for the machine-readable
-    ``BENCH_<name>.json`` artifact alongside the printed table.
+    ``BENCH_<name>.json`` artifact alongside the printed table, along
+    with the experiment's real wall-clock duration.
     """
+    import time
+
+    started = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
     fullname = getattr(benchmark, "fullname", "") or ""
     module = PurePath(fullname.split("::", 1)[0]).stem or "unknown"
     test = getattr(benchmark, "name", None) or "experiment"
     BENCH_RESULTS.setdefault(module, {})[test] = result
+    BENCH_WALL_CLOCK.setdefault(module, {})[test] = elapsed
     return result

@@ -17,7 +17,7 @@ RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def pytest_sessionfinish(session, exitstatus):
-    from benchmarks.common import BENCH_RESULTS
+    from benchmarks.common import BENCH_RESULTS, BENCH_WALL_CLOCK
 
     if not BENCH_RESULTS:
         return
@@ -27,6 +27,9 @@ def pytest_sessionfinish(session, exitstatus):
         payload = {
             "bench": module,
             "results": results,
+            # Real seconds per experiment: the regression gate holds
+            # these to an absolute budget (see check_regression.py).
+            "wall_clock_seconds": BENCH_WALL_CLOCK.get(module, {}),
         }
         path = RESULTS_DIR / f"BENCH_{name}.json"
         # default=str: rows may carry Uids or other repr-able values.

@@ -15,19 +15,33 @@ Recovery brings the interface back up and re-runs the boot hooks, so
 services come back empty -- activated objects, lock tables and use-list
 knowledge are gone, exactly as the paper's failure assumptions dictate
 (section 2.1).
+
+**The sync plane.**  A node built with a :class:`SyncPlaneConfig` gets a
+*second* NIC named ``f"{name}.sync"`` with its own latency model,
+optional token-bucket throttle, and its own :class:`RpcAgent` (its own
+single-server queue) -- the simulated equivalent of Swift's dedicated
+replication network.  Maintenance traffic (resync, anti-entropy,
+migration copies, read repair) routed at ``node.sync_rpc`` /
+``"<host>.sync"`` then never queues behind client requests.  Without the
+config, ``sync_rpc`` is an alias for the primary agent, so callers can
+address the sync plane unconditionally and get shared-NIC behaviour.
+Both NICs follow the node's liveness: a crash takes them down together
+and recovery brings them back together.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
 from repro.net.demux import MessageDemux
+from repro.net.latency import LatencyModel, TokenBucket
 from repro.net.multicast import (
     MulticastMember,
     NaiveMulticastMember,
     ReliableOrderedMulticastMember,
 )
-from repro.net.network import Network
+from repro.net.network import Network, NetworkInterface
 from repro.net.rpc import RpcAgent
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.process import Process
@@ -38,6 +52,28 @@ from repro.storage.uid import UidFactory
 from repro.storage.volatile import VolatileStore
 
 BootHook = Callable[["Node"], None]
+
+# Interface-name suffix of the dedicated replication NIC.  The sync
+# plane of host ``h`` answers at ``h + SYNC_NIC_SUFFIX``.
+SYNC_NIC_SUFFIX = ".sync"
+
+
+@dataclass
+class SyncPlaneConfig:
+    """Knobs for a node's dedicated replication NIC.
+
+    ``latency``/``service_time``/``rpc_timeout`` default (``None``) to
+    the primary plane's values; ``throttle_rate`` (messages per unit
+    virtual time), when set, installs a :class:`TokenBucket` of
+    ``throttle_burst`` capacity on the sync NIC -- the bandwidth cap of
+    the replication link.
+    """
+
+    latency: LatencyModel | None = None
+    service_time: float | None = None
+    rpc_timeout: float | None = None
+    throttle_rate: float | None = None
+    throttle_burst: float = 8.0
 
 
 class Node:
@@ -52,6 +88,7 @@ class Node:
         reliable_multicast: bool = True,
         rpc_timeout: float | None = None,
         service_time: float = 0.0,
+        sync_plane: SyncPlaneConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
@@ -68,7 +105,34 @@ class Node:
             network.latency.typical * 6 + 0.05)
         self.rpc = RpcAgent(scheduler, self.nic, default_timeout=timeout,
                             service_time=service_time, tracer=self.tracer,
-                            demux=self.demux)
+                            demux=self.demux,
+                            traffic=self.metrics.plane_traffic(name, "client"))
+        if sync_plane is not None:
+            throttle = (TokenBucket(sync_plane.throttle_rate,
+                                    sync_plane.throttle_burst)
+                        if sync_plane.throttle_rate is not None else None)
+            self.sync_nic: "NetworkInterface | None" = network.attach(
+                name + SYNC_NIC_SUFFIX, latency=sync_plane.latency,
+                throttle=throttle)
+            self.sync_demux: MessageDemux | None = MessageDemux(self.sync_nic)
+            sync_timeout = sync_plane.rpc_timeout
+            if sync_timeout is None:
+                sync_timeout = (sync_plane.latency.typical * 6 + 0.05
+                                if sync_plane.latency is not None else timeout)
+            sync_service_time = (sync_plane.service_time
+                                 if sync_plane.service_time is not None
+                                 else service_time)
+            self.sync_rpc = RpcAgent(
+                scheduler, self.sync_nic, default_timeout=sync_timeout,
+                service_time=sync_service_time, tracer=self.tracer,
+                demux=self.sync_demux,
+                traffic=self.metrics.plane_traffic(name, "sync"))
+        else:
+            # Shared-NIC fallback: the sync plane aliases the primary
+            # agent, so sync-plane callers need no special casing.
+            self.sync_nic = None
+            self.sync_demux = None
+            self.sync_rpc = self.rpc
         mcast_cls = (ReliableOrderedMulticastMember if reliable_multicast
                      else NaiveMulticastMember)
         self.mcast: MulticastMember = mcast_cls(scheduler, self.nic, self.demux,
@@ -88,6 +152,15 @@ class Node:
     def crashed(self) -> bool:
         return self._crashed
 
+    @property
+    def sync_suffix(self) -> str:
+        """Target-name suffix of this node's sync plane ("" when shared)."""
+        return SYNC_NIC_SUFFIX if self.sync_nic is not None else ""
+
+    def sync_target(self, host: str) -> str:
+        """The interface name peers of this node answer sync RPCs on."""
+        return host + self.sync_suffix
+
     def add_boot_hook(self, hook: BootHook, run_now: bool = True) -> None:
         """Register a service-installing hook; runs now and on recovery."""
         self.boot_hooks.append(hook)
@@ -106,6 +179,11 @@ class Node:
             self.scheduler.now, 0.0)
         self.nic.up = False
         self.rpc.reset()
+        if self.sync_nic is not None:
+            # Both NICs die with the workstation: the sync plane is a
+            # second port, not a second failure domain.
+            self.sync_nic.up = False
+            self.sync_rpc.reset()
         self.mcast.reset()
         self.volatile.wipe()
         if self.object_store is not None:
@@ -124,6 +202,8 @@ class Node:
         self.metrics.timeseries(f"node.{self.name}.up").record(
             self.scheduler.now, 1.0)
         self.nic.up = True
+        if self.sync_nic is not None:
+            self.sync_nic.up = True
         if self.object_store is not None:
             self.object_store.mark_up()
         for hook in self.boot_hooks:

@@ -116,7 +116,11 @@ class NameShardHost:
 
         def hook(n: Node) -> None:
             n.rpc.register(service, db, fence=fence)
-            n.rpc.register(SYNC_SERVICE_NAME, db)
+            # The sync side door lives on the replication NIC when the
+            # host runs two planes (``sync_rpc`` aliases ``rpc`` when
+            # it does not), so resync/migration/repair traffic never
+            # queues behind client requests.
+            n.sync_rpc.register(SYNC_SERVICE_NAME, db)
 
         host._hook = hook
         node.add_boot_hook(hook)
@@ -133,6 +137,6 @@ class NameShardHost:
             return
         self.retired = True
         self.node.rpc.unregister(self.service)
-        self.node.rpc.unregister(SYNC_SERVICE_NAME)
+        self.node.sync_rpc.unregister(SYNC_SERVICE_NAME)
         if self._hook in self.node.boot_hooks:
             self.node.boot_hooks.remove(self._hook)

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
 from repro.cluster.client import ClientRuntime, Txn, TxnResult
-from repro.cluster.node import Node
+from repro.cluster.node import SYNC_NIC_SUFFIX, Node, SyncPlaneConfig
 from repro.cluster.recovery import RecoveryManager, ShadowResolver
 from repro.cluster.server_host import ServerHost
 from repro.cluster.store_host import NameShardHost, StoreHost
@@ -44,7 +44,11 @@ from repro.naming.hybrid import HybridNameService
 from repro.naming.read_repair import ReadRepairer
 from repro.naming.reshard import ReshardManager, ShardAutoscaler
 from repro.naming.shard_resync import ShardResyncManager
-from repro.naming.shard_router import DEFAULT_RING_REPLICAS, ShardRouter
+from repro.naming.shard_router import (
+    DEFAULT_PARTITION_POWER,
+    DEFAULT_RING_REPLICAS,
+    ShardRouter,
+)
 from repro.naming.sharded_client import (
     READ_POLICIES,
     ShardedGroupViewDatabase,
@@ -102,6 +106,22 @@ class SystemConfig:
     read_repair_interval: float | None = None  # per-uid sampled version verify
     shard_antientropy_interval: float | None = 10.0  # None disables the sweep
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
+    shard_partition_power: int = DEFAULT_PARTITION_POWER  # 2**P partitions
+    # Per-shard-host ring weights by boot index (empty -> all 1.0).  A
+    # host with weight 2.0 claims twice the vnodes, so roughly twice
+    # the partitions -- capacity-proportional placement.
+    shard_weights: tuple[float, ...] = ()
+    # The two-plane network: give every shard host a second NIC
+    # (``<name>.sync``) and route all replica-maintenance traffic
+    # (resync, anti-entropy, migration copies, read repair) over it so
+    # sync storms never queue behind client requests.  The sync plane
+    # may run its own latency model, per-request service time, and a
+    # token-bucket bandwidth throttle.
+    dedicated_sync_nic: bool = False
+    sync_latency: float | None = None        # None -> primary-plane model
+    sync_service_time: float | None = None   # None -> primary service_time
+    sync_throttle_rate: float | None = None  # msgs/sec; None -> unthrottled
+    sync_throttle_burst: float = 8.0
     reshard_batch_size: int = 8              # arc copies between throttles
     reshard_throttle: float = 0.02           # migration-bandwidth pause
     enable_cleaner: bool = False
@@ -221,8 +241,17 @@ class DistributedSystem:
         """
         names = [f"{NAME_NODE}{i}" for i in range(shard_count)]
         replication = self.config.nameserver_replication
+        weights = None
+        if self.config.shard_weights:
+            if len(self.config.shard_weights) != shard_count:
+                raise ValueError(
+                    f"shard_weights has {len(self.config.shard_weights)} "
+                    f"entries for {shard_count} shards")
+            weights = dict(zip(names, self.config.shard_weights))
         self.shard_router = ShardRouter(
-            names, replicas=self.config.shard_ring_replicas)
+            names, replicas=self.config.shard_ring_replicas,
+            partition_power=self.config.shard_partition_power,
+            weights=weights)
         shard_dbs = {name: self._boot_shard_host(name) for name in names}
         self.name_node = self.nodes[names[0]]
         self.db = ShardedGroupViewDatabase(self.shard_router, shard_dbs,
@@ -247,7 +276,7 @@ class DistributedSystem:
         """
         assert self.shard_router is not None
         replication = self.config.nameserver_replication
-        node = self._make_node(name, has_store=True)
+        node = self._make_node(name, has_store=True, sync_plane=True)
         db = GroupViewDatabase(
             use_exclude_write_lock=self.config.use_exclude_write_lock,
             metrics=self.metrics.scoped(f"shard.{name}."),
@@ -305,6 +334,7 @@ class DistributedSystem:
                     self.scheduler, node.rpc, self.shard_router, replication,
                     spawn=node.spawn,
                     verify_interval=self.config.read_repair_interval,
+                    sync_suffix=self.sync_suffix,
                     metrics=self.metrics, tracer=self.tracer)
             cache = None
             if self.config.nameserver_lease is not None:
@@ -333,6 +363,7 @@ class DistributedSystem:
                 repair=repair, cache=cache,
                 validate_leases=self.config.nameserver_lease_validate,
                 clock=lambda: self.scheduler.now,
+                sync_suffix=self.sync_suffix,
                 metrics=self.metrics, tracer=self.tracer)
         return GroupViewDbClient(node.rpc, NAME_NODE)
 
@@ -343,18 +374,33 @@ class DistributedSystem:
 
     # -- online resharding --------------------------------------------------
 
-    def add_shard_host(self, name: str | None = None) -> Process:
+    def add_shard_host(self, name: str | None = None,
+                       weight: float = 1.0) -> Process:
         """Grow the shard ring by one host, live, under traffic.
 
         Boots the host (node, database, services, daemons) immediately
         -- it serves the naming RPC surface but owns nothing -- then
         runs the ReshardManager's migration epoch: dual-ownership
-        copy of the moving arcs, atomic epoch flip, garbage collection.
+        copy of the moving partitions, atomic epoch flip, garbage
+        collection.  ``weight`` sets the host's share of the ring
+        (vnodes, hence partitions) relative to a weight-1.0 host.
         Returns the migration :class:`~repro.sim.process.Process`; the
         system keeps serving throughout, so callers only wait on it to
         learn when the new capacity is fully owned.
         """
-        return self.plan_rebalance(add=(1 if name is None else [name]))
+        if name is None:
+            [name] = self._new_shard_names(1)
+        return self.plan_rebalance(add=[name], weights={name: weight})
+
+    def set_shard_weight(self, name: str, weight: float) -> Process:
+        """Re-weight a live shard host through a staged migration epoch.
+
+        No host joins or leaves: the re-weighted target ring is staged,
+        only the partitions whose preference lists change are copied,
+        and the atomic flip applies the new weight to the live router.
+        Returns the migration process.
+        """
+        return self.plan_rebalance(weights={name: weight})
 
     def drain_shard_host(self, name: str) -> Process:
         """Shrink the shard ring by one host, live, under traffic.
@@ -368,16 +414,32 @@ class DistributedSystem:
         """
         return self.plan_rebalance(remove=[name])
 
+    def _new_shard_names(self, count: int) -> list[str]:
+        """Allocate ``count`` unused auto-generated shard-host names."""
+        names = []
+        index = 0
+        for _ in range(count):
+            while (f"{NAME_NODE}{index}" in self.nodes
+                   or f"{NAME_NODE}{index}" in self.drained_shard_hosts):
+                index += 1
+            names.append(f"{NAME_NODE}{index}")
+            index += 1
+        return names
+
     def plan_rebalance(self, add: int | list[str] = 0,
-                       remove: list[str] | None = None) -> Process:
+                       remove: list[str] | None = None,
+                       weights: dict[str, float] | None = None) -> Process:
         """Move several shard hosts in *one* live migration epoch.
 
         ``add`` is either a count (hosts are auto-named like
         :meth:`add_shard_host`) or explicit names; ``remove`` names
-        current shard hosts to drain.  Every added host is booted
+        current shard hosts to drain; ``weights`` assigns boot weights
+        for added hosts and weight *changes* for live hosts (a
+        weight-only plan is valid -- nothing joins or leaves, only
+        partition ownership shifts).  Every added host is booted
         immediately (serving but owning nothing), then the whole plan
         is staged as a single ring transition: one dual-ownership
-        window, one copy pipeline over the combined arc delta, one
+        window, one copy pipeline over the staged partition diff, one
         atomic epoch flip, one GC round -- a 2->4 scale-out pays one
         migration, not two.  Removed hosts are retired (naming service,
         resyncer, cleaner) once the epoch completes.  Returns the
@@ -394,14 +456,7 @@ class DistributedSystem:
             if name not in self.shard_router.nodes:
                 raise ValueError(f"not a shard host: {name}")
         if isinstance(add, int):
-            added = []
-            index = 0
-            for _ in range(add):
-                while (f"{NAME_NODE}{index}" in self.nodes
-                       or f"{NAME_NODE}{index}" in self.drained_shard_hosts):
-                    index += 1
-                added.append(f"{NAME_NODE}{index}")
-                index += 1
+            added = self._new_shard_names(add)
         else:
             added = list(add)
             for name in added:
@@ -410,13 +465,15 @@ class DistributedSystem:
         # Validate the whole plan BEFORE booting anything: a plan the
         # manager would reject must not leave orphan shard hosts booted
         # and serving but never on the ring.
-        added, removed = self.reshard.validate_plan(added, removed)
+        added, removed, reweighted = self.reshard.validate_plan(
+            added, removed, weights)
         assert isinstance(self.db, ShardedGroupViewDatabase)
         for name in added:
             self.db.add_shard(name, self._boot_shard_host(name))
 
         # Claims the migration slot synchronously (see ReshardManager).
-        migration = self.reshard.plan_rebalance(add=added, remove=removed)
+        migration = self.reshard.plan_rebalance(add=added, remove=removed,
+                                                weights=weights)
 
         def drain() -> Generator[Any, Any, dict[str, Any]]:
             outcome = yield from migration
@@ -425,6 +482,8 @@ class DistributedSystem:
             return outcome
 
         label = f"+{len(added)}/-{len(removed)}"
+        if reweighted:
+            label += f"/~{len(reweighted)}"
         return self.scheduler.spawn(drain(), name=f"reshard-plan:{label}")
 
     def _retire_shard_host(self, name: str) -> None:
@@ -493,14 +552,36 @@ class DistributedSystem:
 
     # -- topology building ---------------------------------------------------
 
-    def _make_node(self, name: str, has_store: bool) -> Node:
+    def _make_node(self, name: str, has_store: bool,
+                   sync_plane: bool = False) -> Node:
+        sync_config = None
+        if sync_plane and self.config.dedicated_sync_nic:
+            sync_latency: LatencyModel | None = None
+            if self.config.sync_latency is not None:
+                sync_latency = FixedLatency(self.config.sync_latency)
+            sync_config = SyncPlaneConfig(
+                latency=sync_latency,
+                service_time=self.config.sync_service_time,
+                throttle_rate=self.config.sync_throttle_rate,
+                throttle_burst=self.config.sync_throttle_burst)
         node = Node(self.scheduler, self.network, name, has_store=has_store,
                     reliable_multicast=self.config.reliable_multicast,
                     rpc_timeout=self.config.rpc_timeout,
                     service_time=self.config.service_time,
+                    sync_plane=sync_config,
                     metrics=self.metrics, tracer=self.tracer)
         self.nodes[name] = node
         return node
+
+    @property
+    def sync_suffix(self) -> str:
+        """NIC suffix client-side sync engines use to reach shard hosts.
+
+        Non-empty only when the cluster runs two planes: repair and
+        migration traffic originated *off* the shard hosts must still
+        land on the shard hosts' replication NICs.
+        """
+        return SYNC_NIC_SUFFIX if self.config.dedicated_sync_nic else ""
 
     def add_node(self, name: str, store: bool = False,
                  server: bool = False) -> Node:

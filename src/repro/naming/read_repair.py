@@ -63,6 +63,7 @@ class ReadRepairer:
                  spawn: Callable[..., Any] | None = None,
                  min_interval: float = 0.5,
                  verify_interval: float | None = None,
+                 sync_suffix: str = "",
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 2:
@@ -85,7 +86,12 @@ class ReadRepairer:
         # reads, guarded installs).  Unfenced on purpose -- a repair
         # may legitimately touch replicas the live ring no longer (or
         # does not yet) own.
+        # ``sync_suffix`` points the probes and installs at the shard
+        # hosts' replication NICs when the cluster runs two planes, so
+        # repair traffic never queues behind the client requests that
+        # triggered it.
         self.io = ReplicaIO(rpc, router, replication, sync_service=service,
+                            sync_suffix=sync_suffix,
                             metrics=self.metrics, tracer=self.tracer)
         self._last_checked: dict[str, float] = {}
         self._inflight: dict[str, float] = {}

@@ -148,6 +148,8 @@ class ReplicaIO:
                  read_policy: str = "primary",
                  repair: Any | None = None,
                  max_stale_retries: int = DEFAULT_STALE_RETRIES,
+                 sync_rpc: RpcAgent | None = None,
+                 sync_suffix: str = "",
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 1:
@@ -160,6 +162,13 @@ class ReplicaIO:
         self.replication = replication
         self.service = service
         self.sync_service = sync_service
+        # The sync plane's exit and entry points: maintenance RPCs
+        # leave through ``sync_rpc`` (the local node's dedicated sync
+        # agent where one exists, else the primary agent) and target
+        # ``node + sync_suffix`` -- the peer's replication NIC when the
+        # cluster runs two planes, its only NIC otherwise.
+        self.sync_rpc = sync_rpc if sync_rpc is not None else rpc
+        self.sync_suffix = sync_suffix
         self.read_policy = read_policy
         self.repair = repair  # a ReadRepairer, or None
         self.max_stale_retries = max_stale_retries
@@ -184,8 +193,18 @@ class ReplicaIO:
             self._clients[key] = client
         return client
 
+    def sync_target(self, node: str) -> str:
+        """The interface name ``node`` answers sync-plane RPCs on."""
+        return node + self.sync_suffix
+
     def sync_client_for(self, node: str) -> GroupViewDbClient:
-        return self.client_for(node, self.sync_service)
+        key = (self.sync_target(node), self.sync_service)
+        client = self._clients.get(key)
+        if client is None:
+            client = GroupViewDbClient(self.sync_rpc, key[0],
+                                       service=self.sync_service)
+            self._clients[key] = client
+        return client
 
     def clients_for_service(self, service: str | None = None,
                             ) -> dict[str, GroupViewDbClient]:
@@ -565,8 +584,8 @@ class ReplicaIO:
         answered = 0
         for node in nodes:
             try:
-                uids = yield self.rpc.call(node, self.sync_service,
-                                           "list_uids")
+                uids = yield self.sync_rpc.call(self.sync_target(node),
+                                                self.sync_service, "list_uids")
             except RpcError:
                 continue
             answered += 1
@@ -596,10 +615,17 @@ class ReplicaIO:
         dark: list[str] = []
         for node in nodes:
             try:
-                versions = yield self.rpc.call(node,
-                                               service or self.sync_service,
-                                               "entry_versions", uid_text,
-                                               ring_epoch=ring_epoch)
+                if service is None:
+                    # Maintenance probe: ride the sync plane end to end.
+                    versions = yield self.sync_rpc.call(
+                        self.sync_target(node), self.sync_service,
+                        "entry_versions", uid_text, ring_epoch=ring_epoch)
+                else:
+                    # Explicit (client) service: stay on the primary
+                    # NIC, where the fence and the gate live.
+                    versions = yield self.rpc.call(
+                        node, service, "entry_versions", uid_text,
+                        ring_epoch=ring_epoch)
             except RpcError:  # includes StaleRingEpoch fencing rejections
                 dark.append(node)
                 continue
@@ -640,8 +666,8 @@ class ReplicaIO:
                    ) -> Generator[Any, Any, "EntryCopy | str"]:
         """One committed, version-stamped snapshot from ``source``."""
         return (yield from fetch_entry_copy(
-            self.rpc, self.sync_client_for(source), uid_text,
-            node=self.rpc.name, tracer=self.tracer))
+            self.sync_rpc, self.sync_client_for(source), uid_text,
+            node=self.sync_rpc.name, tracer=self.tracer))
 
     def install_remote(self, target: str, uid_text: str, copy: EntryCopy,
                        ) -> Generator[Any, Any, "bool | None | str"]:
@@ -652,8 +678,9 @@ class ReplicaIO:
         ``"unreachable"`` when the target went dark.
         """
         try:
-            installed = yield self.rpc.call(
-                target, self.sync_service, "guarded_install_entry", uid_text,
+            installed = yield self.sync_rpc.call(
+                self.sync_target(target), self.sync_service,
+                "guarded_install_entry", uid_text,
                 copy.hosts, copy.uses, copy.view, copy.versions)
         except RpcError:
             return "unreachable"

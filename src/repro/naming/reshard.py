@@ -73,7 +73,7 @@ high one, and any scale event restarts the cooldown from zero.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Generator, Mapping, Sequence
 
 from repro.naming.errors import NamingError
 from repro.naming.group_view_db import SYNC_SERVICE_NAME
@@ -133,6 +133,8 @@ class ReshardManager:
         # does not own yet.
         self.io = ReplicaIO(node.rpc, router, replication,
                             sync_service=service,
+                            sync_rpc=node.sync_rpc,
+                            sync_suffix=node.sync_suffix,
                             metrics=self.metrics, tracer=self.tracer)
 
     @property
@@ -162,11 +164,17 @@ class ReshardManager:
 
     def validate_plan(self, add: Sequence[str] = (),
                       remove: Sequence[str] = (),
-                      ) -> tuple[list[str], list[str]]:
-        """Check a rebalance plan; returns the deduplicated (add, remove).
+                      weights: "Mapping[str, float] | None" = None,
+                      ) -> tuple[list[str], list[str], dict[str, float]]:
+        """Check a rebalance plan; returns (add, remove, reweighted).
 
-        Raises ``ValueError`` on an empty plan, an add/remove overlap,
-        an add already on the ring, an unknown remove, or a plan that
+        ``weights`` assigns per-host weights: for a host in ``add`` its
+        boot weight, for a host already on the ring a weight *change*
+        (the returned ``reweighted`` dict keeps only the entries that
+        actually differ from the live ring).  Raises ``ValueError`` on
+        an empty plan (nothing added, removed, or re-weighted), an
+        add/remove overlap, an add already on the ring, an unknown
+        remove, a non-positive or unplaceable weight, or a plan that
         would leave fewer hosts than the replication factor.  Exposed
         so callers can validate *before* spending anything on the plan
         (the system harness boots new hosts first -- a plan rejected
@@ -174,8 +182,24 @@ class ReshardManager:
         """
         added = list(dict.fromkeys(add))
         removed = list(dict.fromkeys(remove))
-        if not added and not removed:
-            raise ValueError("a rebalance plan must move at least one host")
+        weights = dict(weights or {})
+        for name, weight in weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"shard weight must be positive: {name}={weight}")
+            if name not in added and name not in self.router.nodes:
+                raise ValueError(
+                    f"weight for a host neither on the ring nor added: "
+                    f"{name}")
+            if name in removed:
+                raise ValueError(f"cannot re-weight a host being removed: "
+                                 f"{name}")
+        reweighted = {name: weight for name, weight in weights.items()
+                      if name in self.router.nodes
+                      and self.router.weight_of(name) != weight}
+        if not added and not removed and not reweighted:
+            raise ValueError("a rebalance plan must move at least one host "
+                             "or change a weight")
         overlap = set(added) & set(removed)
         if overlap:
             raise ValueError(f"hosts both added and removed: "
@@ -191,44 +215,73 @@ class ReshardManager:
             raise ValueError(
                 f"cannot rebalance below the replication factor: "
                 f"{survivors} hosts < replication {self.replication}")
-        return added, removed
+        return added, removed, reweighted
 
     def plan_rebalance(self, add: Sequence[str] = (),
                        remove: Sequence[str] = (),
+                       weights: "Mapping[str, float] | None" = None,
                        ) -> Generator[Any, Any, dict[str, Any]]:
-        """Move several hosts in *one* migration epoch.
+        """Move several hosts (and/or weights) in *one* migration epoch.
 
         The whole plan is staged as a single transition -- one dual-
-        ownership window, one copy pipeline over the combined arc
-        delta, one atomic flip -- instead of one epoch per host, so a
-        2->4 scale-out pays one migration, not two.  Arc movement stays
-        bounded however many hosts move: the pipeline copies entries
-        sequentially and pauses ``throttle`` seconds every
+        ownership window, one copy pipeline over the staged partition
+        diff, one atomic flip -- instead of one epoch per host, so a
+        2->4 scale-out pays one migration, not two.  Partition movement
+        stays bounded however many hosts move: the pipeline copies
+        entries sequentially and pauses ``throttle`` seconds every
         ``batch_size`` copies, so the migration bandwidth cap is
         independent of the plan's size.  Hosts being added must already
         be booted and serving; the slot is claimed and the transition
         staged synchronously, exactly like :meth:`grow`.
+
+        A weight-only plan (``weights`` naming live hosts, nothing
+        added or removed) runs the very same staged-epoch flow: the
+        re-weighted target ring is staged, only the partitions whose
+        preference lists changed are copied, and the flip applies the
+        new weights to the live router.
         """
-        added, removed = self.validate_plan(add, remove)
+        added, removed, reweighted = self.validate_plan(add, remove, weights)
+        boot_weights = {name: dict(weights or {}).get(name, 1.0)
+                        for name in added}
         target = self.router.clone()
         for name in added:
-            target.add_node(name)
+            target.add_node(name, weight=boot_weights[name])
         for name in removed:
             target.remove_node(name)
-        return self._migrate(target, added=added, removed=removed)
+        for name, weight in reweighted.items():
+            target.set_weight(name, weight)
+        return self._migrate(target, added=added, removed=removed,
+                             boot_weights=boot_weights, reweighted=reweighted)
 
     # -- the migration epoch -------------------------------------------------
 
     def _migrate(self, target: ShardRouter, added: list[str],
-                 removed: list[str]) -> Generator[Any, Any, dict[str, Any]]:
+                 removed: list[str],
+                 boot_weights: dict[str, float] | None = None,
+                 reweighted: dict[str, float] | None = None,
+                 ) -> Generator[Any, Any, dict[str, Any]]:
         # Synchronous prologue: claim the slot and stage dual ownership
         # before the migration process first runs.
         if self.active:
             raise ReshardInProgress(
                 "a ring membership change is already migrating")
+        boot_weights = boot_weights or {}
+        reweighted = reweighted or {}
+        # The staged diff: exactly the partitions whose preference list
+        # differs between the live and target rings.  Copy passes skip
+        # every entry outside it, and the record carries both the exact
+        # moved count and the a-priori bound so observers can check the
+        # bounded-movement promise.
+        moved = frozenset(self.router.moved_partitions(target,
+                                                       self.replication))
         record: dict[str, Any] = {
             "added": list(added), "removed": list(removed),
+            "reweighted": dict(reweighted),
             "epoch": target.epoch,
+            "partitions_total": target.partition_count,
+            "partitions_moved": len(moved),
+            "movement_bound": self.router.movement_bound(target,
+                                                         self.replication),
             "started_at": self.node.scheduler.now,
             "flipped_at": None, "done_at": None,
             "entries_copied": 0, "entries_forgotten": 0,
@@ -241,15 +294,21 @@ class ReshardManager:
         # copy passes may trust the sources' version probes.
         self.router.transition = RingTransition(
             target, epoch=target.epoch,
-            added=tuple(added), removed=tuple(removed))
+            added=tuple(added), removed=tuple(removed),
+            reweighted=tuple(sorted(reweighted.items())),
+            partitions=moved)
         self.tracer.record("reshard", "transition staged",
                            added=list(added), removed=list(removed),
+                           reweighted=dict(reweighted),
+                           partitions_moved=len(moved),
                            epoch=target.epoch,
                            fence=self.router.fence_epoch)
-        return self._drain_epoch(target, added, removed, record)
+        return self._drain_epoch(target, added, removed, boot_weights,
+                                 reweighted, record)
 
     def _drain_epoch(self, target: ShardRouter, added: list[str],
-                     removed: list[str],
+                     removed: list[str], boot_weights: dict[str, float],
+                     reweighted: dict[str, float],
                      record: dict[str, Any]) -> Generator[Any, Any,
                                                           dict[str, Any]]:
         try:
@@ -273,9 +332,11 @@ class ReshardManager:
         # union view is rejected and re-routed, never half-applied).
         old_ring = self.router.clone()
         for name in added:
-            self.router.add_node(name)
+            self.router.add_node(name, weight=boot_weights.get(name, 1.0))
         for name in removed:
             self.router.remove_node(name)
+        for name, weight in reweighted.items():
+            self.router.set_weight(name, weight)
         self.router.transition = None
         record["flipped_at"] = self.node.scheduler.now
         self.metrics.counter("reshard.flips").increment()
@@ -339,9 +400,11 @@ class ReshardManager:
 
     def _copy_pass(self, target: ShardRouter, record: dict[str, Any],
                    done: set[str]) -> Generator[Any, Any, bool]:
-        """One pass over the moving arcs; True once every arc is done."""
+        """One pass over the moved partitions; True once all are done."""
         self.copy_passes += 1
         live = self.router
+        transition = live.transition
+        moved = transition.partitions if transition is not None else None
         universe, answered = yield from self.io.collect_uids(live.nodes)
         if not answered:
             raise _Deferred  # the whole old ring is dark; wait it out
@@ -351,11 +414,19 @@ class ReshardManager:
         for uid_text in sorted(universe):
             if uid_text in done:
                 continue
-            old_plist = live.preference_list(uid_text, self.replication)
-            new_plist = target.preference_list(uid_text, self.replication)
+            # Partition staging: an entry whose partition is outside
+            # the staged diff cannot have moved -- skip it without a
+            # single probe.  (Every key in a partition shares one
+            # preference list, so the filter is exhaustive.)
+            partition = live.partition_of(uid_text)
+            if moved is not None and partition not in moved:
+                continue
+            old_plist = live.partition_preference(partition, self.replication)
+            new_plist = target.partition_preference(partition,
+                                                    self.replication)
             movers = [h for h in new_plist if h not in old_plist]
             if not movers:
-                continue  # this arc does not move
+                continue  # owners unchanged (e.g. ordering-only change)
             # Lock-free version probes on both sides first: the common
             # case -- a seeded mover tracking dual-ownership writes --
             # is detected without taking a single lock or snapshot, so
@@ -424,8 +495,9 @@ class ReshardManager:
                     if host in keep:
                         continue
                     try:
-                        removed = yield self.node.rpc.call(
-                            host, self.service, "forget_entry", uid_text)
+                        removed = yield self.io.sync_rpc.call(
+                            self.io.sync_target(host), self.service,
+                            "forget_entry", uid_text)
                     except RpcError:
                         deferred = True
                         continue

@@ -116,6 +116,8 @@ class ShardResyncManager:
         # resync traffic must reach gated peers, so it is unfenced).
         self.io = ReplicaIO(node.rpc, router, replication,
                             service=service, sync_service=sync_service,
+                            sync_rpc=node.sync_rpc,
+                            sync_suffix=node.sync_suffix,
                             metrics=self.metrics, tracer=self.tracer)
         self._install_hook()
 

@@ -1,43 +1,62 @@
-"""Consistent-hash routing of group-view entries to store hosts.
+"""Weighted consistent-hash routing of group-view entries to store hosts.
 
 The paper implements the group-view database "as a single Arjuna
 object" on one node; every ``GetServer``/``Increment``/``Decrement``
 from every client funnels through it.  :class:`ShardRouter` removes
-that ceiling the way OpenStack Swift's ring does: each store host owns
-a configurable number of points (virtual nodes) on a 2^32 hash ring,
-and an entry lives on the host owning the first point clockwise of the
-entry's UID hash.  Properties the naming layer relies on:
+that ceiling the way OpenStack Swift's ring does, with both of Swift's
+ring ingredients:
 
-- **determinism** -- the mapping is a pure function of the host names
-  and the replica count, so every client, shard host, and recovery
-  daemon computes the same placement without coordination (hashes come
-  from :func:`hashlib.md5`, not Python's salted ``hash``); two virtual
-  nodes colliding on the same ring point are ordered by owner name, so
-  ownership never depends on insertion order;
-- **balance** -- with enough virtual nodes per host the keyspace is
-  split near-evenly, so binding traffic spreads across shards;
-- **stability** -- adding or removing one host moves only the keys in
-  the arcs it owned; unrelated entries keep their shard, so a ring can
-  be grown without rewriting the whole database.
+- **weighted virtual nodes** -- each store host claims
+  ``round(weight * replicas)`` points on a 2^32 hash ring, so a host
+  with weight 2.0 owns about twice the keyspace of a weight-1.0 host
+  (heterogeneous hardware without special cases);
+- **fixed partitions** -- the keyspace is pre-split into
+  ``2**partition_power`` equal arcs ("partitions"); a key belongs to
+  the partition selected by the top ``partition_power`` bits of its
+  hash, and a partition belongs to the host owning the first virtual
+  node clockwise of the partition's start point.  Every routing
+  question -- primary, preference list, spread -- resolves key ->
+  partition -> distinct-host walk, so placement, migration, and
+  accounting all speak the same finite unit.
 
-:meth:`ShardRouter.preference_list` extends point lookup to *arc
-replication*: the owner plus its n-1 distinct successor hosts
-clockwise.  Replicating every entry across its preference list is what
-lets the naming database survive shard-host crashes -- the same trick
-the paper plays with application objects and their ``St`` sets.
+Properties the naming layer relies on:
 
-**Online resharding** (see :mod:`repro.naming.reshard`) grows or
-shrinks a *live* ring.  The membership change is first staged as a
+- **determinism** -- the mapping is a pure function of the host names,
+  weights, replica count, and partition power, so every client, shard
+  host, and recovery daemon computes the same placement without
+  coordination (hashes come from :func:`hashlib.md5`, not Python's
+  salted ``hash``); two virtual nodes colliding on the same ring point
+  are ordered by owner name, so ownership never depends on insertion
+  order;
+- **balance** -- with enough virtual nodes per host the partitions are
+  split near-evenly in proportion to weight, so binding traffic
+  spreads across shards;
+- **stability** -- membership and weight changes move a *bounded*
+  number of partitions.  A weight change only adds or removes the
+  host's highest-index virtual nodes (existing points never move), so
+  a partition's preference list changes only if one of the delta
+  points landed inside its walk; :meth:`ShardRouter.moved_partitions`
+  computes the exact moved set and :meth:`ShardRouter.movement_bound`
+  a deterministic a-priori cap on its size.
+
+:meth:`ShardRouter.preference_list` extends partition lookup to
+*replication*: the partition's owner plus its n-1 distinct successor
+hosts clockwise.  Replicating every entry across its preference list is
+what lets the naming database survive shard-host crashes -- the same
+trick the paper plays with application objects and their ``St`` sets.
+
+**Online resharding** (see :mod:`repro.naming.reshard`) grows, shrinks,
+or re-weights a *live* ring.  The change is first staged as a
 :class:`RingTransition` hanging off the shared router: the live ring
 keeps serving as the *old* epoch while ``transition.target`` holds the
 proposed ring, and every client writes through the union of the two
 preference lists (:meth:`ShardRouter.union_preference_list`) so no
-committed update can miss the incoming owners.  Once the moving arcs
-are copied, the change is applied to the shared router *atomically*
-(membership mutation plus transition clear, with no intervening
-simulation event) -- every client, shard host, and daemon holds the
-same router object, so the epoch flip is a single routing decision
-for the whole system.  ``epoch`` counts membership changes so
+committed update can miss the incoming owners.  ``transition.partitions``
+carries the staged diff -- the exact set of moved partitions -- so the
+migration only copies entries whose partition actually moved.  Once
+those are copied, the change is applied to the shared router
+*atomically* (membership mutation plus transition clear, with no
+intervening simulation event).  ``epoch`` counts routing changes so
 observers can tell rings apart.
 
 **Epoch fencing** turns agreement on the ring from a hope into a
@@ -46,17 +65,17 @@ as a :class:`RingView` -- an immutable snapshot of the membership, the
 staged transition (if any), and the *fence epoch*, a monotonic token
 (:attr:`ShardRouter.fence_epoch`) that advances on every observable
 routing change: staging a transition, flipping it, aborting it, or any
-direct membership mutation.  Clients tag each RPC with their view's
-token; shard services registered with the fence reject a mismatched
-tag with :class:`~repro.net.errors.StaleRingEpoch` *at dispatch time*
-(after any service-queue delay), so a request routed by a pre-change
-view can never execute against post-change ownership.  That check is
-what lets the reshard pipeline drop its settle interval: a write
-computed before a transition staged either executed before the staging
-or is fenced and retried against the union view -- there is no window
-in between.  A recovered shard host re-arms the fence when its boot
-hook re-registers the service against the same shared router, so it
-can never come back accepting fenced traffic at a reset epoch.
+direct membership or weight mutation.  Clients tag each RPC with their
+view's token; shard services registered with the fence reject a
+mismatched tag with :class:`~repro.net.errors.StaleRingEpoch` *at
+dispatch time* (after any service-queue delay), so a request routed by
+a pre-change view can never execute against post-change ownership.
+That check is what lets the reshard pipeline drop its settle interval:
+a write computed before a transition staged either executed before the
+staging or is fenced and retried against the union view -- there is no
+window in between.  A recovered shard host re-arms the fence when its
+boot hook re-registers the service against the same shared router, so
+it can never come back accepting fenced traffic at a reset epoch.
 
 Per-entry lock semantics are untouched: each replica shard's
 :class:`~repro.naming.group_view_db.GroupViewDatabase` keeps the
@@ -67,23 +86,39 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import math
+from collections import Counter
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Hashable, Iterable, TypeVar
+from typing import Hashable, Iterable, Mapping, TypeVar
 
 T = TypeVar("T")
 
 DEFAULT_RING_REPLICAS = 64
 
+# 2**DEFAULT_PARTITION_POWER fixed partitions.  Swift's tradeoff: more
+# partitions means finer-grained (smoother) rebalancing but a bigger
+# moved-set computation per staged change; fewer means coarser moves.
+# 256 partitions keeps both ends comfortable for simulated rings of a
+# handful to a few dozen hosts.
+DEFAULT_PARTITION_POWER = 8
+
+_HASH_BITS = 32
+
 # Preference-list walks are recomputed on every routing decision; the
-# set of hot keys is small, so a bounded memo pays for itself on every
-# operation.  Caches are per-ring and flushed by membership mutation.
+# set of partitions is finite and small, so a bounded memo pays for
+# itself on every operation.  Caches are per-ring and flushed by every
+# membership *and* weight mutation.
 _PLIST_CACHE_CAP = 4096
 
 
 @lru_cache(maxsize=65536)
 def _ring_hash(text: str) -> int:
-    """A stable 32-bit ring position for ``text``."""
+    """A stable 32-bit ring position for ``text``.
+
+    The memo is deliberately bounded: UID texts are unbounded over a
+    long simulation, and an unbounded cache would be a slow leak.
+    """
     digest = hashlib.md5(text.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
 
@@ -108,13 +143,16 @@ def _extend_with_ring(owners: list[str], ring: "ShardRouter",
 
 @dataclass
 class RingTransition:
-    """A staged membership change: dual ownership until the flip.
+    """A staged routing change: dual ownership until the flip.
 
     While a transition is attached to the live router, the live ring is
     the *old* epoch (reads prefer it) and ``target`` is the proposed
     ring (writes also flow to its owners).  ``added``/``removed`` name
-    the membership delta for observers; ``epoch`` is the epoch the flip
-    will land on.
+    the membership delta and ``reweighted`` the weight delta for
+    observers; ``epoch`` is the epoch the flip will land on.
+    ``partitions``, when set, is the exact set of partitions whose
+    preference list differs between the two rings -- the only entries a
+    migration pass needs to touch.
 
     ``dirty`` is the un-confirmation channel: a client whose
     dual-ownership write could not reach one of the entry's replicas
@@ -128,6 +166,8 @@ class RingTransition:
     epoch: int
     added: tuple[str, ...] = ()
     removed: tuple[str, ...] = ()
+    reweighted: tuple[tuple[str, float], ...] = ()
+    partitions: frozenset[int] | None = None
     dirty: set[str] = field(default_factory=set)
 
     def mark_dirty(self, uid: Hashable) -> None:
@@ -136,46 +176,71 @@ class RingTransition:
 
 
 class ShardRouter:
-    """A consistent-hash ring over named shard hosts."""
+    """A weighted consistent-hash ring over named shard hosts."""
 
     def __init__(self, nodes: Iterable[str],
-                 replicas: int = DEFAULT_RING_REPLICAS) -> None:
+                 replicas: int = DEFAULT_RING_REPLICAS,
+                 partition_power: int = DEFAULT_PARTITION_POWER,
+                 weights: Mapping[str, float] | None = None) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
+        if not 1 <= partition_power <= 16:
+            raise ValueError(
+                f"partition_power must be in [1, 16], got {partition_power}")
         self.replicas = replicas
+        self.partition_power = partition_power
         self.epoch = 0
         # The fencing token: advances on *every* observable routing
-        # change (membership mutation, transition staged / cleared), so
-        # a captured RingView's epoch matches the live router's only
-        # while routing by that view is still correct.  Monotonic for
-        # the router's lifetime -- unlike ``epoch`` it is never reset,
-        # so a snapshot can never collide with a later state.
+        # change (membership mutation, weight change, transition staged
+        # / cleared), so a captured RingView's epoch matches the live
+        # router's only while routing by that view is still correct.
+        # Monotonic for the router's lifetime -- unlike ``epoch`` it is
+        # never reset, so a snapshot can never collide with a later
+        # state.
         self._fence = 0
-        # A staged membership change (online resharding): while set,
+        # A staged routing change (online resharding): while set,
         # clients write through both epochs' preference lists and read
         # old-first.  Set and cleared only by the ReshardManager.
         self._transition: RingTransition | None = None
         self._view: RingView | None = None
         self._nodes: list[str] = []
+        self._weights: dict[str, float] = {}
         # Sorted (point, owner) pairs.  Keeping the owner inside the
         # sort key gives colliding points a deterministic order (by
         # owner name) instead of one that depends on insertion order.
         self._ring: list[tuple[int, str]] = []
-        # Memoized preference-list walks, keyed (key, n); flushed by
-        # every membership mutation (a cloned ring gets a fresh memo).
-        self._plist_cache: dict[tuple[str, int], list[str]] = {}
+        # Memoized preference-list walks, keyed (partition, n); flushed
+        # by every membership and weight mutation (a cloned ring gets a
+        # fresh memo).
+        self._plist_cache: dict[tuple[int, int], list[str]] = {}
+        boot_weights = dict(weights or {})
         for node in nodes:
-            self.add_node(node)
+            self.add_node(node, weight=boot_weights.get(node, 1.0))
         if not self._nodes:
             raise ValueError("a shard ring needs at least one node")
         self.epoch = 0  # boot membership is epoch 0; changes count from 1
 
-    # -- membership ---------------------------------------------------------
+    # -- membership and weights ---------------------------------------------
 
     @property
     def nodes(self) -> list[str]:
         """The shard hosts, in insertion order."""
         return list(self._nodes)
+
+    @property
+    def weights(self) -> dict[str, float]:
+        """Per-host weights (1.0 unless set otherwise)."""
+        return dict(self._weights)
+
+    def weight_of(self, node: str) -> float:
+        if node not in self._weights:
+            raise ValueError(f"not a shard node: {node}")
+        return self._weights[node]
+
+    def _vnode_count(self, weight: float) -> int:
+        # Every host claims at least one point, however small its
+        # weight, so no live host can fall off the ring entirely.
+        return max(1, round(weight * self.replicas))
 
     @property
     def transition(self) -> RingTransition | None:
@@ -189,49 +254,89 @@ class ShardRouter:
         self._fence += 1
         self._view = None
 
-    def add_node(self, node: str) -> None:
-        """Claim ``replicas`` ring points for ``node``."""
-        if node in self._nodes:
-            raise ValueError(f"shard node already on the ring: {node}")
-        if not node:
-            raise ValueError("shard node names must be non-empty")
-        self._nodes.append(node)
-        for index in range(self.replicas):
+    def _insert_points(self, node: str, start: int, stop: int) -> None:
+        for index in range(start, stop):
             entry = (_ring_hash(f"{node}#{index}"), node)
             self._ring.insert(bisect.bisect_left(self._ring, entry), entry)
+
+    def _touch(self) -> None:
+        """Account one routing change: epoch, fence, and memo flush."""
         self.epoch += 1
         self._fence += 1
         self._view = None
         self._plist_cache.clear()
 
+    def add_node(self, node: str, weight: float = 1.0) -> None:
+        """Claim ``round(weight * replicas)`` ring points for ``node``."""
+        if node in self._nodes:
+            raise ValueError(f"shard node already on the ring: {node}")
+        if not node:
+            raise ValueError("shard node names must be non-empty")
+        if weight <= 0:
+            raise ValueError(f"shard weight must be positive: {weight}")
+        self._nodes.append(node)
+        self._weights[node] = weight
+        self._insert_points(node, 0, self._vnode_count(weight))
+        self._touch()
+
     def remove_node(self, node: str) -> None:
-        """Release the node's points; its arcs fall to the successors."""
+        """Release the node's points; its partitions fall to successors."""
         if node not in self._nodes:
             raise ValueError(f"not a shard node: {node}")
         if len(self._nodes) == 1:
             raise ValueError("cannot remove the last shard node")
         self._nodes.remove(node)
+        del self._weights[node]
         self._ring = [(p, o) for p, o in self._ring if o != node]
-        self.epoch += 1
-        self._fence += 1
-        self._view = None
-        self._plist_cache.clear()
+        self._touch()
+
+    def set_weight(self, node: str, weight: float) -> None:
+        """Change a host's weight, moving only the delta virtual nodes.
+
+        Growing a weight adds the host's *next* point indices; shrinking
+        removes its *highest* indices.  Points the host already held
+        never move, so only partitions whose walk crosses one of the
+        delta points can change owners -- the bounded-movement property
+        :meth:`movement_bound` quantifies.  Any weight change advances
+        the fence (and flushes the preference-list memo) even when the
+        rounded vnode count happens not to change, so observers can
+        rely on one rule: weight changed => epoch changed.
+        """
+        if node not in self._nodes:
+            raise ValueError(f"not a shard node: {node}")
+        if weight <= 0:
+            raise ValueError(f"shard weight must be positive: {weight}")
+        old = self._weights[node]
+        if weight == old:
+            return
+        old_count = self._vnode_count(old)
+        new_count = self._vnode_count(weight)
+        self._weights[node] = weight
+        if new_count > old_count:
+            self._insert_points(node, old_count, new_count)
+        else:
+            for index in range(new_count, old_count):
+                entry = (_ring_hash(f"{node}#{index}"), node)
+                del self._ring[bisect.bisect_left(self._ring, entry)]
+        self._touch()
 
     def clone(self) -> "ShardRouter":
         """An independent copy of the membership (no shared ring state).
 
-        Ring points are a pure function of the node names, so a clone
-        routes identically until one side's membership changes; the
+        Ring points are a pure function of the node names and weights,
+        so a clone routes identically until one side mutates; the
         ReshardManager stages proposed rings this way.  The clone never
         carries a transition of its own.
         """
         dup = ShardRouter.__new__(ShardRouter)
         dup.replicas = self.replicas
+        dup.partition_power = self.partition_power
         dup.epoch = self.epoch
         dup._fence = self._fence
         dup._transition = None
         dup._view = None
         dup._nodes = list(self._nodes)
+        dup._weights = dict(self._weights)
         dup._ring = list(self._ring)
         dup._plist_cache = {}
         return dup
@@ -259,45 +364,65 @@ class ShardRouter:
                                   self._transition)
         return self._view
 
-    # -- routing ------------------------------------------------------------
+    # -- partitions ---------------------------------------------------------
 
-    def _first_point_at_or_after(self, key: Hashable) -> int:
-        """Ring index of the first point clockwise of (or at) the key.
+    @property
+    def partition_count(self) -> int:
+        return 1 << self.partition_power
 
-        ``bisect_left`` on ``(hash, "")`` finds the first pair whose
-        point is >= the key's hash (node names are non-empty, so ``""``
-        sorts before every owner at the same point): a key hashing
-        *exactly* onto a point belongs to that point's own owner, not
-        the next one.
+    def partition_of(self, key: Hashable) -> int:
+        """The fixed partition ``key`` belongs to (top hash bits)."""
+        return _ring_hash(str(key)) >> (_HASH_BITS - self.partition_power)
+
+    def _partition_start(self, partition: int) -> int:
+        return partition << (_HASH_BITS - self.partition_power)
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.partition_count:
+            raise ValueError(
+                f"partition out of range [0, {self.partition_count}): "
+                f"{partition}")
+
+    def _first_point_at_or_after(self, point: int) -> int:
+        """Ring index of the first vnode clockwise of (or at) ``point``.
+
+        ``bisect_left`` on ``(point, "")`` finds the first pair whose
+        position is >= ``point`` (node names are non-empty, so ``""``
+        sorts before every owner at the same position): a partition
+        starting *exactly* on a vnode belongs to that vnode's own
+        owner, not the next one.
         """
-        at = bisect.bisect_left(self._ring, (_ring_hash(str(key)), ""))
+        at = bisect.bisect_left(self._ring, (point, ""))
         return 0 if at == len(self._ring) else at
 
-    def shard_for(self, key: Hashable) -> str:
-        """The shard host owning ``key`` (any value with a stable str)."""
-        return self._ring[self._first_point_at_or_after(key)][1]
+    def partition_owner(self, partition: int) -> str:
+        """The host owning ``partition``'s arc."""
+        self._check_partition(partition)
+        start = self._first_point_at_or_after(self._partition_start(partition))
+        return self._ring[start][1]
 
-    def preference_list(self, key: Hashable, n: int) -> list[str]:
-        """The key's owner plus its n-1 distinct successor hosts.
+    def partition_preference(self, partition: int, n: int) -> list[str]:
+        """The partition's owner plus its n-1 distinct successor hosts.
 
-        Walking clockwise from the owning point and collecting distinct
-        hosts yields the replica set for the key's arc: crash-disjoint
-        (all hosts distinct) and stable under ring growth the same way
-        single ownership is.  ``n`` greater than the ring's host count
-        returns every host.  ``preference_list(k, 1) == [shard_for(k)]``.
+        Walking clockwise from the partition's start point and
+        collecting distinct hosts yields the replica set for every key
+        in the partition: crash-disjoint (all hosts distinct) and
+        stable under ring growth.  ``n`` greater than the ring's host
+        count returns every host.
 
-        Walks are memoized per (key, n): the ring is immutable between
-        membership changes, so repeat lookups of a hot key cost one
-        dict hit instead of a full clockwise walk.  Callers get a fresh
-        list each time -- the memo is never aliased out.
+        Walks are memoized per (partition, n): the ring is immutable
+        between routing changes, so repeat lookups cost one dict hit
+        instead of a full clockwise walk.  Callers get a fresh list
+        each time -- the memo is never aliased out.
         """
         if n < 1:
             raise ValueError(f"preference list size must be >= 1, got {n}")
-        memo_key = (str(key), n)
+        self._check_partition(partition)
+        memo_key = (partition, n)
         cached = self._plist_cache.get(memo_key)
         if cached is not None:
             return list(cached)
-        start = self._first_point_at_or_after(key)
+        start = self._first_point_at_or_after(self._partition_start(partition))
         owners: list[str] = []
         for offset in range(len(self._ring)):
             owner = self._ring[(start + offset) % len(self._ring)][1]
@@ -309,6 +434,76 @@ class ShardRouter:
             self._plist_cache.clear()
         self._plist_cache[memo_key] = owners
         return list(owners)
+
+    def partition_spread(self) -> dict[str, int]:
+        """Partitions-per-host histogram (zeros included).
+
+        The ring-balance measure: with uniform weights every host
+        should own about ``partition_count / len(nodes)`` partitions;
+        with weights, shares proportional to weight.
+        """
+        counts = {node: 0 for node in self._nodes}
+        for partition in range(self.partition_count):
+            counts[self.partition_owner(partition)] += 1
+        return counts
+
+    def moved_partitions(self, target: "ShardRouter", n: int) -> set[int]:
+        """Partitions whose n-replica preference list differs vs ``target``.
+
+        The staged diff of two weighted rings: exactly the entries a
+        migration must copy (or GC) when transitioning from ``self`` to
+        ``target``.  Both rings must share a partition power.
+        """
+        if target.partition_power != self.partition_power:
+            raise ValueError("rings disagree on partition power")
+        mine = min(n, len(self._nodes))
+        theirs = min(n, len(target._nodes))
+        return {partition for partition in range(self.partition_count)
+                if self.partition_preference(partition, mine)
+                != target.partition_preference(partition, theirs)}
+
+    def movement_bound(self, target: "ShardRouter", n: int) -> int:
+        """A deterministic a-priori cap on ``len(moved_partitions())``.
+
+        A partition's preference list can change only if one of the
+        vnode points added or removed by the change lands inside its
+        distinct-host walk.  A walk for ``n`` hosts spans about ``n``
+        of the ring's ``v`` gaps, so with ``d`` delta points the moved
+        fraction is about ``1 - (1 - n/v)**d``; the bound doubles the
+        walk span for headroom (consecutive same-owner points stretch
+        a walk past ``n`` gaps).  With md5's fixed placement this holds
+        for every change the test suite and benchmarks stage; it is a
+        prediction *cap*, not an exact count -- compare with
+        :meth:`moved_partitions` for the latter.
+        """
+        if target.partition_power != self.partition_power:
+            raise ValueError("rings disagree on partition power")
+        mine: Counter[tuple[int, str]] = Counter(self._ring)
+        theirs: Counter[tuple[int, str]] = Counter(target._ring)
+        delta = sum(((mine - theirs) + (theirs - mine)).values())
+        if delta == 0:
+            return 0
+        points = min(len(self._ring), len(target._ring))
+        walk = min(n, len(self._nodes), len(target._nodes))
+        span = min(1.0, 2.0 * walk / max(1, points))
+        fraction = 1.0 - (1.0 - span) ** delta
+        return min(self.partition_count,
+                   max(1, math.ceil(self.partition_count * fraction)))
+
+    # -- routing ------------------------------------------------------------
+
+    def shard_for(self, key: Hashable) -> str:
+        """The shard host owning ``key`` (any value with a stable str)."""
+        return self.partition_owner(self.partition_of(key))
+
+    def preference_list(self, key: Hashable, n: int) -> list[str]:
+        """The key's replica set: its partition's preference list.
+
+        ``preference_list(k, 1) == [shard_for(k)]``; every key in a
+        partition shares one list, which is what makes migration by
+        partitions exhaustive.
+        """
+        return self.partition_preference(self.partition_of(key), n)
 
     def union_preference_list(self, key: Hashable, n: int) -> list[str]:
         """The key's replica set across both epochs of a transition.
@@ -343,7 +538,8 @@ class ShardRouter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ShardRouter nodes={len(self._nodes)} "
-                f"replicas={self.replicas}>")
+                f"replicas={self.replicas} "
+                f"partitions={self.partition_count}>")
 
 
 class RingView:

@@ -81,10 +81,12 @@ class ShardedGroupViewDbClient:
                  cache: EntryCache | None = None,
                  validate_leases: bool = False,
                  clock: Any | None = None,
+                 sync_suffix: str = "",
                  metrics: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.io = ReplicaIO(rpc, router, replication, service=service,
                             read_policy=read_policy, repair=repair,
+                            sync_suffix=sync_suffix,
                             metrics=metrics, tracer=tracer)
         self.cache = cache
         self.validate_leases = validate_leases

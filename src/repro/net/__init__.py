@@ -28,6 +28,7 @@ from repro.net.latency import (
     ExponentialLatency,
     FixedLatency,
     LatencyModel,
+    TokenBucket,
     UniformLatency,
 )
 from repro.net.message import Message
@@ -65,6 +66,7 @@ __all__ = [
     "RpcRequest",
     "RpcTimeout",
     "StaleRingEpoch",
+    "TokenBucket",
     "UnknownMethod",
     "UnknownService",
 ]

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.net.latency import FixedLatency, LatencyModel
+from repro.net.latency import FixedLatency, LatencyModel, TokenBucket
 from repro.net.message import Message
 from repro.sim.rng import SeededRng
 from repro.sim.scheduler import Scheduler
@@ -33,13 +33,24 @@ class NetworkInterface:
     The owning node assigns :attr:`on_message` and flips :attr:`up` as it
     crashes and recovers.  While an interface is down it neither sends
     nor receives.
+
+    An interface may carry its own :attr:`latency` model and
+    :attr:`throttle` (token bucket): that is what makes it a distinct
+    network *plane* rather than just a second name.  Messages touching
+    such an interface take its latency instead of the network default,
+    and pay the bucket's queueing delay on top (see
+    :meth:`Network._transmit` for the resolution order).
     """
 
-    def __init__(self, network: "Network", name: str) -> None:
+    def __init__(self, network: "Network", name: str,
+                 latency: LatencyModel | None = None,
+                 throttle: TokenBucket | None = None) -> None:
         self._network = network
         self.name = name
         self.up = True
         self.on_message: DeliverFn | None = None
+        self.latency = latency
+        self.throttle = throttle
         self.sent_count = 0
         self.received_count = 0
 
@@ -90,11 +101,18 @@ class Network:
 
     # -- topology ----------------------------------------------------------
 
-    def attach(self, name: str) -> NetworkInterface:
-        """Create the interface for a new node name (must be unique)."""
+    def attach(self, name: str, latency: LatencyModel | None = None,
+               throttle: TokenBucket | None = None) -> NetworkInterface:
+        """Create the interface for a new node name (must be unique).
+
+        ``latency`` and ``throttle`` make the interface a distinct
+        plane: messages it terminates (or, failing that, originates)
+        use its latency model instead of the network default, and queue
+        behind its token bucket.
+        """
         if name in self._interfaces:
             raise ValueError(f"interface name already attached: {name!r}")
-        nic = NetworkInterface(self, name)
+        nic = NetworkInterface(self, name, latency=latency, throttle=throttle)
         self._interfaces[name] = nic
         return nic
 
@@ -159,7 +177,20 @@ class Network:
         if self._rng is not None and self._rng.chance(self._drop_probability):
             self.messages_dropped += 1
             return
-        delay = self.latency.sample(message.sender, message.target)
+        # Plane resolution: the target interface's own model wins (sync
+        # traffic into a host's replication NIC takes the sync plane's
+        # latency even from a single-NIC sender), then the sender's,
+        # then the network default.  Same order for the throttle.
+        target_nic = self._interfaces[message.target]
+        sender_nic = self._interfaces.get(message.sender)
+        model = target_nic.latency or (
+            sender_nic.latency if sender_nic is not None else None
+        ) or self.latency
+        delay = model.sample(message.sender, message.target)
+        throttle = target_nic.throttle or (
+            sender_nic.throttle if sender_nic is not None else None)
+        if throttle is not None:
+            delay += throttle.reserve(self._scheduler.now)
         self._scheduler.schedule(delay, self._deliver, message)
 
     def _deliver(self, message: Message) -> None:

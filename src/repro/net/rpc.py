@@ -42,6 +42,7 @@ from repro.net.errors import (
 from repro.net.message import Message
 from repro.net.network import NetworkInterface
 from repro.sim.futures import Future
+from repro.sim.metrics import PlaneTraffic
 from repro.sim.process import Process
 from repro.sim.scheduler import Scheduler
 from repro.sim.tracing import NULL_TRACER, Tracer
@@ -99,9 +100,13 @@ class RpcAgent:
         service_time: float = 0.0,
         tracer: Tracer | None = None,
         demux: "MessageDemux | None" = None,
+        traffic: "PlaneTraffic | None" = None,
     ) -> None:
         self._scheduler = scheduler
         self._nic = nic
+        # Optional per-plane accounting: every request/reply this agent
+        # sends or receives is recorded against its (host, plane) pair.
+        self._traffic = traffic
         if demux is not None:
             demux.route("rpc.", self._on_message)
         else:
@@ -199,7 +204,9 @@ class RpcAgent:
         request = RpcRequest(next(_request_ids), service, method, tuple(args),
                              ring_epoch=ring_epoch)
         self._pending[request.request_id] = future
-        self._nic.send(target, REQUEST_KIND, request)
+        if self._nic.send(target, REQUEST_KIND, request) is not None \
+                and self._traffic is not None:
+            self._traffic.record_sent(request)
         deadline = timeout if timeout is not None else self.default_timeout
         timer = self._scheduler.schedule(deadline, self._expire, request, target)
         future.add_callback(lambda _f: timer.cancel())
@@ -216,6 +223,8 @@ class RpcAgent:
     # -- message handling ------------------------------------------------------
 
     def _on_message(self, message: Message) -> None:
+        if self._traffic is not None:
+            self._traffic.record_received(message.payload)
         if message.kind == REQUEST_KIND:
             self._serve(message.sender, message.payload)
         elif message.kind == REPLY_KIND:
@@ -268,7 +277,7 @@ class RpcAgent:
                                     method=request.method,
                                     request_epoch=request.ring_epoch,
                                     server_epoch=current)
-                self._nic.send(caller, REPLY_KIND, RpcReply(
+                self._send_reply(caller, RpcReply(
                     request.request_id, False,
                     error_type="StaleRingEpoch",
                     error_message=(
@@ -311,17 +320,22 @@ class RpcAgent:
         else:
             self._reply_ok(caller, request, process.result())
 
+    def _send_reply(self, caller: str, reply: RpcReply) -> None:
+        if self._nic.send(caller, REPLY_KIND, reply) is not None \
+                and self._traffic is not None:
+            self._traffic.record_sent(reply)
+
     def _reply_ok(self, caller: str, request: RpcRequest, value: Any) -> None:
         if not self._nic.up:
             return
-        self._nic.send(caller, REPLY_KIND, RpcReply(request.request_id, True, value))
+        self._send_reply(caller, RpcReply(request.request_id, True, value))
 
     def _reply_error(self, caller: str, request: RpcRequest, exc: Exception) -> None:
         if not self._nic.up:
             return
         self._tracer.record("rpc", "handler raised", service=request.service,
                             method=request.method, error=type(exc).__name__)
-        self._nic.send(caller, REPLY_KIND, RpcReply(
+        self._send_reply(caller, RpcReply(
             request.request_id, False,
             error_type=type(exc).__name__, error_message=str(exc)))
 

@@ -127,6 +127,63 @@ class TimeSeries:
         return total / span if span > 0 else self.samples[0][1]
 
 
+def wire_size(payload: Any) -> int:
+    """A deterministic stand-in for a payload's size on the wire.
+
+    The simulator never serialises messages, so "bytes" here means the
+    length of the payload's ``repr`` -- stable across runs for the
+    dataclass/tuple/dict payloads the RPC layer ships, and good enough
+    to compare the *relative* volume of the client and sync planes.
+    """
+    return len(repr(payload))
+
+
+class PlaneTraffic:
+    """RPC and byte counters for one (host, plane) pair.
+
+    The per-node RPC agents record every message they put on or take
+    off their interface here, under
+    ``traffic.<host>.<plane>.{rpcs,bytes}_{in,out}`` in the shared
+    registry -- so a snapshot splits each host's load into its client
+    and sync planes without touching the network layer.
+    """
+
+    __slots__ = ("_registry", "host", "plane", "_prefix")
+
+    def __init__(self, registry: "MetricsRegistry", host: str,
+                 plane: str) -> None:
+        self._registry = registry
+        self.host = host
+        self.plane = plane
+        self._prefix = f"traffic.{host}.{plane}."
+
+    def record_sent(self, payload: Any) -> None:
+        self._registry.counter(self._prefix + "rpcs_out").increment()
+        self._registry.counter(self._prefix + "bytes_out").increment(
+            wire_size(payload))
+
+    def record_received(self, payload: Any) -> None:
+        self._registry.counter(self._prefix + "rpcs_in").increment()
+        self._registry.counter(self._prefix + "bytes_in").increment(
+            wire_size(payload))
+
+    @property
+    def rpcs_out(self) -> int:
+        return self._registry.counter_value(self._prefix + "rpcs_out")
+
+    @property
+    def rpcs_in(self) -> int:
+        return self._registry.counter_value(self._prefix + "rpcs_in")
+
+    @property
+    def bytes_out(self) -> int:
+        return self._registry.counter_value(self._prefix + "bytes_out")
+
+    @property
+    def bytes_in(self) -> int:
+        return self._registry.counter_value(self._prefix + "bytes_in")
+
+
 class ScopedMetrics:
     """A registry view that prefixes every instrument name.
 
@@ -217,3 +274,7 @@ class MetricsRegistry:
     def scoped(self, prefix: str) -> ScopedMetrics:
         """A view of this registry under a name prefix (e.g. per shard)."""
         return ScopedMetrics(self, prefix)
+
+    def plane_traffic(self, host: str, plane: str) -> PlaneTraffic:
+        """Per-plane traffic counters for ``host`` (e.g. client vs sync)."""
+        return PlaneTraffic(self, host, plane)

@@ -17,6 +17,14 @@ replicated over its ring arc (``nameserver_replication``).  The row
 separates commits on UIDs whose *primary* home is the crashed host --
 the arc a bare ring would black-hole -- and reports when the recovered
 host finished resyncing from its replica peers.
+
+:func:`sync_plane_scenario` measures plane *interference*: the same
+closed loop under an aggressive anti-entropy sweep and a full-arc
+resync, run once with all traffic sharing each shard host's single
+NIC and once with the maintenance traffic on a dedicated replication
+NIC (``dedicated_sync_nic``).  The client tail latency difference is
+what the second plane buys; the lost/stale ledger shows it costs
+nothing in correctness.
 """
 
 from __future__ import annotations
@@ -249,6 +257,127 @@ def sharded_failover_scenario(
                           else not system.nodes[victim].crashed),
     }
     return row
+
+
+def sync_plane_scenario(
+    dedicated_sync_nic: bool = False,
+    shards: int = 3,
+    replication: int = 2,
+    clients: int = 6,
+    txns_per_client: int = 50,
+    server_hosts: int = 4,
+    scheme: str = "independent",
+    shard_service_time: float = 0.012,
+    sweep_interval: float | None = 0.1,
+    mean_think_time: float = 0.15,
+    max_attempts: int = 10,
+    rpc_timeout: float = 5.0,
+    fixed_latency: float = 0.002,
+    outage: tuple[float, float] = (2.0, 6.0),
+    victim_index: int = 0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the two-plane interference workload; returns a row.
+
+    The capacity sweep's closed loop (only the shard hosts charge
+    per-request service time, so the name service is the queueing
+    bottleneck) runs while the replica-maintenance machinery does its
+    worst: an aggressive anti-entropy sweep on every shard host, plus a
+    scripted outage of one shard host whose recovery triggers a
+    full-arc resync -- every entry on every arc the victim replicates
+    gets probed, and stale ones copied, while the clients keep binding.
+
+    With ``dedicated_sync_nic=False`` (the single-plane baseline) all
+    of that maintenance traffic lands in the *same* single-server
+    queues as the client requests, so resync and sweep storms show up
+    directly in the client tail latency.  With the dedicated sync NIC
+    the same maintenance work (same per-request service time, charged
+    on the sync agents) rides its own plane, and the client
+    percentiles should barely notice the storm.  The row carries both
+    planes' traffic meters, the client latency percentiles (overall
+    and during the post-recovery resync window), and the lost/stale
+    correctness ledger -- isolation must cost nothing in correctness.
+    """
+    from repro.sim.failures import FaultPlan
+    from repro.workload.generator import run_streams
+
+    system, streams, uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, nameserver_shards=shards,
+        nameserver_replication=replication, binding_scheme=scheme,
+        rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+        shard_antientropy_interval=sweep_interval,
+        dedicated_sync_nic=dedicated_sync_nic,
+        # Same per-request cost for maintenance work either way: on the
+        # shared plane it charges the client queue; on the dedicated
+        # plane it charges the sync agent's own queue.
+        sync_service_time=(shard_service_time if dedicated_sync_nic
+                           else None))
+    assert system.shard_router is not None
+    for host in system.shard_hosts:
+        system.nodes[host].rpc.service_time = shard_service_time
+    victim = system.shard_hosts[victim_index]
+    start, end = outage
+    system.install_fault_plan(FaultPlan().outage(start, end, victim))
+    report = run_streams(system, streams)
+    system.run(until=max(system.scheduler.now, end) + 30.0)
+
+    resyncer = system.shard_resyncers.get(victim)
+    resync_done = (resyncer.last_resync_at
+                   if resyncer is not None and resyncer.last_resync_at
+                   else end + 4.0)
+
+    latencies = [o.latency for o in report.outcomes]
+    storm = [o.latency for o in report.outcomes
+             if end <= o.finished_at < max(resync_done, end + 1.0)]
+
+    # -- the correctness ledger ---------------------------------------------
+    reader = next(iter(system.clients.values()))
+    lost = stale = 0
+    for i, stream in enumerate(streams):
+        committed = sum(1 for o in stream.report.outcomes if o.committed)
+
+        def read_value(uid=uids[i % len(uids)]):
+            def work(txn):
+                return (yield from txn.invoke(uid, "get"))
+            return work
+
+        result = system.run_transaction(reader, read_value(), read_only=True)
+        assert result.committed, f"final audit read failed: {result.reason}"
+        lost += max(0, committed - result.value)
+        stale += max(0, result.value - committed)
+
+    def plane_total(plane: str, what: str) -> int:
+        return sum(
+            int(system.metrics.counter_value(f"traffic.{h}.{plane}.{what}"))
+            for h in system.shard_hosts)
+
+    finishes = [o.finished_at for o in report.outcomes]
+    elapsed = max(finishes) if finishes else system.scheduler.now
+    return {
+        "dedicated_sync_nic": dedicated_sync_nic,
+        "shards": shards,
+        "replication": replication,
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+        "mean_latency": report.mean_latency(),
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
+        "p95_during_resync": percentile(storm, 0.95) if storm else 0.0,
+        "resync_done_at": (resyncer.last_resync_at
+                           if resyncer is not None else None),
+        "entries_refreshed": (resyncer.entries_refreshed
+                              if resyncer is not None else 0),
+        "client_plane_rpcs": plane_total("client", "rpcs_in"),
+        "client_plane_bytes": plane_total("client", "bytes_in"),
+        "sync_plane_rpcs": plane_total("sync", "rpcs_in"),
+        "sync_plane_bytes": plane_total("sync", "bytes_in"),
+        "lost_bindings": lost,
+        "stale_bindings": stale,
+    }
 
 
 def online_reshard_scenario(

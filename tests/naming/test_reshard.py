@@ -245,6 +245,8 @@ def test_mark_dirty_unconfirms_arcs():
             now = 0.0
         name = "coord"
         rpc = None
+        sync_rpc = None
+        sync_suffix = ""
 
     manager = ReshardManager(_Node, ring, replication=2)
     done = {"sys:1", "sys:2", "sys:3"}

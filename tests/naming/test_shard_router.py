@@ -97,14 +97,17 @@ def test_colliding_ring_points_do_not_depend_on_insertion_order(monkeypatch):
     assert first.preference_list("k", 2) == second.preference_list("k", 2)
 
 
-def test_key_hashing_exactly_onto_a_point_belongs_to_that_point(monkeypatch):
-    """Regression: ``bisect`` (right) assigned a key landing exactly on
-    a ring point to the *next* owner clockwise instead of the point's
-    own."""
-    table = {"x#0": 500, "y#0": 300, "k": 500}
+def test_partition_starting_exactly_on_a_point_belongs_to_that_point(monkeypatch):
+    """Regression: ``bisect`` (right) assigned an arc starting exactly
+    on a ring point to the *next* owner clockwise instead of the
+    point's own.  With partition routing the boundary in question is a
+    partition's start point."""
+    start_of_p1 = 1 << (32 - shard_router_module.DEFAULT_PARTITION_POWER)
+    table = {"x#0": start_of_p1, "y#0": 300, "k": start_of_p1 + 5}
     monkeypatch.setattr(shard_router_module, "_ring_hash",
                         _scripted_hashes(table))
     router = ShardRouter(["x", "y"], replicas=1)
+    assert router.partition_owner(1) == "x"
     assert router.shard_for("k") == "x"
     assert router.preference_list("k", 2) == ["x", "y"]
 

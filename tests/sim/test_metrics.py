@@ -88,3 +88,39 @@ def test_registry_returns_same_instrument():
     m = MetricsRegistry()
     assert m.counter("a") is m.counter("a")
     assert m.histogram("b") is m.histogram("b")
+
+
+def test_wire_size_is_deterministic():
+    from repro.sim.metrics import wire_size
+    payload = {"method": "get_server", "args": ("sys:1",)}
+    assert wire_size(payload) == wire_size(dict(payload))
+    assert wire_size(payload) == len(repr(payload))
+
+
+def test_plane_traffic_counters_land_in_the_snapshot():
+    from repro.sim.metrics import MetricsRegistry
+    m = MetricsRegistry()
+    client = m.plane_traffic("alpha", "client")
+    sync = m.plane_traffic("alpha", "sync")
+    client.record_sent("req")
+    client.record_received("rep")
+    sync.record_sent("probe")
+    snap = m.snapshot()
+    assert snap["traffic.alpha.client.rpcs_out"] == 1
+    assert snap["traffic.alpha.client.rpcs_in"] == 1
+    assert snap["traffic.alpha.sync.rpcs_out"] == 1
+    assert snap["traffic.alpha.client.bytes_out"] == len(repr("req"))
+    assert "traffic.alpha.sync.rpcs_in" not in snap  # nothing received
+
+
+def test_plane_traffic_read_properties_track_counters():
+    from repro.sim.metrics import MetricsRegistry
+    m = MetricsRegistry()
+    t = m.plane_traffic("beta", "sync")
+    assert (t.rpcs_out, t.rpcs_in) == (0, 0)
+    t.record_sent("x")
+    t.record_sent("y")
+    t.record_received("z")
+    assert (t.rpcs_out, t.rpcs_in) == (2, 1)
+    assert t.bytes_out == 2 * len(repr("x"))
+    assert t.bytes_in == len(repr("z"))
