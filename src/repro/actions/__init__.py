@@ -36,6 +36,7 @@ from repro.actions.action import (
     ActionStatus,
     AtomicAction,
     Vote,
+    abort_on_failure,
 )
 from repro.actions.records import CallbackRecord, LockReleaseRecord, RemoteParticipantRecord
 
@@ -56,5 +57,6 @@ __all__ = [
     "PromotionRefused",
     "RemoteParticipantRecord",
     "Vote",
+    "abort_on_failure",
     "lock_compatible",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import enum
 import itertools
+import sys
 from dataclasses import dataclass
 from typing import Any, Generator
 
@@ -279,3 +280,37 @@ class AtomicAction:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<AtomicAction {self.id} {self.status.value}>"
+
+
+def abort_on_failure(action: AtomicAction) -> Generator[Any, Any, None]:
+    """Terminate a still-live action from an exception handler.
+
+    The canonical tail of the abort-on-failure invariant (enforced
+    repo-wide by ``repro.analysis``'s ``action-leak`` rule)::
+
+        action = AtomicAction(...)
+        try:
+            ...
+        except BaseException:
+            yield from abort_on_failure(action)
+            raise
+
+    Two subtleties live here so call sites stay uniform:
+
+    - An action the body already resolved (``commit()`` raised after
+      deciding, or an inner handler aborted before re-raising) is left
+      alone -- double-abort would raise :class:`InvalidActionState`
+      from inside a handler and mask the original error.
+    - Under ``GeneratorExit`` (the enclosing generator is being
+      closed -- abandoned by its driver or collected) yielding is
+      illegal, so the abort is skipped: the RPCs it would need cannot
+      be sent from a closing generator.  Remote participants are then
+      resolved by presumed-abort and the cleanup daemons, exactly as
+      for a client that crashed at this point.
+    """
+    if action.status in (ActionStatus.COMMITTED, ActionStatus.ABORTED):
+        return
+    exc = sys.exc_info()[1]
+    if isinstance(exc, GeneratorExit):
+        return
+    yield from action.abort()

@@ -1,0 +1,50 @@
+"""Protocol-invariant linter (``python -m repro.analysis``).
+
+An AST analysis pass enforcing the repo's hard-won protocol
+invariants -- abort-on-failure, epoch fencing, plane separation, and
+simulator determinism -- as executable rules.  See
+``docs/architecture.md`` ("Protocol invariants and the lint pass") for
+the invariant catalogue and the suppression policy.
+
+Importable API (used by the test suite and any future tooling)::
+
+    from repro.analysis import analyze_paths, get_rules, load_baseline
+    report = analyze_paths(repo_root, ["src/repro"])
+    assert not report.new_findings
+"""
+
+from repro.analysis.core import (
+    Finding,
+    ModuleSource,
+    Report,
+    Rule,
+    all_rules,
+    analyze_paths,
+    get_rules,
+    load_baseline,
+    register,
+    render_stats,
+    render_text,
+    write_baseline,
+)
+from repro.analysis import rules as _builtin_rules  # noqa: F401  (registration)
+
+DEFAULT_PATHS = ("src/repro", "benchmarks", "examples")
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+__all__ = [
+    "Finding",
+    "ModuleSource",
+    "Report",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "get_rules",
+    "load_baseline",
+    "register",
+    "render_stats",
+    "render_text",
+    "write_baseline",
+    "DEFAULT_PATHS",
+    "DEFAULT_BASELINE",
+]

@@ -1,0 +1,114 @@
+"""Command line for the protocol-invariant linter.
+
+Exit codes:
+
+- 0: no new (non-baselined, unsuppressed) findings
+- 1: new findings, and ``--strict`` was given (or parse errors)
+- 2: usage error (unknown rule, unreadable baseline)
+
+Typical use::
+
+    PYTHONPATH=src python -m repro.analysis --strict
+    PYTHONPATH=src python -m repro.analysis --stats
+    PYTHONPATH=src python -m repro.analysis --json-out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    DEFAULT_BASELINE,
+    DEFAULT_PATHS,
+    analyze_paths,
+    get_rules,
+    load_baseline,
+    render_stats,
+    render_text,
+    write_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST linter enforcing the repo's protocol invariants")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan "
+                             f"(default: {', '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--root", default=".",
+                        help="scan root paths are resolved against "
+                             "(default: cwd)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule subset to run")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: {DEFAULT_BASELINE} "
+                             f"under --root, when present)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline to grandfather every "
+                             "current finding, then exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any new finding")
+    parser.add_argument("--json", action="store_true",
+                        help="print the JSON report to stdout instead of "
+                             "text")
+    parser.add_argument("--json-out", default=None, metavar="FILE",
+                        help="also write the JSON report to FILE")
+    parser.add_argument("--stats", action="store_true",
+                        help="print per-rule finding counts and scan totals")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="include baselined findings in text output")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    root = Path(args.root)
+    paths = args.paths or [p for p in DEFAULT_PATHS if (root / p).exists()]
+
+    try:
+        rules = get_rules(
+            [r.strip() for r in args.rules.split(",") if r.strip()]
+            if args.rules else None)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / DEFAULT_BASELINE
+    try:
+        baseline = load_baseline(baseline_path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"bad baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+
+    report = analyze_paths(root, paths, rules=rules, baseline_keys=baseline)
+
+    if args.write_baseline:
+        write_baseline(baseline_path, report)
+        print(f"baseline written: {baseline_path} "
+              f"({len(report.findings)} finding(s) grandfathered)")
+        return 0
+
+    if args.json_out:
+        Path(args.json_out).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n")
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    elif args.stats:
+        print(render_stats(report))
+    else:
+        print(render_text(report, show_baselined=args.show_baselined))
+
+    if report.parse_errors:
+        return 1
+    if args.strict and report.new_findings:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,377 @@
+"""The invariant linter's chassis: rules, findings, suppressions, baseline.
+
+The repo's correctness story rests on a handful of *mechanical*
+protocol invariants (abort-on-failure, fences on routing-sensitive
+services, plane separation, simulator determinism).  Four of the first
+six PRs fixed violations of exactly these invariants by hand, each
+found the slow way -- a long-haul churn run or a code read.  This
+package turns them into executable AST checks so the next violation is
+a CI failure, not a debugging session.
+
+Pieces:
+
+- :class:`Rule` -- one invariant checker over one parsed module.
+  Subclasses register themselves via :func:`register` and scope
+  themselves to path prefixes (``applies_to``).
+- :class:`Finding` -- one violation, with a line-number-independent
+  identity key so the baseline survives unrelated edits.
+- :class:`ModuleSource` -- a parsed file plus the parent map and the
+  per-line ``# repro: ignore[rule]`` suppression table.
+- :func:`analyze_paths` -- scan a tree, apply every applicable rule,
+  honour suppressions, and return a :class:`Report`.
+- Baseline: a checked-in JSON list of grandfathered finding keys.
+  ``--strict`` fails on any finding *not* in the baseline, so the debt
+  is frozen and every new violation is loud.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+BASELINE_VERSION = 1
+JSON_SCHEMA_VERSION = 1
+
+#: Matches one suppression comment.  ``# repro: ignore[rule-a,rule-b]``
+#: silences those rules on that line; ``# repro: ignore[*]`` silences
+#: every rule on that line.
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([\w\-\*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # posix-style path relative to the scan root
+    line: int
+    symbol: str  # dotted name of the enclosing class/function, or "<module>"
+    message: str
+    ident: str  # stable detail (variable/service/callable name), line-free
+
+    def key(self) -> str:
+        """Baseline identity: survives line drift from unrelated edits."""
+        return f"{self.rule}::{self.path}::{self.symbol}::{self.ident}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "key": self.key(),
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.symbol}: {self.message}"
+
+
+class ModuleSource:
+    """A parsed source file plus the lookup tables every rule needs."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.suppressions = _parse_suppressions(text)
+
+    @classmethod
+    def from_path(cls, path: Path, relpath: str) -> "ModuleSource":
+        return cls(path, relpath, path.read_text())
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return "*" in rules or rule in rules
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted name of the innermost def/class enclosing ``node``."""
+        parts: list[str] = []
+        current: ast.AST | None = node
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef)):
+                parts.append(current.name)
+            current = self.parents.get(current)
+        return ".".join(reversed(parts)) or "<module>"
+
+
+def _parse_suppressions(text: str) -> dict[int, set[str]]:
+    table: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")
+                     if part.strip()}
+            table.setdefault(tok.start[0], set()).update(rules)
+    except tokenize.TokenError:  # pragma: no cover - unparsable tail
+        pass
+    return table
+
+
+# -- rule registry -----------------------------------------------------------
+
+
+class Rule:
+    """One invariant checker.  Subclass, set ``name``, implement ``check``."""
+
+    name = "abstract"
+    description = ""
+    #: Path prefixes (posix, relative to the scan root) the rule applies
+    #: to.  Empty = everywhere scanned.
+    include: tuple[str, ...] = ()
+    #: Path prefixes the rule never applies to, checked after ``include``.
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        if self.include and not any(relpath.startswith(p) for p in self.include):
+            return False
+        return not any(relpath.startswith(p) for p in self.exclude)
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str,
+                ident: str) -> Finding:
+        return Finding(rule=self.name, path=module.relpath,
+                       line=getattr(node, "lineno", 0),
+                       symbol=module.qualname(node),
+                       message=message, ident=ident)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register one rule."""
+    rule = rule_cls()
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name: {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_cls
+
+
+def all_rules() -> dict[str, Rule]:
+    _ensure_builtin_rules()
+    return dict(_REGISTRY)
+
+
+def get_rules(names: Iterable[str] | None = None) -> list[Rule]:
+    rules = all_rules()
+    if names is None:
+        return list(rules.values())
+    missing = [n for n in names if n not in rules]
+    if missing:
+        raise KeyError(f"unknown rule(s): {', '.join(missing)} "
+                       f"(known: {', '.join(sorted(rules))})")
+    return [rules[n] for n in names]
+
+
+def _ensure_builtin_rules() -> None:
+    # Import for the registration side effect; idempotent.
+    from repro.analysis import rules as _rules  # noqa: F401
+
+
+# -- scanning ----------------------------------------------------------------
+
+
+@dataclass
+class Report:
+    """The outcome of one analysis run."""
+
+    root: str
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+    rules_run: list[str] = field(default_factory=list)
+    baseline_keys: frozenset[str] = frozenset()
+
+    @property
+    def new_findings(self) -> list[Finding]:
+        """Findings not grandfathered by the baseline."""
+        return [f for f in self.findings if f.key() not in self.baseline_keys]
+
+    @property
+    def baselined_findings(self) -> list[Finding]:
+        return [f for f in self.findings if f.key() in self.baseline_keys]
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts = {name: 0 for name in self.rules_run}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": JSON_SCHEMA_VERSION,
+            "root": self.root,
+            "files_scanned": self.files_scanned,
+            "rules": sorted(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "new_findings": [f.to_dict() for f in self.new_findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+            "stats": {
+                "by_rule": self.counts_by_rule(),
+                "total": len(self.findings),
+                "new": len(self.new_findings),
+                "baselined": len(self.baselined_findings),
+                "suppressed": len(self.suppressed),
+            },
+        }
+
+
+def iter_python_files(root: Path, paths: Iterable[str]) -> Iterator[Path]:
+    for entry in paths:
+        target = (root / entry) if not Path(entry).is_absolute() else Path(entry)
+        if target.is_file() and target.suffix == ".py":
+            yield target
+        elif target.is_dir():
+            yield from sorted(target.rglob("*.py"))
+
+
+def analyze_paths(root: Path | str, paths: Iterable[str],
+                  rules: list[Rule] | None = None,
+                  baseline_keys: Iterable[str] = ()) -> Report:
+    """Scan ``paths`` (files or directories, relative to ``root``)."""
+    root = Path(root)
+    if rules is None:
+        rules = get_rules()
+    report = Report(root=str(root), rules_run=[r.name for r in rules],
+                    baseline_keys=frozenset(baseline_keys))
+    for path in iter_python_files(root, paths):
+        try:
+            relpath = path.relative_to(root).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        applicable = [r for r in rules if r.applies_to(relpath)]
+        if not applicable:
+            continue
+        try:
+            module = ModuleSource.from_path(path, relpath)
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{relpath}: {exc}")
+            continue
+        report.files_scanned += 1
+        for rule in applicable:
+            for finding in rule.check(module):
+                if module.suppressed(finding.line, finding.rule):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    report.suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def load_baseline(path: Path | str) -> frozenset[str]:
+    """Read the grandfathered finding keys; missing file = empty."""
+    path = Path(path)
+    if not path.exists():
+        return frozenset()
+    data = json.loads(path.read_text())
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version in {path}: "
+                         f"{data.get('version')!r}")
+    return frozenset(data.get("findings", []))
+
+
+def write_baseline(path: Path | str, report: Report) -> None:
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": sorted({f.key() for f in report.findings}),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def render_text(report: Report, show_baselined: bool = False) -> str:
+    lines: list[str] = []
+    baselined = {f.key() for f in report.baselined_findings}
+    for finding in report.findings:
+        if finding.key() in baselined:
+            if show_baselined:
+                lines.append(f"{finding.render()} (baselined)")
+            continue
+        lines.append(finding.render())
+    for error in report.parse_errors:
+        lines.append(f"parse error: {error}")
+    stats = report.to_dict()["stats"]
+    lines.append(
+        f"{report.files_scanned} file(s) scanned, "
+        f"{stats['new']} new finding(s), {stats['baselined']} baselined, "
+        f"{stats['suppressed']} suppressed")
+    return "\n".join(lines)
+
+
+def render_stats(report: Report) -> str:
+    lines = [f"files scanned: {report.files_scanned}"]
+    for name in sorted(report.rules_run):
+        lines.append(f"  {name}: {report.counts_by_rule().get(name, 0)}")
+    stats = report.to_dict()["stats"]
+    lines.append(f"total: {stats['total']} "
+                 f"(new {stats['new']}, baselined {stats['baselined']}, "
+                 f"suppressed {stats['suppressed']})")
+    return "\n".join(lines)
+
+
+# -- shared AST helpers for the rules ---------------------------------------
+
+
+def dotted(node: ast.AST) -> str | None:
+    """Render a Name/Attribute chain as ``a.b.c``; None when not a chain."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    elif isinstance(current, ast.Call):
+        inner = dotted(current.func)
+        if inner is None:
+            return None
+        parts.append(f"{inner}()")
+    else:
+        return None
+    return ".".join(reversed(parts))
+
+
+def chain_root(node: ast.AST) -> str | None:
+    """The leftmost Name of an attribute chain (``self.a.b`` -> ``self``)."""
+    current = node
+    while isinstance(current, ast.Attribute):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -30,7 +30,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
-from repro.actions.action import AbstractRecord, ActionStatus, AtomicAction, Vote
+from repro.actions.action import (
+    AbstractRecord,
+    ActionStatus,
+    AtomicAction,
+    Vote,
+    abort_on_failure,
+)
 from repro.actions.errors import LockRefused
 from repro.cluster.errors import TxnAborted
 from repro.cluster.group_invoke import GroupInvoker
@@ -236,36 +242,45 @@ class ClientRuntime:
              read_only: bool) -> Generator[Any, Any, TxnResult]:
         started = self.node.scheduler.now
         action = AtomicAction(node=self.node.name, tracer=self.tracer)
-        txn = Txn(self, self._ctx, action, read_only=read_only)
         reason: str | None = None
         value: Any = None
         try:
-            value = yield from work(txn)
-        except TxnAborted as exc:
-            reason = exc.reason
-        except BindFailed as exc:
-            reason = f"bind_failed:{exc}"
-        except LockRefused:
-            reason = "lock_refused"
-        except NamingError as exc:
-            reason = f"naming:{type(exc).__name__}"
-        except RpcError as exc:
-            reason = f"rpc:{type(exc).__name__}"
+            txn = Txn(self, self._ctx, action, read_only=read_only)
+            try:
+                value = yield from work(txn)
+            except TxnAborted as exc:
+                reason = exc.reason
+            except BindFailed as exc:
+                reason = f"bind_failed:{exc}"
+            except LockRefused:
+                reason = "lock_refused"
+            except NamingError as exc:
+                reason = f"naming:{type(exc).__name__}"
+            except RpcError as exc:
+                reason = f"rpc:{type(exc).__name__}"
 
-        if reason is None:
-            if self.scheme_unbinds_within_action:
-                yield from self._unbind_all(txn, within=action)
-            for binding in txn.bindings.values():
-                self.policy.on_commit(self._ctx, binding, action)
-            status = yield from action.commit()
-            committed = status is ActionStatus.COMMITTED
-            if not committed:
-                reason = "commit_vetoed"
-        else:
-            if self.scheme_unbinds_within_action:
-                yield from self._unbind_all(txn, within=action)
-            yield from action.abort()
-            committed = False
+            if reason is None:
+                if self.scheme_unbinds_within_action:
+                    yield from self._unbind_all(txn, within=action)
+                for binding in txn.bindings.values():
+                    self.policy.on_commit(self._ctx, binding, action)
+                status = yield from action.commit()
+                committed = status is ActionStatus.COMMITTED
+                if not committed:
+                    reason = "commit_vetoed"
+            else:
+                if self.scheme_unbinds_within_action:
+                    yield from self._unbind_all(txn, within=action)
+                yield from action.abort()
+                committed = False
+        except BaseException:
+            # Abort-on-failure: only the five expected failure kinds
+            # reach the commit-or-abort decision above; anything else
+            # (a bug in ``work``, a process kill) must still terminate
+            # the client action, or its inherited binding locks leak
+            # until a cleaner purges this "client" as dead.
+            yield from abort_on_failure(action)
+            raise
 
         if not self.scheme_unbinds_within_action:
             yield from self._unbind_all(txn, within=None)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.actions.action import ActionStatus, AtomicAction
+from repro.actions.action import AtomicAction, abort_on_failure
 from repro.actions.errors import LockRefused
 from repro.cluster.node import Node
 from repro.cluster.store_host import STORE_SERVICE
@@ -94,14 +94,17 @@ class RecoveryManager:
                 try:
                     view = yield from self.db.get_view(action, uid)
                     yield from action.commit()
-                except Exception:
+                except BaseException as exc:
                     # Abort, never abandon: a raised get_view/commit
                     # would otherwise leave the probe's read locks held
                     # on the shard until a cleaner happened to purge
                     # them, blocking writers on the entry meanwhile.
-                    if action.status not in (ActionStatus.COMMITTED,
-                                             ActionStatus.ABORTED):
-                        yield from action.abort()
+                    # BaseException so a killed guard process still
+                    # releases them -- but only genuine Exceptions are
+                    # survivable; anything broader keeps propagating.
+                    yield from abort_on_failure(action)
+                    if not isinstance(exc, Exception):
+                        raise
                     continue
                 if self.node.name in view:
                     continue
@@ -144,45 +147,54 @@ class RecoveryManager:
         assert store is not None
         action = AtomicAction(node=self.node.name, tracer=self.tracer)
         try:
-            view = yield from self.db.get_view(action, uid)
-        except (LockRefused, RpcError, UnknownObject):
-            yield from action.abort()
-            return False
-
-        # Find the freshest committed version among the included stores.
-        local_version = store.version_of(uid)
-        freshest: tuple[int, str] | None = None
-        for peer in view:
-            if peer == self.node.name:
-                continue
             try:
-                version = yield self.node.rpc.call(peer, STORE_SERVICE,
-                                                   "version_of", str(uid))
-            except RpcError:
-                continue
-            if freshest is None or version > freshest[0]:
-                freshest = (version, peer)
-
-        if freshest is not None and freshest[0] > local_version:
-            version, peer = freshest
-            try:
-                buffer, peer_version = yield self.node.rpc.call(
-                    peer, STORE_SERVICE, "read", str(uid))
-            except RpcError:
+                view = yield from self.db.get_view(action, uid)
+            except (LockRefused, RpcError, UnknownObject):
                 yield from action.abort()
                 return False
-            store.install(uid, buffer, peer_version)
-            self.states_refreshed += 1
-            self.tracer.record("recovery", "state refreshed", uid=str(uid),
-                               node=self.node.name, version=peer_version)
 
-        if self.node.name not in view:
-            try:
-                yield from self.db.include(action, uid, self.node.name)
-            except (LockRefused, RpcError):
-                yield from action.abort()
-                return False
-        status = yield from action.commit()
+            # Find the freshest committed version among the included
+            # stores.
+            local_version = store.version_of(uid)
+            freshest: tuple[int, str] | None = None
+            for peer in view:
+                if peer == self.node.name:
+                    continue
+                try:
+                    version = yield self.node.rpc.call(peer, STORE_SERVICE,
+                                                       "version_of", str(uid))
+                except RpcError:
+                    continue
+                if freshest is None or version > freshest[0]:
+                    freshest = (version, peer)
+
+            if freshest is not None and freshest[0] > local_version:
+                version, peer = freshest
+                try:
+                    buffer, peer_version = yield self.node.rpc.call(
+                        peer, STORE_SERVICE, "read", str(uid))
+                except RpcError:
+                    yield from action.abort()
+                    return False
+                store.install(uid, buffer, peer_version)
+                self.states_refreshed += 1
+                self.tracer.record("recovery", "state refreshed",
+                                   uid=str(uid), node=self.node.name,
+                                   version=peer_version)
+
+            if self.node.name not in view:
+                try:
+                    yield from self.db.include(action, uid, self.node.name)
+                except (LockRefused, RpcError):
+                    yield from action.abort()
+                    return False
+            status = yield from action.commit()
+        except BaseException:
+            # Abort-on-failure: whatever else goes wrong (including a
+            # process kill), this top-level action must not leak its
+            # read locks on the group-view entry.
+            yield from abort_on_failure(action)
+            raise
         return status.value == "committed"
 
     def _recover_server_capability(self) -> Generator[Any, Any, None]:
@@ -200,6 +212,11 @@ class RecoveryManager:
                     yield from action.abort()
                     yield Timeout(self.retry_interval)
                     continue
+                except BaseException:
+                    # Abort-on-failure: unexpected errors and process
+                    # kills must not leak the Insert's write locks.
+                    yield from abort_on_failure(action)
+                    raise
                 status = yield from action.commit()
                 if status.value == "committed":
                     self.tracer.record("recovery", "re-inserted into Sv",
@@ -261,6 +278,11 @@ class ShadowResolver:
         except (LockRefused, RpcError):
             yield from action.abort()
             return
+        except BaseException:
+            # Abort-on-failure: the resolver's probe must not leak its
+            # read locks on an unexpected error or a process kill.
+            yield from abort_on_failure(action)
+            raise
         yield from action.commit()
 
         shadow_version = store.shadow_version_of(uid)

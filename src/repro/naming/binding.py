@@ -39,7 +39,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Protocol
 
-from repro.actions.action import AtomicAction
+from repro.actions.action import AtomicAction, abort_on_failure
 from repro.naming.db_client import GroupViewDbClient
 from repro.naming.errors import NamingError
 from repro.net.errors import RpcError
@@ -221,15 +221,18 @@ class IndependentTopLevelBinding(BindingScheme):
             if bound:
                 yield from self.db.increment(first, self.client_node, uid,
                                              bound)
-        except Exception as exc:
+        except BaseException as exc:
             # Abort on *any* failure, not just unreachability: ``first``
             # is a top-level action of its own, so nobody upstream will
             # ever terminate it, and the locks and provisional writes it
             # holds on the replicas it already reached would leak
-            # forever.  A LockRefused from one replica of a fan-out
-            # write is routine under replication (a resync, read-repair,
-            # or arc-migration copy holds the entry for an instant).
-            yield from first.abort()
+            # forever.  BaseException, not Exception: a killed client
+            # process (node crash mid-bind) must release what it can
+            # before the kill propagates.  A LockRefused from one
+            # replica of a fan-out write is routine under replication
+            # (a resync, read-repair, or arc-migration copy holds the
+            # entry for an instant).
+            yield from abort_on_failure(first)
             if isinstance(exc, RpcError):
                 raise BindFailed(
                     f"database unavailable while binding {uid}") from exc
@@ -267,10 +270,11 @@ class IndependentTopLevelBinding(BindingScheme):
             except RpcError:
                 yield from last.abort()
                 return  # the cleanup daemon will repair the counters
-            except Exception:
+            except BaseException:
                 # Same leak rule as bind: a top-level action must always
-                # terminate, whatever the failure.
-                yield from last.abort()
+                # terminate, whatever the failure -- including
+                # non-Exception ones like a process kill.
+                yield from abort_on_failure(last)
                 raise
             yield from last.commit()
             return

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.actions.action import AtomicAction, Vote
+from repro.actions.action import AtomicAction, Vote, abort_on_failure
 from repro.actions.errors import LockRefused, PromotionRefused
 from repro.actions.records import CallbackRecord
 from repro.naming.group_view_db import GroupViewDatabase
@@ -108,21 +108,24 @@ class UseListCleaner:
         participant.  Returns whether anything was actually purged.
         """
         action = AtomicAction(node=self.node_name, tracer=self.tracer)
-        action.add_record(CallbackRecord(
-            on_prepare=lambda a: Vote(self._db.prepare(a.id.path)),
-            on_commit=lambda a: self._db.commit(a.id.path),
-            on_abort=lambda a: self._db.abort(a.id.path),
-            order=600))
         try:
+            action.add_record(CallbackRecord(
+                on_prepare=lambda a: Vote(self._db.prepare(a.id.path)),
+                on_commit=lambda a: self._db.commit(a.id.path),
+                on_abort=lambda a: self._db.abort(a.id.path),
+                order=600))
             touched = self._db.server_db.purge_client(action.id.path,
                                                       client_node)
-        except Exception:
-            yield from action.abort()
+            if not touched:
+                yield from action.abort()  # nothing reachable this round
+                return False
+            status = yield from action.commit()
+        except BaseException:
+            # Abort-on-failure: this top-level action must terminate on
+            # every exit path (BaseException, so a killed daemon still
+            # releases the purge's write locks on its way down).
+            yield from abort_on_failure(action)
             raise
-        if not touched:
-            yield from action.abort()  # nothing reachable this round
-            return False
-        status = yield from action.commit()
         return status.value == "committed"
 
     def _collect_client_nodes(self) -> set[str]:

@@ -57,7 +57,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable
 
-from repro.actions.action import AtomicAction
+from repro.actions.action import AtomicAction, abort_on_failure
 from repro.actions.errors import LockRefused, PromotionRefused
 from repro.naming.db_client import GroupViewDbClient
 from repro.naming.errors import UnknownObject
@@ -129,6 +129,12 @@ def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
     except RpcError:
         yield from action.abort()
         return "unreachable"
+    except BaseException:
+        # Abort-on-failure: the copy probe is a top-level action of its
+        # own; an unexpected error or a process kill must not leave its
+        # read locks wedging the source entry.
+        yield from abort_on_failure(action)
+        raise
     yield from action.commit()
     return EntryCopy(list(snapshot.hosts),
                      {host: dict(counters)

@@ -31,7 +31,12 @@ from __future__ import annotations
 
 from typing import Any, Generator
 
-from repro.actions.action import AbstractRecord, AtomicAction, Vote
+from repro.actions.action import (
+    AbstractRecord,
+    AtomicAction,
+    Vote,
+    abort_on_failure,
+)
 from repro.actions.errors import LockRefused
 from repro.cluster.server_host import SERVER_SERVICE
 from repro.cluster.store_host import STORE_SERVICE
@@ -145,6 +150,11 @@ class StateDistributionRecord(AbstractRecord):
             ctx.tracer.record("commit", "late exclusion failed",
                               uid=str(binding.uid), hosts=hosts)
             return
+        except BaseException:
+            # Abort-on-failure: the independent Exclude action must
+            # terminate on every path or its write locks leak.
+            yield from abort_on_failure(repair)
+            raise
         yield from repair.commit()
         self.late_excluded_hosts = hosts
 

@@ -1,0 +1,88 @@
+"""The ``abort_on_failure`` handler helper (abort-on-failure invariant).
+
+The helper is the canonical tail of every ``except BaseException``
+guard around a top-level action (the ``action-leak`` rule enforces the
+pattern repo-wide); these tests pin its two subtleties: no double
+termination, and no yielding while the enclosing generator is closing.
+"""
+
+import pytest
+
+from repro.actions import ActionStatus, AtomicAction, abort_on_failure
+from repro.sim.errors import ProcessKilled
+
+
+def drive(generator):
+    """Run a generator that never suspends."""
+    try:
+        next(generator)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator suspended unexpectedly")
+
+
+def test_aborts_a_live_action():
+    action = AtomicAction()
+    try:
+        raise RuntimeError("body blew up")
+    except RuntimeError:
+        drive(abort_on_failure(action))
+    assert action.status is ActionStatus.ABORTED
+
+
+def test_aborts_under_process_kill():
+    # ProcessKilled is how the kernel crashes a node's processes; the
+    # dying process must still release what it can on the way down.
+    action = AtomicAction()
+    try:
+        raise ProcessKilled("node crashed")
+    except ProcessKilled:
+        drive(abort_on_failure(action))
+    assert action.status is ActionStatus.ABORTED
+
+
+def test_leaves_a_committed_action_alone():
+    action = AtomicAction()
+    drive(action.commit())
+    try:
+        raise RuntimeError("failure after the decision")
+    except RuntimeError:
+        drive(abort_on_failure(action))  # no InvalidActionState
+    assert action.status is ActionStatus.COMMITTED
+
+
+def test_leaves_an_aborted_action_alone():
+    action = AtomicAction()
+    drive(action.abort())
+    try:
+        raise RuntimeError("failure after an inner abort")
+    except RuntimeError:
+        drive(abort_on_failure(action))
+    assert action.status is ActionStatus.ABORTED
+
+
+def test_skips_abort_while_generator_is_closing():
+    # Yielding from a closing generator is illegal ("generator ignored
+    # GeneratorExit"), so under GeneratorExit the helper must return
+    # without touching the action: presumed-abort and the cleanup
+    # daemons resolve it, exactly as for a crashed client.
+    action = AtomicAction()
+
+    def guarded_body():
+        try:
+            yield "parked"
+        except BaseException:
+            yield from abort_on_failure(action)
+            raise
+
+    gen = guarded_body()
+    assert next(gen) == "parked"
+    gen.close()  # must not raise RuntimeError
+    assert action.status is ActionStatus.RUNNING
+
+
+def test_outside_any_exception_aborts_normally():
+    # sys.exc_info() is empty: not a GeneratorExit, so the abort runs.
+    action = AtomicAction()
+    drive(abort_on_failure(action))
+    assert action.status is ActionStatus.ABORTED

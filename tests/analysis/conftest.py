@@ -1,0 +1,28 @@
+"""Shared plumbing for the invariant-linter tests.
+
+``scan_fixture`` copies a corpus file from ``fixtures/`` into a
+throwaway tree under a ``src/repro/...`` relpath (the rules are
+path-scoped to the real layout) and runs the analyzer over it.
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, get_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def scan_fixture(tmp_path):
+    def scan(fixture_name, relpath="src/repro/naming/fixture_mod.py",
+             rules=None, baseline_keys=()):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(FIXTURES / fixture_name, target)
+        rule_objs = get_rules(rules) if rules is not None else None
+        return analyze_paths(tmp_path, [relpath], rules=rule_objs,
+                             baseline_keys=baseline_keys)
+    return scan

@@ -1,0 +1,21 @@
+"""Known-bad fixture: ambient wall clock and RNG inside the simulation.
+
+Every banned source in one file: ``time.*`` clocks, ``random.*``
+draws, ``datetime``/``date`` "now" constructors, and from-imports that
+pull the same names in under bare names.  The determinism rule must
+flag each one.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import randint
+from time import monotonic
+
+
+def jittered_deadline(base):
+    started = time.time()
+    stamp = datetime.now()
+    jitter = random.uniform(0.0, 0.1)
+    retry_at = monotonic() + randint(1, 5)
+    return base + jitter, started, stamp, retry_at

@@ -1,0 +1,20 @@
+"""Known-good fixture: per-line suppressions silence real findings.
+
+Both violations below are genuine; the ``# repro: ignore[...]``
+comments move them from ``findings`` to ``suppressed``.  A named list
+silences only the named rules; ``[*]`` silences everything on the line.
+"""
+
+import time
+
+
+def sampled_wall_clock():
+    # A deliberate wall-clock read, acknowledged in place.
+    return time.time()  # repro: ignore[determinism]
+
+
+def wildcard_suppression(locks, rpc, probe, key, peer):
+    locks.try_lock(probe.id, key, WRITE)
+    version = yield rpc.call(peer, "store", "version_of", key)  # repro: ignore[*]
+    locks.release_all(probe.id)
+    return version

@@ -1,0 +1,18 @@
+"""Known-good fixture: maintenance traffic on the sync plane.
+
+Scanned as one of the maintenance modules: every wire hop rides the
+dedicated ``sync_rpc`` agent and clients come from ``sync_client_for``,
+so the sync-plane rule reports nothing.
+"""
+
+
+class RepairWorker:
+    def __init__(self, node, router):
+        self.node = node
+        self.router = router
+
+    def copy_entry(self, peer, key):
+        entry = yield self.node.sync_rpc.call(peer, "group_view_db_sync",
+                                              "get", key)
+        db = self.router.sync_client_for(key)
+        return entry, db

@@ -1,0 +1,25 @@
+"""Known-bad fixture: PR 4's dropped resync fence, distilled.
+
+``ShardResyncManager`` re-registered the client-facing
+``group_view_db`` service after convergence but forgot ``fence=``, so
+a recovered host answered stale-ring clients unchecked.  The
+fence-required rule must flag both the missing ``fence=`` (ident
+``group_view_db:missing-fence``) and an explicit ``fence=None``
+(ident ``group_view_db:fence-none``).
+"""
+
+SERVICE = "group_view_db"
+
+
+class ResyncManager:
+    def __init__(self, node, db):
+        self.node = node
+        self.db = db
+
+    def reopen_after_convergence(self):
+        # Dropped fence: stale-ring clients are accepted unchecked.
+        self.node.rpc.register(SERVICE, self.db)
+
+    def reopen_disarmed(self):
+        # fence=None explicitly disarms the epoch check.
+        self.node.rpc.register("group_view_db", self.db, fence=None)

@@ -1,0 +1,17 @@
+"""Known-bad fixture: PR 5's release-mismatch / lock-over-wire leak.
+
+The versioned-read path try-locks both database halves for a probe and
+must release them inside the same dispatch.  Here the probe yields an
+RPC to a peer while still holding the try-locks: the hold time is now
+unbounded (a crashed peer turns it into a leak).  The lock-across-wire
+rule must flag the suspension (ident ending ``:across-wire``).
+"""
+
+
+def read_with_peer_check(locks, rpc, probe, key, peer):
+    locks.try_lock(probe.id, key, WRITE)
+    # Lock held across the wire: the process parks on the network
+    # while every other reader of ``key`` is refused.
+    remote_version = yield rpc.call(peer, "store", "version_of", key)
+    locks.release_all(probe.id)
+    return remote_version

@@ -1,0 +1,112 @@
+"""``python -m repro.analysis`` end to end: exit codes and outputs.
+
+The CLI is exercised in-process through ``main(argv)`` (same code path
+as the module entry, without subprocess overhead).
+"""
+
+import json
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A scan root holding one dirty and one clean module."""
+    def build(*fixture_names, relpaths=None):
+        names = list(fixture_names)
+        relpaths = relpaths or [f"src/repro/naming/mod{i}.py"
+                                for i in range(len(names))]
+        for name, relpath in zip(names, relpaths):
+            target = tmp_path / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(FIXTURES / name, target)
+        return tmp_path
+    return build
+
+
+def test_clean_tree_exits_zero(tree, capsys):
+    root = tree("good_patterns.py")
+    assert main(["--root", str(root), "--strict"]) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_strict_exits_one_on_findings(tree, capsys):
+    root = tree("pr1_cleanup_bypass.py")
+    assert main(["--root", str(root), "--strict"]) == 1
+    assert "[action-leak]" in capsys.readouterr().out
+
+
+def test_findings_without_strict_exit_zero(tree):
+    root = tree("pr1_cleanup_bypass.py")
+    assert main(["--root", str(root)]) == 0
+
+
+def test_unknown_rule_is_usage_error(tree, capsys):
+    root = tree("good_patterns.py")
+    assert main(["--root", str(root), "--rules", "bogus"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_bad_baseline_is_usage_error(tree, capsys):
+    root = tree("good_patterns.py")
+    (root / "analysis-baseline.json").write_text("{not json")
+    assert main(["--root", str(root), "--strict"]) == 2
+    assert "bad baseline" in capsys.readouterr().err
+
+
+def test_parse_error_exits_one_even_without_strict(tmp_path, capsys):
+    bad = tmp_path / "src/repro/broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    assert main(["--root", str(tmp_path)]) == 1
+    assert "parse error" in capsys.readouterr().out
+
+
+def test_write_baseline_then_strict_passes(tree, capsys):
+    root = tree("pr1_cleanup_bypass.py")
+    assert main(["--root", str(root), "--strict"]) == 1
+    assert main(["--root", str(root), "--write-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline written" in out
+    # The grandfathered finding no longer fails strict mode...
+    assert main(["--root", str(root), "--strict"]) == 0
+    # ...but a fresh violation still does.
+    shutil.copy(FIXTURES / "pr5_lock_across_wire.py",
+                root / "src/repro/naming/mod_new.py")
+    assert main(["--root", str(root), "--strict"]) == 1
+
+
+def test_json_output_and_artifact(tree, capsys, tmp_path):
+    root = tree("pr4_dropped_fence.py")
+    out_file = tmp_path / "report.json"
+    assert main(["--root", str(root), "--json",
+                 "--json-out", str(out_file)]) == 0
+    stdout_data = json.loads(capsys.readouterr().out)
+    file_data = json.loads(out_file.read_text())
+    assert stdout_data == file_data
+    assert stdout_data["schema_version"] == 1
+    assert stdout_data["stats"]["new"] == 2
+
+
+def test_stats_output(tree, capsys):
+    root = tree("bad_determinism.py")
+    assert main(["--root", str(root), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("files scanned: 1")
+    assert "determinism:" in out
+
+
+def test_explicit_paths_limit_the_scan(tree, capsys):
+    root = tree("pr1_cleanup_bypass.py", "good_patterns.py",
+                relpaths=["src/repro/naming/dirty.py",
+                          "src/repro/naming/clean.py"])
+    assert main(["--root", str(root), "--strict",
+                 "src/repro/naming/clean.py"]) == 0
+    assert main(["--root", str(root), "--strict",
+                 "src/repro/naming/dirty.py"]) == 1

@@ -1,0 +1,172 @@
+"""The linter framework: registry, suppressions, baseline, JSON schema."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    ModuleSource,
+    Rule,
+    all_rules,
+    analyze_paths,
+    get_rules,
+    load_baseline,
+    register,
+    render_stats,
+    render_text,
+    write_baseline,
+)
+from repro.analysis.core import _REGISTRY
+
+EXPECTED_RULES = {"action-leak", "lock-across-wire", "fence-required",
+                  "sync-plane", "determinism"}
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_builtin_rules_are_registered():
+    assert set(all_rules()) == EXPECTED_RULES
+
+
+def test_get_rules_subset_preserves_request_order():
+    rules = get_rules(["determinism", "action-leak"])
+    assert [r.name for r in rules] == ["determinism", "action-leak"]
+
+
+def test_get_rules_unknown_name_raises():
+    with pytest.raises(KeyError, match="no-such-rule"):
+        get_rules(["no-such-rule"])
+
+
+def test_duplicate_registration_raises():
+    with pytest.raises(ValueError, match="duplicate"):
+        @register
+        class Clone(Rule):
+            name = "determinism"
+
+
+def test_register_and_unregister_custom_rule():
+    @register
+    class Custom(Rule):
+        name = "custom-test-rule"
+
+        def check(self, module):
+            return []
+
+    try:
+        assert "custom-test-rule" in all_rules()
+    finally:
+        del _REGISTRY["custom-test-rule"]
+
+
+# -- suppressions ------------------------------------------------------------
+
+
+def make_module(tmp_path, text, relpath="src/repro/mod.py"):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    return ModuleSource.from_path(path, relpath)
+
+
+def test_suppression_matches_only_named_rules(tmp_path):
+    module = make_module(tmp_path, "x = 1  # repro: ignore[action-leak, determinism]\n")
+    assert module.suppressed(1, "action-leak")
+    assert module.suppressed(1, "determinism")
+    assert not module.suppressed(1, "fence-required")
+
+
+def test_suppression_is_line_scoped(tmp_path):
+    module = make_module(tmp_path, "x = 1  # repro: ignore[determinism]\ny = 2\n")
+    assert module.suppressed(1, "determinism")
+    assert not module.suppressed(2, "determinism")
+
+
+def test_wildcard_suppression_silences_every_rule(tmp_path):
+    module = make_module(tmp_path, "x = 1  # repro: ignore[*]\n")
+    assert module.suppressed(1, "action-leak")
+    assert module.suppressed(1, "anything-at-all")
+
+
+def test_unrelated_comments_are_not_suppressions(tmp_path):
+    module = make_module(tmp_path, "x = 1  # ignore[determinism] (not ours)\n")
+    assert not module.suppressed(1, "determinism")
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+def test_finding_key_is_line_free():
+    a = Finding(rule="r", path="p.py", line=10, symbol="f",
+                message="m", ident="var:unguarded")
+    b = Finding(rule="r", path="p.py", line=99, symbol="f",
+                message="other", ident="var:unguarded")
+    assert a.key() == b.key()  # survives line drift from unrelated edits
+
+
+def test_baseline_roundtrip_grandfathers_findings(tmp_path, scan_fixture):
+    report = scan_fixture("pr1_cleanup_bypass.py", rules=["action-leak"])
+    assert report.new_findings
+    baseline = tmp_path / "baseline.json"
+    write_baseline(baseline, report)
+
+    keys = load_baseline(baseline)
+    assert keys == {f.key() for f in report.findings}
+
+    again = scan_fixture("pr1_cleanup_bypass.py", rules=["action-leak"],
+                         baseline_keys=keys)
+    assert again.findings  # still detected...
+    assert again.new_findings == []  # ...but grandfathered
+    assert again.baselined_findings == again.findings
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "absent.json") == frozenset()
+
+
+def test_baseline_version_mismatch_raises(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(bad)
+
+
+# -- report / JSON schema -----------------------------------------------------
+
+
+def test_json_report_schema(scan_fixture):
+    report = scan_fixture("pr4_dropped_fence.py", rules=["fence-required"])
+    data = report.to_dict()
+    assert data["schema_version"] == 1
+    assert data["rules"] == ["fence-required"]
+    assert data["files_scanned"] == 1
+    assert data["parse_errors"] == []
+    assert data["stats"]["total"] == 2
+    assert data["stats"]["new"] == 2
+    assert data["stats"]["by_rule"] == {"fence-required": 2}
+    for entry in data["findings"]:
+        assert set(entry) == {"rule", "path", "line", "symbol", "message",
+                              "key"}
+        assert entry["rule"] == "fence-required"
+
+
+def test_parse_errors_are_reported_not_fatal(tmp_path):
+    bad = tmp_path / "src/repro/broken.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("def broken(:\n")
+    report = analyze_paths(tmp_path, ["src/repro"])
+    assert len(report.parse_errors) == 1
+    assert "broken.py" in report.parse_errors[0]
+
+
+def test_render_text_and_stats_summarize(scan_fixture):
+    report = scan_fixture("pr5_lock_across_wire.py",
+                          rules=["lock-across-wire"])
+    text = render_text(report)
+    assert "[lock-across-wire]" in text
+    assert "1 new finding(s)" in text
+    stats = render_stats(report)
+    assert "lock-across-wire: 1" in stats
+    assert "files scanned: 1" in stats
