@@ -1,4 +1,4 @@
-"""The five protocol-invariant checkers.
+"""The six protocol-invariant checkers.
 
 Each rule encodes one invariant this repo has already been burned by;
 the docstrings cite the PR that paid for the lesson.  All checks are
@@ -603,7 +603,106 @@ class SyncPlaneRule(Rule):
         return findings
 
 
-# -- rule 5: determinism -----------------------------------------------------
+# -- rule 5: coherence-push --------------------------------------------------
+
+
+def _self_attr_assignment(module: ModuleSource, site: ast.AST,
+                          attr: str) -> ast.AST | None:
+    """The expression ``__init__`` assigns to ``self.attr`` (same class)."""
+    current = module.parents.get(site)
+    while current is not None and not isinstance(current, ast.ClassDef):
+        current = module.parents.get(current)
+    if current is None:
+        return None
+    init = next((n for n in current.body
+                 if isinstance(n, ast.FunctionDef) and n.name == "__init__"),
+                None)
+    if init is None:
+        return None
+    for stmt in ast.walk(init):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Attribute) and target.attr == attr and \
+                    isinstance(target.value, ast.Name) and \
+                    target.value.id == "self":
+                return stmt.value
+    return None
+
+
+@register
+class CoherencePushRule(Rule):
+    """PR 8's invariant: the coherence plane never touches the client agent.
+
+    The write-hot coherence plane is maintenance traffic end to end:
+    lessee registrations, registry handovers, and the owner's pushed
+    invalidations all exist precisely so the *client* plane sees fewer
+    requests.  A registration RPC sent through the client agent queues
+    behind the very flash crowd it is trying to thin and lands on the
+    epoch-fenced, recovery-gated service (a mid-resync owner could
+    never accept lessees); an invalidation multicast sent through the
+    client NIC makes every push compete with the reads it is meant to
+    save.  Inside the coherence module, every ``call``/``register``
+    must ride a ``sync_rpc`` agent, and every multicast ``send`` must
+    leave through a ``sync_mcast`` member (``self._mcast`` is resolved
+    through ``__init__``, so aliasing does not hide the plane).
+    Client-side *receive* membership on the primary NIC is exempt: a
+    workstation has only one NIC, and joining a group sends nothing.
+    """
+
+    name = "coherence-push"
+    description = ("coherence registrations and invalidation pushes must "
+                   "ride the sync plane, never the client agent")
+    include = ("src/repro/naming/coherence.py",)
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            receiver = dotted(node.func.value) or ""
+            parts = receiver.split(".")
+            if node.func.attr in ("call", "register"):
+                if "rpc" in parts and "sync_rpc" not in parts:
+                    findings.append(self.finding(
+                        module, node,
+                        f"coherence {node.func.attr} sent over the client "
+                        f"agent ({receiver}); registrations and handovers "
+                        f"are maintenance traffic -- use sync_rpc / "
+                        f"sync_target",
+                        ident=f"{receiver}:client-plane-{node.func.attr}"))
+            elif node.func.attr == "send":
+                if self._mcast_plane(module, node, parts) == "client":
+                    findings.append(self.finding(
+                        module, node,
+                        f"invalidation push sent through a client-plane "
+                        f"multicast member ({receiver}); pushes must leave "
+                        f"through the owner's sync_mcast so they never "
+                        f"queue behind client RPCs",
+                        ident=f"{receiver}:client-plane-push"))
+        return findings
+
+    def _mcast_plane(self, module: ModuleSource, call: ast.Call,
+                     parts: list[str]) -> str | None:
+        """'sync', 'client', or None (receiver is not a multicast member)."""
+        if "sync_mcast" in parts:
+            return "sync"
+        if "mcast" in parts:
+            return "client"
+        recv = call.func.value
+        if isinstance(recv, ast.Attribute) and \
+                isinstance(recv.value, ast.Name) and recv.value.id == "self":
+            assigned = _self_attr_assignment(module, call, recv.attr)
+            if assigned is not None:
+                aliased = (dotted(assigned) or "").split(".")
+                if "sync_mcast" in aliased:
+                    return "sync"
+                if "mcast" in aliased:
+                    return "client"
+        return None
+
+
+# -- rule 6: determinism -----------------------------------------------------
 
 
 @register

@@ -135,8 +135,19 @@ class Node:
             self.sync_rpc = self.rpc
         mcast_cls = (ReliableOrderedMulticastMember if reliable_multicast
                      else NaiveMulticastMember)
-        self.mcast: MulticastMember = mcast_cls(scheduler, self.nic, self.demux,
-                                                tracer=self.tracer)
+        self.mcast: MulticastMember = mcast_cls(
+            scheduler, self.nic, self.demux, tracer=self.tracer,
+            traffic=self.metrics.plane_traffic(name, "client"))
+        if self.sync_nic is not None and self.sync_demux is not None:
+            # Group traffic originated by the maintenance side (e.g.
+            # coherence invalidation pushes) leaves through the sync
+            # NIC's own multicast member, so pushes never queue behind
+            # client RPCs and are metered on the sync plane.
+            self.sync_mcast: MulticastMember = mcast_cls(
+                scheduler, self.sync_nic, self.sync_demux, tracer=self.tracer,
+                traffic=self.metrics.plane_traffic(name, "sync"))
+        else:
+            self.sync_mcast = self.mcast
         self.object_store: ObjectStore | None = (
             ObjectStore(name) if has_store else None)
         self.volatile = VolatileStore(name)
@@ -185,6 +196,8 @@ class Node:
             self.sync_nic.up = False
             self.sync_rpc.reset()
         self.mcast.reset()
+        if self.sync_mcast is not self.mcast:
+            self.sync_mcast.reset()
         self.volatile.wipe()
         if self.object_store is not None:
             self.object_store.mark_down()

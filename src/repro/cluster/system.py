@@ -37,6 +37,7 @@ from repro.naming.binding import (
     StandardBinding,
 )
 from repro.naming.cleanup import UseListCleaner
+from repro.naming.coherence import CoherenceHost
 from repro.naming.db_client import GroupViewDbClient
 from repro.naming.entry_cache import EntryCache
 from repro.naming.group_view_db import GroupViewDatabase
@@ -103,6 +104,21 @@ class SystemConfig:
     nameserver_lease_validate: bool = False  # validate-at-commit records
     nameserver_cache_capacity: int = 512     # per-client LRU entries
     nameserver_cache_ledger: bool = False    # record every cache-served read
+    # The write-hot coherence plane: each owning shard host tracks the
+    # live lessees of its entries and *pushes* versioned invalidations
+    # over the sequencer-ordered multicast (riding the sync NIC when
+    # the cluster runs two planes); a windowed write-rate detector
+    # flips entries between pull mode (lease + TTL) and push mode
+    # (lessee registry + multicast), and clients self-sort off the
+    # mode carried in every versioned read reply.  Requires the leased
+    # read plane and ``reliable_multicast``.
+    nameserver_push_invalidation: bool = False
+    nameserver_hot_write_rate: float = 1.0   # writes/sec: pull -> push flip
+    # Lease renewal: an expired entry whose versions still match the
+    # replicas (validation probe or re-registration) has its lease
+    # extended in place instead of being refetched.
+    nameserver_renewal: bool = False
+    nameserver_registration_ttl: float | None = None  # None -> 8x lease
     read_repair_interval: float | None = None  # per-uid sampled version verify
     shard_antientropy_interval: float | None = 10.0  # None disables the sweep
     shard_ring_replicas: int = DEFAULT_RING_REPLICAS
@@ -173,6 +189,7 @@ class DistributedSystem:
         self.autoscaler: ShardAutoscaler | None = None
         self.drained_shard_hosts: list[str] = []
         self._shard_name_hosts: dict[str, Any] = {}
+        self.coherence_hosts: dict[str, CoherenceHost] = {}
         self._shard_cleaners: dict[str, UseListCleaner] = {}
         shard_count = self.config.nameserver_shards
         replication = self.config.nameserver_replication
@@ -193,6 +210,18 @@ class DistributedSystem:
         lease = self.config.nameserver_lease
         if lease is not None and lease <= 0:
             raise ValueError(f"nameserver_lease must be > 0: {lease}")
+        if self.config.nameserver_renewal and lease is None:
+            raise ValueError("nameserver_renewal needs the leased read "
+                             "plane (set nameserver_lease)")
+        if self.config.nameserver_push_invalidation:
+            if lease is None:
+                raise ValueError(
+                    "nameserver_push_invalidation needs the leased read "
+                    "plane (set nameserver_lease)")
+            if not self.config.reliable_multicast:
+                raise ValueError(
+                    "nameserver_push_invalidation needs reliable_multicast "
+                    "(invalidations ride the ordered multicast)")
         if shard_count > 1 or lease is not None:
             if self.config.nonatomic_name_server:
                 raise ValueError(
@@ -264,7 +293,21 @@ class DistributedSystem:
             self.name_node, self.shard_router, replication,
             batch_size=self.config.reshard_batch_size,
             throttle=self.config.reshard_throttle,
+            handover_coherence=self.config.nameserver_push_invalidation,
             metrics=self.metrics, tracer=self.tracer)
+
+    def _registration_ttl(self) -> float:
+        """How long an owner remembers a lessee without a re-register.
+
+        Defaults to eight client leases: long enough that a steadily
+        renewing reader never falls out of the registry between
+        renewals, short enough that a departed client stops costing
+        push fan-out quickly.
+        """
+        ttl = self.config.nameserver_registration_ttl
+        if ttl is not None:
+            return ttl
+        return (self.config.nameserver_lease or 1.0) * 8.0
 
     def _boot_shard_host(self, name: str) -> GroupViewDatabase:
         """Boot one shard host: node, database, services, daemons.
@@ -288,6 +331,19 @@ class DistributedSystem:
         self._shard_name_hosts[name] = NameShardHost.install_on(
             node, db, fence=lambda: router.fence_epoch)
         StoreHost.install_on(node)
+        if self.config.nameserver_push_invalidation:
+            # The coherence plane's server half: lessee registry, hot
+            # detector, and the multicast push path for this host's
+            # entries.  Installed after NameShardHost so a recovering
+            # host rebuilds its RPC surface before rejoining its group.
+            coherence = CoherenceHost(
+                node, db, router,
+                registration_ttl=self._registration_ttl(),
+                hot_write_rate=self.config.nameserver_hot_write_rate,
+                metrics=self.metrics.scoped(f"shard.{name}."),
+                tracer=self.tracer)
+            coherence.install()
+            self.coherence_hosts[name] = coherence
         if replication > 1:
             # Installed after NameShardHost so its boot hook runs
             # second on recovery and can gate the service back out.
@@ -349,7 +405,8 @@ class DistributedSystem:
                     clock=lambda: self.scheduler.now,
                     capacity=self.config.nameserver_cache_capacity,
                     metrics=self.metrics,
-                    keep_ledger=self.config.nameserver_cache_ledger)
+                    keep_ledger=self.config.nameserver_cache_ledger,
+                    renewal=self.config.nameserver_renewal)
                 # A node can host several db clients (shadow resolver +
                 # recovery manager): suffix the key rather than shadow
                 # an earlier cache out of the audit registry.
@@ -364,6 +421,8 @@ class DistributedSystem:
                 validate_leases=self.config.nameserver_lease_validate,
                 clock=lambda: self.scheduler.now,
                 sync_suffix=self.sync_suffix,
+                coherence_node=(node if self.config.nameserver_push_invalidation
+                                and cache is not None else None),
                 metrics=self.metrics, tracer=self.tracer)
         return GroupViewDbClient(node.rpc, NAME_NODE)
 
@@ -488,6 +547,9 @@ class DistributedSystem:
 
     def _retire_shard_host(self, name: str) -> None:
         """Take a fully-drained host out of every naming-service path."""
+        coherence = self.coherence_hosts.pop(name, None)
+        if coherence is not None:
+            coherence.retire()
         shard_host = self._shard_name_hosts.pop(name, None)
         if shard_host is not None:
             shard_host.retire()

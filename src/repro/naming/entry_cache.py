@@ -51,7 +51,7 @@ optimistic concurrency control over naming data.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Generator
 
 from repro.actions.action import AbstractRecord, AtomicAction, Vote
@@ -77,6 +77,15 @@ class CachedEntry:
     ring_epoch: int
     fetched_at: float
     lease_expiry: float
+    # "pull" entries live one lease TTL; "push" entries were registered
+    # with the owner's coherence plane and hold the (longer)
+    # registration TTL, invalidated by owner pushes in between.
+    mode: str = "pull"
+
+    @property
+    def lease_span(self) -> float:
+        """The lease length this entry was stored (or renewed) under."""
+        return self.lease_expiry - self.fetched_at
 
 
 @dataclass(frozen=True)
@@ -106,7 +115,8 @@ class EntryCache:
                  clock: Callable[[], float],
                  capacity: int = DEFAULT_CACHE_CAPACITY,
                  metrics: MetricsRegistry | None = None,
-                 keep_ledger: bool = False) -> None:
+                 keep_ledger: bool = False,
+                 renewal: bool = False) -> None:
         if lease <= 0:
             raise ValueError(f"lease TTL must be > 0, got {lease}")
         if capacity < 1:
@@ -117,9 +127,17 @@ class EntryCache:
         self.capacity = capacity
         self.metrics = metrics or MetricsRegistry()
         self.keep_ledger = keep_ledger
+        # With renewal on, an expired entry lingers *peekable* (never
+        # servable) so a lightweight version probe can extend its lease
+        # in place instead of refetching the whole snapshot.  The
+        # trade: dead entries now depend on invalidation -- push,
+        # write-through, fence, or LRU pressure -- to actually leave,
+        # which is why invalidation evicts the slot outright.
+        self.renewal = renewal
         self.ledger: list[LedgerRecord] = []
         self.hits = 0
         self.misses = 0
+        self.renewed = 0   # leases extended in place by a version match
         self.expired = 0   # lookups refused because the lease ran out
         self.fenced = 0    # lookups refused because the ring moved on
         self._entries: "OrderedDict[str, CachedEntry]" = OrderedDict()
@@ -162,7 +180,8 @@ class EntryCache:
             return None
         now = self.clock()
         if now > entry.lease_expiry:
-            self._entries.pop(uid_text, None)
+            if not self.renewal:
+                self._entries.pop(uid_text, None)
             self.expired += 1
             self._miss("expired")
             return None
@@ -173,8 +192,54 @@ class EntryCache:
             self.ledger.append(LedgerRecord(
                 uid=uid_text, fetched_at=entry.fetched_at, served_at=now,
                 ring_epoch=entry.ring_epoch, live_epoch=live_epoch,
-                lease=self.lease))
+                lease=entry.lease_span))
         return entry
+
+    def peek(self, uid_text: str) -> CachedEntry | None:
+        """The stored entry regardless of lease expiry -- never servable.
+
+        The renewal path's view: an expired-but-unfenced entry is still
+        a valid version-stamped snapshot, and a probe proving its
+        versions unchanged may re-anchor its lease instead of paying a
+        full refetch.  Fenced entries are dropped here too -- no ring
+        movement survives in any form.
+        """
+        entry = self._entries.get(uid_text)
+        if entry is None:
+            return None
+        if entry.ring_epoch != self.fence():
+            self._entries.pop(uid_text, None)
+            self.fenced += 1
+            return None
+        return entry
+
+    def renew(self, uid_text: str, fetched_at: float,
+              lease: float | None = None,
+              token: tuple[int, int] | None = None) -> CachedEntry | None:
+        """Extend an entry's lease in place after a version match.
+
+        ``fetched_at`` is the clock reading from *before* the caller
+        suspended on its probe (the match certifies the snapshot as of
+        probe-send time, so the lease re-anchors there -- same
+        round-trip discipline as :meth:`store`).  ``token`` makes the
+        renewal conditional exactly like a store: a write-through or
+        pushed invalidation landing mid-probe refuses it.  Returns the
+        renewed entry, or ``None`` when nothing renewable remains.
+        """
+        if token is not None and token != self.invalidation_token(uid_text):
+            self.metrics.counter("entry_cache.racing_renewals_dropped").increment()
+            return None
+        entry = self.peek(uid_text)
+        if entry is None:
+            return None
+        span = self.lease if lease is None else lease
+        renewed = replace(entry, fetched_at=fetched_at,
+                          lease_expiry=fetched_at + span)
+        self._entries[uid_text] = renewed
+        self._entries.move_to_end(uid_text)
+        self.renewed += 1
+        self.metrics.counter("entry_cache.renewed").increment()
+        return renewed
 
     def _miss(self, reason: str) -> None:
         self.misses += 1
@@ -198,7 +263,9 @@ class EntryCache:
               versions: tuple[int, int],
               ring_epoch: int | None = None,
               token: tuple[int, int] | None = None,
-              fetched_at: float | None = None) -> CachedEntry | None:
+              fetched_at: float | None = None,
+              lease: float | None = None,
+              mode: str = "pull") -> CachedEntry | None:
         """Install a freshly-read committed snapshot under a new lease.
 
         ``ring_epoch`` defaults to the live fence -- callers that
@@ -219,15 +286,21 @@ class EntryCache:
         "never staler than one lease" bound covers the round-trip
         latency too -- stamping at store time would quietly extend the
         bound by however long the reply took.
+
+        ``lease`` overrides the cache-wide TTL for this one entry: a
+        push-mode entry registered with its owner's coherence plane is
+        stored under the (longer) registration TTL, with ``mode`` set
+        so readers and the ledger know which bound applies.
         """
         if token is not None and token != self.invalidation_token(uid_text):
             self.metrics.counter("entry_cache.racing_stores_dropped").increment()
             return None
         fetched = self.clock() if fetched_at is None else fetched_at
+        span = self.lease if lease is None else lease
         entry = CachedEntry(
             hosts=tuple(hosts), view=tuple(view), versions=tuple(versions),
             ring_epoch=self.fence() if ring_epoch is None else ring_epoch,
-            fetched_at=fetched, lease_expiry=fetched + self.lease)
+            fetched_at=fetched, lease_expiry=fetched + span, mode=mode)
         self._entries[uid_text] = entry
         self._entries.move_to_end(uid_text)
         while len(self._entries) > self.capacity:
@@ -236,7 +309,13 @@ class EntryCache:
         return entry
 
     def invalidate(self, uid_text: str) -> None:
-        """Write-through invalidation: the owner mutated this entry.
+        """Invalidation: this client wrote the entry, or its owner
+        pushed.
+
+        The slot is evicted *outright* -- not tombstoned to age out --
+        which matters with renewal on: expired entries linger peekable
+        there, so an un-evicted dead snapshot could be version-probed
+        back to life after the write it missed.
 
         Advances the uid's invalidation token even when nothing is
         cached: a repopulating read may be suspended mid-flight right
@@ -341,6 +420,14 @@ class LeaseValidationRecord(AbstractRecord):
             return Vote.READONLY
         view = self.io.router.view()
         replicas = view.read_order(self.uid_text, self.replication)
+        # Renewal piggyback: capture the probe-send clock and token
+        # *before* suspending, exactly like a repopulating read -- a
+        # version match below doubles as a lease extension anchored
+        # here, and any invalidation landing mid-probe refuses it.
+        started = token = None
+        if self.cache is not None and getattr(self.cache, "renewal", False):
+            started = self.cache.clock()
+            token = self.cache.invalidation_token(self.uid_text)
         # Client service + fence tag: a gated (mid-resync) replica
         # cannot answer, and a replica the ring has moved past is
         # fenced into the dark set -- neither may certify a lease.
@@ -355,6 +442,16 @@ class LeaseValidationRecord(AbstractRecord):
             return self._veto("stale")
         self.outcome = "validated"
         self.io.metrics.counter("entry_cache.validated").increment()
+        if started is not None:
+            # Only pull-mode entries renew here: a push-mode lease span
+            # mirrors a server-side registration, and extending it
+            # without re-registering would outlive the owner's registry
+            # entry -- a client the owner no longer pushes to.
+            entry = self.cache.peek(self.uid_text)
+            if (entry is not None and entry.mode == "pull"
+                    and entry.versions == tuple(self.versions)):
+                self.cache.renew(self.uid_text, fetched_at=started,
+                                 token=token)
         return Vote.READONLY
 
     def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:

@@ -30,7 +30,7 @@ from typing import Any
 from repro.actions.action import ActionId, AtomicAction
 from repro.actions.errors import LockRefused, PromotionRefused
 from repro.actions.locks import LockMode
-from repro.naming.db_base import ActionPath
+from repro.naming.db_base import ActionPath, _is_prefix
 from repro.naming.errors import UnknownObject
 from repro.naming.object_server_db import ObjectServerDatabase, ServerEntrySnapshot
 from repro.naming.object_state_db import ObjectStateDatabase
@@ -72,6 +72,12 @@ class GroupViewDatabase:
             use_exclude_write_lock=use_exclude_write_lock,
             metrics=shared_metrics, tracer=shared_tracer)
         self.metrics = shared_metrics
+        # The coherence plane's commit hook (a CoherenceHost, attached
+        # by the shard-host boot path).  Mutators record which uids an
+        # action touched; commit hands the committed ones over so the
+        # owner can push invalidations to registered lessees.
+        self.coherence: Any = None
+        self._touched: list[tuple[tuple[int, ...], str]] = []
 
     # -- administrative -------------------------------------------------------
 
@@ -81,6 +87,36 @@ class GroupViewDatabase:
         uid = Uid.parse(uid_text)
         self.server_db.define(action_path, uid, sv_hosts)
         self.state_db.define(action_path, uid, st_hosts)
+        self._touch(action_path, uid_text)
+
+    def _touch(self, action_path: ActionPath, uid_text: str) -> None:
+        """Record a provisional mutation for the commit-time push hook.
+
+        The list is bounded by the in-flight actions: every entry is
+        popped by the prefix match in :meth:`commit`/:meth:`abort`, and
+        :meth:`reset_volatile` (crash) drops the lot with the undo
+        logs they mirror.
+        """
+        self._touched.append((tuple(action_path), uid_text))
+
+    def _resolve_touched(self, action_path: ActionPath,
+                         committed: bool) -> None:
+        """Pop this action's touched uids; notify coherence on commit."""
+        if not self._touched:
+            return
+        prefix = tuple(action_path)
+        kept: list[tuple[tuple[int, ...], str]] = []
+        resolved: list[str] = []
+        for path, uid_text in self._touched:
+            if _is_prefix(prefix, path):
+                resolved.append(uid_text)
+            else:
+                kept.append((path, uid_text))
+        self._touched = kept
+        if committed and resolved and self.coherence is not None:
+            seen: set[str] = set()
+            uids = [u for u in resolved if not (u in seen or seen.add(u))]
+            self.coherence.note_committed(uids)
 
     def knows(self, uid_text: str) -> bool:
         return self.server_db.knows(Uid.parse(uid_text))
@@ -97,17 +133,21 @@ class GroupViewDatabase:
 
     def insert(self, action_path: ActionPath, uid_text: str, host: str) -> None:
         self.server_db.insert(action_path, Uid.parse(uid_text), host)
+        self._touch(action_path, uid_text)
 
     def remove(self, action_path: ActionPath, uid_text: str, host: str) -> None:
         self.server_db.remove(action_path, Uid.parse(uid_text), host)
+        self._touch(action_path, uid_text)
 
     def increment(self, action_path: ActionPath, client_node: str,
                   uid_text: str, hosts: list[str]) -> None:
         self.server_db.increment(action_path, client_node, Uid.parse(uid_text), hosts)
+        self._touch(action_path, uid_text)
 
     def decrement(self, action_path: ActionPath, client_node: str,
                   uid_text: str, hosts: list[str]) -> None:
         self.server_db.decrement(action_path, client_node, Uid.parse(uid_text), hosts)
+        self._touch(action_path, uid_text)
 
     def is_quiescent(self, uid_text: str) -> bool:
         return self.server_db.is_quiescent(Uid.parse(uid_text))
@@ -122,9 +162,12 @@ class GroupViewDatabase:
         parsed = [(Uid.parse(uid_text), list(hosts))
                   for uid_text, hosts in exclusions]
         self.state_db.exclude(action_path, parsed)
+        for uid_text, _hosts in exclusions:
+            self._touch(action_path, uid_text)
 
     def include(self, action_path: ActionPath, uid_text: str, host: str) -> None:
         self.state_db.include(action_path, Uid.parse(uid_text), host)
+        self._touch(action_path, uid_text)
 
     # -- 2PC participant (spans both halves) ---------------------------------------
 
@@ -138,10 +181,12 @@ class GroupViewDatabase:
     def commit(self, action_path: ActionPath) -> None:
         self.server_db.commit(action_path)
         self.state_db.commit(action_path)
+        self._resolve_touched(action_path, committed=True)
 
     def abort(self, action_path: ActionPath) -> None:
         self.server_db.abort(action_path)
         self.state_db.abort(action_path)
+        self._resolve_touched(action_path, committed=False)
 
     # -- liveness probe used by binding/cleanup protocols ---------------------------
 
@@ -195,7 +240,9 @@ class GroupViewDatabase:
         this one dispatch, so no lock ever spans the wire, no
         participant is enlisted, and the caller's action is never
         serialized against the entry.  Returns
-        ``(sv_hosts, uses, st_hosts, (sv_version, st_version))``, or
+        ``(sv_hosts, uses, st_hosts, (sv_version, st_version), mode)``
+        -- ``mode`` is the coherence plane's pull/push verdict for the
+        entry (always ``"pull"`` without a coherence host) -- or
         ``"locked"`` when a live action is mid-flight on the entry (the
         caller falls back to the authoritative locking read), or
         ``"unknown"`` when this replica disclaims the uid.
@@ -212,10 +259,12 @@ class GroupViewDatabase:
             view = self.state_db.get_view(probe.id.path, uid)
             versions = (self.server_db.entry_version(uid),
                         self.state_db.entry_version(uid))
+            mode = ("pull" if self.coherence is None
+                    else self.coherence.mode_of(uid_text))
             return (list(snapshot.hosts),
                     {host: dict(counters)
                      for host, counters in snapshot.uses.items()},
-                    list(view), versions)
+                    list(view), versions, mode)
         except (LockRefused, PromotionRefused):
             return "locked"
         except UnknownObject:
@@ -252,6 +301,11 @@ class GroupViewDatabase:
                                                sv_version)
         changed |= self.state_db.install_entry(uid, list(st_hosts),
                                                st_version)
+        if changed and self.coherence is not None:
+            # A maintenance install (resync, migration, read-repair)
+            # moved our committed state forward: registered lessees
+            # must hear about it like any committed write.
+            self.coherence.note_committed([uid_text])
         return changed
 
     def guarded_install_entry(self, uid_text: str, sv_hosts: list[str],
@@ -304,7 +358,12 @@ class GroupViewDatabase:
                 half.locks.try_lock(probe.id, key, LockMode.WRITE)
                 locked.append(half)
             removed = self.server_db.forget(uid)
-            return self.state_db.forget(uid) or removed
+            removed = self.state_db.forget(uid) or removed
+            if removed and self.coherence is not None:
+                # Post-flip GC: we no longer own the entry, so the
+                # registry and hotness state go with it.
+                self.coherence.forget(uid_text)
+            return removed
         except (LockRefused, PromotionRefused):
             return None
         finally:
@@ -316,6 +375,7 @@ class GroupViewDatabase:
         """Crash semantics: drop all locks and undo in-flight actions."""
         self.server_db.reset_volatile()
         self.state_db.reset_volatile()
+        self._touched.clear()
 
     # -- persistence -------------------------------------------------------------------
 

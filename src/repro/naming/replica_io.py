@@ -87,15 +87,27 @@ class EntryCopy:
     uses: dict[str, dict[str, int]]
     view: list[str]
     versions: tuple[int, int]
+    # The coherence plane's verdict for the entry: "pull" (lease+TTL)
+    # or "push" (register with the owner; it multicasts invalidations).
+    mode: str = "pull"
 
     @classmethod
     def from_wire(cls, result: Any) -> "EntryCopy":
         """Decode one ``read_entry_versioned`` wire tuple (the one
-        implementation every versioned-read consumer shares)."""
-        hosts, uses, view, versions = result
+        implementation every versioned-read consumer shares).
+
+        Accepts both the 4-tuple (pre-coherence peers, and the
+        ``fetch_entry_copy`` path that has no mode to report) and the
+        5-tuple carrying the entry's coherence mode.
+        """
+        if len(result) == 5:
+            hosts, uses, view, versions, mode = result
+        else:
+            hosts, uses, view, versions = result
+            mode = "pull"
         return cls(list(hosts),
                    {host: dict(counters) for host, counters in uses.items()},
-                   list(view), tuple(versions))
+                   list(view), tuple(versions), mode)
 
 
 def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,

@@ -75,6 +75,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Generator, Mapping, Sequence
 
+from repro.naming.coherence import COHERENCE_SERVICE_NAME
 from repro.naming.errors import NamingError
 from repro.naming.group_view_db import SYNC_SERVICE_NAME
 from repro.naming.replica_io import ReplicaIO
@@ -107,6 +108,7 @@ class ReshardManager:
                  service: str = SYNC_SERVICE_NAME, batch_size: int = 8,
                  throttle: float = 0.02,
                  retry_interval: float = 0.25, max_rounds: int = 400,
+                 handover_coherence: bool = False,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 1:
@@ -119,6 +121,7 @@ class ReshardManager:
         self.throttle = throttle
         self.retry_interval = retry_interval
         self.max_rounds = max_rounds
+        self.handover_coherence = handover_coherence
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
         self.epochs_completed = 0
@@ -344,6 +347,8 @@ class ReshardManager:
                            epoch=self.router.epoch,
                            nodes=list(self.router.nodes))
         try:
+            if self.handover_coherence:
+                yield from self._handover_coherence(old_ring, record)
             yield from self._gc(old_ring, record)
         finally:
             self._busy = False
@@ -476,6 +481,49 @@ class ReshardManager:
         if deferred:
             raise _Deferred
         return not pending
+
+    def _handover_coherence(self, old_ring: ShardRouter,
+                            record: dict[str, Any],
+                            ) -> Generator[Any, Any, None]:
+        """Move lessee registries to the entries' new owners (post-flip).
+
+        The coherence plane's registry and hot-detector state are soft
+        (TTL-bounded, rebuilt by re-registration), but dropping them at
+        every flip would reset each moved hot entry to pull mode and
+        cost its whole lessee cohort a refetch stampede.  So right
+        after the flip -- before GC erases the outgoing owners'
+        entries -- the coordinator copies the state host-to-host over
+        the sync plane: one export from each moved uid's outgoing
+        primary, one install on its incoming one, batched per host
+        pair.  Best effort by design: a dark host on either side just
+        means the TTLs and re-registrations resolve it the slow way,
+        which the staleness argument already covers (every pre-flip
+        cache entry died at the fence anyway; clients re-register on
+        their next read of a push-mode entry).
+        """
+        universe, _answered = yield from self.io.collect_uids(old_ring.nodes)
+        moves: dict[tuple[str, str], list[str]] = {}
+        for uid_text in sorted(universe):
+            old_primary = old_ring.shard_for(uid_text)
+            new_primary = self.router.shard_for(uid_text)
+            if old_primary != new_primary:
+                moves.setdefault((old_primary, new_primary),
+                                 []).append(uid_text)
+        for (source, target), uids in sorted(moves.items()):
+            try:
+                payload = yield self.io.sync_rpc.call(
+                    self.io.sync_target(source), COHERENCE_SERVICE_NAME,
+                    "export_coherence", uids)
+                if payload is None:
+                    continue
+                yield self.io.sync_rpc.call(
+                    self.io.sync_target(target), COHERENCE_SERVICE_NAME,
+                    "install_coherence", payload)
+            except RpcError:
+                continue
+            self.metrics.counter("reshard.coherence_handovers").increment()
+            record["coherence_handovers"] = (
+                record.get("coherence_handovers", 0) + 1)
 
     def _gc(self, old_ring: ShardRouter,
             record: dict[str, Any]) -> Generator[Any, Any, None]:

@@ -40,8 +40,9 @@ from __future__ import annotations
 from typing import Any, Generator
 
 from repro.actions.action import AtomicAction
+from repro.naming.coherence import CoherenceClient
 from repro.naming.db_client import GroupViewDbClient
-from repro.naming.entry_cache import EntryCache, LeaseValidationRecord
+from repro.naming.entry_cache import CachedEntry, EntryCache, LeaseValidationRecord
 from repro.naming.group_view_db import SERVICE_NAME, GroupViewDatabase
 from repro.naming.object_server_db import ServerEntrySnapshot
 from repro.naming.replica_io import READ_POLICIES, ReplicaIO
@@ -82,6 +83,7 @@ class ShardedGroupViewDbClient:
                  validate_leases: bool = False,
                  clock: Any | None = None,
                  sync_suffix: str = "",
+                 coherence_node: Any | None = None,
                  metrics: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.io = ReplicaIO(rpc, router, replication, service=service,
@@ -90,6 +92,14 @@ class ShardedGroupViewDbClient:
                             metrics=metrics, tracer=tracer)
         self.cache = cache
         self.validate_leases = validate_leases
+        # The coherence plane's client half: with a node handle and a
+        # cache attached, push-mode entries register as lessees with
+        # their owning shard host and receive multicast invalidations
+        # instead of re-probing on every lease expiry.
+        self.coherence: CoherenceClient | None = None
+        if coherence_node is not None and cache is not None:
+            self.coherence = CoherenceClient(coherence_node, self.io, cache,
+                                             metrics=metrics, tracer=tracer)
         # With a clock attached, every get_server is timed into the
         # ``naming.get_server_latency`` histogram -- the read-latency
         # series benchmarks pull p50/p95/p99 from.
@@ -217,6 +227,11 @@ class ShardedGroupViewDbClient:
         if entry is not None:
             self._attach_validation(action, uid_text, entry.versions)
             return list(getattr(entry, part))
+        if self.cache.renewal:
+            renewed = yield from self._try_renew(uid_text)
+            if renewed is not None:
+                self._attach_validation(action, uid_text, renewed.versions)
+                return list(getattr(renewed, part))
         # Capture the invalidation token and the clock before
         # suspending on the read: a write-through invalidation landing
         # mid-flight advances the token so the conditional store
@@ -229,6 +244,29 @@ class ShardedGroupViewDbClient:
         if fetched is None:
             return None
         copy, epoch = fetched
+        if copy.mode == "push" and self.coherence is not None:
+            # The owner says this entry is write-hot: become a lessee
+            # before caching, so the snapshot is covered by pushes from
+            # its first cached instant.  The registration reply carries
+            # the owner's current versions -- a mismatch means a write
+            # landed between the read and the registration, so serve
+            # this (still committed) snapshot once without caching it.
+            reg = yield from self.coherence.register(uid_text)
+            if reg is not None:
+                ttl, reg_versions = reg
+                if tuple(reg_versions) != tuple(copy.versions):
+                    self._attach_validation(action, uid_text, copy.versions)
+                    return list(getattr(copy, part))
+                stored = self.cache.store(uid_text, copy.hosts, copy.view,
+                                          copy.versions, ring_epoch=epoch,
+                                          token=token, fetched_at=started,
+                                          lease=ttl, mode="push")
+                if stored is None:
+                    return None
+                self._attach_validation(action, uid_text, stored.versions)
+                return list(getattr(stored, part))
+            # Owner dark mid-registration: fall back to a plain pull
+            # store -- the ordinary TTL bounds staleness without pushes.
         stored = self.cache.store(uid_text, copy.hosts, copy.view,
                                   copy.versions, ring_epoch=epoch,
                                   token=token, fetched_at=started)
@@ -236,6 +274,48 @@ class ShardedGroupViewDbClient:
             return None  # a write raced us; the locking read serializes
         self._attach_validation(action, uid_text, stored.versions)
         return list(getattr(stored, part))
+
+    def _try_renew(self, uid_text: str,
+                   ) -> Generator[Any, Any, "CachedEntry | None"]:
+        """Extend an expired-but-unfenced entry instead of re-reading.
+
+        With renewal on, :meth:`EntryCache.lookup` leaves expired
+        entries peekable.  A pull-mode entry renews off a lightweight
+        fenced version probe (client service, so gated or ring-moved
+        replicas cannot certify); a push-mode entry must *re-register*
+        with its owner -- the round trip that certifies the versions is
+        the same one that extends the owner-side registry entry, so the
+        lease can never outlive the window the owner pushes for.  Any
+        mismatch evicts: the snapshot is dead and the caller refetches.
+        """
+        entry = self.cache.peek(uid_text)
+        if entry is None:
+            return None
+        started = self.cache.clock()
+        token = self.cache.invalidation_token(uid_text)
+        if entry.mode == "push" and self.coherence is not None:
+            reg = yield from self.coherence.register(uid_text)
+            if reg is None:
+                return None  # owner dark; caller refetches
+            ttl, versions = reg
+            if tuple(versions) != entry.versions:
+                self.cache.invalidate(uid_text)
+                return None
+            return self.cache.renew(uid_text, fetched_at=started,
+                                    lease=ttl, token=token)
+        view = self.router.view()
+        replicas = view.read_order(uid_text, self.replication)
+        probes, _dark = yield from self.io.probe_versions(
+            uid_text, replicas, service=self.io.service,
+            ring_epoch=view.epoch)
+        if not probes:
+            return None
+        live = (max(sv for sv, _ in probes.values()),
+                max(st for _, st in probes.values()))
+        if live != entry.versions:
+            self.cache.invalidate(uid_text)
+            return None
+        return self.cache.renew(uid_text, fetched_at=started, token=token)
 
     # -- per-UID operations (routed through the engine) ----------------------
 

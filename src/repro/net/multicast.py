@@ -108,11 +108,13 @@ class MulticastMember:
     """
 
     def __init__(self, scheduler: Scheduler, nic: NetworkInterface,
-                 demux: MessageDemux, tracer: Tracer | None = None) -> None:
+                 demux: MessageDemux, tracer: Tracer | None = None,
+                 traffic: Any = None) -> None:
         self._scheduler = scheduler
         self._nic = nic
         self._tracer = tracer or NULL_TRACER
-        demux.route("mcast.", self._on_message)
+        self._traffic = traffic
+        demux.route("mcast.", self._dispatch)
         self._groups: dict[str, _GroupState] = {}
         self._handlers: dict[str, DeliveryHandler] = {}
         self.delivered: list[MulticastDelivery] = []
@@ -121,21 +123,71 @@ class MulticastMember:
     def name(self) -> str:
         return self._nic.name
 
-    def join(self, group: str, view: GroupView, handler: DeliveryHandler) -> None:
-        """Start receiving for ``group``; ``handler`` gets each delivery."""
+    def join(self, group: str, view: GroupView, handler: DeliveryHandler,
+             from_seq: int = 1) -> None:
+        """Start receiving for ``group``; ``handler`` gets each delivery.
+
+        ``from_seq`` is the late-joiner handoff: a member that joins an
+        already-running group (e.g. a lessee registering with an entry
+        owner) passes the sequencer's next sequence number from the
+        registration reply, so it neither NACK-storms for history it can
+        never see nor mistakes old frames for fresh ones.
+        """
         if self.name not in view:
             raise ValueError(f"{self.name} is not in the view for {group!r}")
-        self._groups[group] = _GroupState(view)
+        self._groups[group] = _GroupState(view, next_seq=from_seq,
+                                          sequencer_next=from_seq)
         self._handlers[group] = handler
+
+    def update_view(self, group: str, view: GroupView) -> None:
+        """Adopt a new view for a joined group, keeping sequence state.
+
+        Unlike a leave+join cycle this preserves ``next_seq`` and the
+        sequencer counter, so a membership change (a new lessee, an
+        expired one pruned) does not reset ordering mid-stream.
+        """
+        state = self._groups.get(group)
+        if state is None:
+            raise ValueError(f"{self.name} has not joined {group!r}")
+        if self.name not in view:
+            raise ValueError(f"{self.name} is not in the view for {group!r}")
+        state.view = view
 
     def leave(self, group: str) -> None:
         self._groups.pop(group, None)
         self._handlers.pop(group, None)
 
+    def joined(self, group: str) -> bool:
+        return group in self._groups
+
+    def next_seq(self, group: str) -> int | None:
+        """This member's next expected sequence number for ``group``."""
+        state = self._groups.get(group)
+        return state.next_seq if state is not None else None
+
+    def next_send_seq(self, group: str) -> int | None:
+        """The sequence number the next sequenced send will carry.
+
+        Only meaningful on the group's sequencer; registration replies
+        hand it to late joiners as their ``from_seq``.
+        """
+        state = self._groups.get(group)
+        return state.sequencer_next if state is not None else None
+
     def reset(self) -> None:
         """Drop all volatile group state (node crash)."""
         self._groups.clear()
         self._handlers.clear()
+
+    def _dispatch(self, message: Message) -> None:
+        if self._traffic is not None:
+            self._traffic.record_multicast_received(message.payload)
+        self._on_message(message)
+
+    def _transmit(self, member: str, kind: str, data: Any) -> None:
+        if self._traffic is not None:
+            self._traffic.record_multicast_sent(data)
+        self._nic.send(member, kind, data)
 
     def _on_message(self, message: Message) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -152,8 +204,8 @@ class NaiveMulticastMember(MulticastMember):
 
     def __init__(self, scheduler: Scheduler, nic: NetworkInterface,
                  demux: MessageDemux, tracer: Tracer | None = None,
-                 stagger: float = 0.0005) -> None:
-        super().__init__(scheduler, nic, demux, tracer)
+                 stagger: float = 0.0005, traffic: Any = None) -> None:
+        super().__init__(scheduler, nic, demux, tracer, traffic=traffic)
         self.stagger = stagger
 
     def send(self, group: str, view: GroupView, payload: Any) -> None:
@@ -173,7 +225,7 @@ class NaiveMulticastMember(MulticastMember):
     def _emit(self, member: str, data: _DataMessage) -> None:
         # NetworkInterface.send is a no-op if this node has crashed, which
         # is exactly the partial-delivery failure mode.
-        self._nic.send(member, NAIVE_KIND, data)
+        self._transmit(member, NAIVE_KIND, data)
 
     def _on_message(self, message: Message) -> None:
         if message.kind != NAIVE_KIND:
@@ -196,12 +248,43 @@ class ReliableOrderedMulticastMember(MulticastMember):
     def __init__(self, scheduler: Scheduler, nic: NetworkInterface,
                  demux: MessageDemux, tracer: Tracer | None = None,
                  stagger: float = 0.0005, nack_delay: float = 0.05,
-                 log_capacity: int = 256) -> None:
-        super().__init__(scheduler, nic, demux, tracer)
+                 log_capacity: int = 256, prejoin_capacity: int = 64,
+                 traffic: Any = None) -> None:
+        super().__init__(scheduler, nic, demux, tracer, traffic=traffic)
         self.stagger = stagger
         self.nack_delay = nack_delay
         self.log_capacity = log_capacity
+        self.prejoin_capacity = prejoin_capacity
         self._delivery_log: dict[str, dict[int, _DataMessage]] = {}
+        self._prejoin: dict[str, list[_DataMessage]] = {}
+
+    # -- pre-join stash ------------------------------------------------------
+
+    def expect(self, group: str) -> None:
+        """Stash data frames for ``group`` until :meth:`join` drains them.
+
+        A member that is *about to* join (its registration RPC is in
+        flight) calls this first: frames sequenced between the reply
+        being computed and the join taking effect would otherwise be
+        dropped on the floor, leaving a gap no NACK can see until the
+        next frame arrives.  The stash is bounded and per-group, and
+        only groups explicitly expected are stashed.
+        """
+        self._prejoin.setdefault(group, [])
+
+    def unexpect(self, group: str) -> None:
+        self._prejoin.pop(group, None)
+
+    def join(self, group: str, view: GroupView, handler: DeliveryHandler,
+             from_seq: int = 1) -> None:
+        super().join(group, view, handler, from_seq=from_seq)
+        for data in self._prejoin.pop(group, []):
+            self._receive_data(data)
+
+    def reset(self) -> None:
+        super().reset()
+        self._delivery_log.clear()
+        self._prejoin.clear()
 
     # -- sending ---------------------------------------------------------
 
@@ -218,7 +301,7 @@ class ReliableOrderedMulticastMember(MulticastMember):
         if sequencer == self.name:
             self._sequence(submit)
         else:
-            self._nic.send(sequencer, SUBMIT_KIND, submit)
+            self._transmit(sequencer, SUBMIT_KIND, submit)
 
     # -- receiving ----------------------------------------------------------
 
@@ -250,21 +333,26 @@ class ReliableOrderedMulticastMember(MulticastMember):
                                          self._emit, member, data)
 
     def _emit(self, member: str, data: _DataMessage) -> None:
-        self._nic.send(member, DATA_KIND, data)
+        self._transmit(member, DATA_KIND, data)
 
     def _receive_data(self, data: _DataMessage) -> None:
         state = self._groups.get(data.group)
         if state is None:
+            stash = self._prejoin.get(data.group)
+            if stash is not None and len(stash) < self.prejoin_capacity:
+                stash.append(data)
             return
         if data.mcast_id in state.seen_ids:
             return
         state.seen_ids.add(data.mcast_id)
+        if data.seq < state.next_seq:
+            return  # pre-join history or a relayed duplicate; already covered
         # Flooding relay: first receipt is re-transmitted to every peer so
         # that a transmitter crash cannot leave the group partially
         # informed (R-multicast).
         for member in state.view:
             if member != self.name:
-                self._nic.send(member, DATA_KIND, data)
+                self._transmit(member, DATA_KIND, data)
         state.holdback[data.seq] = data
         self._drain_holdback(state)
         if state.next_seq in state.holdback or state.next_seq <= max(
@@ -282,10 +370,6 @@ class ReliableOrderedMulticastMember(MulticastMember):
             self._hand_up(MulticastDelivery(data.group, data.origin,
                                             data.payload, data.seq))
 
-    def reset(self) -> None:
-        super().reset()
-        self._delivery_log.clear()
-
     # -- gap repair --------------------------------------------------------
 
     def _schedule_nack(self, group: str, state: _GroupState) -> None:
@@ -301,7 +385,7 @@ class ReliableOrderedMulticastMember(MulticastMember):
         self._tracer.record("mcast", "nack", group=group, seq=missing)
         for member in state.view:
             if member != self.name:
-                self._nic.send(member, NACK_KIND, _NackMessage(group, missing))
+                self._transmit(member, NACK_KIND, _NackMessage(group, missing))
         # Keep nagging until the gap closes or we crash.
         self._scheduler.schedule(self.nack_delay, self._send_nack, group, missing)
 
@@ -312,7 +396,7 @@ class ReliableOrderedMulticastMember(MulticastMember):
             if state is not None:
                 data = state.holdback.get(nack.seq)
         if data is not None:
-            self._nic.send(requester, DATA_KIND, data)
+            self._transmit(requester, DATA_KIND, data)
 
 
 # Backwards-compatible alias: the delivery log is now built in.

@@ -139,13 +139,17 @@ def wire_size(payload: Any) -> int:
 
 
 class PlaneTraffic:
-    """RPC and byte counters for one (host, plane) pair.
+    """RPC, multicast, and byte counters for one (host, plane) pair.
 
     The per-node RPC agents record every message they put on or take
     off their interface here, under
     ``traffic.<host>.<plane>.{rpcs,bytes}_{in,out}`` in the shared
     registry -- so a snapshot splits each host's load into its client
-    and sync planes without touching the network layer.
+    and sync planes without touching the network layer.  Multicast
+    members record their frames separately
+    (``traffic.<host>.<plane>.mcasts_{in,out}``) but into the *same*
+    byte counters, so per-plane byte volume stays the single source of
+    truth for what rode each NIC.
     """
 
     __slots__ = ("_registry", "host", "plane", "_prefix")
@@ -166,6 +170,24 @@ class PlaneTraffic:
         self._registry.counter(self._prefix + "rpcs_in").increment()
         self._registry.counter(self._prefix + "bytes_in").increment(
             wire_size(payload))
+
+    def record_multicast_sent(self, payload: Any) -> None:
+        self._registry.counter(self._prefix + "mcasts_out").increment()
+        self._registry.counter(self._prefix + "bytes_out").increment(
+            wire_size(payload))
+
+    def record_multicast_received(self, payload: Any) -> None:
+        self._registry.counter(self._prefix + "mcasts_in").increment()
+        self._registry.counter(self._prefix + "bytes_in").increment(
+            wire_size(payload))
+
+    @property
+    def mcasts_out(self) -> int:
+        return self._registry.counter_value(self._prefix + "mcasts_out")
+
+    @property
+    def mcasts_in(self) -> int:
+        return self._registry.counter_value(self._prefix + "mcasts_in")
 
     @property
     def rpcs_out(self) -> int:

@@ -793,6 +793,268 @@ def leased_read_churn_scenario(
     }
 
 
+def hot_key_scenario(
+    push: bool,
+    shards: int = 2,
+    staleness_budget: float = 0.05,
+    registration_ttl: float = 30.0,
+    replication: int = 2,
+    clients: int = 24,
+    txns_per_client: int = 40,
+    server_hosts: int = 3,
+    hot_objects: int = 4,
+    zipf_s: float = 1.1,
+    shard_service_time: float = 0.012,
+    mean_think_time: float = 0.002,
+    fixed_latency: float = 0.002,
+    write_period: float = 0.25,
+    writer_txns: int = 80,
+    warmup_rounds: int = 4,
+    hot_write_rate: float = 0.2,
+    max_attempts: int = 5,
+    rpc_timeout: float = 5.0,
+    seed: int = 7,
+    churn: bool = False,
+    **config_kwargs: Any,
+) -> dict[str, Any]:
+    """A zipfian flash crowd on write-hot entries; returns a row.
+
+    The scenario the coherence plane was built for: a crowd of readers
+    hammers a few entries whose group views a concurrent writer keeps
+    mutating.  Under the pull plane (``push=False``, the PR-5 baseline)
+    the only way to hold staleness under ``staleness_budget`` is a
+    lease TTL that short -- so every client re-reads every hot entry at
+    ``1/staleness_budget`` per second whether or not anything changed,
+    and the owner's single-server queue saturates exactly like the
+    pre-cache hot arcs.  Under the push plane the same entries flip to
+    push mode: clients hold them for ``registration_ttl`` and refetch
+    only when an owner-pushed invalidation actually lands, so the
+    refetch rate tracks the *write* rate, not the staleness budget --
+    and staleness itself drops to one push delivery.
+
+    The row carries committed read throughput over the reader window,
+    latency percentiles (p50/p95/p99), cache and coherence counters,
+    and the correctness ledger (cache-bound violations plus
+    lost/invented counter writes).  With ``churn=True`` a live reshard
+    (``add_shard_host``) and a scripted shard-host outage land in the
+    middle of the measured window -- the row any violation would
+    surface in.
+    """
+    from repro.actions.locks import LockMode
+    from repro.cluster.system import DistributedSystem, SystemConfig
+    from repro.core.objects import PersistentObject, operation
+    from repro.sim.failures import FaultPlan
+    from repro.sim.process import Timeout
+    from repro.sim.rng import SeededRng
+    from repro.workload.generator import TransactionStream, run_streams
+
+    class HotCounter(PersistentObject):
+        TYPE_NAME = "hot_key.Counter"
+
+        def __init__(self, uid, value=0):
+            super().__init__(uid)
+            self.value = value
+
+        def save_state(self, out):
+            out.pack_int(self.value)
+
+        def restore_state(self, state):
+            self.value = state.unpack_int()
+
+        @operation(LockMode.READ)
+        def get(self):
+            return self.value
+
+        @operation(LockMode.WRITE)
+        def add(self, amount):
+            self.value += amount
+            return self.value
+
+    system = DistributedSystem(SystemConfig(
+        seed=seed, nameserver_shards=shards,
+        nameserver_replication=replication, binding_scheme="standard",
+        nameserver_lease=staleness_budget,
+        nameserver_cache_ledger=True,
+        nameserver_push_invalidation=push,
+        nameserver_renewal=push,
+        nameserver_hot_write_rate=hot_write_rate,
+        nameserver_registration_ttl=registration_ttl if push else None,
+        dedicated_sync_nic=True, enable_recovery_managers=False,
+        rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+        **config_kwargs))
+    system.registry.register(HotCounter)
+    hosts = [f"s{i}" for i in range(server_hosts)]
+    for host in hosts:
+        system.add_node(host, server=True, store=True)
+    runtimes = [system.add_client(f"c{i}") for i in range(clients)]
+    writer_runtime = system.add_client("writer")
+    uids = []
+    spare = {}  # the Sv member the writer churns, per uid
+    for i in range(hot_objects):
+        home = hosts[i % server_hosts]
+        alt = hosts[(i + 1) % server_hosts]
+        uid = system.create_object(HotCounter(system.new_uid(), value=0),
+                                   sv_hosts=[home, alt], st_hosts=[home])
+        uids.append(uid)
+        spare[str(uid)] = alt
+    for host in system.shard_hosts:
+        system.nodes[host].rpc.service_time = shard_service_time
+
+    def churn_txn(uid):
+        # A real naming write: drop and re-add one Sv member, bumping
+        # the entry's versions -- what the detector and pushes key off.
+        def work(txn):
+            yield from txn._ctx.db.exclude(txn.action, [(uid, [spare[str(uid)]])])
+            yield from txn._ctx.db.include(txn.action, uid, spare[str(uid)])
+            return True
+        return work
+
+    def add_txn(uid):
+        def work(txn):
+            return (yield from txn.invoke(uid, "add", 1))
+        return work
+
+    def get_txn(uid):
+        def work(txn):
+            return (yield from txn.invoke(uid, "get"))
+        return work
+
+    # Warm-up: enough committed naming writes per entry that the
+    # detector's EWMA reflects the sustained write stream before the
+    # crowd arrives (identical work in both modes for fairness).
+    for _ in range(warmup_rounds):
+        for uid in uids:
+            system.run_transaction(writer_runtime, churn_txn(uid),
+                                   timeout=30.0)
+
+    # The flash crowd: every reader loops zipfian-weighted gets over
+    # the hot entries; the writer interleaves naming churn and counter
+    # increments at one mutation per ``write_period`` on average.
+    weights = [1.0 / (rank + 1) ** zipf_s for rank in range(hot_objects)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+
+    def reader_factory_for(stream_index):
+        rng = SeededRng(seed, f"zipf{stream_index}")
+        picks = []
+        for _ in range(txns_per_client):
+            toss = rng.random()
+            picks.append(next(uids[rank]
+                              for rank, edge in enumerate(cumulative)
+                              if toss <= edge))
+
+        def factory(index):
+            return get_txn(picks[index])
+        return factory
+
+    def writer_factory(index):
+        uid = uids[(index // 2) % hot_objects]
+        return churn_txn(uid) if index % 2 == 0 else add_txn(uid)
+
+    readers = [
+        TransactionStream(runtime, reader_factory_for(i),
+                          count=txns_per_client,
+                          rng=SeededRng(seed, f"hotread{i}"),
+                          mean_think_time=mean_think_time,
+                          max_attempts=max_attempts, read_only=True)
+        for i, runtime in enumerate(runtimes)
+    ]
+    writer = TransactionStream(writer_runtime, writer_factory,
+                               count=writer_txns,
+                               rng=SeededRng(seed, "hotwrite"),
+                               mean_think_time=write_period,
+                               max_attempts=max_attempts)
+
+    migrations: list[dict[str, Any]] = []
+    if churn:
+        victim = system.shard_hosts[0]
+        start = system.scheduler.now
+        system.install_fault_plan(
+            FaultPlan().outage(start + 2.0, start + 4.0, victim))
+
+        def reshard_driver():
+            yield Timeout(1.0)
+            migrations.append((yield system.add_shard_host()))
+
+        system.scheduler.spawn(reshard_driver(), name="hot-key-reshard")
+
+    started = system.scheduler.now
+    run_streams(system, readers + [writer], timeout=10_000.0)
+
+    read_outcomes = [o for stream in readers for o in stream.report.outcomes]
+    finished = max((o.finished_at for o in read_outcomes), default=started)
+    window = finished - started
+    committed_reads = sum(1 for o in read_outcomes if o.committed)
+    latencies = [o.latency for o in read_outcomes]
+
+    # The correctness ledger: re-read every counter and compare against
+    # the writer's committed increments (odd indices were ``add``s).
+    committed_adds = {str(uid): 0 for uid in uids}
+    for index, outcome in enumerate(writer.report.outcomes):
+        if index % 2 == 1 and outcome.committed:
+            committed_adds[str(uids[(index // 2) % hot_objects])] += 1
+    lost = invented = 0
+    for uid in uids:
+        result = system.run_transaction(runtimes[0], get_txn(uid),
+                                        timeout=30.0)
+        if not result.committed:
+            lost += committed_adds[str(uid)]
+            continue
+        lost += max(0, committed_adds[str(uid)] - result.value)
+        invented += max(0, result.value - committed_adds[str(uid)])
+
+    hits = sum(cache.hits for cache in system.entry_caches.values())
+    misses = sum(cache.misses for cache in system.entry_caches.values())
+    violations = sum(len(cache.ledger_violations())
+                     for cache in system.entry_caches.values())
+    fenced = sum(cache.fenced for cache in system.entry_caches.values())
+    pushed_entries = 0
+    if push:
+        for uid in uids:
+            owner = system.shard_router.shard_for(uid)
+            host = system.coherence_hosts.get(owner)
+            if host is not None and host.mode_of(str(uid)) == "push":
+                pushed_entries += 1
+    snapshot = system.metrics.snapshot()
+
+    def counter_sum(suffix):
+        return sum(value for name, value in snapshot.items()
+                   if name.endswith(suffix) and isinstance(value, int))
+
+    return {
+        "mode": "push" if push else "pull",
+        "staleness_budget": staleness_budget,
+        "offered": len(read_outcomes),
+        "committed": committed_reads,
+        "commit_rate": (committed_reads / len(read_outcomes)
+                        if read_outcomes else 0.0),
+        "throughput": committed_reads / window if window > 0 else 0.0,
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "writes_committed": writer.report.committed,
+        "pushed_entries": pushed_entries,
+        "pushes_sent": counter_sum("coherence.pushes_sent"),
+        "pushes_applied": counter_sum("coherence.pushes_applied"),
+        "registrations": counter_sum("coherence.registrations"),
+        "reshards": len(migrations),
+        "flipped": bool(migrations and migrations[0]["flipped_at"]),
+        "coherence_handovers": (migrations[0].get("coherence_handovers", 0)
+                                if migrations else 0),
+        "fenced_invalidations": fenced,
+        "ledger_violations": violations,
+        "lost_bindings": lost,
+        "invented_bindings": invented,
+    }
+
+
 def percentile(values: Sequence[float], fraction: float) -> float:
     """The ``fraction`` quantile of ``values`` (nearest-rank)."""
     if not values:

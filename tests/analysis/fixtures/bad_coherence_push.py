@@ -1,0 +1,34 @@
+"""Known-bad fixture: coherence traffic on the client plane.
+
+Scanned as ``src/repro/naming/coherence.py``: the host registers its
+service on the client agent, aliases the client-plane multicast member
+for its pushes, and the client registers over the client agent -- all
+three are exactly what the coherence-push rule exists to refuse.
+"""
+
+COHERENCE_SERVICE_NAME = "coherence"
+
+
+class LeakyCoherenceHost:
+    def __init__(self, node, db):
+        self.node = node
+        self.db = db
+        self._mcast = node.mcast  # client NIC: pushes queue behind reads
+
+    def install(self):
+        self.node.rpc.register(COHERENCE_SERVICE_NAME, self)
+
+    def push(self, group, view, payload):
+        self._mcast.send(group, view, payload)
+
+
+class LeakyCoherenceClient:
+    def __init__(self, node, io):
+        self.node = node
+        self.io = io
+
+    def register(self, owner, uid_text):
+        reply = yield self.node.rpc.call(owner, COHERENCE_SERVICE_NAME,
+                                         "register_lessee", self.node.name,
+                                         uid_text)
+        return reply

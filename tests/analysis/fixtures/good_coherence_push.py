@@ -1,0 +1,41 @@
+"""Known-good fixture: the coherence plane on the sync side throughout.
+
+Scanned as ``src/repro/naming/coherence.py``: the owner registers on
+``sync_rpc`` and pushes through ``sync_mcast`` (resolved through the
+``__init__`` alias), and the lessee registers over ``io.sync_rpc`` to
+the owner's ``sync_target``.  The lessee's *receive* membership lives
+on its primary NIC -- a workstation has only one -- which the rule
+exempts because joining a group sends nothing.
+"""
+
+COHERENCE_SERVICE_NAME = "coherence"
+
+
+class OwnerCoherenceHost:
+    def __init__(self, node, db):
+        self.node = node
+        self.db = db
+        self._mcast = node.sync_mcast
+
+    def install(self):
+        self.node.sync_rpc.register(COHERENCE_SERVICE_NAME, self)
+
+    def push(self, group, view, payload):
+        self._mcast.send(group, view, payload)
+
+
+class LesseeClient:
+    def __init__(self, node, io, cache):
+        self.node = node
+        self.io = io
+        self.cache = cache
+        self._mcast = node.mcast  # receive side only; never sends
+
+    def register(self, owner, uid_text):
+        reply = yield self.io.sync_rpc.call(
+            self.io.sync_target(owner), COHERENCE_SERVICE_NAME,
+            "register_lessee", self.node.name, uid_text)
+        return reply
+
+    def handle(self, delivery):
+        self.cache.invalidate(delivery.payload[1])

@@ -20,7 +20,7 @@ from repro.analysis import (
 from repro.analysis.core import _REGISTRY
 
 EXPECTED_RULES = {"action-leak", "lock-across-wire", "fence-required",
-                  "sync-plane", "determinism"}
+                  "sync-plane", "coherence-push", "determinism"}
 
 
 # -- registry ----------------------------------------------------------------

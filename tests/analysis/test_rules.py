@@ -1,6 +1,6 @@
-"""The five checkers against the regression-fixture corpus.
+"""The six checkers against the regression-fixture corpus.
 
-One known-bad fixture per historical bug (PRs 1-5) proves each rule
+One known-bad fixture per historical bug (PRs 1-8) proves each rule
 still catches the mistake it was written for; the known-good fixtures
 prove the approved patterns, suppressions, and nested actions do not
 false-positive.
@@ -59,6 +59,17 @@ def test_client_plane_in_maintenance_module_is_flagged(scan_fixture):
     }
 
 
+def test_coherence_on_the_client_plane_is_flagged(scan_fixture):
+    report = scan_fixture("bad_coherence_push.py",
+                          relpath="src/repro/naming/coherence.py",
+                          rules=["coherence-push"])
+    assert {f.ident for f in report.findings} == {
+        "self.node.rpc:client-plane-register",
+        "self._mcast:client-plane-push",
+        "self.node.rpc:client-plane-call",
+    }
+
+
 def test_determinism_catches_every_banned_source(scan_fixture):
     report = scan_fixture("bad_determinism.py", rules=["determinism"])
     assert idents(report) >= {
@@ -84,6 +95,21 @@ def test_sync_plane_correct_usage_is_silent(scan_fixture):
                           relpath="src/repro/naming/read_repair.py",
                           rules=["sync-plane"])
     assert report.findings == []
+
+
+def test_coherence_on_the_sync_plane_is_silent(scan_fixture):
+    report = scan_fixture("good_coherence_push.py",
+                          relpath="src/repro/naming/coherence.py",
+                          rules=["coherence-push"])
+    assert report.findings == []
+
+
+def test_coherence_rule_ignores_other_modules(scan_fixture):
+    report = scan_fixture("bad_coherence_push.py",
+                          relpath="src/repro/naming/other_module.py",
+                          rules=["coherence-push"])
+    assert report.findings == []
+    assert report.files_scanned == 0
 
 
 def test_maintenance_rule_ignores_other_modules(scan_fixture):

@@ -175,3 +175,127 @@ def test_join_requires_membership():
     member = NaiveMulticastMember(s, nic, MessageDemux(nic))
     with pytest.raises(ValueError):
         member.join("G", GroupView.of("somebody-else"), lambda d: None)
+
+
+# -- the coherence plane's late-joiner and mid-push crash patterns -----------
+
+
+def _pair(s, net, name):
+    nic = net.attach(name)
+    return ReliableOrderedMulticastMember(s, nic, MessageDemux(nic))
+
+
+def test_expect_then_join_drains_pushes_raced_with_registration():
+    """A push sequenced mid-registration lands in the pre-join stash."""
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    owner = _pair(s, net, "o")
+    lessee = _pair(s, net, "c")
+    owner.join("G", GroupView.of("o"), lambda d: None)
+    # The lessee's registration RPC is in flight: it stashes first.
+    lessee.expect("G")
+    # The owner admits it and pushes before the join takes effect.
+    view = GroupView.of("o", "c")
+    owner.update_view("G", view)
+    start = owner.next_send_seq("G")
+    owner.send("G", view, "inval-1")
+    owner.send("G", view, "inval-2")
+    s.run()
+    got = []
+    assert lessee.delivered == []  # stashed, not delivered
+    lessee.join("G", view, got.append, from_seq=start)
+    assert [d.payload for d in got] == ["inval-1", "inval-2"]
+
+
+def test_unexpect_drops_the_stash_on_failed_registration():
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    owner = _pair(s, net, "o")
+    lessee = _pair(s, net, "c")
+    owner.join("G", GroupView.of("o"), lambda d: None)
+    lessee.expect("G")
+    view = GroupView.of("o", "c")
+    owner.update_view("G", view)
+    owner.send("G", view, "inval")
+    s.run()
+    lessee.unexpect("G")
+    got = []
+    lessee.join("G", view, got.append, from_seq=2)
+    s.run()
+    assert got == []  # nothing resurrected after the stash was dropped
+
+
+def test_late_joiner_from_seq_skips_history_without_nacking():
+    """Joining at the handed-off sequence sees only subsequent pushes."""
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    owner = _pair(s, net, "o")
+    lessee = _pair(s, net, "c")
+    owner.join("G", GroupView.of("o"), lambda d: None)
+    for i in range(3):
+        owner.send("G", GroupView.of("o"), f"old-{i}")
+    s.run()
+    view = GroupView.of("o", "c")
+    owner.update_view("G", view)
+    got = []
+    lessee.join("G", view, got.append, from_seq=owner.next_send_seq("G"))
+    owner.send("G", view, "new")
+    s.run(until=5.0)
+    assert [d.payload for d in got] == ["new"]
+
+
+def test_owner_crash_mid_push_flood_relay_closes_the_gap():
+    """The owner (sequencer AND origin) crashes between its emissions.
+
+    The coherence push pattern: the owning host sequences its own
+    invalidation and fans it out to the lessee cohort.  Crashing after
+    reaching only the first lessee must not leave the cohort split --
+    the first receiver's flooding relay carries the push to the rest.
+    """
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    owner = _pair(s, net, "o")
+    l1 = _pair(s, net, "l1")
+    l2 = _pair(s, net, "l2")
+    view = GroupView.of("o", "l1", "l2")
+    logs = {"l1": [], "l2": []}
+    owner.join("G", view, lambda d: None)
+    l1.join("G", view, logs["l1"].append)
+    l2.join("G", view, logs["l2"].append)
+    owner.send("G", view, ("inval", "uid-7"))
+    # Emissions are staggered (l1 at ~0.0005, l2 at ~0.001); kill the
+    # owner's NIC between the two.
+    s.schedule(0.0007, lambda: setattr(net.interface("o"), "up", False))
+    s.run(max_events=100000)
+    assert [d.payload for d in logs["l1"]] == [("inval", "uid-7")]
+    assert [d.payload for d in logs["l2"]] == [("inval", "uid-7")]
+
+
+def test_lessee_crash_mid_push_leaves_the_survivors_consistent():
+    """A lessee dying mid-push costs only itself; the stream continues."""
+    s = Scheduler()
+    net = Network(s, FixedLatency(0.01))
+    owner = _pair(s, net, "o")
+    l1 = _pair(s, net, "l1")
+    l2 = _pair(s, net, "l2")
+    view = GroupView.of("o", "l1", "l2")
+    logs = {"l1": [], "l2": []}
+    owner.join("G", view, lambda d: None)
+    l1.join("G", view, logs["l1"].append)
+    l2.join("G", view, logs["l2"].append)
+    owner.send("G", view, "push-1")
+    s.schedule(0.001, lambda: setattr(net.interface("l2"), "up", False))
+    s.run(until=1.0)
+    assert [d.payload for d in logs["l1"]] == ["push-1"]
+    assert logs["l2"] == []
+    # The crash wipes the lessee's volatile group state...
+    l2.reset()
+    assert not l2.joined("G")
+    # ...and the owner keeps pushing to the pruned cohort, sequence
+    # numbering intact.
+    pruned = GroupView.of("o", "l1")
+    owner.update_view("G", pruned)
+    owner.send("G", pruned, "push-2")
+    s.run(until=2.0)
+    assert [d.payload for d in logs["l1"]] == ["push-1", "push-2"]
+    assert [d.seq for d in logs["l1"]] == [1, 2]
