@@ -109,6 +109,23 @@ class AbstractRecord:
         return
         yield  # pragma: no cover
 
+    # Eager phase starts: before driving a same-order group's phase
+    # generators one by one, the action calls ``begin_<phase>`` on every
+    # record of the group.  An RPC-backed record can issue its phase
+    # message here -- into the commit batcher, typically -- so
+    # same-instant calls from the whole group coalesce instead of going
+    # out one round trip at a time.  Default: do nothing (the phase
+    # generator does all the work, exactly as before).
+
+    def begin_prepare(self, action: "AtomicAction") -> None:
+        """Optionally start phase 1 early; raising vetoes like prepare."""
+
+    def begin_commit(self, action: "AtomicAction") -> None:
+        """Optionally start phase 2 early; raising is a heuristic failure."""
+
+    def begin_abort(self, action: "AtomicAction") -> None:
+        """Optionally start the undo early; raising is logged and ignored."""
+
     def merge_into_parent(self, parent: "AtomicAction") -> None:
         """Nested commit: hand the record to the parent action."""
         parent.add_record(self)
@@ -218,40 +235,72 @@ class AtomicAction:
             if not wave:
                 break
             voted.update(id(r) for r in wave)
-            for record in sorted(wave, key=lambda r: r.order):
-                try:
-                    vote = yield from record.prepare(self)
-                except Exception as exc:
-                    self._tracer.record("action", "prepare raised",
-                                        id=str(self.id),
-                                        record=type(record).__name__,
-                                        error=type(exc).__name__)
-                    vote = Vote.ABORT
-                if vote is Vote.ABORT:
-                    self._tracer.record("action", "prepare vetoed",
-                                        id=str(self.id),
-                                        record=type(record).__name__)
-                    yield from self._abort_records(self._records)
-                    self.status = ActionStatus.ABORTED
-                    return self.status
-                prepared.append((record, vote))
+            wave.sort(key=lambda r: r.order)
+            for _order, group_iter in itertools.groupby(
+                    wave, key=lambda r: r.order):
+                group = list(group_iter)
+                # Same-order records have no mutual ordering contract,
+                # so the whole group may start phase 1 eagerly before
+                # any member awaits a verdict -- this is where batched
+                # records push their prepares into the commit batcher.
+                for record in group:
+                    try:
+                        record.begin_prepare(self)
+                    except Exception as exc:
+                        self._tracer.record("action", "prepare raised",
+                                            id=str(self.id),
+                                            record=type(record).__name__,
+                                            error=type(exc).__name__)
+                        yield from self._abort_records(self._records)
+                        self.status = ActionStatus.ABORTED
+                        return self.status
+                for record in group:
+                    try:
+                        vote = yield from record.prepare(self)
+                    except Exception as exc:
+                        self._tracer.record("action", "prepare raised",
+                                            id=str(self.id),
+                                            record=type(record).__name__,
+                                            error=type(exc).__name__)
+                        vote = Vote.ABORT
+                    if vote is Vote.ABORT:
+                        self._tracer.record("action", "prepare vetoed",
+                                            id=str(self.id),
+                                            record=type(record).__name__)
+                        yield from self._abort_records(self._records)
+                        self.status = ActionStatus.ABORTED
+                        return self.status
+                    prepared.append((record, vote))
         self.status = ActionStatus.COMMITTING
         # Re-sort: wave-by-wave prepare voted in enlistment waves, but
         # phase 2 keeps the documented lower-order-first contract even
         # when a late joiner carries a lower order than an early wave.
         prepared.sort(key=lambda entry: entry[0].order)
-        for record, vote in prepared:
-            if vote is Vote.READONLY:
-                continue
-            try:
-                yield from record.commit(self)
-            except Exception as exc:
-                # Phase-2 failures cannot abort a decided action; they are
-                # remembered for heuristic resolution by the caller.
-                self.commit_failures.append((record, exc))
-                self._tracer.record("action", "commit-phase failure", id=str(self.id),
-                                    record=type(record).__name__,
-                                    error=type(exc).__name__)
+        live = [(record, vote) for record, vote in prepared
+                if vote is not Vote.READONLY]
+        for _order, group_iter in itertools.groupby(
+                live, key=lambda entry: entry[0].order):
+            group = list(group_iter)
+            for record, _vote in group:
+                try:
+                    record.begin_commit(self)
+                except Exception as exc:
+                    self.commit_failures.append((record, exc))
+                    self._tracer.record("action", "commit-phase failure",
+                                        id=str(self.id),
+                                        record=type(record).__name__,
+                                        error=type(exc).__name__)
+            for record, _vote in group:
+                try:
+                    yield from record.commit(self)
+                except Exception as exc:
+                    # Phase-2 failures cannot abort a decided action; they
+                    # are remembered for heuristic resolution by the caller.
+                    self.commit_failures.append((record, exc))
+                    self._tracer.record("action", "commit-phase failure",
+                                        id=str(self.id),
+                                        record=type(record).__name__,
+                                        error=type(exc).__name__)
         self.status = ActionStatus.COMMITTED
         self._tracer.record("action", "committed", id=str(self.id),
                             records=len(self._records))
@@ -270,13 +319,26 @@ class AtomicAction:
         yield  # pragma: no cover - kept a generator for interface symmetry
 
     def _abort_records(self, records: list[AbstractRecord]) -> Generator[Any, Any, None]:
-        for record in sorted(records, key=lambda r: r.order, reverse=True):
-            try:
-                yield from record.abort(self)
-            except Exception as exc:
-                self._tracer.record("action", "abort-phase failure", id=str(self.id),
-                                    record=type(record).__name__,
-                                    error=type(exc).__name__)
+        ordered = sorted(records, key=lambda r: r.order, reverse=True)
+        for _order, group_iter in itertools.groupby(
+                ordered, key=lambda r: r.order):
+            group = list(group_iter)
+            for record in group:
+                try:
+                    record.begin_abort(self)
+                except Exception as exc:
+                    self._tracer.record("action", "abort-phase failure",
+                                        id=str(self.id),
+                                        record=type(record).__name__,
+                                        error=type(exc).__name__)
+            for record in group:
+                try:
+                    yield from record.abort(self)
+                except Exception as exc:
+                    self._tracer.record("action", "abort-phase failure",
+                                        id=str(self.id),
+                                        record=type(record).__name__,
+                                        error=type(exc).__name__)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<AtomicAction {self.id} {self.status.value}>"

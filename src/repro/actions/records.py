@@ -17,8 +17,10 @@ from typing import Any, Callable, Generator
 
 from repro.actions.action import AbstractRecord, AtomicAction, Vote
 from repro.actions.locks import LockManager
+from repro.net.batch import CommitBatcher
 from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
+from repro.sim.futures import Future
 
 
 class LockReleaseRecord(AbstractRecord):
@@ -109,19 +111,54 @@ class RemoteParticipantRecord(AbstractRecord):
     failure is an abort vote -- the participant may be down, and a
     fail-silent system cannot wait on it.  Commit-phase failures are
     surfaced to the action's heuristic list by raising.
+
+    With a ``batcher`` (the owning node's
+    :class:`~repro.net.batch.CommitBatcher`), the phase messages ride
+    the batched commit plane: the ``begin_*`` hooks push each phase's
+    RPC into the batcher eagerly, so every same-order participant of an
+    action -- and every concurrent action on this node -- lands in one
+    ``_many`` call per target.  The phase generators then merely await
+    the call's own demultiplexed verdict; votes, presumed abort, and
+    heuristic reporting are untouched.
     """
 
     def __init__(self, rpc: RpcAgent, target: str, service: str,
-                 order: int = 500) -> None:
+                 order: int = 500,
+                 batcher: CommitBatcher | None = None) -> None:
         self._rpc = rpc
+        self._batcher = batcher
         self.target = target
         self.service = service
         self.order = order
+        self._pending: Future | None = None
+
+    def _issue(self, method: str, action: AtomicAction) -> Future:
+        if self._batcher is not None:
+            return self._batcher.call(self.target, self.service, method,
+                                      action.id.path)
+        return self._rpc.call(self.target, self.service, method,
+                              action.id.path)
+
+    def _take_pending(self, method: str, action: AtomicAction) -> Future:
+        future = self._pending
+        self._pending = None
+        return future if future is not None else self._issue(method, action)
+
+    def begin_prepare(self, action: AtomicAction) -> None:
+        if self._batcher is not None:
+            self._pending = self._issue("prepare", action)
+
+    def begin_commit(self, action: AtomicAction) -> None:
+        if self._batcher is not None:
+            self._pending = self._issue("commit", action)
+
+    def begin_abort(self, action: AtomicAction) -> None:
+        if self._batcher is not None:
+            self._pending = self._issue("abort", action)
 
     def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
         try:
-            verdict = yield self._rpc.call(self.target, self.service,
-                                           "prepare", action.id.path)
+            verdict = yield self._take_pending("prepare", action)
         except RpcError:
             return Vote.ABORT
         if verdict == "readonly":
@@ -129,10 +166,10 @@ class RemoteParticipantRecord(AbstractRecord):
         return Vote.OK if verdict == "ok" else Vote.ABORT
 
     def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
-        yield self._rpc.call(self.target, self.service, "commit", action.id.path)
+        yield self._take_pending("commit", action)
 
     def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
         try:
-            yield self._rpc.call(self.target, self.service, "abort", action.id.path)
+            yield self._take_pending("abort", action)
         except RpcError:
             pass  # participant down; its crash already undid volatile state

@@ -1,4 +1,4 @@
-"""The six protocol-invariant checkers.
+"""The seven protocol-invariant checkers.
 
 Each rule encodes one invariant this repo has already been burned by;
 the docstrings cite the PR that paid for the lesson.  All checks are
@@ -702,7 +702,89 @@ class CoherencePushRule(Rule):
         return None
 
 
-# -- rule 6: determinism -----------------------------------------------------
+# -- rule 6: batch-demux -----------------------------------------------------
+
+
+@register
+class BatchDemuxRule(Rule):
+    """PR 9's invariant: batched commit-path RPCs demux outcomes per item.
+
+    The :class:`~repro.net.batch.CommitBatcher` coalesces concurrent
+    actions' same-phase 2PC calls into one ``<method>_many`` RPC, and
+    the coordinator turns each per-item outcome back into exactly the
+    verdict the unbatched call would have produced.  That only works if
+    the server-side ``_many`` handler guards *each item* with its own
+    try/except and reports ``("err", type, msg)`` in place: a single
+    exception escaping the handler fails the whole RPC, which the demux
+    must then spread to every member -- one refused prepare would abort
+    its innocent batchmates' actions.  The rule covers handlers whose
+    base verb is commit-plane vocabulary (``prepare``/``commit``/
+    ``abort``/``*shadow*``); read-plane ``_many`` sweeps
+    (``probe_many``, ``entry_versions_many``, ...) return plain value
+    lists and may fail whole-batch by design -- a retried read sweep is
+    harmless, a spread abort is not.
+    """
+
+    name = "batch-demux"
+    description = ("commit-path _many handlers must report per-item "
+                   "outcomes, never abort the batch on one exception")
+    include = SRC
+
+    _COMMIT_VERBS = ("prepare", "commit", "abort")
+
+    def _in_scope(self, name: str) -> bool:
+        if not name.endswith("_many") or name.startswith("_"):
+            return False
+        base = name[:-len("_many")]
+        return base in self._COMMIT_VERBS or "shadow" in base
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for func in iter_functions(module.tree):
+            if not self._in_scope(func.name):
+                continue
+            params = [a.arg for a in (func.args.posonlyargs + func.args.args)
+                      if a.arg != "self"]
+            if not params:
+                continue
+            items = params[0]
+            loops = [node for node in ast.walk(func)
+                     if isinstance(node, (ast.For, ast.AsyncFor))
+                     and isinstance(node.iter, ast.Name)
+                     and node.iter.id == items]
+            guarded = False
+            for loop in loops:
+                for stmt in loop.body:
+                    for node in ast.walk(stmt):
+                        if not isinstance(node, ast.Try) or not node.handlers:
+                            continue
+                        for handler in node.handlers:
+                            if any(isinstance(sub, ast.Raise)
+                                   for sub in ast.walk(handler)):
+                                findings.append(self.finding(
+                                    module, handler,
+                                    f"per-item handler in {func.name} "
+                                    f"re-raises; the whole batch RPC fails "
+                                    f"and every batchmate's action aborts "
+                                    f"with it -- append an ('err', ...) "
+                                    f"outcome instead",
+                                    ident=f"{func.name}:handler-reraises"))
+                            else:
+                                guarded = True
+            if not guarded and not any(
+                    f.symbol.endswith(func.name) for f in findings):
+                findings.append(self.finding(
+                    module, func,
+                    f"batched commit-path handler {func.name} has no "
+                    f"per-item try/except over {items!r}; one bad item "
+                    f"aborts every batchmate's action -- loop over the "
+                    f"items and report ('ok', ...) / ('err', type, msg) "
+                    f"per entry",
+                    ident=f"{func.name}:no-item-guard"))
+        return findings
+
+
+# -- rule 7: determinism -----------------------------------------------------
 
 
 @register

@@ -34,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator
 
+from repro.net.batch import CommitBatcher
 from repro.net.demux import MessageDemux
 from repro.net.latency import LatencyModel, TokenBucket
 from repro.net.multicast import (
@@ -91,6 +92,8 @@ class Node:
         sync_plane: SyncPlaneConfig | None = None,
         metrics: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        commit_batch_window: float | None = None,
+        rpc_pipelining: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.network = network
@@ -106,7 +109,16 @@ class Node:
         self.rpc = RpcAgent(scheduler, self.nic, default_timeout=timeout,
                             service_time=service_time, tracer=self.tracer,
                             demux=self.demux,
-                            traffic=self.metrics.plane_traffic(name, "client"))
+                            traffic=self.metrics.plane_traffic(name, "client"),
+                            pipeline=rpc_pipelining)
+        # The raw-speed commit plane: when armed, this node's 2PC
+        # records route their prepare/commit/abort (and shadow-write)
+        # RPCs through the batcher, which coalesces same-instant calls
+        # per (target, method) into one ``_many`` RPC.
+        self.commit_batcher: CommitBatcher | None = (
+            CommitBatcher(scheduler, self.rpc, window=commit_batch_window,
+                          metrics=self.metrics)
+            if commit_batch_window is not None else None)
         if sync_plane is not None:
             throttle = (TokenBucket(sync_plane.throttle_rate,
                                     sync_plane.throttle_burst)
@@ -190,6 +202,10 @@ class Node:
             self.scheduler.now, 0.0)
         self.nic.up = False
         self.rpc.reset()
+        if self.commit_batcher is not None:
+            # Buffered-but-unflushed batch members die with the node,
+            # exactly like the in-flight calls rpc.reset() just failed.
+            self.commit_batcher.reset()
         if self.sync_nic is not None:
             # Both NICs die with the workstation: the sync plane is a
             # second port, not a second failure domain.

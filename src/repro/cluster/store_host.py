@@ -13,30 +13,88 @@ host" are the same machine class booted with one extra service.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Generator
 
 from repro.cluster.node import Node
 from repro.naming.group_view_db import SERVICE_NAME, SYNC_SERVICE_NAME
+from repro.sim.futures import Future
 from repro.storage.objectstore import ObjectStore
 from repro.storage.uid import Uid
 
 STORE_SERVICE = "store"
 
 
-class StoreHost:
-    """Thin RPC adapter over :class:`~repro.storage.objectstore.ObjectStore`."""
+class GroupCommitLog:
+    """Group commit: coalesce co-arriving log forces into one write.
 
-    def __init__(self, node: Node) -> None:
+    A committed shadow is durable once the write-ahead log is forced.
+    Forcing per commit serialises every commit behind its own simulated
+    log write; real databases amortise this by letting commits that
+    arrive while a force is pending share the *next* one (one fsync per
+    group, not per transaction).  :meth:`force` models exactly that: the
+    first caller opens a force window of ``interval``; everyone who
+    forces before it closes shares the same future, which resolves when
+    the window's single log write completes.
+    """
+
+    def __init__(self, node: Node, interval: float) -> None:
+        self._node = node
+        self.interval = interval
+        self._pending: Future | None = None
+        self._forces = node.metrics.counter(
+            f"store.{node.name}.log_forces")
+        self._joins = node.metrics.counter(
+            f"store.{node.name}.log_force_joins")
+
+    def force(self) -> Future:
+        """The future of the log write that makes this commit durable."""
+        if self._pending is None:
+            pending = Future(label="log.force")
+            self._pending = pending
+            self._forces.increment()
+            self._node.scheduler.schedule(self.interval, self._complete,
+                                          pending)
+        else:
+            self._joins.increment()
+        return self._pending
+
+    def _complete(self, pending: Future) -> None:
+        if self._pending is pending:
+            self._pending = None
+        pending.try_resolve(True)
+
+
+class StoreHost:
+    """Thin RPC adapter over :class:`~repro.storage.objectstore.ObjectStore`.
+
+    ``log_force_interval > 0`` arms group commit: ``commit_shadow``
+    (and ``commit_shadow_many``) replies only after a shared simulated
+    log force, so commits arriving within one interval of each other
+    amortise a single log write instead of paying one each.
+
+    The ``*_many`` methods are the commit batcher's server half: one
+    RPC carrying many actions' shadow operations, answered with one
+    per-item outcome each (``("ok", value)`` / ``("err", type,
+    message)``) so a single action's failure never aborts its
+    batchmates -- the ``batch-demux`` invariant.
+    """
+
+    def __init__(self, node: Node, log_force_interval: float = 0.0) -> None:
         if node.object_store is None:
             raise ValueError(f"node {node.name} has no object store")
         self._node = node
         self._store: ObjectStore = node.object_store
+        self._log: GroupCommitLog | None = (
+            GroupCommitLog(node, log_force_interval)
+            if log_force_interval > 0 else None)
 
     @classmethod
-    def install_on(cls, node: Node) -> None:
+    def install_on(cls, node: Node,
+                   log_force_interval: float = 0.0) -> None:
         """Boot hook: register the service on the node (re-run on recovery)."""
         def hook(n: Node) -> None:
-            n.rpc.register(STORE_SERVICE, cls(n))
+            n.rpc.register(STORE_SERVICE,
+                           cls(n, log_force_interval=log_force_interval))
         node.add_boot_hook(hook)
 
     # -- reads ------------------------------------------------------------
@@ -60,8 +118,12 @@ class StoreHost:
         self._store.write_shadow(Uid.parse(uid_text), buffer, version)
         return True
 
-    def commit_shadow(self, uid_text: str) -> bool:
+    def commit_shadow(self, uid_text: str) -> Any:
         self._store.commit_shadow(Uid.parse(uid_text))
+        if self._log is not None:
+            # Generator reply: the RPC agent runs it as a process, so
+            # the ACK waits for the (possibly shared) log force.
+            return self._forced(True)
         return True
 
     def discard_shadow(self, uid_text: str) -> bool:
@@ -71,6 +133,56 @@ class StoreHost:
     def install(self, uid_text: str, buffer: bytes, version: int) -> bool:
         self._store.install(Uid.parse(uid_text), buffer, version)
         return True
+
+    def _forced(self, value: Any) -> Generator[Any, Any, Any]:
+        assert self._log is not None
+        yield self._log.force()
+        return value
+
+    # -- batched commit plane -------------------------------------------------
+    #
+    # Server half of the CommitBatcher contract: each item is one
+    # batched call's argument tuple, each outcome is that item's own
+    # verdict.  An item that raises reports ("err", ...) in its slot
+    # and its batchmates proceed untouched.
+
+    def write_shadow_many(
+            self, items: list[tuple[str, bytes, int]]) -> list[tuple]:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                uid_text, buffer, version = item
+                self._store.write_shadow(Uid.parse(uid_text), buffer, version)
+                outcomes.append(("ok", True))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
+
+    def commit_shadow_many(self, items: list[tuple[str]]) -> Any:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                (uid_text,) = item
+                self._store.commit_shadow(Uid.parse(uid_text))
+                outcomes.append(("ok", True))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        if self._log is not None:
+            # One shared force makes the whole batch durable: group
+            # commit composes with batching instead of paying per item.
+            return self._forced(outcomes)
+        return outcomes
+
+    def discard_shadow_many(self, items: list[tuple[str]]) -> list[tuple]:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                (uid_text,) = item
+                self._store.discard_shadow(Uid.parse(uid_text))
+                outcomes.append(("ok", True))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
 
 
 class NameShardHost:

@@ -138,6 +138,19 @@ class SystemConfig:
     sync_service_time: float | None = None   # None -> primary service_time
     sync_throttle_rate: float | None = None  # msgs/sec; None -> unthrottled
     sync_throttle_burst: float = 8.0
+    # The raw-speed commit plane.  ``commit_batching`` gives every node
+    # a CommitBatcher: 2PC phase messages and shadow writes issued
+    # within ``commit_batch_window`` of each other to the same target
+    # coalesce into one ``_many`` RPC (one service-time charge at the
+    # target instead of one per action).  ``log_force_interval > 0``
+    # arms group commit on the store hosts: commit_shadow ACKs only
+    # after a shared simulated log force, co-arriving commits amortise
+    # one write.  ``rpc_pipelining`` lets back-to-back RPCs to one
+    # target share a single transmission frame.
+    commit_batching: bool = False
+    commit_batch_window: float = 0.0
+    log_force_interval: float = 0.0
+    rpc_pipelining: bool = False
     reshard_batch_size: int = 8              # arc copies between throttles
     reshard_throttle: float = 0.02           # migration-bandwidth pause
     enable_cleaner: bool = False
@@ -330,7 +343,8 @@ class DistributedSystem:
         router = self.shard_router
         self._shard_name_hosts[name] = NameShardHost.install_on(
             node, db, fence=lambda: router.fence_epoch)
-        StoreHost.install_on(node)
+        StoreHost.install_on(
+            node, log_force_interval=self.config.log_force_interval)
         if self.config.nameserver_push_invalidation:
             # The coherence plane's server half: lessee registry, hot
             # detector, and the multicast push path for this host's
@@ -423,8 +437,10 @@ class DistributedSystem:
                 sync_suffix=self.sync_suffix,
                 coherence_node=(node if self.config.nameserver_push_invalidation
                                 and cache is not None else None),
+                batcher=node.commit_batcher,
                 metrics=self.metrics, tracer=self.tracer)
-        return GroupViewDbClient(node.rpc, NAME_NODE)
+        return GroupViewDbClient(node.rpc, NAME_NODE,
+                                 batcher=node.commit_batcher)
 
     @property
     def shard_hosts(self) -> list[str]:
@@ -631,7 +647,11 @@ class DistributedSystem:
                     rpc_timeout=self.config.rpc_timeout,
                     service_time=self.config.service_time,
                     sync_plane=sync_config,
-                    metrics=self.metrics, tracer=self.tracer)
+                    metrics=self.metrics, tracer=self.tracer,
+                    commit_batch_window=(self.config.commit_batch_window
+                                         if self.config.commit_batching
+                                         else None),
+                    rpc_pipelining=self.config.rpc_pipelining)
         self.nodes[name] = node
         return node
 
@@ -650,7 +670,8 @@ class DistributedSystem:
         """Add a workstation; ``store``/``server`` select its roles."""
         node = self._make_node(name, has_store=store)
         if store:
-            StoreHost.install_on(node)
+            StoreHost.install_on(
+                node, log_force_interval=self.config.log_force_interval)
             if self.config.enable_shadow_resolvers:
                 self.shadow_resolvers[name] = ShadowResolver(
                     node, NAME_NODE, tracer=self.tracer,

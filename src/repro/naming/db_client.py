@@ -23,6 +23,7 @@ from repro.actions.records import RemoteParticipantRecord
 from repro.naming.errors import NamingError, NotQuiescent, UnknownObject
 from repro.naming.group_view_db import SERVICE_NAME
 from repro.naming.object_server_db import ServerEntrySnapshot
+from repro.net.batch import CommitBatcher
 from repro.net.errors import RpcError, RpcRemoteError
 from repro.net.rpc import RpcAgent
 from repro.storage.uid import Uid
@@ -44,11 +45,20 @@ def raise_mapped(error: RpcRemoteError) -> None:
 
 
 class GroupViewDbClient:
-    """Generator-style proxy to the (remote) group-view database."""
+    """Generator-style proxy to the (remote) group-view database.
+
+    ``batcher`` (the owning node's commit batcher, when the deployment
+    arms commit batching) is handed to the participant records this
+    client enlists, so their 2PC phase traffic rides the batched commit
+    plane; the provisional operations themselves stay unbatched -- they
+    are latency-bound request/reply pairs, not fan-out.
+    """
 
     def __init__(self, rpc: RpcAgent, db_node: str,
-                 service: str = SERVICE_NAME) -> None:
+                 service: str = SERVICE_NAME,
+                 batcher: "CommitBatcher | None" = None) -> None:
         self._rpc = rpc
+        self._batcher = batcher
         self.db_node = db_node
         self.service = service
         self._enlisted_roots: set[int] = set()
@@ -69,7 +79,8 @@ class GroupViewDbClient:
             return
         self._enlisted_roots.add(root.id.top_level_serial)
         root.add_record(RemoteParticipantRecord(
-            self._rpc, self.db_node, self.service, order=600))
+            self._rpc, self.db_node, self.service, order=600,
+            batcher=self._batcher))
 
     def is_enlisted(self, action: AtomicAction) -> bool:
         """Whether this shard already participates in the action's root."""

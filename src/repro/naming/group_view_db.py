@@ -188,6 +188,47 @@ class GroupViewDatabase:
         self.state_db.abort(action_path)
         self._resolve_touched(action_path, committed=False)
 
+    # -- batched 2PC participant ----------------------------------------------
+    #
+    # Server half of the commit batcher: one RPC carries many actions'
+    # phase messages, one outcome tuple comes back per action.  Each
+    # item is handled under its own try/except so a single action's
+    # refusal (vote "abort", lock conflict, unknown path) never
+    # poisons its batchmates -- the ``batch-demux`` invariant.  The
+    # coordinator-side demux turns each outcome back into exactly the
+    # verdict the unbatched call would have produced, keeping every
+    # action's presumed-abort bookkeeping untouched.
+
+    def prepare_many(self, items: list[tuple]) -> list[tuple]:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                (action_path,) = item
+                outcomes.append(("ok", self.prepare(action_path)))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
+
+    def commit_many(self, items: list[tuple]) -> list[tuple]:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                (action_path,) = item
+                outcomes.append(("ok", self.commit(action_path)))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
+
+    def abort_many(self, items: list[tuple]) -> list[tuple]:
+        outcomes: list[tuple] = []
+        for item in items:
+            try:
+                (action_path,) = item
+                outcomes.append(("ok", self.abort(action_path)))
+            except Exception as exc:
+                outcomes.append(("err", type(exc).__name__, str(exc)))
+        return outcomes
+
     # -- liveness probe used by binding/cleanup protocols ---------------------------
 
     def ping(self) -> str:

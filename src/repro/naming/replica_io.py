@@ -168,6 +168,7 @@ class ReplicaIO:
                  max_stale_retries: int = DEFAULT_STALE_RETRIES,
                  sync_rpc: RpcAgent | None = None,
                  sync_suffix: str = "",
+                 batcher: Any | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 1:
@@ -189,6 +190,12 @@ class ReplicaIO:
         self.sync_suffix = sync_suffix
         self.read_policy = read_policy
         self.repair = repair  # a ReadRepairer, or None
+        # The owning node's CommitBatcher (or None): handed to every
+        # client-plane GroupViewDbClient so the 2PC participant records
+        # they enlist ride the batched commit plane.  Sync-plane
+        # clients never get it -- maintenance traffic is already
+        # batched at the protocol level (probe_many/get_many).
+        self.batcher = batcher
         self.max_stale_retries = max_stale_retries
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
@@ -207,7 +214,8 @@ class ReplicaIO:
         key = (node, service or self.service)
         client = self._clients.get(key)
         if client is None:
-            client = GroupViewDbClient(self.rpc, node, service=key[1])
+            client = GroupViewDbClient(self.rpc, node, service=key[1],
+                                       batcher=self.batcher)
             self._clients[key] = client
         return client
 

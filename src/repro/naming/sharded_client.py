@@ -84,11 +84,12 @@ class ShardedGroupViewDbClient:
                  clock: Any | None = None,
                  sync_suffix: str = "",
                  coherence_node: Any | None = None,
+                 batcher: Any | None = None,
                  metrics: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.io = ReplicaIO(rpc, router, replication, service=service,
                             read_policy=read_policy, repair=repair,
-                            sync_suffix=sync_suffix,
+                            sync_suffix=sync_suffix, batcher=batcher,
                             metrics=metrics, tracer=tracer)
         self.cache = cache
         self.validate_leases = validate_leases

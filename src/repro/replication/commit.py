@@ -72,14 +72,34 @@ class StateDistributionRecord(AbstractRecord):
         self._new_version = version + 1
 
         failures: list[str] = []
-        for st_host in binding.st_hosts:
-            try:
-                yield ctx.rpc.call(st_host, STORE_SERVICE, "write_shadow",
-                                   str(uid), buffer, self._new_version)
-            except RpcError:
-                failures.append(st_host)
-                continue
-            self.prepared_hosts.append(st_host)
+        batcher = ctx.node.commit_batcher
+        if batcher is not None:
+            # Batched commit plane: fan every store's shadow write into
+            # the batcher up front -- same-instant writes (this action's
+            # other replicas, and concurrent actions on this node)
+            # coalesce into one ``write_shadow_many`` per store host --
+            # then collect each write's own demultiplexed verdict.
+            in_flight = [
+                (st_host, batcher.call(st_host, STORE_SERVICE,
+                                       "write_shadow", str(uid), buffer,
+                                       self._new_version))
+                for st_host in binding.st_hosts]
+            for st_host, call in in_flight:
+                try:
+                    yield call
+                except RpcError:
+                    failures.append(st_host)
+                    continue
+                self.prepared_hosts.append(st_host)
+        else:
+            for st_host in binding.st_hosts:
+                try:
+                    yield ctx.rpc.call(st_host, STORE_SERVICE, "write_shadow",
+                                       str(uid), buffer, self._new_version)
+                except RpcError:
+                    failures.append(st_host)
+                    continue
+                self.prepared_hosts.append(st_host)
 
         if not self.prepared_hosts:
             ctx.metrics.counter("commit.all_stores_down").increment()
@@ -122,12 +142,24 @@ class StateDistributionRecord(AbstractRecord):
     def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
         ctx, binding = self._ctx, self._binding
         late_failures: list[str] = []
-        for st_host in self.prepared_hosts:
-            try:
-                yield ctx.rpc.call(st_host, STORE_SERVICE, "commit_shadow",
-                                   str(binding.uid))
-            except RpcError:
-                late_failures.append(st_host)
+        batcher = ctx.node.commit_batcher
+        if batcher is not None:
+            in_flight = [
+                (st_host, batcher.call(st_host, STORE_SERVICE,
+                                       "commit_shadow", str(binding.uid)))
+                for st_host in self.prepared_hosts]
+            for st_host, call in in_flight:
+                try:
+                    yield call
+                except RpcError:
+                    late_failures.append(st_host)
+        else:
+            for st_host in self.prepared_hosts:
+                try:
+                    yield ctx.rpc.call(st_host, STORE_SERVICE, "commit_shadow",
+                                       str(binding.uid))
+                except RpcError:
+                    late_failures.append(st_host)
         if late_failures:
             if len(late_failures) == len(self.prepared_hosts):
                 # Every prepared store crashed between the phases: the
@@ -162,6 +194,17 @@ class StateDistributionRecord(AbstractRecord):
 
     def abort(self, action: AtomicAction) -> Generator[Any, Any, None]:
         ctx, binding = self._ctx, self._binding
+        batcher = ctx.node.commit_batcher
+        if batcher is not None:
+            in_flight = [batcher.call(st_host, STORE_SERVICE,
+                                      "discard_shadow", str(binding.uid))
+                         for st_host in self.prepared_hosts]
+            for call in in_flight:
+                try:
+                    yield call
+                except RpcError:
+                    pass  # its crash already discarded the shadow
+            return
         for st_host in self.prepared_hosts:
             try:
                 yield ctx.rpc.call(st_host, STORE_SERVICE, "discard_shadow",

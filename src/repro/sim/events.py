@@ -40,8 +40,9 @@ class Event:
             return
         self.cancelled = True
         if self._queue is not None:
-            self._queue._live -= 1
+            queue = self._queue
             self._queue = None
+            queue._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,8 +56,16 @@ class EventQueue:
     """A priority queue of :class:`Event` objects.
 
     Cancelled events are dropped lazily on pop, which makes cancellation
-    O(1) at the cost of the queue temporarily holding dead entries.
+    O(1); when the dead entries come to outnumber the live ones the heap
+    is compacted (rebuilt from the live events), so a long run whose
+    timers are mostly cancelled -- every successful RPC cancels its
+    timeout -- cannot accumulate an unbounded tail of tombstones.
     """
+
+    # Compaction never triggers below this heap size: tiny queues churn
+    # through cancellations constantly and a rebuild there costs more
+    # than the tombstones do.
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
@@ -65,6 +74,24 @@ class EventQueue:
         # scheduler's hot path, and a lazy-deletion heap can hold far
         # more dead entries than live ones.
         self._live = 0
+        self.compactions = 0
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        if (len(self._heap) >= self.COMPACT_MIN_SIZE
+                and self._live * 2 < len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from its live events, dropping tombstones.
+
+        ``(time, seq)`` is a total order, so heapify over the surviving
+        events reproduces exactly the pop order the lazy heap would have
+        produced -- compaction is invisible to the scheduler.
+        """
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
 
     def push(self, event: Event) -> None:
         heapq.heappush(self._heap, event)

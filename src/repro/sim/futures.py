@@ -35,7 +35,9 @@ class Future:
         self._state = FutureState.PENDING
         self._value: Any = None
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        # Lazily allocated: most futures (every RPC call makes one) get
+        # exactly one waiter or none, so the list is built on demand.
+        self._callbacks: list[Callable[["Future"], None]] | None = None
         self.label = label
 
     @property
@@ -101,13 +103,16 @@ class Future:
         """Run ``fn(self)`` when the future settles (now, if already settled)."""
         if self.done:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Future {self.label!r} {self._state.value}>"

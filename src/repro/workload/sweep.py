@@ -47,7 +47,8 @@ def sweep(values: Iterable[Any], run: Callable[[Any], dict[str, Any]],
 def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
                  mean_think_time: float, max_attempts: int,
                  seed: int, objects: int | None = None,
-                 read_only: bool = False, **config_kwargs: Any):
+                 read_only: bool = False, streams_per_client: int = 1,
+                 replication: int = 1, **config_kwargs: Any):
     """Boot the canned closed-loop deployment shared by the scenarios.
 
     By default every client owns one counter object (so there is no
@@ -56,7 +57,11 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
     ``read_only=True`` turns the streams into pure ``get`` loops (the
     spread-read experiments).  Server and store roles spread over
     ``server_hosts`` nodes; remaining config lands in ``SystemConfig``.
-    Returns ``(system, streams, uids)`` -- run with
+    ``streams_per_client`` raises per-node concurrency: each client
+    runtime runs that many *simultaneous* transaction streams, which is
+    what gives the commit batcher same-instant actions to coalesce.
+    ``replication`` spreads each object's Sv/St over that many server
+    hosts.  Returns ``(system, streams, uids)`` -- run with
     :func:`~repro.workload.generator.run_streams`.
     """
     # Imported here: repro.workload is a substrate the cluster layer's
@@ -97,12 +102,13 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
     for host in hosts:
         system.add_node(host, server=True, store=True)
     runtimes = [system.add_client(f"c{i}") for i in range(clients)]
+    total_streams = clients * streams_per_client
     uids = []
-    for i in range(objects if objects is not None else clients):
-        host = hosts[i % server_hosts]
+    for i in range(objects if objects is not None else total_streams):
+        homes = [hosts[(i + r) % server_hosts] for r in range(replication)]
         uids.append(system.create_object(
             SweepCounter(system.new_uid(), value=0),
-            sv_hosts=[host], st_hosts=[host]))
+            sv_hosts=homes, st_hosts=homes))
 
     def factory_for(uid):
         def factory(_index):
@@ -114,13 +120,14 @@ def _closed_loop(clients: int, txns_per_client: int, server_hosts: int,
         return factory
 
     streams = [
-        TransactionStream(runtime, factory_for(uids[i % len(uids)]),
+        TransactionStream(runtimes[i // streams_per_client],
+                          factory_for(uids[i % len(uids)]),
                           count=txns_per_client,
                           rng=SeededRng(seed, f"stream{i}"),
                           mean_think_time=mean_think_time,
                           max_attempts=max_attempts,
                           read_only=read_only)
-        for i, runtime in enumerate(runtimes)
+        for i in range(total_streams)
     ]
     return system, streams, uids
 
@@ -378,6 +385,200 @@ def sync_plane_scenario(
         "lost_bindings": lost,
         "stale_bindings": stale,
     }
+
+
+def commit_batching_scenario(
+    batching: bool,
+    shards: int = 8,
+    clients: int = 4,
+    streams_per_client: int = 64,
+    txns_per_stream: int = 12,
+    server_hosts: int = 4,
+    store_hosts: int = 8,
+    scheme: str = "standard",
+    lease: float | None = 5.0,
+    store_service_time: float = 0.004,
+    commit_batch_window: float = 0.008,
+    log_force_interval: float = 0.003,
+    mean_think_time: float = 0.0,
+    fixed_latency: float = 0.002,
+    max_attempts: int = 10,
+    rpc_timeout: float = 5.0,
+    replication: int = 1,
+    churn: bool = False,
+    outage: tuple[float, float] = (0.4, 1.2),
+    victim_index: int = 0,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the raw-speed commit-plane workload; returns a row.
+
+    A write-only closed loop built for *commit-path* pressure: each
+    client node runs ``streams_per_client`` simultaneous transaction
+    streams (one private counter each, so there is no entry or lock
+    contention).  Server (``Sv``) and store (``St``) roles live on
+    *separate* hosts and only the store hosts charge per-request
+    service time -- the simulated disk.  Binding reads are absorbed by
+    the leased cache (the prior planes' machinery, identical in both
+    rows), so what lands in a store host's single-server queue is the
+    commit path itself: per-action ``write_shadow``/``commit_shadow``
+    unbatched, coalesced ``write_shadow_many``/``commit_shadow_many``
+    with ``batching=True``.  Both rows arm ``log_force_interval`` (the
+    same durability model at equal offered load); the batched row
+    additionally shares one log force per batch, so it pays one
+    service-time/log charge where the baseline pays one per action --
+    that amortization, not any reduction in offered load, is the
+    measured speedup.
+
+    With ``churn=True`` a scripted outage crashes one store host in the
+    middle of the batched run (``replication`` must be >= 2): in-flight
+    batches against the victim die mid-window, the coordinator demuxes
+    the failure per action, the victim is ``Exclude``d from the
+    affected entries' ``St`` (a real naming write, batched 2PC on the
+    shards), and the commits survive on the remaining replica.  The row
+    then re-reads every counter and reports the lost/stale ledger --
+    batching must never trade correctness for speed.
+    """
+    from repro.actions.locks import LockMode
+    from repro.cluster.system import DistributedSystem, SystemConfig
+    from repro.core.objects import PersistentObject, operation
+    from repro.sim.failures import FaultPlan
+    from repro.sim.rng import SeededRng
+    from repro.workload.generator import TransactionStream, run_streams
+
+    class BatchCounter(PersistentObject):
+        TYPE_NAME = "commit_batch.Counter"
+
+        def __init__(self, uid, value=0):
+            super().__init__(uid)
+            self.value = value
+
+        def save_state(self, out):
+            out.pack_int(self.value)
+
+        def restore_state(self, state):
+            self.value = state.unpack_int()
+
+        @operation(LockMode.READ)
+        def get(self):
+            return self.value
+
+        @operation(LockMode.WRITE)
+        def add(self, amount):
+            self.value += amount
+            return self.value
+
+    config_kwargs: dict[str, Any] = {}
+    if batching:
+        config_kwargs.update(
+            commit_batching=True,
+            commit_batch_window=commit_batch_window,
+            rpc_pipelining=True)
+    system = DistributedSystem(SystemConfig(
+        seed=seed, enable_recovery_managers=False,
+        nameserver_shards=shards,
+        nameserver_replication=max(1, replication),
+        binding_scheme=scheme, nameserver_lease=lease,
+        nameserver_cache_ledger=lease is not None,
+        log_force_interval=log_force_interval,
+        rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+        **config_kwargs))
+    system.registry.register(BatchCounter)
+    sv_hosts = [f"sv{i}" for i in range(server_hosts)]
+    st_hosts = [f"st{i}" for i in range(store_hosts)]
+    for host in sv_hosts:
+        system.add_node(host, server=True, store=False)
+    for host in st_hosts:
+        system.add_node(host, server=False, store=True)
+    runtimes = [system.add_client(f"c{i}") for i in range(clients)]
+    total_streams = clients * streams_per_client
+    uids = []
+    for i in range(total_streams):
+        uids.append(system.create_object(
+            BatchCounter(system.new_uid(), value=0),
+            sv_hosts=[sv_hosts[(i + r) % server_hosts]
+                      for r in range(max(1, min(replication, server_hosts)))],
+            st_hosts=[st_hosts[(i + r) % store_hosts]
+                      for r in range(max(1, min(replication, store_hosts)))]))
+    for host in st_hosts:
+        system.nodes[host].rpc.service_time = store_service_time
+
+    def factory_for(uid):
+        def factory(_index):
+            def work(txn):
+                return (yield from txn.invoke(uid, "add", 1))
+            return work
+        return factory
+
+    streams = [
+        TransactionStream(runtimes[i // streams_per_client],
+                          factory_for(uids[i]),
+                          count=txns_per_stream,
+                          rng=SeededRng(seed, f"stream{i}"),
+                          mean_think_time=mean_think_time,
+                          max_attempts=max_attempts)
+        for i in range(total_streams)
+    ]
+
+    if churn:
+        victim = st_hosts[victim_index]
+        start, end = outage
+        system.install_fault_plan(FaultPlan().outage(start, end, victim))
+
+    report = run_streams(system, streams, timeout=100_000.0)
+    if churn:
+        system.run(until=max(system.scheduler.now, outage[1]) + 30.0)
+
+    finishes = [o.finished_at for o in report.outcomes]
+    elapsed = max(finishes) if finishes else system.scheduler.now
+    snapshot = system.metrics.snapshot()
+    total_rpcs = sum(value for name, value in snapshot.items()
+                     if name.endswith(".rpcs_out") and isinstance(value, int))
+    batch_sizes = snapshot.get("commit_batch.batch_size")
+    log_forces = sum(value for name, value in snapshot.items()
+                     if name.endswith(".log_forces") and isinstance(value, int))
+    log_joins = sum(value for name, value in snapshot.items()
+                    if name.endswith(".log_force_joins")
+                    and isinstance(value, int))
+    row: dict[str, Any] = {
+        "batching": batching,
+        "shards": shards,
+        "streams": len(streams),
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "elapsed": elapsed,
+        "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+        "mean_latency": report.mean_latency(),
+        "rpcs_sent": total_rpcs,
+        "batched_rpcs": snapshot.get("commit_batch.batched_rpcs", 0),
+        "batched_items": snapshot.get("commit_batch.items", 0),
+        "mean_batch_size": (batch_sizes["mean"]
+                            if isinstance(batch_sizes, dict) else 0.0),
+        "log_forces": log_forces,
+        "log_force_joins": log_joins,
+    }
+    if churn:
+        # -- the correctness ledger: re-read every counter ------------------
+        reader = next(iter(system.clients.values()))
+        lost = stale = 0
+        for i, stream in enumerate(streams):
+            committed = sum(1 for o in stream.report.outcomes if o.committed)
+
+            def read_value(uid=uids[i]):
+                def work(txn):
+                    return (yield from txn.invoke(uid, "get"))
+                return work
+
+            result = system.run_transaction(reader, read_value(),
+                                            read_only=True, timeout=30.0)
+            assert result.committed, \
+                f"final audit read failed: {result.reason}"
+            lost += max(0, committed - result.value)
+            stale += max(0, result.value - committed)
+        row["crashed_host"] = st_hosts[victim_index]
+        row["lost_bindings"] = lost
+        row["stale_bindings"] = stale
+    return row
 
 
 def online_reshard_scenario(

@@ -20,7 +20,8 @@ from repro.analysis import (
 from repro.analysis.core import _REGISTRY
 
 EXPECTED_RULES = {"action-leak", "lock-across-wire", "fence-required",
-                  "sync-plane", "coherence-push", "determinism"}
+                  "sync-plane", "coherence-push", "batch-demux",
+                  "determinism"}
 
 
 # -- registry ----------------------------------------------------------------

@@ -70,6 +70,23 @@ def test_coherence_on_the_client_plane_is_flagged(scan_fixture):
     }
 
 
+def test_batch_demux_flags_whole_batch_handlers(scan_fixture):
+    report = scan_fixture("bad_batch_demux.py",
+                          relpath="src/repro/cluster/store_host.py",
+                          rules=["batch-demux"])
+    assert {f.ident for f in report.findings} == {
+        "write_shadow_many:no-item-guard",
+        "commit_shadow_many:handler-reraises",
+    }
+
+
+def test_batch_demux_accepts_per_item_outcomes(scan_fixture):
+    report = scan_fixture("good_batch_demux.py",
+                          relpath="src/repro/cluster/store_host.py",
+                          rules=["batch-demux"])
+    assert report.findings == []
+
+
 def test_determinism_catches_every_banned_source(scan_fixture):
     report = scan_fixture("bad_determinism.py", rules=["determinism"])
     assert idents(report) >= {

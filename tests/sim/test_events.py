@@ -98,3 +98,63 @@ def test_all_cancelled_is_falsy():
     assert not q
     assert q.peek_time() is None
     assert q.pop() is None
+
+
+def test_compaction_triggers_when_dead_outnumber_live():
+    """Mass cancellation must rebuild the heap instead of holding an
+    unbounded tail of tombstones (the every-RPC-cancels-its-timeout
+    pattern of a long sweep)."""
+    q = EventQueue()
+    events = [make_event(float(i), i) for i in range(128)]
+    for event in events:
+        q.push(event)
+    for event in events[:70]:
+        event.cancel()
+    assert q.compactions >= 1
+    assert len(q) == 58
+    # The rebuild happened at the threshold crossing; only the handful
+    # of cancels after it may linger as tombstones.
+    assert len(q._heap) < 70
+
+
+def test_small_queues_never_compact():
+    q = EventQueue()
+    events = [make_event(float(i), i) for i in range(32)]
+    for event in events:
+        q.push(event)
+    for event in events:
+        event.cancel()
+    assert q.compactions == 0
+    assert len(q) == 0
+
+
+def test_compaction_preserves_pop_order():
+    q = EventQueue()
+    events = [make_event(float(i % 7), i) for i in range(200)]
+    for event in events:
+        q.push(event)
+    survivors = []
+    for i, event in enumerate(events):
+        if i % 3 == 0:
+            survivors.append(event)
+        else:
+            event.cancel()
+    assert q.compactions >= 1
+    expected = sorted(survivors, key=lambda e: (e.time, e.seq))
+    popped = []
+    while q:
+        popped.append(q.pop())
+    assert popped == expected
+
+
+def test_cancel_after_compaction_is_harmless():
+    """An event dropped by a rebuild can still be cancelled late."""
+    q = EventQueue()
+    events = [make_event(float(i), i) for i in range(128)]
+    for event in events:
+        q.push(event)
+    for event in events[:100]:
+        event.cancel()
+    assert q.compactions >= 1
+    events[0].cancel()  # idempotent, already gone from the heap
+    assert len(q) == 28

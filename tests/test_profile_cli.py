@@ -1,0 +1,28 @@
+"""The profiling harness CLI: listing, validation, wiring."""
+
+import pytest
+
+from repro import profile as profile_cli
+
+
+def test_list_prints_every_scenario(capsys):
+    assert profile_cli.main(["--list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert out == sorted(profile_cli.SCENARIOS)
+    assert "commit_batching" in out
+
+
+def test_no_scenario_lists_and_signals_usage(capsys):
+    assert profile_cli.main([]) == 2
+    assert "commit_batching" in capsys.readouterr().out
+
+
+def test_unknown_scenario_is_an_argument_error(capsys):
+    with pytest.raises(SystemExit):
+        profile_cli.main(["no_such_scenario"])
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_every_scenario_entry_is_callable():
+    for name, run in profile_cli.SCENARIOS.items():
+        assert callable(run), name
