@@ -51,10 +51,11 @@ def test_batched_2pc_triples_write_throughput(benchmark):
     table = Table("S6a: write throughput, batched commit plane off vs on "
                   "(8 shards, 8 store hosts, 256 streams, equal load)",
                   ["batching", "offered", "commit rate", "throughput",
-                   "mean batch", "log forces"])
+                   "p95 (s)", "p99 (s)", "mean batch", "log forces"])
     for row in rows:
         table.add_row("on" if row["batching"] else "off", row["offered"],
                       row["commit_rate"], row["throughput"],
+                      row["p95_latency"], row["p99_latency"],
                       row["mean_batch_size"], row["log_forces"])
     table.show()
 

@@ -58,7 +58,8 @@ def test_scale_out_absorbs_load_without_losing_bindings(benchmark):
     row = once(benchmark, experiment)
 
     table = Table("S3: 2->4 scale-out under sustained load "
-                  "(24 clients, independent scheme)",
+                  "(24 clients, independent scheme; run p95/p99 "
+                  f"{row['p95_latency']:.3f}/{row['p99_latency']:.3f}s)",
                   ["phase", "throughput (txn/s)", "lost", "stale",
                    "routing aborts"])
     table.add_row("before (2 shards)", row["throughput_before"], "-", "-", "-")

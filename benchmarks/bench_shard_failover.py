@@ -51,11 +51,13 @@ def test_replicated_ring_survives_a_shard_host_outage(benchmark):
     table = Table("S2: shard-host outage vs binding availability "
                   "(3 shards, 12 clients, one host down for 7s)",
                   ["replication", "commit rate",
-                   "victim-arc commits during outage", "resync done at"])
+                   "victim-arc commits during outage", "p95 (s)",
+                   "p99 (s)", "resync done at"])
     for row in rows:
         during = (f"{row['victim_commits_during_outage']}"
                   f"/{row['victim_offered_during_outage']}")
         table.add_row(row["replication"], row["commit_rate"], during,
+                      row["p95_latency"], row["p99_latency"],
                       row["resync_done_at"] or "-")
     table.show()
 

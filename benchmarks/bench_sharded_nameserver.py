@@ -37,11 +37,13 @@ def test_sharding_scales_binding_throughput(benchmark):
     table = Table("S1: name-service shard count vs committed throughput "
                   "(24 clients x 6 txns, independent scheme)",
                   ["shards", "committed/offered", "commit rate",
-                   "throughput (txn/s)", "entries per shard"])
+                   "throughput (txn/s)", "p95 (s)", "p99 (s)",
+                   "entries per shard"])
     for row in rows:
         spread = ",".join(str(c) for c in row["entry_spread"].values())
         table.add_row(row["shards"], f"{row['committed']}/{row['offered']}",
-                      row["commit_rate"], row["throughput"], spread)
+                      row["commit_rate"], row["throughput"],
+                      row["p95_latency"], row["p99_latency"], spread)
     table.show()
 
     by_shards = {row["shards"]: row for row in rows}

@@ -21,6 +21,8 @@ from repro.net.batch import CommitBatcher
 from repro.net.errors import RpcError
 from repro.net.rpc import RpcAgent
 from repro.sim.futures import Future
+from repro.sim.process import Timeout
+from repro.sim.rng import SeededRng
 
 
 class LockReleaseRecord(AbstractRecord):
@@ -120,16 +122,40 @@ class RemoteParticipantRecord(AbstractRecord):
     ``_many`` call per target.  The phase generators then merely await
     the call's own demultiplexed verdict; votes, presumed abort, and
     heuristic reporting are untouched.
+
+    ``retries`` arms bounded prepare-phase retries for *gray*
+    participants: a degraded host drops or delays RPCs without being
+    down, and a single lost prepare would otherwise instantly doom the
+    action.  Each retry backs off exponentially from ``backoff`` with
+    seeded jitter drawn from ``rng`` (a
+    :class:`~repro.sim.rng.SeededRng` substream -- determinism is an
+    invariant), and the retry budget is deliberately small: a
+    participant still dark after the budget trips the normal abort
+    vote, so the caller aborts-and-retries-elsewhere instead of
+    wedging on the gray host.  Prepare is safe to re-send -- the
+    participant databases vote from their undo logs, which only
+    commit/abort consume, so a duplicate prepare re-produces the same
+    verdict.  Commit/abort phases are untouched: commit failures must
+    surface as heuristics, and abort is already best-effort.
     """
 
     def __init__(self, rpc: RpcAgent, target: str, service: str,
                  order: int = 500,
-                 batcher: CommitBatcher | None = None) -> None:
+                 batcher: CommitBatcher | None = None,
+                 retries: int = 0, backoff: float = 0.05,
+                 rng: SeededRng | None = None) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retries and rng is None:
+            raise ValueError("prepare retries need a seeded rng for jitter")
         self._rpc = rpc
         self._batcher = batcher
         self.target = target
         self.service = service
         self.order = order
+        self._retries = retries
+        self._backoff = backoff
+        self._rng = rng
         self._pending: Future | None = None
 
     def _issue(self, method: str, action: AtomicAction) -> Future:
@@ -157,13 +183,20 @@ class RemoteParticipantRecord(AbstractRecord):
             self._pending = self._issue("abort", action)
 
     def prepare(self, action: AtomicAction) -> Generator[Any, Any, Vote]:
-        try:
-            verdict = yield self._take_pending("prepare", action)
-        except RpcError:
-            return Vote.ABORT
-        if verdict == "readonly":
-            return Vote.READONLY
-        return Vote.OK if verdict == "ok" else Vote.ABORT
+        for attempt in range(self._retries + 1):
+            try:
+                verdict = yield self._take_pending("prepare", action)
+            except RpcError:
+                if attempt >= self._retries:
+                    return Vote.ABORT
+                delay = self._backoff * (2 ** attempt)
+                assert self._rng is not None  # enforced in __init__
+                yield Timeout(delay + self._rng.uniform(0.0, delay))
+                continue
+            if verdict == "readonly":
+                return Vote.READONLY
+            return Vote.OK if verdict == "ok" else Vote.ABORT
+        return Vote.ABORT  # pragma: no cover - loop always returns
 
     def commit(self, action: AtomicAction) -> Generator[Any, Any, None]:
         yield self._take_pending("commit", action)

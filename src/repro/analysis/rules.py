@@ -1,4 +1,4 @@
-"""The seven protocol-invariant checkers.
+"""The eight protocol-invariant checkers.
 
 Each rule encodes one invariant this repo has already been burned by;
 the docstrings cite the PR that paid for the lesson.  All checks are
@@ -858,3 +858,134 @@ class DeterminismRule(Rule):
                             f"source into the simulation",
                             ident=f"import:{node.module}.{alias.name}"))
         return findings
+
+
+# -- rule 8: seeded-backoff --------------------------------------------------
+
+
+@register
+class SeededBackoffRule(Rule):
+    """PR 10's invariant: backoff sleeps carry seeded jitter.
+
+    The gray-failure work gave the 2PC prepare leg bounded retries.  An
+    *unjittered* exponential backoff retries in lockstep: every client
+    that lost the same race sleeps the same ``backoff * 2**attempt``
+    and collides again on the exact tick it collided before -- in a
+    discrete-event simulator the herd never disperses, because there is
+    no ambient noise to break the tie.  And jitter drawn from
+    ``random.*`` breaks seeded replay (the determinism rule bans the
+    *source*; this rule bans the *shape*).  So: any ``Timeout`` whose
+    delay derives from a ``*backoff*`` quantity must mix in a draw from
+    a ``sim/rng.py`` seeded stream (a call on an ``rng``-named
+    receiver), either inline or folded into the delay variable before
+    the yield (``delay += rng.uniform(0.0, delay)``).
+    """
+
+    name = "seeded-backoff"
+    description = ("backoff retry sleeps must add jitter drawn from a "
+                   "seeded rng stream, never lockstep or random.*")
+    include = SRC
+
+    def check(self, module: ModuleSource) -> list[Finding]:
+        findings: list[Finding] = []
+        for func in iter_functions(module.tree):
+            findings.extend(self._check_function(module, func))
+        return findings
+
+    @staticmethod
+    def _mentions_backoff(node: ast.AST, backoff_vars: set[str]) -> str | None:
+        """The backoff-ish identifier ``node`` references, if any."""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and (
+                    "backoff" in sub.id.lower() or sub.id in backoff_vars):
+                return sub.id
+            if isinstance(sub, ast.Attribute) and \
+                    "backoff" in sub.attr.lower():
+                return dotted(sub) or sub.attr
+        return None
+
+    @staticmethod
+    def _has_rng_draw(node: ast.AST) -> bool:
+        """Does ``node`` contain a call on an rng-named receiver?"""
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute):
+                receiver = dotted(sub.func.value) or ""
+                if any("rng" in part.lower()
+                       for part in receiver.split(".")):
+                    return True
+        return False
+
+    @staticmethod
+    def _has_ambient_draw(node: ast.AST) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and \
+                    isinstance(sub.func, ast.Attribute) and \
+                    chain_root(sub.func) == "random":
+                return True
+        return False
+
+    def _check_function(self, module: ModuleSource,
+                        func: ast.AST) -> Iterator[Finding]:
+        # Local dataflow over simple-name assignments: which variables
+        # derive from a backoff quantity, and which have had jitter (or
+        # an ambient draw) folded into them.  Fixed point so chained
+        # assignments resolve regardless of lexical order.
+        backoff_vars: set[str] = set()
+        jittered_vars: set[str] = set()
+        ambient_vars: set[str] = set()
+        nodes = list(ast.walk(func))
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    targets = [t for t in node.targets
+                               if isinstance(t, ast.Name)]
+                    value: ast.AST = node.value
+                elif isinstance(node, ast.AugAssign) and \
+                        isinstance(node.target, ast.Name):
+                    targets = [node.target]
+                    value = node.value
+                else:
+                    continue
+                for target in targets:
+                    if self._mentions_backoff(value, backoff_vars) and \
+                            target.id not in backoff_vars:
+                        backoff_vars.add(target.id)
+                        changed = True
+                    if self._has_rng_draw(value) and \
+                            target.id not in jittered_vars:
+                        jittered_vars.add(target.id)
+                        changed = True
+                    if self._has_ambient_draw(value) and \
+                            target.id not in ambient_vars:
+                        ambient_vars.add(target.id)
+                        changed = True
+
+        for node in nodes:
+            if not (isinstance(node, ast.Call)
+                    and _last_segment(dotted(node.func)) == "Timeout"
+                    and node.args):
+                continue
+            delay = node.args[0]
+            backoff_ref = self._mentions_backoff(delay, backoff_vars)
+            if backoff_ref is None:
+                continue
+            names = {sub.id for sub in ast.walk(delay)
+                     if isinstance(sub, ast.Name)}
+            if self._has_ambient_draw(delay) or names & ambient_vars:
+                yield self.finding(
+                    module, node,
+                    f"backoff sleep on {backoff_ref!r} jitters from "
+                    f"random.*; ambient draws break seeded replay -- "
+                    f"draw from a sim/rng.py substream instead",
+                    ident=f"{backoff_ref}:ambient-jitter")
+            elif not (self._has_rng_draw(delay) or names & jittered_vars):
+                yield self.finding(
+                    module, node,
+                    f"backoff sleep on {backoff_ref!r} has no seeded "
+                    f"jitter; lockstep retries re-collide forever in a "
+                    f"deterministic simulator -- add "
+                    f"rng.uniform(0.0, delay) to the Timeout",
+                    ident=f"{backoff_ref}:unjittered")

@@ -42,6 +42,7 @@ from repro.naming.db_client import GroupViewDbClient
 from repro.naming.entry_cache import EntryCache
 from repro.naming.group_view_db import GroupViewDatabase
 from repro.naming.hybrid import HybridNameService
+from repro.naming.peer_health import PeerHealthTracker
 from repro.naming.read_repair import ReadRepairer
 from repro.naming.reshard import ReshardManager, ShardAutoscaler
 from repro.naming.shard_resync import ShardResyncManager
@@ -94,6 +95,19 @@ class SystemConfig:
     nameserver_replication: int = 1          # >1 -> replicate each ring arc
     nameserver_read_policy: str = "primary"  # or "spread": rotate replicas
     nameserver_read_repair: bool = True      # repair stale replicas at read time
+    # The gray-failure detection plane: give every sharded client a
+    # PeerHealthTracker fed by its own read RPCs (EWMA latency +
+    # consecutive-timeout streaks).  Gray replicas are demoted to the
+    # back of the failover read order until a probation trial redeems
+    # them; writes still fan out to every replica.  Only meaningful
+    # with nameserver_replication > 1 (reads need somewhere to go).
+    nameserver_peer_health: bool = False
+    # Bounded prepare-phase retries for remote 2PC participants: a
+    # gray shard's dropped prepare gets this many more chances (with
+    # exponential seeded-jitter backoff from ``participant_backoff``)
+    # before the coordinator votes abort.  0 keeps fail-fast 2PC.
+    participant_retries: int = 0
+    participant_backoff: float = 0.05
     # The leased read plane: a per-client LRU of entry snapshots, each
     # served RPC- and lock-free while its lease TTL holds and the ring's
     # fence epoch has not moved.  ``None`` disables the cache (every
@@ -196,6 +210,9 @@ class DistributedSystem:
         # Every leased entry cache handed out by _make_db_client, keyed
         # by owning node -- the churn harnesses audit their ledgers.
         self.entry_caches: dict[str, EntryCache] = {}
+        # Every per-client PeerHealthTracker, keyed like entry_caches --
+        # gray-failure harnesses read demotion counts off these.
+        self.peer_health: dict[str, PeerHealthTracker] = {}
         self.cleaners: list[UseListCleaner] = []
         self.shard_resyncers: dict[str, ShardResyncManager] = {}
         self.reshard: ReshardManager | None = None
@@ -428,6 +445,21 @@ class DistributedSystem:
                 while key in self.entry_caches:
                     key += "+"
                 self.entry_caches[key] = cache
+            health = None
+            if self.config.nameserver_peer_health and replication > 1:
+                # Per-client gray detector on the simulation clock; the
+                # registry key mirrors entry_caches (a node can host
+                # several db clients).
+                health = PeerHealthTracker(clock=lambda: self.scheduler.now)
+                hkey = node.name
+                while hkey in self.peer_health:
+                    hkey += "+"
+                self.peer_health[hkey] = health
+            retry_rng = None
+            if self.config.participant_retries > 0:
+                # Jitter must come from a seeded substream (the
+                # determinism invariant); one stream per client node.
+                retry_rng = self.rng.substream(f"2pc-retry/{node.name}")
             return ShardedGroupViewDbClient(
                 node.rpc, self.shard_router, replication=replication,
                 read_policy=self.config.nameserver_read_policy,
@@ -438,6 +470,10 @@ class DistributedSystem:
                 coherence_node=(node if self.config.nameserver_push_invalidation
                                 and cache is not None else None),
                 batcher=node.commit_batcher,
+                health=health,
+                participant_retries=self.config.participant_retries,
+                participant_backoff=self.config.participant_backoff,
+                retry_rng=retry_rng,
                 metrics=self.metrics, tracer=self.tracer)
         return GroupViewDbClient(node.rpc, NAME_NODE,
                                  batcher=node.commit_batcher)
@@ -585,7 +621,9 @@ class DistributedSystem:
                           max_shards: int = 8,
                           low_ops_per_shard: float | None = None,
                           min_shards: int | None = None,
-                          down_after: int = 3) -> ShardAutoscaler:
+                          down_after: int = 3,
+                          p95_up: float | None = None,
+                          p95_down: float | None = None) -> ShardAutoscaler:
         """Start the load-triggered autoscaler over the shard ring.
 
         Samples the per-shard naming-operation counters every
@@ -596,6 +634,15 @@ class DistributedSystem:
         after ``down_after`` consecutive quiet samples the least-loaded
         shard host is drained, never below ``min_shards`` (default: the
         replication factor, the floor a drain is valid at anyway).
+
+        Passing ``p95_up`` arms the latency trigger: each tick also
+        computes the windowed p95 of ``naming.get_server_latency``
+        observations (the client-side GetServer histogram) and scales
+        up when it exceeds the watermark -- the signal that catches a
+        *gray* shard host, whose op counters look normal while its
+        replies crawl.  ``p95_down`` (at most ``p95_up / 2``) blocks
+        scale-down while the window's p95 is still above it: a quiet
+        but slow ring must not shrink.
         """
         if self.shard_router is None or self.reshard is None:
             raise ValueError("the autoscaler needs a sharded name service "
@@ -605,6 +652,10 @@ class DistributedSystem:
         reshard = self.reshard
         if min_shards is None:
             min_shards = max(2, self.config.nameserver_replication)
+        latency_sample = None
+        if p95_up is not None:
+            histogram = self.metrics.histogram("naming.get_server_latency")
+            latency_sample = lambda: histogram.values
         self.autoscaler = ShardAutoscaler(
             self.scheduler, sample=self._shard_op_counts,
             scale_up=self.add_shard_host, interval=interval,
@@ -613,7 +664,9 @@ class DistributedSystem:
                         if low_ops_per_shard is not None else None),
             low_ops_per_shard=low_ops_per_shard,
             min_shards=min_shards, down_after=down_after,
-            busy=lambda: reshard.active, tracer=self.tracer)
+            busy=lambda: reshard.active,
+            latency_sample=latency_sample,
+            p95_up=p95_up, p95_down=p95_down, tracer=self.tracer)
         self.autoscaler.start()
         return self.autoscaler
 
@@ -692,7 +745,8 @@ class DistributedSystem:
         factory = SCHEME_FACTORIES[scheme_name]
         db_client = self._make_db_client(node)
         binding_scheme = factory(db_client, name, metrics=self.metrics,
-                                 tracer=self.tracer)
+                                 tracer=self.tracer,
+                                 rng=self.rng.substream(f"unbind/{name}"))
         runtime = ClientRuntime(
             node, NAME_NODE, binding_scheme,
             policy or SingleCopyPassive(), self.registry,
@@ -732,13 +786,20 @@ class DistributedSystem:
     # -- fault injection ---------------------------------------------------------------
 
     def install_fault_plan(self, plan: FaultPlan) -> None:
-        plan.install(self.scheduler, dict(self.nodes))
+        plan.install(self.scheduler, dict(self.nodes),
+                     network=self.network, caches=self.entry_caches)
 
     def stochastic_faults(self, targets: list[str], mttf: float,
                           mttr: float | None = None,
-                          stop_after: float | None = None) -> StochasticFaultInjector:
-        injector = StochasticFaultInjector(self.scheduler, self.rng, mttf,
-                                           mttr, stop_after)
+                          stop_after: float | None = None,
+                          gray_probability: float = 0.0,
+                          degrade_factor: float = 10.0,
+                          degrade_drop: float = 0.0) -> StochasticFaultInjector:
+        injector = StochasticFaultInjector(
+            self.scheduler, self.rng, mttf, mttr, stop_after,
+            network=self.network if gray_probability > 0.0 else None,
+            gray_probability=gray_probability,
+            degrade_factor=degrade_factor, degrade_drop=degrade_drop)
         injector.attach_all([self.nodes[t] for t in targets])
         return injector
 

@@ -86,11 +86,15 @@ class BindingScheme(abc.ABC):
 
     def __init__(self, db: GroupViewDbClient, client_node: str,
                  metrics: MetricsRegistry | None = None,
-                 tracer: Tracer | None = None) -> None:
+                 tracer: Tracer | None = None,
+                 rng: Any | None = None) -> None:
         self.db = db
         self.client_node = client_node
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
+        # Seeded stream for unbind-retry jitter; None = no jitter
+        # (single-client tests where lockstep cannot collide).
+        self.rng = rng
 
     @abc.abstractmethod
     def bind(self, action: AtomicAction, uid: Uid, binder: Binder,
@@ -265,7 +269,12 @@ class IndependentTopLevelBinding(BindingScheme):
                                              outcome.bound_hosts)
             except LockRefused:
                 yield from last.abort()
-                yield Timeout(self.unbind_backoff * (attempt + 1))
+                delay = self.unbind_backoff * (attempt + 1)
+                if self.rng is not None:
+                    # Jitter so binders refused by the same write lock
+                    # do not retry in lockstep and re-collide forever.
+                    delay += self.rng.uniform(0.0, delay)
+                yield Timeout(delay)
                 continue
             except RpcError:
                 yield from last.abort()

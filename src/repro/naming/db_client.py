@@ -52,15 +52,28 @@ class GroupViewDbClient:
     client enlists, so their 2PC phase traffic rides the batched commit
     plane; the provisional operations themselves stay unbatched -- they
     are latency-bound request/reply pairs, not fan-out.
+
+    ``participant_retries``/``participant_backoff``/``retry_rng``
+    configure the prepare-phase retry policy of those records (see
+    :class:`~repro.actions.records.RemoteParticipantRecord`): bounded
+    seeded-jitter retries so a *gray* participant's dropped prepare
+    trips abort-and-retry-elsewhere instead of instantly dooming the
+    action.  The defaults (0 retries) preserve the fail-fast 2PC.
     """
 
     def __init__(self, rpc: RpcAgent, db_node: str,
                  service: str = SERVICE_NAME,
-                 batcher: "CommitBatcher | None" = None) -> None:
+                 batcher: "CommitBatcher | None" = None,
+                 participant_retries: int = 0,
+                 participant_backoff: float = 0.05,
+                 retry_rng: Any | None = None) -> None:
         self._rpc = rpc
         self._batcher = batcher
         self.db_node = db_node
         self.service = service
+        self.participant_retries = participant_retries
+        self.participant_backoff = participant_backoff
+        self._retry_rng = retry_rng
         self._enlisted_roots: set[int] = set()
 
     # -- enlistment ----------------------------------------------------------
@@ -80,7 +93,8 @@ class GroupViewDbClient:
         self._enlisted_roots.add(root.id.top_level_serial)
         root.add_record(RemoteParticipantRecord(
             self._rpc, self.db_node, self.service, order=600,
-            batcher=self._batcher))
+            batcher=self._batcher, retries=self.participant_retries,
+            backoff=self.participant_backoff, rng=self._retry_rng))
 
     def is_enlisted(self, action: AtomicAction) -> bool:
         """Whether this shard already participates in the action's root."""
@@ -248,6 +262,12 @@ class GroupViewDbClient:
         return (yield self._rpc.call(self.db_node, self.service,
                                      "read_entry_versioned_many",
                                      list(uid_texts)))
+
+    def entry_clocks_many(self, uid_texts: list[str],
+                          ) -> Generator[Any, Any, list[dict[str, int]]]:
+        """Batched per-entry vector clocks: divergence detection's probe."""
+        return (yield self._rpc.call(self.db_node, self.service,
+                                     "entry_clocks_many", list(uid_texts)))
 
     def ping(self) -> Generator[Any, Any, bool]:
         try:

@@ -134,6 +134,15 @@ class EntryCache:
         # write-through, fence, or LRU pressure -- to actually leave,
         # which is why invalidation evicts the slot outright.
         self.renewal = renewal
+        # Lease anchor: "send" (the correct discipline -- the caller's
+        # pre-suspension clock reading bounds the round trip too) or
+        # "receive" (the *fault injection* mode: leases re-anchor at
+        # reply-receive time, so true staleness can exceed the declared
+        # TTL by one round trip without the ledger noticing).  Flipped
+        # by FaultPlan skew events; never set "receive" outside an
+        # injection experiment.
+        self.anchor = "send"
+        self.skewed_stores = 0  # stores/renews re-anchored by injection
         self.ledger: list[LedgerRecord] = []
         self.hits = 0
         self.misses = 0
@@ -232,6 +241,9 @@ class EntryCache:
         entry = self.peek(uid_text)
         if entry is None:
             return None
+        if self.anchor == "receive":
+            fetched_at = self.clock()
+            self.skewed_stores += 1
         span = self.lease if lease is None else lease
         renewed = replace(entry, fetched_at=fetched_at,
                           lease_expiry=fetched_at + span)
@@ -296,6 +308,12 @@ class EntryCache:
             self.metrics.counter("entry_cache.racing_stores_dropped").increment()
             return None
         fetched = self.clock() if fetched_at is None else fetched_at
+        if self.anchor == "receive" and fetched_at is not None:
+            # Injected lease skew: discard the caller's send-time
+            # anchor and stamp at store time, silently extending the
+            # staleness bound by the reply's flight time.
+            fetched = self.clock()
+            self.skewed_stores += 1
         span = self.lease if lease is None else lease
         entry = CachedEntry(
             hosts=tuple(hosts), view=tuple(view), versions=tuple(versions),

@@ -59,6 +59,13 @@ class GroupViewDatabase:
 
     TYPE_NAME = "repro.naming.GroupViewDatabase"
 
+    # Opt in to the RPC layer stamping the calling host before each
+    # dispatch (see RpcAgent._execute): commits bump the per-entry
+    # vector clock under the *writer's* identity, and every replica of
+    # an entry sees the same coordinator host for the same action, so
+    # identical commit histories always produce identical clocks.
+    accepts_rpc_caller = True
+
     def __init__(self, uid: Uid | None = None,
                  use_exclude_write_lock: bool = True,
                  metrics: MetricsRegistry | None = None,
@@ -78,6 +85,15 @@ class GroupViewDatabase:
         # owner can push invalidations to registered lessees.
         self.coherence: Any = None
         self._touched: list[tuple[tuple[int, ...], str]] = []
+        # Writer host of the RPC currently being dispatched ("" for
+        # local calls, e.g. boot-time restore commits -- identical on
+        # every replica, so clocks still agree).
+        self.rpc_caller = ""
+        # Per-entry vector clocks: uid_text -> {writer_host: commits}.
+        # Volatile alongside locks and undo logs -- a recovered replica
+        # restarts at the empty clock, which is dominated by every
+        # peer's, so repair always pulls toward the survivors.
+        self._vclocks: dict[str, dict[str, int]] = {}
 
     # -- administrative -------------------------------------------------------
 
@@ -113,10 +129,15 @@ class GroupViewDatabase:
             else:
                 kept.append((path, uid_text))
         self._touched = kept
-        if committed and resolved and self.coherence is not None:
+        if committed and resolved:
             seen: set[str] = set()
             uids = [u for u in resolved if not (u in seen or seen.add(u))]
-            self.coherence.note_committed(uids)
+            writer = self.rpc_caller or "local"
+            for uid_text in uids:
+                clock = self._vclocks.setdefault(uid_text, {})
+                clock[writer] = clock.get(writer, 0) + 1
+            if self.coherence is not None:
+                self.coherence.note_committed(uids)
 
     def knows(self, uid_text: str) -> bool:
         return self.server_db.knows(Uid.parse(uid_text))
@@ -270,6 +291,22 @@ class GroupViewDatabase:
         """
         return [self.entry_versions(uid_text) for uid_text in uid_texts]
 
+    def entry_clock(self, uid_text: str) -> dict[str, int]:
+        """The entry's vector clock (RPC-exposed), ``{writer: commits}``.
+
+        Scalar versions bump identically on every replica of a committed
+        action, so two replicas that diverged under a partial partition
+        present *equal* versions with different content.  The clock is
+        the tie-breaker: identical commit histories produce identical
+        clocks, so a clock mismatch at equal scalars *is* divergence.
+        """
+        return dict(self._vclocks.get(uid_text, {}))
+
+    def entry_clocks_many(self, uid_texts: list[str]) -> list[dict[str, int]]:
+        """Batched :meth:`entry_clock` (RPC-exposed): one round trip per
+        sweep, same as the scalar ``entry_versions_many``."""
+        return [self.entry_clock(uid_text) for uid_text in uid_texts]
+
     # -- the leased read plane ------------------------------------------------
 
     def read_entry_versioned(self, uid_text: str) -> Any:
@@ -281,9 +318,10 @@ class GroupViewDatabase:
         this one dispatch, so no lock ever spans the wire, no
         participant is enlisted, and the caller's action is never
         serialized against the entry.  Returns
-        ``(sv_hosts, uses, st_hosts, (sv_version, st_version), mode)``
-        -- ``mode`` is the coherence plane's pull/push verdict for the
-        entry (always ``"pull"`` without a coherence host) -- or
+        ``(sv_hosts, uses, st_hosts, (sv_version, st_version), mode,
+        vclock)`` -- ``mode`` is the coherence plane's pull/push verdict
+        for the entry (always ``"pull"`` without a coherence host),
+        ``vclock`` its per-writer commit clock -- or
         ``"locked"`` when a live action is mid-flight on the entry (the
         caller falls back to the authoritative locking read), or
         ``"unknown"`` when this replica disclaims the uid.
@@ -305,7 +343,8 @@ class GroupViewDatabase:
             return (list(snapshot.hosts),
                     {host: dict(counters)
                      for host, counters in snapshot.uses.items()},
-                    list(view), versions, mode)
+                    list(view), versions, mode,
+                    dict(self._vclocks.get(uid_text, {})))
         except (LockRefused, PromotionRefused):
             return "locked"
         except UnknownObject:
@@ -328,20 +367,30 @@ class GroupViewDatabase:
     def install_entry(self, uid_text: str, sv_hosts: list[str],
                       uses: dict[str, dict[str, int]],
                       st_hosts: list[str],
-                      versions: tuple[int, int]) -> bool:
+                      versions: tuple[int, int],
+                      vclock: dict[str, int] | None = None,
+                      force: bool = False) -> bool:
         """Install one committed entry from a replica peer's snapshot.
 
         Each half lands only if the peer's write version is strictly
         ahead of the local one (see the per-db ``install_entry``), so
         resync and anti-entropy can only move a replica forward.
-        Returns whether anything was installed.
+        ``force`` bypasses the scalar gate for vector-clock divergence
+        repair.  When the copy lands, ``vclock`` is merged into the
+        local clock pointwise (max per writer), so the clock always
+        covers the content.  Returns whether anything was installed.
         """
         uid = Uid.parse(uid_text)
         sv_version, st_version = versions
         changed = self.server_db.install_entry(uid, list(sv_hosts), uses,
-                                               sv_version)
+                                               sv_version, force=force)
         changed |= self.state_db.install_entry(uid, list(st_hosts),
-                                               st_version)
+                                               st_version, force=force)
+        if changed and vclock:
+            clock = self._vclocks.setdefault(uid_text, {})
+            for writer, count in vclock.items():
+                if count > clock.get(writer, 0):
+                    clock[writer] = count
         if changed and self.coherence is not None:
             # A maintenance install (resync, migration, read-repair)
             # moved our committed state forward: registered lessees
@@ -352,7 +401,9 @@ class GroupViewDatabase:
     def guarded_install_entry(self, uid_text: str, sv_hosts: list[str],
                               uses: dict[str, dict[str, int]],
                               st_hosts: list[str],
-                              versions: tuple[int, int]) -> bool | None:
+                              versions: tuple[int, int],
+                              vclock: dict[str, int] | None = None,
+                              force: bool = False) -> bool | None:
         """Lock-guarded :meth:`install_entry` (RPC-exposed).
 
         Both halves are try-locked under a fresh probe action before
@@ -371,7 +422,8 @@ class GroupViewDatabase:
                 half.locks.try_lock(probe.id, key, LockMode.WRITE)
                 locked.append(half)
             return self.install_entry(uid_text, sv_hosts, uses, st_hosts,
-                                      tuple(versions))
+                                      tuple(versions), vclock=vclock,
+                                      force=force)
         except (LockRefused, PromotionRefused):
             return None
         finally:
@@ -400,6 +452,7 @@ class GroupViewDatabase:
                 locked.append(half)
             removed = self.server_db.forget(uid)
             removed = self.state_db.forget(uid) or removed
+            self._vclocks.pop(uid_text, None)
             if removed and self.coherence is not None:
                 # Post-flip GC: we no longer own the entry, so the
                 # registry and hotness state go with it.
@@ -417,6 +470,11 @@ class GroupViewDatabase:
         self.server_db.reset_volatile()
         self.state_db.reset_volatile()
         self._touched.clear()
+        # Vector clocks are volatile too: a recovered replica restarts
+        # at the empty clock, dominated by every peer's, so repair
+        # pulls it toward the survivors rather than trusting it.
+        self._vclocks.clear()
+        self.rpc_caller = ""
 
     # -- persistence -------------------------------------------------------------------
 

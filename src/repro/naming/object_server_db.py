@@ -246,7 +246,7 @@ class ObjectServerDatabase(ActionDatabase):
 
     def install_entry(self, uid: Uid, hosts: list[str],
                       uses: Mapping[str, Mapping[str, int]],
-                      version: int) -> bool:
+                      version: int, force: bool = False) -> bool:
         """Install a replica peer's committed entry (shard resync).
 
         Version-gated: the copy applies only when the peer's write
@@ -258,10 +258,18 @@ class ObjectServerDatabase(ActionDatabase):
         outside ``hosts`` are dropped, preserving the invariant that
         use lists exist exactly for Sv members.  Returns whether the
         entry was installed.
+
+        ``force`` bypasses the scalar gate for divergence repair: two
+        replicas at *equal* versions with different content (a partial
+        partition committed different writes on each) can only converge
+        if the vector-clock winner is allowed to overwrite the loser.
+        The local version never moves backwards even then.
         """
         current = self._entries.get(uid)
         if current is not None and current.version >= version:
-            return False
+            if not force:
+                return False
+            version = current.version
         fresh_uses = {h: dict(uses.get(h, {})) for h in hosts}
         self._entries[uid] = _ServerEntry(list(hosts), fresh_uses, version)
         return True

@@ -127,16 +127,22 @@ class ObjectStateDatabase(ActionDatabase):
         self.tracer.record("db", "include", uid=str(uid), host=host,
                            hosts=list(entry.hosts))
 
-    def install_entry(self, uid: Uid, hosts: list[str], version: int) -> bool:
+    def install_entry(self, uid: Uid, hosts: list[str], version: int,
+                      force: bool = False) -> bool:
         """Install a replica peer's committed entry (shard resync).
 
         Version-gated like its server-db counterpart: only a strictly
         fresher peer copy lands, so convergence always runs forward.
-        Returns whether the entry was installed.
+        ``force`` bypasses the gate for vector-clock divergence repair
+        (equal versions, divergent content); the local version never
+        moves backwards even then.  Returns whether the entry was
+        installed.
         """
         current = self._entries.get(uid)
         if current is not None and current.version >= version:
-            return False
+            if not force:
+                return False
+            version = current.version
         self._entries[uid] = _StateEntry(list(hosts), version)
         return True
 

@@ -90,24 +90,32 @@ class EntryCopy:
     # The coherence plane's verdict for the entry: "pull" (lease+TTL)
     # or "push" (register with the owner; it multicasts invalidations).
     mode: str = "pull"
+    # The entry's per-writer vector clock, or None when the source
+    # predates clocks (a 4/5-tuple wire peer).  Divergence repair
+    # carries the merged clock here on its force-installs.
+    vclock: dict[str, int] | None = None
 
     @classmethod
     def from_wire(cls, result: Any) -> "EntryCopy":
         """Decode one ``read_entry_versioned`` wire tuple (the one
         implementation every versioned-read consumer shares).
 
-        Accepts both the 4-tuple (pre-coherence peers, and the
-        ``fetch_entry_copy`` path that has no mode to report) and the
-        5-tuple carrying the entry's coherence mode.
+        Accepts the 4-tuple (pre-coherence peers, and paths with no
+        mode to report), the 5-tuple carrying the entry's coherence
+        mode, and the 6-tuple carrying the vector clock too.
         """
-        if len(result) == 5:
+        vclock = None
+        if len(result) == 6:
+            hosts, uses, view, versions, mode, vclock = result
+        elif len(result) == 5:
             hosts, uses, view, versions, mode = result
         else:
             hosts, uses, view, versions = result
             mode = "pull"
         return cls(list(hosts),
                    {host: dict(counters) for host, counters in uses.items()},
-                   list(view), tuple(versions), mode)
+                   list(view), tuple(versions), mode,
+                   dict(vclock) if vclock is not None else None)
 
 
 def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
@@ -132,6 +140,8 @@ def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
         view = yield from client.get_view(action, uid)
         versions = yield rpc.call(client.db_node, client.service,
                                   "entry_versions", uid_text)
+        vclock = yield rpc.call(client.db_node, client.service,
+                                "entry_clock", uid_text)
     except (LockRefused, PromotionRefused):
         yield from action.abort()
         return "locked"
@@ -151,7 +161,7 @@ def fetch_entry_copy(rpc: RpcAgent, client: GroupViewDbClient, uid_text: str,
     return EntryCopy(list(snapshot.hosts),
                      {host: dict(counters)
                       for host, counters in snapshot.uses.items()},
-                     list(view), tuple(versions))
+                     list(view), tuple(versions), vclock=dict(vclock))
 
 
 Installer = Callable[[str, str, EntryCopy], Any]
@@ -169,6 +179,10 @@ class ReplicaIO:
                  sync_rpc: RpcAgent | None = None,
                  sync_suffix: str = "",
                  batcher: Any | None = None,
+                 health: Any | None = None,
+                 participant_retries: int = 0,
+                 participant_backoff: float = 0.05,
+                 retry_rng: Any | None = None,
                  metrics: MetricsRegistry | None = None,
                  tracer: Tracer | None = None) -> None:
         if replication < 1:
@@ -190,12 +204,25 @@ class ReplicaIO:
         self.sync_suffix = sync_suffix
         self.read_policy = read_policy
         self.repair = repair  # a ReadRepairer, or None
+        # A PeerHealthTracker, or None: when attached, every read
+        # attempt feeds it (latency on success, timeouts on failure)
+        # and the failover walk demotes gray peers to the back of the
+        # preference order.  Reads only -- writes must still reach
+        # every replica, slow or not.
+        self.health = health
         # The owning node's CommitBatcher (or None): handed to every
         # client-plane GroupViewDbClient so the 2PC participant records
         # they enlist ride the batched commit plane.  Sync-plane
         # clients never get it -- maintenance traffic is already
         # batched at the protocol level (probe_many/get_many).
         self.batcher = batcher
+        # Prepare-retry policy for the 2PC participants the client-plane
+        # clients enlist (see RemoteParticipantRecord): bounded seeded-
+        # jitter retries so a gray shard's dropped prepare does not
+        # instantly doom the action.  0 retries = baseline fail-fast.
+        self.participant_retries = participant_retries
+        self.participant_backoff = participant_backoff
+        self.retry_rng = retry_rng
         self.max_stale_retries = max_stale_retries
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer or NULL_TRACER
@@ -214,8 +241,11 @@ class ReplicaIO:
         key = (node, service or self.service)
         client = self._clients.get(key)
         if client is None:
-            client = GroupViewDbClient(self.rpc, node, service=key[1],
-                                       batcher=self.batcher)
+            client = GroupViewDbClient(
+                self.rpc, node, service=key[1], batcher=self.batcher,
+                participant_retries=self.participant_retries,
+                participant_backoff=self.participant_backoff,
+                retry_rng=self.retry_rng)
             self._clients[key] = client
         return client
 
@@ -377,8 +407,15 @@ class ReplicaIO:
                     self._note_stale(view, exc)
                     stale = exc
                     continue
-            for node in view.read_order(uid, self.replication, rotation):
+            order = view.read_order(uid, self.replication, rotation)
+            if self.health is not None:
+                # Gray-failure demotion: alive-but-slow peers drop to
+                # the back of the walk; dark ones still fail over fast.
+                order = self.health.reorder(order)
+            for node in order:
                 client = self.client_for(node)
+                started = (self.health.clock()
+                           if self.health is not None else 0.0)
                 try:
                     result = yield from client.call_reached(
                         action, method, *args, ring_epoch=view.epoch)
@@ -387,12 +424,19 @@ class ReplicaIO:
                     stale = exc
                     break
                 except RpcError as exc:
+                    if self.health is not None:
+                        self.health.timeout(node)
                     unreachable = exc
                     self._disown_stray(client, action)
                     continue
                 except UnknownObject as exc:
+                    if self.health is not None:
+                        self.health.observe(node,
+                                            self.health.clock() - started)
                     unknown = exc
                     continue
+                if self.health is not None:
+                    self.health.observe(node, self.health.clock() - started)
                 if self.repair is not None:
                     if unknown is not None:
                         # We stepped past a replica disclaiming the
@@ -525,15 +569,24 @@ class ReplicaIO:
         view = self.router.view()
         uid_text = str(uid)
         unknown_seen = False
-        for node in view.read_order(uid, self.replication, rotation):
+        order = view.read_order(uid, self.replication, rotation)
+        if self.health is not None:
+            order = self.health.reorder(order)
+        for node in order:
             client = self.client_for(node)
+            started = (self.health.clock()
+                       if self.health is not None else 0.0)
             try:
                 result = yield from client.read_entry_versioned(
                     uid_text, ring_epoch=view.epoch)
             except StaleRingEpoch:
                 return None  # the ring moved; authoritative path re-routes
             except RpcError:
+                if self.health is not None:
+                    self.health.timeout(node)
                 continue
+            if self.health is not None:
+                self.health.observe(node, self.health.clock() - started)
             if result == "locked":
                 return None
             if result == "unknown":
@@ -696,18 +749,22 @@ class ReplicaIO:
             node=self.sync_rpc.name, tracer=self.tracer))
 
     def install_remote(self, target: str, uid_text: str, copy: EntryCopy,
+                       force: bool = False,
                        ) -> Generator[Any, Any, "bool | None | str"]:
         """Push one snapshot through a remote lock-guarded install.
 
-        Returns the database's verdict (``True`` installed, ``False``
-        already fresh, ``None`` locked by a live action) or
-        ``"unreachable"`` when the target went dark.
+        ``force`` bypasses the scalar version gate -- only divergence
+        repair uses it, to overwrite an equal-version loser with the
+        vector-clock winner.  Returns the database's verdict (``True``
+        installed, ``False`` already fresh, ``None`` locked by a live
+        action) or ``"unreachable"`` when the target went dark.
         """
         try:
             installed = yield self.sync_rpc.call(
                 self.sync_target(target), self.sync_service,
                 "guarded_install_entry", uid_text,
-                copy.hosts, copy.uses, copy.view, copy.versions)
+                copy.hosts, copy.uses, copy.view, copy.versions,
+                copy.vclock, force)
         except RpcError:
             return "unreachable"
         return installed
@@ -741,7 +798,17 @@ class ReplicaIO:
           target got in the way; the caller retries a later pass;
         - ``"unknown"`` -- every consulted source disclaimed the entry
           under locks (a define that aborted after enumeration).
+
+        When every target is remote (no ``install`` override), a
+        *vector-clock phase* follows scalar convergence: replicas
+        sitting at the scalar maximum are probed for their per-writer
+        clocks, and a mismatch -- equal versions, different commit
+        histories, the partial-partition signature -- is repaired by
+        force-installing the clock winner's snapshot (with the merged
+        clock) on every divergent replica.  Local-install callers
+        (shard resync) run their own clock reconciliation instead.
         """
+        clock_phase = install is None
         install = install or self.install_remote
         if not sources:
             return "deferred", 0  # nothing reachable to copy from
@@ -750,7 +817,8 @@ class ReplicaIO:
         remaining = {name: versions for name, versions in targets.items()
                      if versions[0] < best[0] or versions[1] < best[1]}
         if not remaining:
-            return "clean", 0
+            return (yield from self._finish_converge(
+                uid_text, sources, targets, best, "clean", 0, clock_phase))
         installed_count = 0
         unknown_everywhere = True
         for source, (source_sv, source_st) in sorted(
@@ -791,6 +859,111 @@ class ReplicaIO:
         if any(sv < best[0] or st < best[1]
                for sv, st in remaining.values()):
             return "deferred", installed_count
-        if installed_count:
-            return "copied", installed_count
-        return "settled", 0
+        outcome = "copied" if installed_count else "settled"
+        return (yield from self._finish_converge(
+            uid_text, sources, targets, best, outcome, installed_count,
+            clock_phase))
+
+    # -- vector-clock divergence repair --------------------------------------
+
+    def _finish_converge(self, uid_text: str,
+                         sources: dict[str, tuple[int, int]],
+                         targets: dict[str, tuple[int, int]],
+                         best: tuple[int, int], outcome: str,
+                         installed_count: int, clock_phase: bool,
+                         ) -> Generator[Any, Any, tuple[str, int]]:
+        """Scalar convergence's epilogue: the vector-clock tie-break.
+
+        Replicas whose probed versions sit at the scalar maximum may
+        still hold divergent content -- a partial partition lets each
+        side commit a different write, bumping both scalars
+        identically.  Probe their clocks; if they disagree, repair.
+        """
+        if not clock_phase:
+            return outcome, installed_count
+        level = sorted({name
+                        for name, versions in {**targets, **sources}.items()
+                        if tuple(versions) == best})
+        if len(level) < 2:
+            return outcome, installed_count
+        verdict, repairs = yield from self._repair_divergence(uid_text, level)
+        if verdict == "deferred":
+            return "deferred", installed_count
+        if repairs:
+            return "copied", installed_count + repairs
+        return outcome, installed_count
+
+    def _repair_divergence(self, uid_text: str, level: list[str],
+                           ) -> Generator[Any, Any, tuple[str, int]]:
+        """Converge equal-version replicas whose clocks disagree.
+
+        Dominance installs: a clock pointwise >= every other proves its
+        holder saw every commit the others did, so its content wins
+        outright.  True concurrency (no dominator) resolves by the
+        deterministic owner order -- the first divergent replica in the
+        current view's write order -- so every repairer picks the same
+        winner.  The winner's snapshot is force-installed on every
+        divergent replica together with the pointwise-max merged clock,
+        after which the group is convergent in one pass.  Returns
+        ``("ok" | "deferred", repairs)``.
+        """
+        clocks: dict[str, dict[str, int]] = {}
+        for node in level:
+            try:
+                clock = yield self.sync_rpc.call(
+                    self.sync_target(node), self.sync_service,
+                    "entry_clock", uid_text)
+            except RpcError:
+                return "deferred", 0  # a dark replica; retry a later pass
+            clocks[node] = dict(clock)
+        if len({tuple(sorted(clock.items()))
+                for clock in clocks.values()}) <= 1:
+            return "ok", 0  # identical histories: truly convergent
+        winner = self._clock_winner(uid_text, clocks)
+        merged: dict[str, int] = {}
+        for clock in clocks.values():
+            for writer, count in clock.items():
+                if count > merged.get(writer, 0):
+                    merged[writer] = count
+        copy = yield from self.fetch_copy(winner, uid_text)
+        if isinstance(copy, str):
+            return "deferred", 0  # locked/unknown/dark; retry a later pass
+        forced = EntryCopy(copy.hosts, copy.uses, copy.view, copy.versions,
+                           copy.mode, merged)
+        repairs = 0
+        for node in level:
+            # The winner is force-installed too: its own content is a
+            # no-op overwrite, but the merged clock must land so the
+            # group's histories agree from here on.
+            verdict = yield from self.install_remote(node, uid_text, forced,
+                                                     force=True)
+            if verdict == "unreachable" or verdict is None:
+                return "deferred", repairs
+            if node != winner:
+                repairs += 1
+                self.metrics.counter(
+                    "replica_io.divergence_repairs").increment()
+                self.tracer.record("replica_io", "divergence repaired",
+                                   uid=uid_text, winner=winner, loser=node,
+                                   clock=dict(merged))
+        return "ok", repairs
+
+    def _clock_winner(self, uid_text: str,
+                      clocks: dict[str, dict[str, int]]) -> str:
+        """The replica whose content survives a divergence repair."""
+        for node in sorted(clocks):
+            clock = clocks[node]
+            if all(self._dominates(clock, other)
+                   for other in clocks.values()):
+                return node
+        # Concurrent clocks: fall back to the fence-epoch + owner order
+        # every repairer shares -- the first divergent replica in the
+        # current view's write order.
+        view = self.router.view()
+        order = [node for node in view.write_set(uid_text, self.replication)
+                 if node in clocks]
+        return order[0] if order else sorted(clocks)[0]
+
+    @staticmethod
+    def _dominates(a: dict[str, int], b: dict[str, int]) -> bool:
+        return all(a.get(writer, 0) >= count for writer, count in b.items())

@@ -593,6 +593,17 @@ class ShardAutoscaler:
     clears the scale-up threshold with replication-factor headroom),
     any scale event in either direction restarts the quiet streak, and
     a sample above the low watermark resets it.
+
+    **The p95 trigger.**  Op-rate scaling is blind to gray failure: a
+    degraded shard host accepts every request -- the rate never moves
+    -- while client-observed latency explodes.  ``latency_sample``
+    (typically the ``naming.get_server_latency`` histogram's growing
+    value list) arms a second trigger: each tick takes the p95 of the
+    *new* observations since the last tick and scales up when it
+    exceeds ``p95_up``.  The same hysteresis contract binds it:
+    ``p95_down`` must sit at or below half of ``p95_up``, and a drain
+    additionally requires the window's p95 under ``p95_down`` -- a
+    ring that is quiet but slow must not shrink.
     """
 
     def __init__(self, scheduler: Any,
@@ -604,6 +615,9 @@ class ShardAutoscaler:
                  low_ops_per_shard: float | None = None,
                  min_shards: int = 2, down_after: int = 3,
                  busy: Callable[[], bool] | None = None,
+                 latency_sample: Callable[[], list[float]] | None = None,
+                 p95_up: float | None = None,
+                 p95_down: float | None = None,
                  tracer: Tracer | None = None) -> None:
         if interval <= 0:
             raise ValueError("autoscaler interval must be positive")
@@ -615,6 +629,17 @@ class ShardAutoscaler:
                 f"must never push the ring back over the high watermark)")
         if down_after < 1:
             raise ValueError("down_after must be >= 1 sample")
+        if p95_up is not None and latency_sample is None:
+            raise ValueError("a p95 trigger needs a latency_sample hook")
+        if p95_down is not None and p95_up is None:
+            raise ValueError("p95_down needs p95_up (no latency trigger "
+                             "is armed without it)")
+        if (p95_down is not None and p95_up is not None
+                and p95_down > p95_up / 2):
+            raise ValueError(
+                f"p95 low watermark {p95_down} must be <= half the "
+                f"scale-up threshold {p95_up} (hysteresis, same contract "
+                f"as the op-rate watermarks)")
         self.scheduler = scheduler
         self.sample = sample
         self.scale_up = scale_up
@@ -626,12 +651,18 @@ class ShardAutoscaler:
         self.min_shards = min_shards
         self.down_after = down_after
         self.busy = busy or (lambda: False)
+        self.latency_sample = latency_sample
+        self.p95_up = p95_up
+        self.p95_down = p95_down
         self.tracer = tracer or NULL_TRACER
         self.samples_taken = 0
         self.scale_ups_triggered = 0
+        self.p95_scale_ups = 0  # scale-ups only the p95 trigger fired
         self.scale_downs_triggered = 0
         self.last_rate_per_shard = 0.0
+        self.last_p95 = 0.0  # p95 of the last tick's latency window
         self.quiet_samples = 0  # consecutive samples under the low mark
+        self._latency_seen = 0  # observations consumed from the sample
         self._running = False
         self._process: Any = None
 
@@ -662,23 +693,37 @@ class ShardAutoscaler:
                 continue
             self.last_rate_per_shard = (sum(per_shard_rates.values())
                                         / shards)
+            # The latency window is consumed every tick (even when
+            # busy) so each sample's p95 covers exactly one interval.
+            self.last_p95 = self._window_p95()
             if self.busy():
                 # A migrating ring must not trigger another change, and
                 # migration traffic must not count toward a drain.
                 self.quiet_samples = 0
                 continue
-            if (self.last_rate_per_shard > self.ops_per_shard
-                    and shards < self.max_shards):
+            rate_hot = self.last_rate_per_shard > self.ops_per_shard
+            p95_hot = self.p95_up is not None and self.last_p95 > self.p95_up
+            if (rate_hot or p95_hot) and shards < self.max_shards:
                 self.quiet_samples = 0
                 self.tracer.record("reshard", "autoscaler triggering",
                                    rate_per_shard=self.last_rate_per_shard,
+                                   window_p95=self.last_p95,
+                                   rate_hot=rate_hot, p95_hot=p95_hot,
                                    shards=shards)
                 self.scale_ups_triggered += 1
+                if p95_hot and not rate_hot:
+                    # The gray-failure case: latency exploded while the
+                    # op rate never moved -- only the p95 trigger saw it.
+                    self.p95_scale_ups += 1
                 yield from self._wait_out(self.scale_up)
                 last = self.sample()  # don't count migration as load
+                self._window_p95()  # nor migration-era latency
                 continue
+            p95_loud = (self.p95_up is not None and self.p95_down is not None
+                        and self.last_p95 > self.p95_down)
             if (self.scale_down is None or self.low_ops_per_shard is None
                     or self.last_rate_per_shard > self.low_ops_per_shard
+                    or p95_loud  # quiet but slow: never shrink a slow ring
                     or shards <= self.min_shards):
                 self.quiet_samples = 0
                 continue
@@ -693,6 +738,20 @@ class ShardAutoscaler:
             self.scale_downs_triggered += 1
             yield from self._wait_out(lambda: self.scale_down(victim))
             last = self.sample()  # don't count migration as load
+            self._window_p95()  # nor migration-era latency
+
+    def _window_p95(self) -> float:
+        """p95 of the latency observations since the previous tick."""
+        if self.latency_sample is None:
+            return 0.0
+        values = self.latency_sample()
+        window = values[self._latency_seen:]
+        self._latency_seen = len(values)
+        if not window:
+            return 0.0
+        ordered = sorted(window)
+        index = (95 * len(ordered) + 99) // 100 - 1  # nearest-rank p95
+        return ordered[max(0, index)]
 
     def _wait_out(self, trigger: Callable[[], Any],
                   ) -> Generator[Any, Any, None]:

@@ -66,6 +66,7 @@ from repro.naming.group_view_db import (
 )
 from repro.naming.replica_io import EntryCopy, ReplicaIO
 from repro.naming.shard_router import ShardRouter
+from repro.net.errors import RpcError
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.process import Timeout
 from repro.sim.tracing import NULL_TRACER, Tracer
@@ -328,6 +329,73 @@ class ShardResyncManager:
                 local_versions[uid_text] = (max(old[0], copy.versions[0]),
                                             max(old[1], copy.versions[1]))
 
+        # Vector-clock reconciliation: a peer sitting at *equal*
+        # scalars may still hold divergent content -- a partial
+        # partition lets each side commit a different write, bumping
+        # both replicas' versions identically, and the version-gated
+        # install above is blind to it.  Batch-probe the clocks of
+        # every level peer; where histories disagree, pull the peer's
+        # copy if it wins (dominance, else the arc's owner order) and
+        # force-install it with the merged clock.  When *we* win, do
+        # nothing: the peer's own sweep runs the same rule and pulls
+        # from us -- convergence in two sweeps, no push path needed.
+        level_by_peer: dict[str, list[str]] = {}
+        for uid_text in mine:
+            local_v = local_versions.get(uid_text)
+            if local_v is None:
+                continue
+            for peer, versions in probes_by_uid[uid_text].items():
+                if tuple(versions) == tuple(local_v):
+                    level_by_peer.setdefault(peer, []).append(uid_text)
+        for peer in sorted(level_by_peer):
+            uids = level_by_peer[peer]
+            try:
+                clocks = yield from self.io.sync_client_for(
+                    peer).entry_clocks_many(uids)
+            except RpcError:
+                deferred = True  # the peer went dark; next round retries
+                continue
+            wanted = []
+            for uid_text, peer_clock in zip(uids, clocks):
+                peer_clock = dict(peer_clock)
+                local_clock = self.db.entry_clock(uid_text)
+                if peer_clock != local_clock and self._adopt_peer(
+                        uid_text, local_clock, peer_clock, peer):
+                    wanted.append(uid_text)
+            if not wanted:
+                continue
+            copies = yield from self.io.get_many(peer, wanted)
+            if copies is None:
+                deferred = True
+                continue
+            for uid_text in wanted:
+                copy = copies.get(uid_text)
+                if copy == "locked" or copy is None:
+                    deferred = True  # busy entry; next round retries
+                    continue
+                if copy == "unknown" or not isinstance(copy, EntryCopy):
+                    continue  # vanished since the probe
+                merged = dict(self.db.entry_clock(uid_text))
+                for writer, count in (copy.vclock or {}).items():
+                    if count > merged.get(writer, 0):
+                        merged[writer] = count
+                installed = self.db.guarded_install_entry(
+                    uid_text, copy.hosts, copy.uses, copy.view,
+                    copy.versions, vclock=merged, force=True)
+                if installed is None:
+                    deferred = True  # a live local action holds it
+                    continue
+                if installed:
+                    changed = True
+                    self.metrics.counter(
+                        "replica_io.divergence_repairs").increment()
+                    self.metrics.counter(
+                        f"resync.{self.node.name}.divergence_repairs"
+                    ).increment()
+                    self.tracer.record("resync", "divergence repaired",
+                                       uid=uid_text, node=me, source=peer,
+                                       clock=merged)
+
         # Anything still behind the freshest probe (an install raced a
         # local action, a source went dark mid-fetch) waits for the
         # next round.
@@ -355,7 +423,27 @@ class ShardResyncManager:
         strictly fresher peer copy ever lands.
         """
         return self.db.guarded_install_entry(uid_text, copy.hosts, copy.uses,
-                                             copy.view, copy.versions)
+                                             copy.view, copy.versions,
+                                             vclock=copy.vclock)
+
+    def _adopt_peer(self, uid_text: str, local_clock: dict[str, int],
+                    peer_clock: dict[str, int], peer: str) -> bool:
+        """Whether a peer's equal-version divergent copy wins locally.
+
+        Dominance first (the peer saw every commit we did, and more);
+        true concurrency falls back to the arc's deterministic owner
+        order, so both sides of a divergence pick the same winner.
+        """
+        if ReplicaIO._dominates(peer_clock, local_clock):
+            return True
+        if ReplicaIO._dominates(local_clock, peer_clock):
+            return False  # we win; the peer's sweep pulls from us
+        for node in self.router.preference_list(uid_text, self.replication):
+            if node == peer:
+                return True
+            if node == self.node.name:
+                return False
+        return peer < self.node.name  # neither in the arc: stable fallback
 
 
 class _Deferred(Exception):

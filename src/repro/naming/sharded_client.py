@@ -85,12 +85,24 @@ class ShardedGroupViewDbClient:
                  sync_suffix: str = "",
                  coherence_node: Any | None = None,
                  batcher: Any | None = None,
+                 health: Any | None = None,
+                 participant_retries: int = 0,
+                 participant_backoff: float = 0.05,
+                 retry_rng: Any | None = None,
                  metrics: Any | None = None,
                  tracer: Any | None = None) -> None:
         self.io = ReplicaIO(rpc, router, replication, service=service,
                             read_policy=read_policy, repair=repair,
                             sync_suffix=sync_suffix, batcher=batcher,
+                            health=health,
+                            participant_retries=participant_retries,
+                            participant_backoff=participant_backoff,
+                            retry_rng=retry_rng,
                             metrics=metrics, tracer=tracer)
+        # The gray-failure detector (a PeerHealthTracker, or None) --
+        # exposed here so harnesses and benchmarks can inspect
+        # demotions; the engine owns feeding and consulting it.
+        self.health = health
         self.cache = cache
         self.validate_leases = validate_leases
         # The coherence plane's client half: with a node handle and a

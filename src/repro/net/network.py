@@ -11,6 +11,17 @@ Partitions are expressed as a grouping of interface names; interfaces in
 different groups cannot exchange messages until :meth:`Network.heal` is
 called.  Tests can also install targeted drop rules to force specific
 loss scenarios (e.g. "drop B's second reply" for figure 1).
+
+Beyond the fail-silent model, the network also injects *gray*
+failures: :meth:`Network.degrade` marks a host's interfaces slow --
+every message touching them pays a service-time multiplier on its
+sampled latency and a per-message drop probability -- and
+:meth:`Network.block` cuts a single *direction* between two hosts (a
+partial partition: A's messages to B vanish while B still reaches A).
+Both resolve per interface at transmission time, cover a host's every
+plane (the primary NIC and its ``.sync`` replication NIC alike), and
+are what :class:`repro.sim.failures.FaultPlan` degrade/partition
+events drive.
 """
 
 from __future__ import annotations
@@ -95,9 +106,16 @@ class Network:
         self._interfaces: dict[str, NetworkInterface] = {}
         self._partition_groups: list[set[str]] | None = None
         self._drop_rules: list[DropRule] = []
+        # Gray-failure state, keyed by *host* name so one call covers
+        # every plane of a host (resolution strips the ".sync"-style
+        # interface suffix) and interfaces attached later inherit it.
+        self._degraded: dict[str, tuple[float, float]] = {}
+        self._blocked: set[tuple[str, str]] = set()
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_degraded_dropped = 0
+        self.messages_blocked = 0
 
     # -- topology ----------------------------------------------------------
 
@@ -162,6 +180,64 @@ class Network:
     def clear_drop_rules(self) -> None:
         self._drop_rules.clear()
 
+    # -- gray failures -------------------------------------------------------
+
+    def degrade(self, host: str, factor: float = 10.0,
+                drop: float = 0.0) -> None:
+        """Mark ``host`` gray: alive, but slow and lossy.
+
+        Every message that touches any of the host's interfaces (the
+        primary NIC and any ``<host>.<plane>`` companion) has its
+        sampled delay multiplied by ``factor`` and is dropped with
+        probability ``drop``.  Both directions suffer -- a gray host is
+        slow to serve *and* slow to answer -- which is exactly what
+        makes it worse than a crashed one: RPCs to it time out or limp
+        instead of failing fast.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        if not 0.0 <= drop < 1.0:
+            raise ValueError(f"degrade drop probability out of range: {drop}")
+        if drop > 0.0 and self._rng is None:
+            raise ValueError("degrade drop needs an rng for reproducibility")
+        self._degraded[host] = (factor, drop)
+        self._tracer.record("net", "host degraded", host=host,
+                            factor=factor, drop=drop)
+
+    def restore(self, host: str) -> None:
+        """Lift a :meth:`degrade`; unknown hosts are a no-op."""
+        if self._degraded.pop(host, None) is not None:
+            self._tracer.record("net", "host restored", host=host)
+
+    def degraded(self, host: str) -> bool:
+        return host in self._degraded
+
+    def block(self, src: str, dst: str) -> None:
+        """Cut the ``src -> dst`` direction only (a partial partition).
+
+        Messages from any of ``src``'s interfaces to any of ``dst``'s
+        vanish at delivery time; the reverse direction is untouched.
+        Host-level on purpose: a link failure takes out every plane
+        between the pair, sync NIC included.
+        """
+        if src == dst:
+            raise ValueError("cannot block a host's path to itself")
+        self._blocked.add((src, dst))
+        self._tracer.record("net", "direction blocked", src=src, dst=dst)
+
+    def unblock(self, src: str, dst: str) -> None:
+        """Heal a :meth:`block`; unknown pairs are a no-op."""
+        self._blocked.discard((src, dst))
+        self._tracer.record("net", "direction healed", src=src, dst=dst)
+
+    @staticmethod
+    def _host_of(interface_name: str) -> str:
+        """The owning host of an interface (``s0.sync`` -> ``s0``)."""
+        return interface_name.split(".", 1)[0]
+
+    def _degradation(self, interface_name: str) -> tuple[float, float]:
+        return self._degraded.get(self._host_of(interface_name), (1.0, 0.0))
+
     # -- transmission ----------------------------------------------------------
 
     def _transmit(self, message: Message) -> None:
@@ -187,6 +263,20 @@ class Network:
             sender_nic.latency if sender_nic is not None else None
         ) or self.latency
         delay = model.sample(message.sender, message.target)
+        # Gray hosts: either endpoint's degradation slows the message
+        # (factors compound) and may drop it outright.  One rng draw
+        # per degraded message keeps the stream count stable for
+        # non-degraded runs.
+        if self._degraded:
+            s_factor, s_drop = self._degradation(message.sender)
+            t_factor, t_drop = self._degradation(message.target)
+            if s_drop or t_drop:
+                combined = 1.0 - (1.0 - s_drop) * (1.0 - t_drop)
+                if self._rng is not None and self._rng.chance(combined):
+                    self.messages_dropped += 1
+                    self.messages_degraded_dropped += 1
+                    return
+            delay *= s_factor * t_factor
         throttle = target_nic.throttle or (
             sender_nic.throttle if sender_nic is not None else None)
         if throttle is not None:
@@ -200,6 +290,12 @@ class Network:
             return
         if not self.reachable(message.sender, message.target):
             self.messages_dropped += 1
+            return
+        if self._blocked and (
+                self._host_of(message.sender),
+                self._host_of(message.target)) in self._blocked:
+            self.messages_dropped += 1
+            self.messages_blocked += 1
             return
         self.messages_delivered += 1
         nic._deliver(message)

@@ -361,6 +361,11 @@ class RpcAgent:
             self._reply_error(caller, request, UnknownMethod(
                 f"{request.service}.{request.method}"))
             return
+        if getattr(provider, "accepts_rpc_caller", False):
+            # Writer identity for providers that track per-writer state
+            # (vector clocks): the caller's *host*, so a client's sync
+            # NIC and primary NIC count as one writer.
+            provider.rpc_caller = caller.split(".", 1)[0]
         try:
             result = handler(*request.args)
         except Exception as exc:

@@ -27,7 +27,13 @@ from repro.sim.futures import Future, FutureState, all_of, any_of
 from repro.sim.process import Process, Timeout
 from repro.sim.scheduler import Scheduler
 from repro.sim.rng import SeededRng
-from repro.sim.failures import Crashable, CrashEvent, FaultPlan, StochasticFaultInjector
+from repro.sim.failures import (
+    Crashable,
+    CrashEvent,
+    FaultPlan,
+    FaultPlanError,
+    StochasticFaultInjector,
+)
 from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry, TimeSeries
 from repro.sim.tracing import TraceEvent, Tracer
 
@@ -37,6 +43,7 @@ __all__ = [
     "CrashEvent",
     "Event",
     "FaultPlan",
+    "FaultPlanError",
     "Future",
     "FutureState",
     "Gauge",

@@ -164,6 +164,7 @@ def sharded_nameserver_scenario(
         rpc_timeout=rpc_timeout)
     report = run_streams(system, streams)
     elapsed = system.scheduler.now
+    latencies = [o.latency for o in report.outcomes]
     row: dict[str, Any] = {
         "shards": shards,
         "offered": report.offered,
@@ -171,6 +172,9 @@ def sharded_nameserver_scenario(
         "commit_rate": report.commit_rate,
         "elapsed": elapsed,
         "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
     }
     if system.shard_router is not None:
         row["entry_spread"] = system.shard_router.spread(uids)
@@ -240,6 +244,7 @@ def sharded_failover_scenario(
                        for o in stream.report.outcomes]
     victim_during = [o for o in victim_outcomes if in_outage(o)]
     resyncer = system.shard_resyncers.get(victim)
+    latencies = [o.latency for o in report.outcomes]
     row: dict[str, Any] = {
         "shards": shards,
         "replication": replication,
@@ -248,6 +253,9 @@ def sharded_failover_scenario(
         "offered": report.offered,
         "committed": report.committed,
         "commit_rate": report.commit_rate,
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
         "victim_offered_during_outage": len(victim_during),
         "victim_commits_during_outage": sum(
             1 for o in victim_during if o.committed),
@@ -530,6 +538,7 @@ def commit_batching_scenario(
 
     finishes = [o.finished_at for o in report.outcomes]
     elapsed = max(finishes) if finishes else system.scheduler.now
+    latencies = [o.latency for o in report.outcomes]
     snapshot = system.metrics.snapshot()
     total_rpcs = sum(value for name, value in snapshot.items()
                      if name.endswith(".rpcs_out") and isinstance(value, int))
@@ -549,6 +558,9 @@ def commit_batching_scenario(
         "elapsed": elapsed,
         "throughput": report.committed / elapsed if elapsed > 0 else 0.0,
         "mean_latency": report.mean_latency(),
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
         "rpcs_sent": total_rpcs,
         "batched_rpcs": snapshot.get("commit_batch.batched_rpcs", 0),
         "batched_items": snapshot.get("commit_batch.items", 0),
@@ -706,12 +718,16 @@ def online_reshard_scenario(
                       if o.committed and lo <= o.finished_at < hi)
         return commits / (hi - lo)
 
+    latencies = [o.latency for o in report.outcomes]
     return {
         "shards_before": initial_shards,
         "shards_after": len(system.shard_router.nodes),
         "offered": report.offered,
         "committed": report.committed,
         "commit_rate": report.commit_rate,
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
         "throughput_before": window_rate(0.0, start),
         "throughput_during": window_rate(start, done),
         "throughput_after": window_rate(done, last_finish),
@@ -1253,6 +1269,323 @@ def hot_key_scenario(
         "ledger_violations": violations,
         "lost_bindings": lost,
         "invented_bindings": invented,
+    }
+
+
+def gray_failure_scenario(
+    mode: str = "gray",
+    shards: int = 3,
+    replication: int = 2,
+    clients: int = 10,
+    txns_per_client: int = 60,
+    streams_per_client: int = 4,
+    server_hosts: int = 4,
+    mean_think_time: float = 0.03,
+    max_attempts: int = 10,
+    rpc_timeout: float = 0.25,
+    fixed_latency: float = 0.002,
+    gray_window: tuple[float, float] = (2.0, 5.0),
+    gray_hosts: int = 2,
+    degrade_factor: float = 40.0,
+    degrade_drop: float = 0.1,
+    p95_up: float = 0.05,
+    autoscaler_interval: float = 0.5,
+    partition_window: tuple[float, float] = (1.0, 3.0),
+    sweep_interval: float = 4.0,
+    audit_adds: int = 5,
+    seed: int = 7,
+) -> dict[str, Any]:
+    """One run of the gray-failure workload; returns a row.
+
+    Two modes, one per failure the crash-only fault plane cannot
+    script:
+
+    ``mode="gray"`` degrades ``gray_hosts`` shard hosts at once --
+    alive, accepting every request, but with message delays multiplied
+    by ``degrade_factor`` and a ``degrade_drop`` chance of losing each
+    one -- under the capacity sweep's closed loop.  Correlated
+    grayness (a bad rack) is what exercises *both* detectors: arcs
+    with one gray replica are healed per-client by the
+    ``PeerHealthTracker`` (one gross sample demotes the peer to the
+    back of the read order -- the row's ``demotions``), while arcs
+    whose *whole* replica set is gray must still serve through it, so
+    their reads stay slow for the entire window and only the
+    autoscaler's p95 latency trigger can help, by growing the ring
+    onto healthy hardware (``p95_scale_ups``).  The op-rate trigger's
+    threshold is set unreachably high on purpose: a gray host's op
+    counters look normal, so any scale-up here is the latency
+    trigger's alone.  The correctness ledger (lost/stale counter
+    increments) must stay zero: gray is slow, never wrong.
+
+    ``mode="partition"`` engineers the divergence the vector-clock
+    repair exists for: two writer clients each lose one *direction* to
+    a different shard replica of the same entry, so each commits a
+    conflicting naming write on its reachable replica only -- equal
+    scalar versions, divergent content, concurrent clocks.  After the
+    heal, the anti-entropy sweep's clock-reconciliation phase must
+    converge the replicas by owner order (``divergence_repairs`` >= 1,
+    ``replica_disagreements`` == 0) without inventing a binding that
+    neither writer installed.
+    """
+    if mode == "gray":
+        return _gray_host_row(
+            shards=shards, replication=replication, clients=clients,
+            txns_per_client=txns_per_client,
+            streams_per_client=streams_per_client,
+            server_hosts=server_hosts,
+            mean_think_time=mean_think_time, max_attempts=max_attempts,
+            rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+            gray_window=gray_window, gray_hosts=gray_hosts,
+            degrade_factor=degrade_factor,
+            degrade_drop=degrade_drop, p95_up=p95_up,
+            autoscaler_interval=autoscaler_interval, seed=seed)
+    if mode == "partition":
+        return _partial_partition_row(
+            server_hosts=max(3, min(server_hosts, 3)),
+            rpc_timeout=max(rpc_timeout, 0.3), fixed_latency=fixed_latency,
+            partition_window=partition_window,
+            sweep_interval=sweep_interval, audit_adds=audit_adds,
+            seed=seed)
+    raise ValueError(f"unknown gray-failure mode: {mode!r}")
+
+
+def _gray_host_row(shards, replication, clients, txns_per_client,
+                   streams_per_client, server_hosts, mean_think_time,
+                   max_attempts, rpc_timeout, fixed_latency, gray_window,
+                   gray_hosts, degrade_factor, degrade_drop, p95_up,
+                   autoscaler_interval, seed) -> dict[str, Any]:
+    from repro.sim.failures import FaultPlan
+    from repro.workload.generator import run_streams
+
+    total_streams = clients * streams_per_client
+    system, streams, uids = _closed_loop(
+        clients, txns_per_client, server_hosts, mean_think_time,
+        max_attempts, seed, objects=total_streams,
+        streams_per_client=streams_per_client, nameserver_shards=shards,
+        nameserver_replication=replication, binding_scheme="standard",
+        nameserver_peer_health=True, participant_retries=2,
+        rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+        shard_antientropy_interval=2.0)
+    assert system.shard_router is not None
+    victims = system.shard_hosts[:gray_hosts]
+    fully_gray_arcs = sum(
+        1 for uid in uids
+        if set(system.shard_router.preference_list(uid, replication))
+        <= set(victims))
+    start, end = gray_window
+    plan = FaultPlan()
+    for victim in victims:
+        plan.gray(start, end, victim,
+                  factor=degrade_factor, drop=degrade_drop)
+    system.install_fault_plan(plan)
+    # The op-rate threshold is set unreachably high on purpose: a gray
+    # host serves every request, so the rate trigger *cannot* fire and
+    # any scale-up in this row is the p95 trigger's alone.
+    autoscaler = system.enable_autoscaler(
+        ops_per_shard=1e9, interval=autoscaler_interval,
+        max_shards=shards + 1, p95_up=p95_up)
+
+    report = run_streams(system, streams)
+    # Let the restore, probation expiry, and any in-flight migration
+    # play out before auditing.
+    system.run(until=max(system.scheduler.now, end) + 12.0)
+
+    # -- the correctness ledger: gray must be slow, never wrong ----------
+    committed_per_uid = {str(uid): 0 for uid in uids}
+    for i, stream in enumerate(streams):
+        committed = sum(1 for o in stream.report.outcomes if o.committed)
+        committed_per_uid[str(uids[i % len(uids)])] += committed
+    reader = next(iter(system.clients.values()))
+    lost = stale = 0
+    for uid in uids:
+
+        def read_value(uid=uid):
+            def work(txn):
+                return (yield from txn.invoke(uid, "get"))
+            return work
+
+        result = system.run_transaction(reader, read_value(), read_only=True)
+        assert result.committed, f"final audit read failed: {result.reason}"
+        lost += max(0, committed_per_uid[str(uid)] - result.value)
+        stale += max(0, result.value - committed_per_uid[str(uid)])
+
+    demotions = sum(t.demotions for t in system.peer_health.values())
+    gray_now = sorted({peer for t in system.peer_health.values()
+                       for peer in t.gray_peers()})
+    latencies = [o.latency for o in report.outcomes]
+    return {
+        "mode": "gray",
+        "victims": list(victims),
+        "fully_gray_arcs": fully_gray_arcs,
+        "gray_window": gray_window,
+        "degrade_factor": degrade_factor,
+        "degrade_drop": degrade_drop,
+        "offered": report.offered,
+        "committed": report.committed,
+        "commit_rate": report.commit_rate,
+        "p50_latency": percentile(latencies, 0.50),
+        "p95_latency": percentile(latencies, 0.95),
+        "p99_latency": percentile(latencies, 0.99),
+        "demotions": demotions,
+        "gray_peers_at_end": gray_now,
+        "p95_scale_ups": autoscaler.p95_scale_ups,
+        "scale_ups_triggered": autoscaler.scale_ups_triggered,
+        "shards_before": shards,
+        "shards_after": len(system.shard_router.nodes),
+        "degraded_drops": system.network.messages_degraded_dropped,
+        "divergence_repairs": _divergence_repairs(system),
+        "lost_bindings": lost,
+        "stale_bindings": stale,
+    }
+
+
+def _divergence_repairs(system) -> int:
+    """Total clock-phase repairs across the (scoped) shard registries."""
+    return sum(value for name, value in system.metrics.snapshot().items()
+               if name.endswith("replica_io.divergence_repairs")
+               and isinstance(value, int))
+
+
+def _partial_partition_row(server_hosts, rpc_timeout, fixed_latency,
+                           partition_window, sweep_interval, audit_adds,
+                           seed) -> dict[str, Any]:
+    from repro.actions.locks import LockMode
+    from repro.cluster.system import DistributedSystem, SystemConfig
+    from repro.core.objects import PersistentObject, operation
+    from repro.sim.failures import FaultPlan
+
+    class GrayCounter(PersistentObject):
+        TYPE_NAME = "gray.Counter"
+
+        def __init__(self, uid, value=0):
+            super().__init__(uid)
+            self.value = value
+
+        def save_state(self, out):
+            out.pack_int(self.value)
+
+        def restore_state(self, state):
+            self.value = state.unpack_int()
+
+        @operation(LockMode.READ)
+        def get(self):
+            return self.value
+
+        @operation(LockMode.WRITE)
+        def add(self, amount):
+            self.value += amount
+            return self.value
+
+    system = DistributedSystem(SystemConfig(
+        seed=seed, nameserver_shards=2, nameserver_replication=2,
+        binding_scheme="standard", enable_recovery_managers=False,
+        rpc_timeout=rpc_timeout, fixed_latency=fixed_latency,
+        shard_antientropy_interval=sweep_interval))
+    system.registry.register(GrayCounter)
+    hosts = [f"s{i}" for i in range(server_hosts)]
+    for host in hosts:
+        system.add_node(host, server=True, store=True)
+    writer_a = system.add_client("wa")
+    writer_b = system.add_client("wb")
+    auditor = system.add_client("aud")
+    # The full host list in *both* groups: ``exclude`` is a group-view
+    # (state-db) write, so the conflicting writers need a wide St to
+    # carve different members out of.
+    uid = system.create_object(GrayCounter(system.new_uid(), value=0),
+                               sv_hosts=list(hosts), st_hosts=list(hosts))
+    assert system.shard_router is not None
+    replicas = system.shard_router.preference_list(uid, 2)
+    start, end = partition_window
+    # Each writer loses one *direction* to a different replica: wa can
+    # only reach the primary, wb only the secondary.  ReplicaIO's write
+    # fan-out skips an unreachable replica rather than failing the
+    # write, so each commit lands on one copy -- equal scalar bumps,
+    # divergent content, concurrent clocks.
+    system.install_fault_plan(
+        FaultPlan()
+        .partial_partition(start, end, "wa", replicas[1])
+        .partial_partition(start, end, "wb", replicas[0]))
+
+    def exclude_txn(victim_host):
+        def work(txn):
+            yield from txn._ctx.db.exclude(txn.action, [(uid, [victim_host])])
+            return True
+        return work
+
+    def add_txn():
+        def work(txn):
+            return (yield from txn.invoke(uid, "add", 1))
+        return work
+
+    def get_txn():
+        def work(txn):
+            return (yield from txn.invoke(uid, "get"))
+        return work
+
+    system.run(until=start + 0.05)
+    result_a = system.run_transaction(writer_a, exclude_txn(hosts[1]),
+                                      timeout=30.0)
+    result_b = system.run_transaction(writer_b, exclude_txn(hosts[2]),
+                                      timeout=30.0)
+    assert system.scheduler.now < end, (
+        "writers outran the partition window; widen it")
+
+    # Capture the divergence before the sweeps repair it: both copies
+    # at the same scalar version with different host sets proves the
+    # scenario engineered a real split, not just a lagging replica.
+    versions = {}
+    views = {}
+    for shard in replicas:
+        db = system.db.shards[shard]
+        views[shard] = tuple(db.get_view((0,), str(uid)))
+        versions[shard] = db.entry_versions(str(uid))
+    system._release_probe_locks()
+    diverged = (len(set(views.values())) > 1
+                and len(set(versions.values())) == 1)
+
+    # Heal, then let two sweep rounds run: the losing replica pulls the
+    # owner-order winner in the first, the second proves convergence.
+    system.run(until=end + 2 * sweep_interval + 1.0)
+
+    committed_adds = 0
+    for _ in range(audit_adds):
+        result = system.run_transaction(auditor, add_txn(), timeout=30.0)
+        if result.committed:
+            committed_adds += 1
+    audit = system.run_transaction(auditor, get_txn(), read_only=True,
+                                   timeout=30.0)
+    assert audit.committed, f"final audit read failed: {audit.reason}"
+    lost = max(0, committed_adds - audit.value)
+    invented_writes = max(0, audit.value - committed_adds)
+
+    disagreements = 0
+    final_states = []
+    for shard in replicas:
+        db = system.db.shards[shard]
+        snapshot = db.get_server_with_uses((0,), str(uid))
+        view = db.get_view((0,), str(uid))
+        final_states.append((tuple(snapshot.hosts), tuple(view)))
+    system._release_probe_locks()
+    if any(state != final_states[0] for state in final_states):
+        disagreements += 1
+    final_view = set(final_states[0][1])
+    invented_bindings = len(final_view - set(hosts))
+
+    return {
+        "mode": "partition",
+        "partition_window": partition_window,
+        "replicas": list(replicas),
+        "writer_commits": sum(1 for r in (result_a, result_b)
+                              if r.committed),
+        "diverged_during_partition": diverged,
+        "diverged_views": sorted(views.values()),
+        "divergence_repairs": _divergence_repairs(system),
+        "replica_disagreements": disagreements,
+        "final_view": sorted(final_view),
+        "invented_bindings": invented_bindings,
+        "audit_adds_committed": committed_adds,
+        "lost_bindings": lost,
+        "stale_bindings": invented_writes,
     }
 
 

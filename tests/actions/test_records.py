@@ -151,3 +151,60 @@ def test_abort_tolerates_unreachable_participant():
     action.add_record(RemoteParticipantRecord(agents["client"], "db", "svc"))
     status = run_action_in_process(s, action, do="abort")
     assert status is ActionStatus.ABORTED
+
+
+# -- prepare retries (the gray-participant path) -----------------------------
+
+
+def test_retries_need_a_seeded_rng():
+    import pytest
+
+    s, _, agents = make_rpc_world()
+    with pytest.raises(ValueError, match="seeded rng"):
+        RemoteParticipantRecord(agents["client"], "db", "svc", retries=2)
+    with pytest.raises(ValueError):
+        RemoteParticipantRecord(agents["client"], "db", "svc", retries=-1)
+
+
+def test_prepare_retry_reaches_a_recovering_gray_participant():
+    """The gray window: drop every prepare for a while, then deliver.
+    With retries the action commits; without, it aborts instantly."""
+    from repro.sim import SeededRng
+
+    def attempt(retries):
+        s, net, agents = make_rpc_world()
+        participant = Participant()
+        agents["db"].register("svc", participant)
+        # Gray window: every request to the db host vanishes for 0.4s.
+        net.block("client", "db")
+        s.schedule_at(0.4, net.unblock, "client", "db")
+        action = AtomicAction()
+        rng = SeededRng(9).substream("retry") if retries else None
+        action.add_record(RemoteParticipantRecord(
+            agents["client"], "db", "svc", retries=retries,
+            backoff=0.3, rng=rng))
+        return run_action_in_process(s, action), participant
+
+    status, participant = attempt(retries=3)
+    assert status is ActionStatus.COMMITTED
+    assert [c[0] for c in participant.calls] == ["prepare", "commit"]
+
+    status, participant = attempt(retries=0)
+    assert status is ActionStatus.ABORTED
+    # Fail-fast baseline: no prepare ever got through (a post-heal
+    # presumed abort to the untouched participant is a no-op).
+    assert "prepare" not in [c[0] for c in participant.calls]
+
+
+def test_prepare_retry_budget_exhausts_to_abort():
+    from repro.sim import SeededRng
+
+    s, net, agents = make_rpc_world()
+    agents["db"].register("svc", Participant())
+    net.interface("db").up = False  # dark for good, not just gray
+    action = AtomicAction()
+    action.add_record(RemoteParticipantRecord(
+        agents["client"], "db", "svc", retries=2, backoff=0.05,
+        rng=SeededRng(9).substream("retry")))
+    status = run_action_in_process(s, action)
+    assert status is ActionStatus.ABORTED

@@ -1,0 +1,36 @@
+"""Known-bad fixture: backoff retry sleeps without seeded jitter.
+
+Two shapes of the bug.  ``lockstep_retry`` sleeps a bare exponential
+backoff: every client that lost the same race re-collides on the exact
+same tick, forever, because a discrete-event simulator has no ambient
+noise to break the tie.  ``ambient_retry`` jitters -- but from
+``random.*``, which breaks seeded replay.  The seeded-backoff rule must
+flag both (the second is also a determinism finding; the rules are
+checked independently).
+"""
+
+import random
+
+from repro.sim.process import Timeout
+
+
+class FlakyCaller:
+
+    backoff = 0.05
+
+    def lockstep_retry(self, rpc):
+        for attempt in range(3):
+            try:
+                return (yield from rpc.call("db", "svc", "prepare"))
+            except ConnectionError:
+                yield Timeout(self.backoff * 2 ** attempt)
+        return None
+
+    def ambient_retry(self, rpc, backoff=0.05):
+        for attempt in range(3):
+            delay = backoff * 2 ** attempt
+            try:
+                return (yield from rpc.call("db", "svc", "prepare"))
+            except ConnectionError:
+                yield Timeout(delay + random.uniform(0.0, delay))
+        return None

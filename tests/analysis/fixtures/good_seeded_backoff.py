@@ -1,0 +1,36 @@
+"""Known-good fixture: backoff sleeps that jitter from a seeded stream.
+
+Both approved shapes: the draw mixed into the ``Timeout`` inline, and
+the draw folded into the delay variable before the yield (the optional-
+rng pattern, where a missing stream falls back to no jitter).  Plus a
+plain periodic sleep whose interval is not backoff-derived -- out of
+scope for the rule entirely.
+"""
+
+from repro.sim.process import Timeout
+
+
+class RetryingCaller:
+
+    def __init__(self, rng, backoff=0.05):
+        self._rng = rng
+        self._backoff = backoff
+
+    def inline_jitter(self, rpc):
+        for attempt in range(3):
+            try:
+                return (yield from rpc.call("db", "svc", "prepare"))
+            except ConnectionError:
+                delay = self._backoff * 2 ** attempt
+                yield Timeout(delay + self._rng.uniform(0.0, delay))
+        return None
+
+    def folded_jitter(self, rpc, attempt):
+        delay = self._backoff * (attempt + 1)
+        if self._rng is not None:
+            delay += self._rng.uniform(0.0, delay)
+        yield Timeout(delay)
+
+    def periodic_poll(self, interval):
+        while True:
+            yield Timeout(interval)

@@ -21,7 +21,7 @@ from repro.analysis.core import _REGISTRY
 
 EXPECTED_RULES = {"action-leak", "lock-across-wire", "fence-required",
                   "sync-plane", "coherence-push", "batch-demux",
-                  "determinism"}
+                  "determinism", "seeded-backoff"}
 
 
 # -- registry ----------------------------------------------------------------

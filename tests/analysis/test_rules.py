@@ -1,6 +1,6 @@
-"""The six checkers against the regression-fixture corpus.
+"""The eight checkers against the regression-fixture corpus.
 
-One known-bad fixture per historical bug (PRs 1-8) proves each rule
+One known-bad fixture per historical bug (PRs 1-10) proves each rule
 still catches the mistake it was written for; the known-good fixtures
 prove the approved patterns, suppressions, and nested actions do not
 false-positive.
@@ -84,6 +84,20 @@ def test_batch_demux_accepts_per_item_outcomes(scan_fixture):
     report = scan_fixture("good_batch_demux.py",
                           relpath="src/repro/cluster/store_host.py",
                           rules=["batch-demux"])
+    assert report.findings == []
+
+
+def test_unjittered_and_ambient_backoff_are_flagged(scan_fixture):
+    report = scan_fixture("bad_seeded_backoff.py", rules=["seeded-backoff"])
+    assert idents(report) == {"self.backoff:unjittered",
+                              "delay:ambient-jitter"}
+    messages = {f.ident: f.message for f in report.findings}
+    assert "lockstep" in messages["self.backoff:unjittered"]
+    assert "seeded replay" in messages["delay:ambient-jitter"]
+
+
+def test_seeded_backoff_patterns_are_silent(scan_fixture):
+    report = scan_fixture("good_seeded_backoff.py", rules=["seeded-backoff"])
     assert report.findings == []
 
 

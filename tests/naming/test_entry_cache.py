@@ -443,3 +443,32 @@ def test_cache_rejects_bad_parameters():
         EntryCache(0.0, fence=lambda: 0, clock=lambda: 0.0)
     with pytest.raises(ValueError):
         EntryCache(1.0, fence=lambda: 0, clock=lambda: 0.0, capacity=0)
+
+
+def test_lease_skew_anchors_at_receive_and_stretches_staleness():
+    """The injected anchor flip: a skewed client re-stamps its leases
+    at reply-receive time, so a slow reply quietly extends the declared
+    staleness bound by the round trip -- visible in ``skewed_stores``
+    and in the entry's later-than-honest expiry."""
+    s, dbs, agents, router, client, agent = make_world()
+    cache = client.cache
+    one_get_server(s, client)  # honest send-anchored populate
+    honest = cache.peek(str(UID))
+    assert cache.skewed_stores == 0
+
+    cache.invalidate(str(UID))
+    cache.anchor = "receive"  # the FaultPlan skew event's effect
+    before = s.now
+    one_get_server(s, client)
+    skewed = cache.peek(str(UID))
+    assert cache.skewed_stores == 1
+    # Send-anchored leases start at the probe-send clock; the skewed
+    # store stamped at receive time, after the RPC round trip.
+    assert skewed.fetched_at > before
+    assert skewed.lease_expiry - skewed.fetched_at == pytest.approx(LEASE)
+
+    cache.anchor = "send"  # unskew restores the honest discipline
+    cache.invalidate(str(UID))
+    one_get_server(s, client)
+    assert cache.skewed_stores == 1
+    assert honest is not None
